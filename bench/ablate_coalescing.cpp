@@ -1,0 +1,141 @@
+// Ablation (§2): "Several optimizations can be performed to reduce the
+// amount of communication, including the removal of duplicate accesses and
+// message coalescing." This bench quantifies both on the executor's gather:
+//
+//   naive        — one message per referenced element, duplicates included
+//                  (what a compiler emits without an inspector)
+//   deduplicated — one message per *unique* element (hash-table dedup),
+//                  still one message each
+//   coalesced    — the schedule-driven gather: unique elements, one message
+//                  per peer (what the library does)
+#include "bench_common.hpp"
+#include "exec/gather_scatter.hpp"
+#include "mp/cluster.hpp"
+#include "sched/inspector.hpp"
+
+namespace {
+
+using namespace stance;
+using graph::Vertex;
+
+struct GatherCosts {
+  double naive = 0.0;
+  double dedup = 0.0;
+  double coalesced = 0.0;
+  std::size_t naive_msgs = 0;
+  std::size_t coalesced_msgs = 0;
+};
+
+GatherCosts measure(const graph::Csr& mesh, std::size_t nprocs) {
+  mp::Cluster cluster(sim::MachineSpec::sun4_ethernet(nprocs));
+  const auto part = partition::IntervalPartition::from_weights(
+      mesh.num_vertices(), cluster.spec().speed_shares());
+  std::vector<sched::InspectorResult> irs(nprocs);
+  cluster.run([&](mp::Process& p) {
+    irs[static_cast<std::size_t>(p.rank())] = sched::build_schedule(
+        p, mesh, part, sched::BuildMethod::kSort2, sim::CpuCostModel::free());
+  });
+
+  // Per-pair *duplicated* reference counts (for the naive variant): every
+  // off-processor reference in the adjacency counts, not just unique ones.
+  // dup_refs[src][dst]: elements dst re-reads from src.
+  std::vector<std::vector<std::size_t>> dup_refs(nprocs,
+                                                 std::vector<std::size_t>(nprocs, 0));
+  for (Vertex v = 0; v < mesh.num_vertices(); ++v) {
+    const auto home_v = part.owner(v);
+    for (const Vertex u : mesh.neighbors(v)) {
+      const auto home_u = part.owner(u);
+      if (home_u != home_v) {
+        ++dup_refs[static_cast<std::size_t>(home_u)][static_cast<std::size_t>(home_v)];
+      }
+    }
+  }
+
+  GatherCosts out;
+  const mp::Tag kTag = 1;
+
+  // Naive: every (duplicated) reference is its own 8-byte message.
+  cluster.reset_clocks();
+  cluster.run([&](mp::Process& p) {
+    const auto me = static_cast<std::size_t>(p.rank());
+    const std::vector<double> one{1.0};
+    for (std::size_t dst = 0; dst < nprocs; ++dst) {
+      if (dst == me) continue;
+      for (std::size_t k = 0; k < dup_refs[me][dst]; ++k) {
+        p.send(static_cast<int>(dst), kTag, one);
+      }
+    }
+    for (std::size_t src = 0; src < nprocs; ++src) {
+      if (src == me) continue;
+      for (std::size_t k = 0; k < dup_refs[src][me]; ++k) {
+        (void)p.recv<double>(static_cast<int>(src), kTag);
+      }
+    }
+  });
+  out.naive = cluster.makespan();
+  out.naive_msgs = cluster.total_stats().messages_sent;
+
+  // Deduplicated: one message per unique element (the schedule's send lists
+  // give exactly the unique sets).
+  cluster.reset_clocks();
+  cluster.run([&](mp::Process& p) {
+    const auto& s = irs[static_cast<std::size_t>(p.rank())].schedule;
+    const std::vector<double> one{1.0};
+    for (std::size_t i = 0; i < s.send_procs.size(); ++i) {
+      for (std::size_t k = 0; k < s.send_items[i].size(); ++k) {
+        p.send(s.send_procs[i], kTag, one);
+      }
+    }
+    for (std::size_t i = 0; i < s.recv_procs.size(); ++i) {
+      for (std::size_t k = 0; k < s.recv_slots[i].size(); ++k) {
+        (void)p.recv<double>(s.recv_procs[i], kTag);
+      }
+    }
+  });
+  out.dedup = cluster.makespan();
+
+  // Coalesced: the real gather.
+  cluster.reset_clocks();
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = irs[static_cast<std::size_t>(p.rank())];
+    std::vector<double> local(static_cast<std::size_t>(ir.schedule.nlocal), 1.0);
+    std::vector<double> ghost(static_cast<std::size_t>(ir.schedule.nghost));
+    exec::gather<double>(p, ir.schedule, local, ghost);
+  });
+  out.coalesced = cluster.makespan();
+  out.coalesced_msgs = cluster.total_stats().messages_sent;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  bench::print_preamble("Ablation — dedup & message coalescing (§2)");
+  const graph::Csr mesh = args.get_bool("small", false)
+                              ? graph::random_delaunay(2000, 1996)
+                              : graph::random_delaunay(8000, 1996);
+  const graph::Csr ordered = mesh.permuted(order::compute(mesh, order::Method::kHilbert));
+  std::cout << "mesh: " << ordered.num_vertices() << " vertices, "
+            << ordered.num_edges() << " edges, Hilbert-indexed\n\n";
+
+  TextTable table("One gather phase (virtual seconds)");
+  table.set_header({"workstations", "naive", "dedup only", "coalesced (library)",
+                    "naive msgs", "coalesced msgs", "speedup"});
+  for (const std::size_t n : {2u, 3u, 4u, 5u}) {
+    const auto c = measure(ordered, n);
+    table.row()
+        .cell(static_cast<long long>(n))
+        .cell(c.naive, 3)
+        .cell(c.dedup, 3)
+        .cell(c.coalesced, 4)
+        .cell(c.naive_msgs)
+        .cell(c.coalesced_msgs)
+        .cell(c.naive / c.coalesced, 0);
+  }
+  table.print(std::cout);
+  std::cout << "\nEach schedule message replaces hundreds of per-element messages;\n"
+               "on a latency-bound network that is 2-3 orders of magnitude. This is\n"
+               "the inspector's raison d'être (and why CHAOS/PARTI existed).\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation (§3.2, Fig. 3): the three translation-table designs.
+//
+// Memory per processor and dereference cost of (a) the replicated interval
+// table (the paper's design: O(p) memory, local lookups), (b) the replicated
+// explicit table (O(n) memory, local lookups), (c) the block-distributed
+// explicit table (O(n/p) memory, communication to dereference).
+#include "bench_common.hpp"
+#include "mp/cluster.hpp"
+#include "partition/translation.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace stance;
+using namespace stance::partition;
+
+struct Cell {
+  double deref_virtual = 0.0;  ///< batched dereference, virtual seconds
+  std::size_t memory = 0;      ///< bytes per processor
+};
+
+Cell interval_cell(graph::Vertex n, std::size_t p, const std::vector<Vertex>& queries) {
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(p));
+  const auto part = IntervalPartition::from_weights(n, std::vector<double>(p, 1.0));
+  const IntervalTranslationTable table(part, sim::CpuCostModel::sun4());
+  Cell cell;
+  cell.memory = table.memory_bytes();
+  cluster.run([&](mp::Process& proc) {
+    volatile std::size_t sink = table.dereference(proc, queries).size();
+    (void)sink;
+  });
+  cell.deref_virtual = cluster.makespan();
+  return cell;
+}
+
+Cell replicated_cell(graph::Vertex n, std::size_t p, const std::vector<Vertex>& queries) {
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(p));
+  const auto part = IntervalPartition::from_weights(n, std::vector<double>(p, 1.0));
+  const auto table = ReplicatedTranslationTable::from_partition(part);
+  Cell cell;
+  cell.memory = table.memory_bytes();
+  const auto costs = sim::CpuCostModel::sun4();
+  cluster.run([&](mp::Process& proc) {
+    proc.compute(costs.per_table_lookup * static_cast<double>(queries.size()));
+    volatile Rank sink = table.lookup(queries.back()).home;
+    (void)sink;
+  });
+  cell.deref_virtual = cluster.makespan();
+  return cell;
+}
+
+Cell distributed_cell(graph::Vertex n, std::size_t p, const std::vector<Vertex>& queries) {
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(p));
+  const auto part = IntervalPartition::from_weights(n, std::vector<double>(p, 1.0));
+  Cell cell;
+  std::size_t memory = 0;
+  cluster.run([&](mp::Process& proc) {
+    const DistributedTranslationTable table(proc, part, sim::CpuCostModel::sun4());
+    if (proc.rank() == 0) memory = table.memory_bytes();
+    proc.barrier();
+    proc.clock().reset();
+    volatile std::size_t sink = table.dereference(proc, queries).size();
+    (void)sink;
+  });
+  cell.memory = memory;
+  cell.deref_virtual = cluster.makespan();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  bench::print_preamble("Ablation — translation-table designs (§3.2)");
+  const auto n = static_cast<graph::Vertex>(args.get_int("elements", 1000000));
+  const std::size_t queries_count = 5000;
+
+  TextTable table("Dereference " + std::to_string(queries_count) +
+                  " references over " + std::to_string(n) + " elements");
+  table.set_header({"design", "p", "memory/proc", "deref (virtual s)"});
+  for (const std::size_t p : {2u, 5u, 16u}) {
+    Rng rng(7);
+    std::vector<Vertex> queries(queries_count);
+    for (auto& q : queries) {
+      q = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+    }
+    const Cell a = interval_cell(n, p, queries);
+    const Cell b = replicated_cell(n, p, queries);
+    const Cell c = distributed_cell(n, p, queries);
+    table.row().cell("interval (paper)").cell(p).cell(a.memory).cell(a.deref_virtual, 4);
+    table.row().cell("replicated explicit").cell(p).cell(b.memory).cell(b.deref_virtual, 4);
+    table.row().cell("distributed explicit").cell(p).cell(c.memory).cell(c.deref_virtual, 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nThe interval table costs O(p) bytes — 5-6 orders of magnitude below\n"
+               "the replicated explicit table at n=10^6 — while dereferencing as\n"
+               "fast; the distributed explicit table saves memory but pays message\n"
+               "rounds to dereference. That is the paper's §3.2 argument.\n";
+  return 0;
+}

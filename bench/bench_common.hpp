@@ -1,0 +1,76 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (§5) and prints it side by side with the paper's published
+// numbers. Times labelled "virtual" are simulated SUN4/Ethernet seconds
+// (see DESIGN.md §5); times labelled "host" are wall-clock on this machine.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "stance/stance.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace stance::bench {
+
+/// The paper's experimental mesh stand-in: Delaunay over 30,269 uniform
+/// points, renumbered by recursive spectral bisection (the paper's choice).
+/// Cached per process — several benches sweep 5 cluster sizes over it.
+inline const graph::Csr& paper_mesh_rsb() {
+  static const graph::Csr mesh = [] {
+    graph::Csr m = graph::paper_mesh();
+    const auto perm = order::spectral_order(m);
+    return m.permuted(perm);
+  }();
+  return mesh;
+}
+
+/// Smaller stand-in honoring --small for quick runs.
+inline graph::Csr mesh_for(const CliArgs& args) {
+  if (args.get_bool("small", false)) {
+    graph::Csr m = graph::random_delaunay(4000, 1996);
+    return m.permuted(order::spectral_order(m));
+  }
+  return paper_mesh_rsb();
+}
+
+/// Session config matching the paper's testbed defaults. The mesh handed to
+/// Session is already permuted, so the session ordering is identity.
+inline SessionConfig sun4_config(std::size_t workstations, bool multicast = false) {
+  SessionConfig cfg;
+  cfg.machine = sim::MachineSpec::sun4_ethernet(workstations, multicast);
+  cfg.ordering = order::Method::kIdentity;
+  cfg.build = sched::BuildMethod::kSort2;
+  return cfg;
+}
+
+/// "1,2,...,n" — the workstation-set labels of the paper's tables.
+inline std::string ws_label(std::size_t n) {
+  std::string s = "1";
+  for (std::size_t i = 2; i <= n; ++i) s += "," + std::to_string(i);
+  return s;
+}
+
+class HostTimer {
+ public:
+  HostTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_preamble(const std::string& what) {
+  std::cout << "\n=== " << what << " ===\n"
+            << "(virtual seconds from the simulated SUN4/Ethernet cluster; paper\n"
+            << " columns are the 1995 published values — compare shapes, not\n"
+            << " absolutes; see EXPERIMENTS.md)\n\n";
+}
+
+}  // namespace stance::bench

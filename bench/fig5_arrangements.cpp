@@ -1,0 +1,81 @@
+// Figure 5 + §3.4: different ways of repartitioning data items.
+//
+// Reproduces the paper's worked example (100 elements, 5 processors,
+// capabilities 0.27/0.18/0.34/0.07/0.14 adapting to 0.10/0.13/0.29/0.24/
+// 0.24) and scores every one of the 5! arrangements, marking the paper's
+// two, MCR's choice, and the optimum.
+#include <algorithm>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "partition/mcr.hpp"
+
+namespace {
+
+using namespace stance;
+using namespace stance::partition;
+
+std::string arr_str(const Arrangement& a) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += "P" + std::to_string(a[i]);
+    if (i + 1 < a.size()) s += ",";
+  }
+  return s + ")";
+}
+
+}  // namespace
+
+int main(int, char**) {
+  bench::print_preamble("Figure 5 — repartitioning arrangements");
+  const std::vector<double> old_w{0.27, 0.18, 0.34, 0.07, 0.14};
+  const std::vector<double> new_w{0.10, 0.13, 0.29, 0.24, 0.24};
+  const auto from = IntervalPartition::from_weights(100, old_w);
+  const auto obj = ArrangementObjective::overlap_only();
+
+  const auto mcr_arr = minimize_cost_redistribution(from, new_w, obj);
+  const auto best_arr = exhaustive_best(from, new_w, obj);
+
+  struct Row {
+    Arrangement arr;
+    RedistributionCost cost;
+    std::string note;
+  };
+  std::vector<Row> rows;
+  Arrangement trial(5);
+  std::iota(trial.begin(), trial.end(), 0);
+  do {
+    const auto to = IntervalPartition::from_weights_arranged(100, new_w, trial);
+    rows.push_back({trial, redistribution_cost(from, to), ""});
+  } while (std::next_permutation(trial.begin(), trial.end()));
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.cost.moved < b.cost.moved; });
+
+  for (auto& r : rows) {
+    if (r.arr == Arrangement{0, 1, 2, 3, 4}) r.note += " <- paper Fig.5(a), original";
+    if (r.arr == Arrangement{0, 3, 1, 2, 4}) r.note += " <- paper Fig.5(b)";
+    if (r.arr == mcr_arr) r.note += " <- MCR picks this";
+    if (r.arr == best_arr) r.note += " <- optimal";
+  }
+
+  TextTable table("All 120 arrangements of the paper's Fig. 5 instance (top 10 + notable)");
+  table.set_header({"arrangement", "overlap", "moved", "messages", ""});
+  std::size_t printed = 0;
+  for (const auto& r : rows) {
+    const bool notable = !r.note.empty();
+    if (printed >= 10 && !notable) continue;
+    table.row()
+        .cell(arr_str(r.arr))
+        .cell(static_cast<long long>(r.cost.overlap))
+        .cell(static_cast<long long>(r.cost.moved))
+        .cell(static_cast<long long>(r.cost.messages))
+        .cell(r.note);
+    ++printed;
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper quotes 29/65 overlapped elements for (a)/(b); exact\n"
+               "largest-remainder arithmetic gives 31/64 (the figure is hand-\n"
+               "approximated). MCR recovers an arrangement at least as good as\n"
+               "the paper's (b).\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 1: Execution time of MinimizeCostRedistribution.
+//
+// The paper times MCR on a SUN4 for p = 3, 5, 10, 15, 20. We measure host
+// wall-clock of the same O(p^3) algorithm over random capability vectors
+// (mean over many instances) and print it next to the paper's numbers; a
+// google-benchmark registration of the same kernel follows for
+// statistically robust micro-timing.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "partition/mcr.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace stance;
+using namespace stance::partition;
+
+constexpr int kProcs[] = {3, 5, 10, 15, 20};
+constexpr double kPaperSeconds[] = {0.00033, 0.00049, 0.0025, 0.0074, 0.017};
+
+/// One MCR instance at processor count p: random old/new capability vectors
+/// over a 100,000-element list (size does not matter — MCR cost is O(p^3)).
+double run_one(int p, Rng& rng) {
+  const auto wa = random_weights(static_cast<std::size_t>(p), rng);
+  const auto wb = random_weights(static_cast<std::size_t>(p), rng);
+  const auto from = IntervalPartition::from_weights(100000, wa);
+  bench::HostTimer t;
+  const auto arr = minimize_cost_redistribution(from, wb);
+  benchmark::DoNotOptimize(arr);
+  return t.seconds();
+}
+
+void print_table(int samples) {
+  TextTable table("Table 1: Execution time of MinimizeCostRedistribution (seconds)");
+  table.set_header({"Workstations", "measured (host)", "paper (SUN4)"});
+  Rng rng(1);
+  for (std::size_t i = 0; i < std::size(kProcs); ++i) {
+    RunningStats stats;
+    for (int s = 0; s < samples; ++s) stats.add(run_one(kProcs[i], rng));
+    table.row()
+        .cell(static_cast<long long>(kProcs[i]))
+        .cell(stats.mean(), 6)
+        .cell(kPaperSeconds[i], 5);
+  }
+  table.print(std::cout);
+}
+
+void BM_Mcr(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  Rng rng(static_cast<std::uint64_t>(p));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_one(p, rng));
+  }
+}
+BENCHMARK(BM_Mcr)->Arg(3)->Arg(5)->Arg(10)->Arg(15)->Arg(20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  stance::CliArgs args(argc, argv);
+  stance::bench::print_preamble("Table 1 — MCR execution time");
+  print_table(static_cast<int>(args.get_int("samples", 50)));
+  if (args.get_bool("gbench", false)) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

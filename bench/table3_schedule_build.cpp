@@ -1,0 +1,64 @@
+// Table 3: Time required to build a communication schedule using the
+// different strategies (Sort1, Sort2, Simple) on the paper mesh.
+#include "bench_common.hpp"
+#include "mp/cluster.hpp"
+#include "sched/inspector.hpp"
+
+namespace {
+
+using namespace stance;
+
+// Paper Table 3, [strategy][ws 1,2 / 1-3 / 1-4 / 1-5].
+constexpr double kPaper[3][4] = {
+    {0.247, 0.171, 0.136, 0.131},  // Sort1
+    {0.236, 0.169, 0.130, 0.125},  // Sort2
+    {0.2, 0.188, 0.176, 0.290},    // Simple Strategy
+};
+
+double build_makespan(const graph::Csr& mesh, std::size_t nprocs,
+                      sched::BuildMethod method) {
+  mp::Cluster cluster(sim::MachineSpec::sun4_ethernet(nprocs));
+  const auto part = partition::IntervalPartition::from_weights(
+      mesh.num_vertices(), cluster.spec().speed_shares());
+  cluster.run([&](mp::Process& p) {
+    const auto r = sched::build_schedule(p, mesh, part, method, sim::CpuCostModel::sun4());
+    volatile std::size_t sink = r.schedule.nghost;
+    (void)sink;
+  });
+  return cluster.makespan();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  bench::print_preamble("Table 3 — communication-schedule construction time");
+  const graph::Csr& mesh = bench::mesh_for(args);
+  std::cout << "mesh: " << mesh.num_vertices() << " vertices, " << mesh.num_edges()
+            << " edges, RSB-indexed\n\n";
+
+  const sched::BuildMethod methods[] = {sched::BuildMethod::kSort1,
+                                        sched::BuildMethod::kSort2,
+                                        sched::BuildMethod::kSimple};
+  const char* names[] = {"Sort1", "Sort2", "Simple Strategy"};
+
+  TextTable table("Table 3: Schedule build time (virtual seconds)");
+  std::vector<std::string> header{"Strategy"};
+  for (std::size_t n = 2; n <= 5; ++n) header.push_back(bench::ws_label(n));
+  header.insert(header.end(), {"paper 1,2", "paper 1-3", "paper 1-4", "paper 1-5"});
+  table.set_header(header);
+
+  for (std::size_t m = 0; m < 3; ++m) {
+    table.row().cell(names[m]);
+    for (std::size_t n = 2; n <= 5; ++n) {
+      table.cell(build_makespan(mesh, n, methods[m]), 3);
+    }
+    for (std::size_t c = 0; c < 4; ++c) table.cell(kPaper[m][c], 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nShape checks (also in the paper): sorting strategies get cheaper\n"
+               "as workstations are added (less data per node to hash/sort); the\n"
+               "simple strategy pays growing message-setup cost and loses by 1-5;\n"
+               "Sort2 <= Sort1 everywhere (send-list sort avoided).\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 4: Execution time of the parallel loop for 500 iterations in a
+// static environment, plus the paper §4 nonuniform efficiency.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace stance;
+
+constexpr double kPaperTime[5] = {97.61, 55.68, 42.27, 34.06, 31.50};
+constexpr double kPaperEff[5] = {1.0, 0.88, 0.77, 0.72, 0.62};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int iterations = static_cast<int>(args.get_int("iterations", 500));
+  bench::print_preamble("Table 4 — static environment, " +
+                        std::to_string(iterations) + " iterations");
+  const graph::Csr& mesh = bench::mesh_for(args);
+  std::cout << "mesh: " << mesh.num_vertices() << " vertices, " << mesh.num_edges()
+            << " edges, RSB-indexed\n\n";
+
+  TextTable table("Table 4: Parallel-loop execution time, static environment");
+  table.set_header({"Workstations", "time (virtual s)", "efficiency", "paper time",
+                    "paper eff"});
+  for (std::size_t n = 1; n <= 5; ++n) {
+    Session session(mesh, bench::sun4_config(n));
+    const auto r = session.run_static(iterations);
+    table.row()
+        .cell(bench::ws_label(n))
+        .cell(r.loop_seconds, 2)
+        .cell(r.efficiency, 2)
+        .cell(kPaperTime[n - 1], 2)
+        .cell(kPaperEff[n - 1], 2);
+  }
+  table.print(std::cout);
+  std::cout << "\nShape checks (also in the paper): time decreases monotonically as\n"
+               "workstations are added; efficiency declines as communication grows.\n";
+  return 0;
+}

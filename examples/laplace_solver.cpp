@@ -1,0 +1,77 @@
+// A real FEM-style workload on the STANCE executor: solve the shifted
+// Laplace system (εI + L) x = b over an unstructured mesh with distributed
+// conjugate gradient — SpMV is a Phase-C ghost gather, dot products are
+// deterministic allreduces. The partition is capability-proportional, so a
+// heterogeneous cluster stays busy end to end.
+//
+// Run: ./laplace_solver [--vertices 20000] [--procs 5] [--shift 0.05]
+#include <cmath>
+#include <cstdio>
+
+#include "stance/stance.hpp"
+#include "support/cli.hpp"
+
+using namespace stance;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto vertices = static_cast<graph::Vertex>(args.get_int("vertices", 20000));
+  const auto procs = static_cast<std::size_t>(args.get_int("procs", 5));
+  const double shift = args.get_double("shift", 0.05);
+
+  graph::Csr mesh = graph::random_delaunay(vertices, 2024);
+  mesh = mesh.permuted(order::compute(mesh, order::Method::kHilbert));
+  std::printf("mesh: %d vertices, %lld edges; solving (%.2f I + L) x = b\n",
+              mesh.num_vertices(), static_cast<long long>(mesh.num_edges()), shift);
+
+  const auto machine = sim::MachineSpec::sun4_ethernet(procs);
+  const auto part = partition::IntervalPartition::from_weights(
+      mesh.num_vertices(), machine.speed_shares());
+
+  // Manufactured right-hand side: b = A x* with x*_v = sin(xy position).
+  std::vector<double> x_star(static_cast<std::size_t>(mesh.num_vertices()));
+  for (graph::Vertex v = 0; v < mesh.num_vertices(); ++v) {
+    const auto c = mesh.coord(v);
+    x_star[static_cast<std::size_t>(v)] = std::sin(6.0 * c.x) * std::cos(4.0 * c.y);
+  }
+  std::vector<double> b(x_star.size());
+  exec::LaplacianOperator::reference_apply(mesh, shift, x_star, b);
+
+  mp::Cluster cluster(machine);
+  std::vector<exec::CgResult> results(procs);
+  std::vector<double> errors(procs, 0.0);
+  cluster.run([&](mp::Process& p) {
+    const auto ir = sched::build_schedule(p, mesh, part, sched::BuildMethod::kSort2,
+                                          sim::CpuCostModel::sun4());
+    exec::LaplacianOperator A(ir.lgraph, ir.schedule, shift,
+                              exec::LoopCostModel::sun4(), sim::CpuCostModel::sun4());
+    const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+    std::vector<double> bl(n), xl(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      bl[i] = b[static_cast<std::size_t>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i)))];
+    }
+    exec::CgOptions opts;
+    opts.tolerance = 1e-8;
+    results[static_cast<std::size_t>(p.rank())] = exec::conjugate_gradient(p, A, bl, xl, opts);
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto gidx = static_cast<std::size_t>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i)));
+      err = std::max(err, std::abs(xl[i] - x_star[gidx]));
+    }
+    errors[static_cast<std::size_t>(p.rank())] = err;
+  });
+
+  const auto& r = results[0];
+  double max_err = 0.0;
+  for (const double e : errors) max_err = std::max(max_err, e);
+  std::printf("CG %s in %d iterations; relative residual %.2e\n",
+              r.converged ? "converged" : "did NOT converge", r.iterations,
+              r.relative_residual);
+  std::printf("max error vs manufactured solution: %.2e\n", max_err);
+  std::printf("virtual time on %zu workstations: %.2f s (%llu messages)\n", procs,
+              cluster.makespan(),
+              static_cast<unsigned long long>(cluster.total_stats().messages_sent));
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "exec/cg.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace stance::exec {
+namespace {
+
+double local_dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(mp::Process& p, LaplacianOperator& A,
+                            std::span<const double> b, std::span<double> x,
+                            const CgOptions& opts) {
+  const auto n = static_cast<std::size_t>(A.nlocal());
+  STANCE_REQUIRE(b.size() == n && x.size() == n, "cg: vector size mismatch");
+  STANCE_REQUIRE(opts.max_iterations > 0, "cg: need at least one iteration");
+  STANCE_REQUIRE(opts.tolerance > 0.0, "cg: tolerance must be positive");
+
+  std::vector<double> r(n), q(n), d(n);
+
+  // r = b - A x ; d = r.
+  A.apply(p, x, q);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - q[i];
+  d.assign(r.begin(), r.end());
+
+  const double b_norm2 = p.allreduce_sum(local_dot(b, b));
+  const double threshold2 =
+      opts.tolerance * opts.tolerance * (b_norm2 > 0.0 ? b_norm2 : 1.0);
+
+  double rho = p.allreduce_sum(local_dot(r, r));
+  CgResult result;
+  result.relative_residual =
+      std::sqrt(rho / (b_norm2 > 0.0 ? b_norm2 : 1.0));
+  if (rho <= threshold2) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    A.apply(p, d, q);
+    const double dq = p.allreduce_sum(local_dot(d, q));
+    STANCE_ASSERT_MSG(dq > 0.0, "cg: operator is not positive definite");
+    const double alpha = rho / dq;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * d[i];
+      r[i] -= alpha * q[i];
+    }
+    const double rho_next = p.allreduce_sum(local_dot(r, r));
+    ++result.iterations;
+    if (rho_next <= threshold2) {
+      result.converged = true;
+      rho = rho_next;
+      break;
+    }
+    const double beta = rho_next / rho;
+    for (std::size_t i = 0; i < n; ++i) d[i] = r[i] + beta * d[i];
+    rho = rho_next;
+  }
+  result.relative_residual = std::sqrt(rho / (b_norm2 > 0.0 ? b_norm2 : 1.0));
+  return result;
+}
+
+}  // namespace stance::exec

@@ -1,0 +1,34 @@
+// Distributed conjugate gradient over the STANCE executor.
+//
+// Solves A x = b for the SPD operator A = shift·I + L, with the vectors
+// partitioned exactly like the application data: each rank owns its interval
+// slice. SpMV is a ghost gather (Phase C); the two dot products per
+// iteration are rank-order-deterministic allreduces, so the solver produces
+// bit-identical iterates on every run and any thread schedule.
+#pragma once
+
+#include <span>
+
+#include "exec/operators.hpp"
+#include "mp/process.hpp"
+
+namespace stance::exec {
+
+struct CgOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-10;  ///< on ||r||_2 / ||b||_2
+};
+
+struct CgResult {
+  bool converged = false;
+  int iterations = 0;
+  double relative_residual = 0.0;  ///< final ||r|| / ||b||
+};
+
+/// Collective. On entry `x` is the initial guess (owned slice); on return it
+/// holds the solution slice. `b` is the owned slice of the right-hand side.
+CgResult conjugate_gradient(mp::Process& p, LaplacianOperator& A,
+                            std::span<const double> b, std::span<double> x,
+                            const CgOptions& opts = {});
+
+}  // namespace stance::exec

@@ -1,0 +1,82 @@
+#include "exec/edge_sweep.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace stance::exec {
+
+EdgeSweep::EdgeSweep(const sched::LocalizedGraph& lgraph,
+                     const sched::CommSchedule& sched, LoopCostModel loop_costs,
+                     sim::CpuCostModel cpu_costs)
+    : lgraph_(lgraph), sched_(sched), loop_costs_(loop_costs), cpu_costs_(cpu_costs),
+      ghost_values_(static_cast<std::size_t>(lgraph.nghost)),
+      ghost_contrib_(static_cast<std::size_t>(lgraph.nghost)) {
+  STANCE_REQUIRE(lgraph.nlocal == sched.nlocal && lgraph.nghost == sched.nghost,
+                 "EdgeSweep: schedule and localized graph disagree");
+  work_per_sweep_ = loop_costs_.per_vertex * static_cast<double>(lgraph_.nlocal) +
+                    loop_costs_.per_edge * static_cast<double>(lgraph_.refs.size());
+  // Home rank of each ghost slot (recv segments are per-peer).
+  ghost_home_.assign(static_cast<std::size_t>(lgraph.nghost), -1);
+  for (std::size_t s = 0; s < sched_.recv_procs.size(); ++s) {
+    for (const auto slot : sched_.recv_slots[s]) {
+      ghost_home_[static_cast<std::size_t>(slot)] = sched_.recv_procs[s];
+    }
+  }
+}
+
+void EdgeSweep::sweep(mp::Process& p, std::span<const double> y,
+                      std::span<double> acc) {
+  const auto nlocal = static_cast<std::size_t>(lgraph_.nlocal);
+  STANCE_REQUIRE(y.size() == nlocal && acc.size() == nlocal,
+                 "EdgeSweep: vector size mismatch");
+
+  gather<double>(p, sched_, y, ghost_values_, cpu_costs_);
+
+  std::fill(acc.begin(), acc.end(), 0.0);
+  std::fill(ghost_contrib_.begin(), ghost_contrib_.end(), 0.0);
+
+  // Each edge is processed by exactly one side: local-local edges by the
+  // lower local index; edges to a ghost by the lower *rank* (symmetric,
+  // deterministic, and evaluable on both sides without communication). The
+  // accumulation is antisymmetric, so any single-owner convention yields
+  // the same result up to floating-point association.
+  for (std::size_t i = 0; i < nlocal; ++i) {
+    for (const sched::Vertex r : lgraph_.refs_of(static_cast<sched::Vertex>(i))) {
+      if (static_cast<std::size_t>(r) < nlocal) {
+        if (static_cast<std::size_t>(r) <= i) continue;  // other side handles it
+        const double flux = y[i] - y[static_cast<std::size_t>(r)];
+        acc[i] -= flux;
+        acc[static_cast<std::size_t>(r)] += flux;
+      } else {
+        const auto slot = static_cast<std::size_t>(r) - nlocal;
+        if (p.rank() >= ghost_home_[slot]) continue;  // the peer owns it
+        const double flux = y[i] - ghost_values_[slot];
+        acc[i] -= flux;
+        ghost_contrib_[slot] += flux;
+      }
+    }
+  }
+  p.compute(work_per_sweep_);
+
+  // Push the ghost contributions back to their owners.
+  scatter_add<double>(p, sched_, ghost_contrib_, acc, cpu_costs_);
+}
+
+void EdgeSweep::reference_sweep(const graph::Csr& g, std::span<const double> y,
+                                std::span<double> acc) {
+  const auto nv = static_cast<std::size_t>(g.num_vertices());
+  STANCE_REQUIRE(y.size() == nv && acc.size() == nv,
+                 "reference_sweep: vector size mismatch");
+  std::fill(acc.begin(), acc.end(), 0.0);
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const graph::Vertex u : g.neighbors(v)) {
+      if (u <= v) continue;  // each edge once
+      const double flux = y[static_cast<std::size_t>(v)] - y[static_cast<std::size_t>(u)];
+      acc[static_cast<std::size_t>(v)] -= flux;
+      acc[static_cast<std::size_t>(u)] += flux;
+    }
+  }
+}
+
+}  // namespace stance::exec

@@ -1,0 +1,3 @@
+// gather/scatter are templates (see gather_scatter.hpp); this translation
+// unit anchors the header in the build.
+#include "exec/gather_scatter.hpp"

@@ -1,0 +1,96 @@
+// Executor primitives (paper §3.3): gather fetches off-processor elements
+// into the local ghost buffer; scatter pushes ghost contributions back to
+// their owners with a combining operator. Both are driven entirely by a
+// CommSchedule — the executor never consults a translation table.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "mp/process.hpp"
+#include "sched/schedule.hpp"
+#include "sim/cpu_costs.hpp"
+#include "support/assert.hpp"
+
+namespace stance::exec {
+
+using sched::CommSchedule;
+using sched::Vertex;
+
+inline constexpr mp::Tag kGatherTag = 0x7e000001;
+inline constexpr mp::Tag kScatterTag = 0x7e000002;
+
+/// Collective. `local` is this rank's owned values (size nlocal); on return
+/// `ghost` (size nghost) holds the referenced off-processor values.
+template <mp::WireType T>
+void gather(mp::Process& p, const CommSchedule& s, std::span<const T> local,
+            std::span<T> ghost, const sim::CpuCostModel& costs = sim::CpuCostModel::free()) {
+  STANCE_REQUIRE(local.size() == static_cast<std::size_t>(s.nlocal),
+                 "gather: local buffer size mismatch");
+  STANCE_REQUIRE(ghost.size() == static_cast<std::size_t>(s.nghost),
+                 "gather: ghost buffer size mismatch");
+  // Pack and post every send first (sends are buffered), then receive in
+  // ascending peer order.
+  std::vector<T> payload;
+  for (std::size_t i = 0; i < s.send_procs.size(); ++i) {
+    const auto& items = s.send_items[i];
+    payload.resize(items.size());
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      payload[k] = local[static_cast<std::size_t>(items[k])];
+    }
+    p.compute(costs.per_copy_element * static_cast<double>(items.size()));
+    p.send(s.send_procs[i], kGatherTag, std::span<const T>(payload));
+  }
+  for (std::size_t i = 0; i < s.recv_procs.size(); ++i) {
+    const auto data = p.recv<T>(s.recv_procs[i], kGatherTag);
+    const auto& slots = s.recv_slots[i];
+    STANCE_ASSERT_MSG(data.size() == slots.size(), "gather: message size mismatch");
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      ghost[static_cast<std::size_t>(slots[k])] = data[k];
+    }
+    p.compute(costs.per_copy_element * static_cast<double>(slots.size()));
+  }
+}
+
+/// Collective. Reverse of gather: `ghost` holds contributions this rank
+/// computed for off-processor elements; each owner combines the incoming
+/// contribution into `local` via `combine(local_value, contribution)`.
+template <mp::WireType T, typename Combine>
+void scatter(mp::Process& p, const CommSchedule& s, std::span<const T> ghost,
+             std::span<T> local, Combine combine,
+             const sim::CpuCostModel& costs = sim::CpuCostModel::free()) {
+  STANCE_REQUIRE(local.size() == static_cast<std::size_t>(s.nlocal),
+                 "scatter: local buffer size mismatch");
+  STANCE_REQUIRE(ghost.size() == static_cast<std::size_t>(s.nghost),
+                 "scatter: ghost buffer size mismatch");
+  std::vector<T> payload;
+  for (std::size_t i = 0; i < s.recv_procs.size(); ++i) {
+    const auto& slots = s.recv_slots[i];
+    payload.resize(slots.size());
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      payload[k] = ghost[static_cast<std::size_t>(slots[k])];
+    }
+    p.compute(costs.per_copy_element * static_cast<double>(slots.size()));
+    p.send(s.recv_procs[i], kScatterTag, std::span<const T>(payload));
+  }
+  for (std::size_t i = 0; i < s.send_procs.size(); ++i) {
+    const auto data = p.recv<T>(s.send_procs[i], kScatterTag);
+    const auto& items = s.send_items[i];
+    STANCE_ASSERT_MSG(data.size() == items.size(), "scatter: message size mismatch");
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      auto& slot = local[static_cast<std::size_t>(items[k])];
+      slot = combine(slot, data[k]);
+    }
+    p.compute(costs.per_copy_element * static_cast<double>(items.size()));
+  }
+}
+
+/// Sum-combining scatter, the common case for FEM assembly.
+template <mp::WireType T>
+void scatter_add(mp::Process& p, const CommSchedule& s, std::span<const T> ghost,
+                 std::span<T> local,
+                 const sim::CpuCostModel& costs = sim::CpuCostModel::free()) {
+  scatter(p, s, ghost, local, [](T a, T b) { return a + b; }, costs);
+}
+
+}  // namespace stance::exec

@@ -1,0 +1,87 @@
+#include "exec/irregular_loop.hpp"
+
+#include "support/assert.hpp"
+
+namespace stance::exec {
+
+IrregularLoop::IrregularLoop(const sched::LocalizedGraph& lgraph,
+                             const sched::CommSchedule& sched, LoopCostModel loop_costs,
+                             sim::CpuCostModel cpu_costs)
+    : lgraph_(lgraph),
+      sched_(sched),
+      loop_costs_(loop_costs),
+      cpu_costs_(cpu_costs),
+      ghost_(static_cast<std::size_t>(lgraph.nghost)),
+      t_(static_cast<std::size_t>(lgraph.nlocal)) {
+  STANCE_REQUIRE(lgraph.nlocal == sched.nlocal && lgraph.nghost == sched.nghost,
+                 "IrregularLoop: schedule and localized graph disagree");
+  recompute_work();
+}
+
+void IrregularLoop::set_vertex_work(std::vector<double> multipliers) {
+  if (!multipliers.empty()) {
+    STANCE_REQUIRE(multipliers.size() == static_cast<std::size_t>(lgraph_.nlocal),
+                   "set_vertex_work: one multiplier per owned vertex required");
+    for (const double m : multipliers) {
+      STANCE_REQUIRE(m > 0.0, "set_vertex_work: multipliers must be positive");
+    }
+  }
+  vertex_work_ = std::move(multipliers);
+  recompute_work();
+}
+
+void IrregularLoop::recompute_work() {
+  double vertex_units = static_cast<double>(lgraph_.nlocal);
+  if (!vertex_work_.empty()) {
+    vertex_units = 0.0;
+    for (const double m : vertex_work_) vertex_units += m;
+  }
+  work_per_iter_ = loop_costs_.per_vertex * vertex_units +
+                   loop_costs_.per_edge * static_cast<double>(lgraph_.refs.size());
+}
+
+void IrregularLoop::iterate(mp::Process& p, std::span<double> y, int iterations) {
+  STANCE_REQUIRE(y.size() == static_cast<std::size_t>(lgraph_.nlocal),
+                 "IrregularLoop: y size mismatch");
+  STANCE_REQUIRE(iterations >= 0, "IrregularLoop: negative iteration count");
+  const auto nlocal = static_cast<std::size_t>(lgraph_.nlocal);
+  for (int it = 0; it < iterations; ++it) {
+    gather<double>(p, sched_, y, ghost_, cpu_costs_);
+    for (std::size_t i = 0; i < nlocal; ++i) {
+      double acc = 0.0;
+      for (const sched::Vertex r : lgraph_.refs_of(static_cast<sched::Vertex>(i))) {
+        acc += static_cast<std::size_t>(r) < nlocal
+                   ? y[static_cast<std::size_t>(r)]
+                   : ghost_[static_cast<std::size_t>(r) - nlocal];
+      }
+      t_[i] = acc;
+    }
+    for (std::size_t i = 0; i < nlocal; ++i) {
+      const auto deg = lgraph_.refs_of(static_cast<sched::Vertex>(i)).size();
+      if (deg > 0) y[i] = t_[i] / static_cast<double>(deg);
+    }
+    p.compute(work_per_iter_);
+  }
+}
+
+void IrregularLoop::reference_iterate(const graph::Csr& g, std::vector<double>& y,
+                                      int iterations) {
+  const auto nv = static_cast<std::size_t>(g.num_vertices());
+  STANCE_REQUIRE(y.size() == nv, "reference_iterate: y size mismatch");
+  std::vector<double> t(nv);
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t v = 0; v < nv; ++v) {
+      double acc = 0.0;
+      for (const graph::Vertex u : g.neighbors(static_cast<graph::Vertex>(v))) {
+        acc += y[static_cast<std::size_t>(u)];
+      }
+      t[v] = acc;
+    }
+    for (std::size_t v = 0; v < nv; ++v) {
+      const auto deg = g.neighbors(static_cast<graph::Vertex>(v)).size();
+      if (deg > 0) y[v] = t[v] / static_cast<double>(deg);
+    }
+  }
+}
+
+}  // namespace stance::exec

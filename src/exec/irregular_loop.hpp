@@ -1,0 +1,79 @@
+// The paper's Figure-8 irregular loop — the kernel of all its experiments:
+//
+//   for each vertex i:   t[i] = sum over neighbors k of y[ia(k)]
+//   for each vertex i:   y[i] = t[i] / degree(i)
+//
+// (a Jacobi-style smoothing sweep over the unstructured mesh). Each parallel
+// iteration gathers the ghost values of y, computes t from owned + ghost
+// values, and replaces y. The arithmetic is performed for real — results are
+// bit-comparable with reference_iterate() — while the virtual clock is
+// charged per vertex and per reference through LoopCostModel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "exec/gather_scatter.hpp"
+#include "graph/csr.hpp"
+#include "mp/process.hpp"
+#include "sched/schedule.hpp"
+
+namespace stance::exec {
+
+struct LoopCostModel {
+  double per_vertex = 0.0;  ///< seconds per owned vertex per iteration
+  double per_edge = 0.0;    ///< seconds per (directed) reference per iteration
+
+  static LoopCostModel free() { return LoopCostModel{}; }
+
+  /// Calibrated so one iteration of the paper-scale mesh costs ~0.19 s on a
+  /// speed-1.0 node (T(1) ≈ 97 s for 500 iterations, paper Table 4).
+  static LoopCostModel sun4() { return LoopCostModel{1.0e-6, 0.9e-6}; }
+};
+
+class IrregularLoop {
+ public:
+  IrregularLoop(const sched::LocalizedGraph& lgraph, const sched::CommSchedule& sched,
+                LoopCostModel loop_costs = LoopCostModel::free(),
+                sim::CpuCostModel cpu_costs = sim::CpuCostModel::free());
+
+  /// Collective. Run `iterations` Jacobi sweeps updating the owned values
+  /// `y` (size nlocal) in place.
+  void iterate(mp::Process& p, std::span<double> y, int iterations = 1);
+
+  /// Per-vertex work multipliers for adaptive *applications* (paper
+  /// footnote 1: "the computational structure adapts after every few
+  /// iterations"): owned vertex i costs multipliers[i] * per_vertex instead
+  /// of per_vertex. Multipliers must be positive and sized nlocal; pass an
+  /// empty vector to return to uniform work.
+  void set_vertex_work(std::vector<double> multipliers);
+  [[nodiscard]] const std::vector<double>& vertex_work() const noexcept {
+    return vertex_work_;
+  }
+
+  /// Work charged per iteration, excluding communication (used by the load
+  /// monitor: compute seconds = work / effective speed).
+  [[nodiscard]] double work_per_iteration() const noexcept { return work_per_iter_; }
+
+  [[nodiscard]] const sched::LocalizedGraph& lgraph() const noexcept { return lgraph_; }
+  [[nodiscard]] const sched::CommSchedule& schedule() const noexcept { return sched_; }
+
+  /// Sequential reference on the full (permuted) graph, for correctness
+  /// checks: same update, same order of additions per vertex.
+  static void reference_iterate(const graph::Csr& g, std::vector<double>& y,
+                                int iterations = 1);
+
+ private:
+  const sched::LocalizedGraph& lgraph_;
+  const sched::CommSchedule& sched_;
+  LoopCostModel loop_costs_;
+  sim::CpuCostModel cpu_costs_;
+  double work_per_iter_ = 0.0;
+  std::vector<double> vertex_work_;  ///< empty = uniform
+  std::vector<double> ghost_;
+  std::vector<double> t_;
+
+  void recompute_work();
+};
+
+}  // namespace stance::exec

@@ -1,0 +1,53 @@
+#include "exec/operators.hpp"
+
+#include "support/assert.hpp"
+
+namespace stance::exec {
+
+LaplacianOperator::LaplacianOperator(const sched::LocalizedGraph& lgraph,
+                                     const sched::CommSchedule& sched, double shift,
+                                     LoopCostModel loop_costs,
+                                     sim::CpuCostModel cpu_costs)
+    : lgraph_(lgraph), sched_(sched), shift_(shift), loop_costs_(loop_costs),
+      cpu_costs_(cpu_costs), ghost_(static_cast<std::size_t>(lgraph.nghost)) {
+  STANCE_REQUIRE(lgraph.nlocal == sched.nlocal && lgraph.nghost == sched.nghost,
+                 "LaplacianOperator: schedule and localized graph disagree");
+  STANCE_REQUIRE(shift >= 0.0, "LaplacianOperator: negative shift");
+  work_per_apply_ = loop_costs_.per_vertex * static_cast<double>(lgraph_.nlocal) +
+                    loop_costs_.per_edge * static_cast<double>(lgraph_.refs.size());
+}
+
+void LaplacianOperator::apply(mp::Process& p, std::span<const double> x,
+                              std::span<double> y) {
+  const auto nlocal = static_cast<std::size_t>(lgraph_.nlocal);
+  STANCE_REQUIRE(x.size() == nlocal && y.size() == nlocal,
+                 "LaplacianOperator::apply: vector size mismatch");
+  gather<double>(p, sched_, x, ghost_, cpu_costs_);
+  for (std::size_t i = 0; i < nlocal; ++i) {
+    const auto refs = lgraph_.refs_of(static_cast<sched::Vertex>(i));
+    double acc = (shift_ + static_cast<double>(refs.size())) * x[i];
+    for (const sched::Vertex r : refs) {
+      acc -= static_cast<std::size_t>(r) < nlocal
+                 ? x[static_cast<std::size_t>(r)]
+                 : ghost_[static_cast<std::size_t>(r) - nlocal];
+    }
+    y[i] = acc;
+  }
+  p.compute(work_per_apply_);
+}
+
+void LaplacianOperator::reference_apply(const graph::Csr& g, double shift,
+                                        std::span<const double> x,
+                                        std::span<double> y) {
+  const auto nv = static_cast<std::size_t>(g.num_vertices());
+  STANCE_REQUIRE(x.size() == nv && y.size() == nv,
+                 "reference_apply: vector size mismatch");
+  for (std::size_t v = 0; v < nv; ++v) {
+    const auto nb = g.neighbors(static_cast<graph::Vertex>(v));
+    double acc = (shift + static_cast<double>(nb.size())) * x[v];
+    for (const auto u : nb) acc -= x[static_cast<std::size_t>(u)];
+    y[v] = acc;
+  }
+}
+
+}  // namespace stance::exec

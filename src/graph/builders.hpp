@@ -1,0 +1,46 @@
+// Synthetic computational-graph generators.
+//
+// The paper's experiments use one unstructured FEM mesh; these builders
+// provide seeded stand-ins at any scale, plus structured and degenerate
+// graphs for tests and ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace stance::graph {
+
+/// nx-by-ny 5-point-stencil grid with unit-square coordinates. A structured
+/// baseline: the paper claims its techniques apply to regular problems too.
+Csr grid_2d(Vertex nx, Vertex ny);
+
+/// Triangulated grid (adds one diagonal per cell): planar, degree <= 8.
+Csr grid_2d_tri(Vertex nx, Vertex ny);
+
+/// `n` uniform random points in the unit square (seeded, deterministic).
+std::vector<Point2> random_points(Vertex n, std::uint64_t seed);
+
+/// `n` random points clustered around `k` attractors — models meshes that
+/// are refined near features (shock fronts, airfoil surfaces).
+std::vector<Point2> clustered_points(Vertex n, int k, std::uint64_t seed);
+
+/// Delaunay mesh of `n` uniform random points.
+Csr random_delaunay(Vertex n, std::uint64_t seed);
+
+/// Delaunay mesh of clustered points — a nonuniform-density unstructured
+/// mesh, the hard case for locality orderings.
+Csr clustered_delaunay(Vertex n, int k, std::uint64_t seed);
+
+/// Random geometric graph: points in the unit square, edge iff distance
+/// <= radius. Not planar; used to stress higher-degree graphs.
+Csr random_geometric(Vertex n, double radius, std::uint64_t seed);
+
+/// The default paper-scale mesh: Delaunay on 30,269 uniform points
+/// (matching the paper's vertex count; edge count differs — see DESIGN.md).
+Csr paper_mesh(std::uint64_t seed = 1996);
+
+/// Small fixed mesh used in documentation examples and unit tests.
+Csr tiny_mesh();
+
+}  // namespace stance::graph

@@ -1,0 +1,84 @@
+// Compressed-sparse-row representation of an undirected computational graph.
+//
+// This is the data structure every phase of the library consumes: vertices
+// are tasks, edges are interactions (paper §3.1). Graphs may carry 2-D
+// coordinates (required by the geometric orderings). Both directions of
+// every undirected edge are stored; num_edges() counts undirected edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/geometry.hpp"
+
+namespace stance::graph {
+
+using Vertex = std::int32_t;
+using EdgeIndex = std::int64_t;
+using Edge = std::pair<Vertex, Vertex>;
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from an undirected edge list. Self loops are dropped; duplicate
+  /// edges are collapsed. Vertex ids must be in [0, nv).
+  static Csr from_edges(Vertex nv, std::span<const Edge> edges);
+
+  [[nodiscard]] Vertex num_vertices() const noexcept {
+    return static_cast<Vertex>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  /// Number of *undirected* edges.
+  [[nodiscard]] EdgeIndex num_edges() const noexcept {
+    return static_cast<EdgeIndex>(targets_.size()) / 2;
+  }
+
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    const auto b = offsets_[static_cast<std::size_t>(v)];
+    const auto e = offsets_[static_cast<std::size_t>(v) + 1];
+    return {targets_.data() + b, static_cast<std::size_t>(e - b)};
+  }
+
+  [[nodiscard]] Vertex degree(Vertex v) const {
+    return static_cast<Vertex>(offsets_[static_cast<std::size_t>(v) + 1] -
+                               offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  [[nodiscard]] const std::vector<EdgeIndex>& offsets() const noexcept { return offsets_; }
+  [[nodiscard]] const std::vector<Vertex>& targets() const noexcept { return targets_; }
+
+  [[nodiscard]] bool has_coords() const noexcept {
+    return coords_.size() == static_cast<std::size_t>(num_vertices());
+  }
+  [[nodiscard]] const std::vector<Point2>& coords() const noexcept { return coords_; }
+  void set_coords(std::vector<Point2> coords);
+  [[nodiscard]] Point2 coord(Vertex v) const { return coords_[static_cast<std::size_t>(v)]; }
+
+  /// Relabel vertices: new id of old vertex v is perm[v] (perm is a
+  /// permutation of 0..nv-1). Coordinates follow their vertices. This is the
+  /// paper's transformation T applied to the graph.
+  [[nodiscard]] Csr permuted(std::span<const Vertex> perm) const;
+
+  /// Undirected edge list (each edge once, with u < v).
+  [[nodiscard]] std::vector<Edge> edge_list() const;
+
+  /// True if every stored arc has its reverse (class invariant; cheap check
+  /// for tests).
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// True if the graph is connected (BFS from vertex 0; empty graph counts
+  /// as connected).
+  [[nodiscard]] bool is_connected() const;
+
+  [[nodiscard]] Vertex max_degree() const;
+  [[nodiscard]] double avg_degree() const;
+
+ private:
+  std::vector<EdgeIndex> offsets_;  ///< size nv+1
+  std::vector<Vertex> targets_;     ///< both directions of every edge
+  std::vector<Point2> coords_;      ///< optional, size nv when present
+};
+
+}  // namespace stance::graph

@@ -1,0 +1,260 @@
+#include "graph/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace stance::graph {
+namespace {
+
+/// > 0 iff p is strictly inside the circumcircle of CCW triangle (a, b, c).
+double incircle(Point2 a, Point2 b, Point2 c, Point2 p) {
+  const double adx = a.x - p.x, ady = a.y - p.y;
+  const double bdx = b.x - p.x, bdy = b.y - p.y;
+  const double cdx = c.x - p.x, cdy = c.y - p.y;
+  const double ad = adx * adx + ady * ady;
+  const double bd = bdx * bdx + bdy * bdy;
+  const double cd = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) +
+         ad * (bdx * cdy - bdy * cdx);
+}
+
+struct Tri {
+  Vertex v[3];   // CCW
+  int nbr[3];    // nbr[i] is across the edge opposite v[i]; -1 = hull
+  bool alive = true;
+};
+
+class Triangulator {
+ public:
+  explicit Triangulator(std::span<const Point2> points) {
+    const auto n = static_cast<Vertex>(points.size());
+    pts_.assign(points.begin(), points.end());
+    // Super triangle far outside the bounding box.
+    BoundingBox2 bb;
+    for (const auto& p : pts_) bb.expand(p);
+    const double cx = 0.5 * (bb.lo.x + bb.hi.x);
+    const double cy = 0.5 * (bb.lo.y + bb.hi.y);
+    const double r = std::max({bb.width(), bb.height(), 1.0}) * 64.0;
+    pts_.push_back({cx - 2.0 * r, cy - r});
+    pts_.push_back({cx + 2.0 * r, cy - r});
+    pts_.push_back({cx, cy + 2.0 * r});
+    super_ = n;
+    Tri t0;
+    t0.v[0] = n;
+    t0.v[1] = n + 1;
+    t0.v[2] = n + 2;
+    t0.nbr[0] = t0.nbr[1] = t0.nbr[2] = -1;
+    STANCE_ASSERT(orient2d(pts_[std::size_t(n)], pts_[std::size_t(n + 1)],
+                           pts_[std::size_t(n + 2)]) > 0);
+    tris_.push_back(t0);
+    last_ = 0;
+    for (Vertex i = 0; i < n; ++i) insert(i);
+  }
+
+  std::vector<Triangle> real_triangles() const {
+    std::vector<Triangle> out;
+    for (const auto& t : tris_) {
+      if (!t.alive) continue;
+      if (t.v[0] >= super_ || t.v[1] >= super_ || t.v[2] >= super_) continue;
+      out.push_back(Triangle{{t.v[0], t.v[1], t.v[2]}});
+    }
+    return out;
+  }
+
+ private:
+  Point2 pt(Vertex v) const { return pts_[static_cast<std::size_t>(v)]; }
+
+  bool in_circumcircle(const Tri& t, Point2 p) const {
+    return incircle(pt(t.v[0]), pt(t.v[1]), pt(t.v[2]), p) > 0.0;
+  }
+
+  /// Walk from `last_` towards the triangle containing p; linear-scan
+  /// fallback guards against numerically induced cycles.
+  int locate(Point2 p) const {
+    int cur = last_;
+    const std::size_t cap = 4 * tris_.size() + 64;
+    for (std::size_t step = 0; step < cap; ++step) {
+      const Tri& t = tris_[static_cast<std::size_t>(cur)];
+      int exit_edge = -1;
+      for (int i = 0; i < 3; ++i) {
+        const Point2 a = pt(t.v[(i + 1) % 3]);
+        const Point2 b = pt(t.v[(i + 2) % 3]);
+        if (orient2d(a, b, p) < 0.0) {
+          exit_edge = i;
+          break;
+        }
+      }
+      if (exit_edge < 0) return cur;
+      const int next = t.nbr[exit_edge];
+      if (next < 0) break;  // left the hull: numeric trouble, fall back
+      cur = next;
+    }
+    for (std::size_t i = 0; i < tris_.size(); ++i) {
+      const Tri& t = tris_[i];
+      if (!t.alive) continue;
+      bool inside = true;
+      for (int e = 0; e < 3 && inside; ++e) {
+        inside = orient2d(pt(t.v[(e + 1) % 3]), pt(t.v[(e + 2) % 3]), p) >= 0.0;
+      }
+      if (inside) return static_cast<int>(i);
+    }
+    STANCE_ASSERT_MSG(false, "delaunay: point location failed");
+    return 0;
+  }
+
+  void insert(Vertex vp) {
+    const Point2 p = pt(vp);
+    const int start = locate(p);
+
+    // Grow the cavity of triangles whose circumcircle contains p.
+    std::vector<int> bad;
+    std::vector<int> stack{start};
+    std::vector<char> in_bad(tris_.size(), 0);
+    STANCE_ASSERT(tris_[static_cast<std::size_t>(start)].alive);
+    in_bad[static_cast<std::size_t>(start)] = 1;
+    while (!stack.empty()) {
+      const int ti = stack.back();
+      stack.pop_back();
+      bad.push_back(ti);
+      const Tri& t = tris_[static_cast<std::size_t>(ti)];
+      for (int i = 0; i < 3; ++i) {
+        const int nb = t.nbr[i];
+        if (nb < 0 || in_bad[static_cast<std::size_t>(nb)]) continue;
+        if (in_circumcircle(tris_[static_cast<std::size_t>(nb)], p)) {
+          in_bad[static_cast<std::size_t>(nb)] = 1;
+          stack.push_back(nb);
+        }
+      }
+    }
+
+    // Boundary edges of the cavity, each with the surviving outer neighbor.
+    struct BoundaryEdge {
+      Vertex a, b;  // CCW along the cavity
+      int outer;    // triangle index or -1
+    };
+    std::vector<BoundaryEdge> boundary;
+    for (const int ti : bad) {
+      const Tri& t = tris_[static_cast<std::size_t>(ti)];
+      for (int i = 0; i < 3; ++i) {
+        const int nb = t.nbr[i];
+        if (nb >= 0 && in_bad[static_cast<std::size_t>(nb)]) continue;
+        boundary.push_back({t.v[(i + 1) % 3], t.v[(i + 2) % 3], nb});
+      }
+    }
+    for (const int ti : bad) tris_[static_cast<std::size_t>(ti)].alive = false;
+
+    // Fan of new triangles (a, b, p), linked to each other through a map on
+    // the spoke edges (x, p).
+    std::unordered_map<Vertex, std::pair<int, int>> spoke;  // x -> (tri, edge slot)
+    spoke.reserve(boundary.size() * 2);
+    for (const auto& be : boundary) {
+      Tri nt;
+      nt.v[0] = be.a;
+      nt.v[1] = be.b;
+      nt.v[2] = vp;
+      nt.nbr[2] = be.outer;  // edge (a,b) opposite v[2]=p
+      nt.nbr[0] = -1;        // edge (b,p) opposite v[0]=a
+      nt.nbr[1] = -1;        // edge (p,a) opposite v[1]=b
+      const int nti = static_cast<int>(tris_.size());
+      tris_.push_back(nt);
+      // Fix the outer triangle's back pointer.
+      if (be.outer >= 0) {
+        Tri& out = tris_[static_cast<std::size_t>(be.outer)];
+        for (int i = 0; i < 3; ++i) {
+          const int onb = out.nbr[i];
+          if (onb >= 0 && static_cast<std::size_t>(onb) < in_bad.size() &&
+              in_bad[static_cast<std::size_t>(onb)]) {
+            // Does this edge match (a,b)?
+            const Vertex oa = out.v[(i + 1) % 3];
+            const Vertex ob = out.v[(i + 2) % 3];
+            if ((oa == be.b && ob == be.a) || (oa == be.a && ob == be.b)) {
+              out.nbr[i] = nti;
+              break;
+            }
+          }
+        }
+      }
+      // Link spokes: edge (b,p) keyed by b, edge (p,a) keyed by a.
+      auto link = [&](Vertex key, int slot) {
+        const auto it = spoke.find(key);
+        if (it == spoke.end()) {
+          spoke.emplace(key, std::make_pair(nti, slot));
+        } else {
+          tris_[static_cast<std::size_t>(nti)].nbr[slot] = it->second.first;
+          tris_[static_cast<std::size_t>(it->second.first)].nbr[it->second.second] = nti;
+          spoke.erase(it);
+        }
+      };
+      link(be.b, 0);  // edge (b,p) is opposite v[0]=a -> slot 0
+      link(be.a, 1);  // edge (p,a) is opposite v[1]=b -> slot 1
+    }
+    STANCE_ASSERT_MSG(spoke.empty(), "delaunay: cavity boundary not a closed fan");
+    last_ = static_cast<int>(tris_.size()) - 1;
+  }
+
+  std::vector<Point2> pts_;
+  std::vector<Tri> tris_;
+  Vertex super_ = 0;
+  int last_ = 0;
+};
+
+}  // namespace
+
+std::vector<Triangle> delaunay_triangulate(std::span<const Point2> points) {
+  STANCE_REQUIRE(points.size() >= 3, "delaunay needs at least 3 points");
+  {
+    std::vector<Point2> sorted(points.begin(), points.end());
+    std::sort(sorted.begin(), sorted.end(), [](Point2 a, Point2 b) {
+      return a.x < b.x || (a.x == b.x && a.y < b.y);
+    });
+    const auto dup = std::adjacent_find(
+        sorted.begin(), sorted.end(), [](Point2 a, Point2 b) { return a == b; });
+    STANCE_REQUIRE(dup == sorted.end(), "delaunay input contains duplicate points");
+  }
+  Triangulator t(points);
+  return t.real_triangles();
+}
+
+Csr delaunay_graph(std::vector<Point2> points) {
+  const auto tris = delaunay_triangulate(points);
+  std::vector<Edge> edges;
+  edges.reserve(tris.size() * 3);
+  for (const auto& t : tris) {
+    edges.emplace_back(t.v[0], t.v[1]);
+    edges.emplace_back(t.v[1], t.v[2]);
+    edges.emplace_back(t.v[2], t.v[0]);
+  }
+  Csr g = Csr::from_edges(static_cast<Vertex>(points.size()), edges);
+  g.set_coords(std::move(points));
+  return g;
+}
+
+std::size_t delaunay_violations(std::span<const Point2> points,
+                                std::span<const Triangle> tris) {
+  std::size_t violations = 0;
+  for (const auto& t : tris) {
+    const Point2 a = points[static_cast<std::size_t>(t.v[0])];
+    const Point2 b = points[static_cast<std::size_t>(t.v[1])];
+    const Point2 c = points[static_cast<std::size_t>(t.v[2])];
+    // Normalize to CCW for the incircle sign.
+    const bool ccw = orient2d(a, b, c) > 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (static_cast<Vertex>(i) == t.v[0] || static_cast<Vertex>(i) == t.v[1] ||
+          static_cast<Vertex>(i) == t.v[2]) {
+        continue;
+      }
+      const double s = ccw ? incircle(a, b, c, points[i]) : incircle(a, c, b, points[i]);
+      // Tolerance: the determinant scales with coordinate^4.
+      if (s > 1e-9) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace stance::graph

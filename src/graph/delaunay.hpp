@@ -1,0 +1,36 @@
+// Bowyer–Watson incremental Delaunay triangulation.
+//
+// The paper evaluates on an unstructured 2-D mesh (30,269 vertices); the
+// authors' mesh is not published, so we generate Delaunay meshes of seeded
+// random point sets at the same scale. Delaunay triangulations of uniform
+// points have the properties the paper's locality argument relies on:
+// planar, bounded average degree (~6), and edges only between physically
+// proximate vertices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/geometry.hpp"
+
+namespace stance::graph {
+
+/// Triangle of a triangulation, as vertex indices into the point set.
+struct Triangle {
+  Vertex v[3];
+};
+
+/// Triangulate a set of distinct points. Returns the triangle list.
+/// Throws std::invalid_argument on duplicate points or fewer than 3 points.
+std::vector<Triangle> delaunay_triangulate(std::span<const Point2> points);
+
+/// Triangulate and return the edge graph (with coordinates attached).
+Csr delaunay_graph(std::vector<Point2> points);
+
+/// Verify the empty-circumcircle property by brute force — O(T·n), for
+/// tests. Returns the number of violations.
+std::size_t delaunay_violations(std::span<const Point2> points,
+                                std::span<const Triangle> tris);
+
+}  // namespace stance::graph

@@ -1,0 +1,58 @@
+// 2-D/3-D point types for computational graphs embedded in physical space
+// (the paper's §3.1 assumes vertices carry coordinates and interactions are
+// physically proximate).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace stance::graph {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point2 operator*(Point2 a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(Point2 a, Point2 b) { return a.x == b.x && a.y == b.y; }
+};
+
+inline double dot(Point2 a, Point2 b) { return a.x * b.x + a.y * b.y; }
+inline double cross(Point2 a, Point2 b) { return a.x * b.y - a.y * b.x; }
+inline double norm2(Point2 a) { return dot(a, a); }
+inline double dist2(Point2 a, Point2 b) { return norm2(a - b); }
+inline double dist(Point2 a, Point2 b) { return std::sqrt(dist2(a, b)); }
+
+/// Twice the signed area of triangle (a,b,c); > 0 for counter-clockwise.
+inline double orient2d(Point2 a, Point2 b, Point2 c) {
+  return cross(b - a, c - a);
+}
+
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+struct BoundingBox2 {
+  Point2 lo{1e300, 1e300};
+  Point2 hi{-1e300, -1e300};
+
+  void expand(Point2 p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  [[nodiscard]] double width() const { return hi.x - lo.x; }
+  [[nodiscard]] double height() const { return hi.y - lo.y; }
+
+  static BoundingBox2 of(const std::vector<Point2>& pts) {
+    BoundingBox2 bb;
+    for (const auto& p : pts) bb.expand(p);
+    return bb;
+  }
+};
+
+}  // namespace stance::graph

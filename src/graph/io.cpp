@@ -1,0 +1,102 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace stance::graph {
+
+void write_graph(std::ostream& os, const Csr& g) {
+  const auto edges = g.edge_list();
+  os << "stance-graph 1 " << g.num_vertices() << ' ' << edges.size() << ' '
+     << (g.has_coords() ? 1 : 0) << '\n';
+  if (g.has_coords()) {
+    os.precision(17);
+    for (const auto& p : g.coords()) os << p.x << ' ' << p.y << '\n';
+  }
+  for (const auto& [u, v] : edges) os << u << ' ' << v << '\n';
+}
+
+Csr read_graph(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  Vertex nv = 0;
+  std::size_t ne = 0;
+  int has_coords = 0;
+  is >> magic >> version >> nv >> ne >> has_coords;
+  STANCE_REQUIRE(is && magic == "stance-graph" && version == 1,
+                 "not a stance-graph v1 stream");
+  std::vector<Point2> coords;
+  if (has_coords != 0) {
+    coords.resize(static_cast<std::size_t>(nv));
+    for (auto& p : coords) is >> p.x >> p.y;
+  }
+  std::vector<Edge> edges(ne);
+  for (auto& [u, v] : edges) is >> u >> v;
+  STANCE_REQUIRE(static_cast<bool>(is), "truncated stance-graph stream");
+  Csr g = Csr::from_edges(nv, edges);
+  if (has_coords != 0) g.set_coords(std::move(coords));
+  return g;
+}
+
+void save_graph(const std::string& path, const Csr& g) {
+  std::ofstream f(path);
+  STANCE_REQUIRE(f.is_open(), "cannot open graph file for writing: " + path);
+  write_graph(f, g);
+}
+
+Csr load_graph(const std::string& path) {
+  std::ifstream f(path);
+  STANCE_REQUIRE(f.is_open(), "cannot open graph file for reading: " + path);
+  return read_graph(f);
+}
+
+void write_chaco(std::ostream& os, const Csr& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  const Vertex nv = g.num_vertices();
+  for (Vertex v = 0; v < nv; ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      os << (nb[i] + 1) << (i + 1 < nb.size() ? ' ' : '\n');
+    }
+    if (nb.empty()) os << '\n';
+  }
+}
+
+Csr read_chaco(std::istream& is) {
+  std::string line;
+  // Header (skipping comments).
+  Vertex nv = 0;
+  EdgeIndex ne = 0;
+  int fmt = 0;
+  for (;;) {
+    STANCE_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                   "chaco: missing header line");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream header(line);
+    header >> nv >> ne >> fmt;
+    STANCE_REQUIRE(nv >= 0 && ne >= 0, "chaco: bad header");
+    STANCE_REQUIRE(fmt == 0, "chaco: only the unweighted format (fmt 0) is supported");
+    break;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(ne));
+  Vertex v = 0;
+  while (v < nv && std::getline(is, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream row(line);
+    Vertex u = 0;
+    while (row >> u) {
+      STANCE_REQUIRE(u >= 1 && u <= nv, "chaco: neighbor index out of range");
+      if (u - 1 > v) edges.emplace_back(v, u - 1);  // each edge listed twice
+    }
+    ++v;
+  }
+  STANCE_REQUIRE(v == nv, "chaco: fewer adjacency lines than vertices");
+  Csr g = Csr::from_edges(nv, edges);
+  STANCE_REQUIRE(g.num_edges() == ne, "chaco: edge count does not match header");
+  return g;
+}
+
+}  // namespace stance::graph

@@ -1,0 +1,29 @@
+// Plain-text graph serialization.
+//
+// Format (line-oriented):
+//   stance-graph 1 <nv> <ne> <has_coords:0|1>
+//   [nv lines "x y" when has_coords]
+//   ne lines "u v"   (0-based, u < v)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace stance::graph {
+
+void write_graph(std::ostream& os, const Csr& g);
+Csr read_graph(std::istream& is);
+
+void save_graph(const std::string& path, const Csr& g);
+Csr load_graph(const std::string& path);
+
+/// Chaco/METIS plain graph format (the format real meshes of the paper's
+/// era ship in): header "nv ne", then one line per vertex listing its
+/// 1-indexed neighbors. Only the unweighted variant (fmt 0) is supported;
+/// comment lines starting with '%' are skipped.
+void write_chaco(std::ostream& os, const Csr& g);
+Csr read_chaco(std::istream& is);
+
+}  // namespace stance::graph

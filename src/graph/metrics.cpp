@@ -1,0 +1,100 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace stance::graph {
+
+EdgeIndex edge_cut(const Csr& g, std::span<const int> part) {
+  STANCE_REQUIRE(part.size() == static_cast<std::size_t>(g.num_vertices()),
+                 "part vector size must equal vertex count");
+  EdgeIndex cut = 0;
+  const Vertex nv = g.num_vertices();
+  for (Vertex v = 0; v < nv; ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      if (v < u && part[static_cast<std::size_t>(v)] != part[static_cast<std::size_t>(u)]) {
+        ++cut;
+      }
+    }
+  }
+  return cut;
+}
+
+Vertex boundary_vertices(const Csr& g, std::span<const int> part) {
+  STANCE_REQUIRE(part.size() == static_cast<std::size_t>(g.num_vertices()),
+                 "part vector size must equal vertex count");
+  Vertex count = 0;
+  const Vertex nv = g.num_vertices();
+  for (Vertex v = 0; v < nv; ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      if (part[static_cast<std::size_t>(v)] != part[static_cast<std::size_t>(u)]) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+Vertex bandwidth(const Csr& g) {
+  Vertex bw = 0;
+  const Vertex nv = g.num_vertices();
+  for (Vertex v = 0; v < nv; ++v) {
+    for (const Vertex u : g.neighbors(v)) bw = std::max(bw, static_cast<Vertex>(std::abs(u - v)));
+  }
+  return bw;
+}
+
+double avg_edge_span(const Csr& g) {
+  const EdgeIndex ne = g.num_edges();
+  if (ne == 0) return 0.0;
+  double total = 0.0;
+  const Vertex nv = g.num_vertices();
+  for (Vertex v = 0; v < nv; ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      if (v < u) total += static_cast<double>(u - v);
+    }
+  }
+  return total / static_cast<double>(ne);
+}
+
+std::vector<int> contiguous_parts(Vertex nv, std::span<const double> weights) {
+  STANCE_REQUIRE(!weights.empty(), "need at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    STANCE_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  STANCE_REQUIRE(total > 0.0, "weights must not all be zero");
+  std::vector<int> part(static_cast<std::size_t>(nv));
+  double acc = 0.0;
+  Vertex begin = 0;
+  for (std::size_t p = 0; p < weights.size(); ++p) {
+    acc += weights[p];
+    const Vertex end = (p + 1 == weights.size())
+                           ? nv
+                           : static_cast<Vertex>(std::llround(acc / total *
+                                                              static_cast<double>(nv)));
+    for (Vertex v = begin; v < std::max(begin, end); ++v) {
+      part[static_cast<std::size_t>(v)] = static_cast<int>(p);
+    }
+    begin = std::max(begin, end);
+  }
+  return part;
+}
+
+std::vector<EdgeIndex> cut_profile(const Csr& g, std::span<const int> procs) {
+  std::vector<EdgeIndex> profile;
+  profile.reserve(procs.size());
+  for (const int p : procs) {
+    STANCE_REQUIRE(p > 0, "processor count must be positive");
+    const std::vector<double> weights(static_cast<std::size_t>(p), 1.0);
+    const auto part = contiguous_parts(g.num_vertices(), weights);
+    profile.push_back(edge_cut(g, part));
+  }
+  return profile;
+}
+
+}  // namespace stance::graph

@@ -1,0 +1,40 @@
+// Quality metrics for partitions and orderings.
+//
+// The paper's §3.1 goal: a single permutation whose *contiguous interval*
+// partitions have low edge cut "for a wide range of partitions". These
+// metrics make that measurable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace stance::graph {
+
+/// Number of edges whose endpoints land in different parts.
+/// `part[v]` is the part id of vertex v.
+EdgeIndex edge_cut(const Csr& g, std::span<const int> part);
+
+/// Vertices with at least one neighbor in another part (these need ghost
+/// exchange every iteration).
+Vertex boundary_vertices(const Csr& g, std::span<const int> part);
+
+/// 1-D bandwidth of the (possibly permuted) graph: max |u - v| over edges.
+Vertex bandwidth(const Csr& g);
+
+/// Mean |u - v| over edges — average 1-D edge span; small means the
+/// numbering preserves locality.
+double avg_edge_span(const Csr& g);
+
+/// Partition the identity-ordered vertex range into `weights.size()`
+/// contiguous blocks proportional to weights; returns part ids.
+/// (The library's partition module owns the authoritative implementation;
+/// this helper exists so graph metrics are self-contained.)
+std::vector<int> contiguous_parts(Vertex nv, std::span<const double> weights);
+
+/// Edge cut of equal contiguous partitions for each processor count in
+/// `procs` — the paper's "good for a wide range of partitions" profile.
+std::vector<EdgeIndex> cut_profile(const Csr& g, std::span<const int> procs);
+
+}  // namespace stance::graph

@@ -1,0 +1,112 @@
+#include "lb/adaptive_executor.hpp"
+
+#include <algorithm>
+
+#include "partition/redistribute.hpp"
+#include "support/assert.hpp"
+
+namespace stance::lb {
+
+AdaptiveExecutor::AdaptiveExecutor(mp::Process& p, const graph::Csr& g,
+                                   partition::IntervalPartition initial,
+                                   AdaptiveOptions opts)
+    : g_(g), part_(std::move(initial)), opts_(std::move(opts)),
+      predictor_(opts_.predictor, opts_.ema_alpha, opts_.trend_window) {
+  STANCE_REQUIRE(part_.nparts() == p.nprocs(),
+                 "AdaptiveExecutor: partition size must match the cluster");
+  STANCE_REQUIRE(part_.total() == g.num_vertices(),
+                 "AdaptiveExecutor: partition must cover the graph");
+  const double t0 = p.now();
+  rebuild(p);
+  first_build_seconds_ = p.now() - t0;
+  if (opts_.lb.rebuild_cost_estimate <= 0.0) {
+    opts_.lb.rebuild_cost_estimate = first_build_seconds_;
+  }
+}
+
+void AdaptiveExecutor::rebuild(mp::Process& p) {
+  ir_ = sched::build_schedule(p, g_, part_, opts_.build, opts_.cpu);
+  loop_ = std::make_unique<exec::IrregularLoop>(ir_.lgraph, ir_.schedule, opts_.loop,
+                                                opts_.cpu);
+}
+
+AdaptiveReport AdaptiveExecutor::run(mp::Process& p, std::vector<double>& y,
+                                     int iterations) {
+  STANCE_REQUIRE(iterations >= 0, "run: negative iteration count");
+  STANCE_REQUIRE(y.size() == static_cast<std::size_t>(part_.size(p.rank())),
+                 "run: y size does not match the current partition");
+  AdaptiveReport report;
+  report.first_build_seconds = first_build_seconds_;
+  const double start = p.now();
+
+  int done = 0;
+  while (done < iterations) {
+    const int chunk = opts_.enable_lb
+                          ? std::min(opts_.lb.check_interval, iterations - done)
+                          : iterations - done;
+    const double compute_before = p.stats().compute_seconds;
+    loop_->iterate(p, y, chunk);
+    done += chunk;
+    report.iterations += chunk;
+    monitor_.record(p.stats().compute_seconds - compute_before,
+                    part_.size(p.rank()) * chunk);
+    predictor_.observe(monitor_.time_per_item());
+
+    if (!opts_.enable_lb || done >= iterations) continue;
+
+    const CheckOutcome outcome = check_now(p, y);
+    ++report.checks;
+    report.check_seconds += outcome.check_seconds;
+    if (outcome.decision.remap) {
+      ++report.remaps;
+      report.remap_seconds += outcome.remap_seconds;
+    }
+  }
+  report.total_seconds = p.now() - start;
+  return report;
+}
+
+void AdaptiveExecutor::repartition(mp::Process& p,
+                                   const partition::IntervalPartition& next,
+                                   std::vector<double>& y) {
+  STANCE_REQUIRE(next.nparts() == p.nprocs(),
+                 "repartition: partition size must match the cluster");
+  STANCE_REQUIRE(next.total() == g_.num_vertices(),
+                 "repartition: partition must cover the graph");
+  STANCE_REQUIRE(y.size() == static_cast<std::size_t>(part_.size(p.rank())),
+                 "repartition: y size does not match the current partition");
+  y = partition::redistribute<double>(p, y, part_, next);
+  part_ = next;
+  rebuild(p);
+  monitor_.reset();
+}
+
+AdaptiveExecutor::CheckOutcome AdaptiveExecutor::check_now(mp::Process& p,
+                                                           std::vector<double>& y) {
+  STANCE_REQUIRE(y.size() == static_cast<std::size_t>(part_.size(p.rank())),
+                 "check_now: y size does not match the current partition");
+  CheckOutcome outcome;
+  // Synchronize before measuring: the paper's phases end in an implicit
+  // barrier, and without it the fast ranks' wait for the loaded rank would
+  // be misattributed to the check protocol.
+  p.barrier();
+  const double check_start = p.now();
+  const double tpi =
+      predictor_.observations() > 0 ? predictor_.predict() : monitor_.time_per_item();
+  outcome.decision = load_balance_check(p, part_, tpi, opts_.lb);
+  outcome.check_seconds = p.now() - check_start;
+  monitor_.reset();
+  if (!outcome.decision.remap) return outcome;
+
+  const double remap_start = p.now();
+  y = partition::redistribute<double>(p, y, part_, outcome.decision.new_partition);
+  part_ = outcome.decision.new_partition;
+  rebuild(p);
+  outcome.remap_seconds = p.now() - remap_start;
+  // The per-item rate is a property of the *processor*, not the partition,
+  // so history stays valid across remaps — that is the point of predicting
+  // from multiple phases.
+  return outcome;
+}
+
+}  // namespace stance::lb

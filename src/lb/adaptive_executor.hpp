@@ -1,0 +1,111 @@
+// AdaptiveExecutor: the full Phase B/C/D cycle (paper Fig. 1).
+//
+// Runs the irregular loop in chunks of `check_interval` iterations; after
+// each chunk every processor reports its measured time-per-item to the
+// controller, which may order a remap: redistribute the data (Phase D),
+// rebuild the communication schedule (Phase B again), continue (Phase C).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/irregular_loop.hpp"
+#include "graph/csr.hpp"
+#include "lb/controller.hpp"
+#include "lb/load_monitor.hpp"
+#include "lb/predictor.hpp"
+#include "mp/process.hpp"
+#include "sched/inspector.hpp"
+
+namespace stance::lb {
+
+struct AdaptiveOptions {
+  LbOptions lb;
+  sched::BuildMethod build = sched::BuildMethod::kSort2;
+  sim::CpuCostModel cpu = sim::CpuCostModel::free();
+  exec::LoopCostModel loop = exec::LoopCostModel::free();
+  bool enable_lb = true;  ///< false = never check, never remap (baseline)
+
+  /// How the next phase's load is predicted from measured phases (paper
+  /// footnote 2 extension; kLast reproduces the paper's behaviour).
+  PredictorKind predictor = PredictorKind::kLast;
+  double ema_alpha = 0.5;
+  int trend_window = 4;
+};
+
+/// Per-rank accounting of one run() (virtual seconds).
+struct AdaptiveReport {
+  int iterations = 0;
+  int checks = 0;
+  int remaps = 0;
+  double total_seconds = 0.0;        ///< elapsed clock across run()
+  double check_seconds = 0.0;        ///< load-balance checks (excl. remaps)
+  double remap_seconds = 0.0;        ///< redistribution + schedule rebuild
+  double first_build_seconds = 0.0;  ///< initial Phase-B cost (constructor)
+};
+
+class AdaptiveExecutor {
+ public:
+  /// Collective. Builds the initial schedule for `initial`; the measured
+  /// build time seeds the controller's rebuild-cost estimate unless the
+  /// caller provided one in opts.lb.rebuild_cost_estimate.
+  AdaptiveExecutor(mp::Process& p, const graph::Csr& g, partition::IntervalPartition initial,
+                   AdaptiveOptions opts);
+
+  /// Collective. Run `iterations` sweeps over `y` (owned values under
+  /// partition()); y is redistributed in place whenever a remap happens, so
+  /// on return it is aligned with the *final* partition().
+  AdaptiveReport run(mp::Process& p, std::vector<double>& y, int iterations);
+
+  /// Outcome of one explicit load-balance check.
+  struct CheckOutcome {
+    LbDecision decision;
+    double check_seconds = 0.0;  ///< protocol cost (virtual)
+    double remap_seconds = 0.0;  ///< redistribution + rebuild, 0 if no remap
+  };
+
+  /// Collective. Run one load-balance check immediately — what run() does
+  /// every check_interval iterations. Uses the loads recorded since the last
+  /// check, redistributes `y` and rebuilds the schedule on a remap, and
+  /// resets the measurement window.
+  CheckOutcome check_now(mp::Process& p, std::vector<double>& y);
+
+  /// Per-vertex work multipliers for adaptive applications (see
+  /// exec::IrregularLoop::set_vertex_work). A remap rebuilds the loop and
+  /// resets the multipliers to uniform — re-install them for the new
+  /// partition afterwards (the owned interval changed).
+  void set_vertex_work(std::vector<double> multipliers) {
+    loop_->set_vertex_work(std::move(multipliers));
+  }
+
+  /// Collective: switch to an explicitly chosen partition — redistribute `y`
+  /// and rebuild the schedule. For adaptive *applications* whose per-vertex
+  /// work is known (refinement levels): the paper's time-per-item controller
+  /// assumes "the variation in computational cost per data unit is
+  /// relatively small", so when it is not, compute the partition yourself
+  /// (IntervalPartition::from_vertex_weights) and install it here. Resets
+  /// the measurement window; vertex-work multipliers return to uniform.
+  void repartition(mp::Process& p, const partition::IntervalPartition& next,
+                   std::vector<double>& y);
+
+  [[nodiscard]] const partition::IntervalPartition& partition() const noexcept {
+    return part_;
+  }
+  [[nodiscard]] const sched::InspectorResult& inspector() const noexcept { return ir_; }
+  [[nodiscard]] const LoadMonitor& monitor() const noexcept { return monitor_; }
+  [[nodiscard]] const LoadPredictor& predictor() const noexcept { return predictor_; }
+
+ private:
+  void rebuild(mp::Process& p);
+
+  const graph::Csr& g_;
+  partition::IntervalPartition part_;
+  AdaptiveOptions opts_;
+  sched::InspectorResult ir_;
+  std::unique_ptr<exec::IrregularLoop> loop_;
+  LoadMonitor monitor_;
+  LoadPredictor predictor_;
+  double first_build_seconds_ = 0.0;
+};
+
+}  // namespace stance::lb

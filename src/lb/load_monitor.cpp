@@ -1,0 +1,29 @@
+#include "lb/load_monitor.hpp"
+
+#include "support/assert.hpp"
+
+namespace stance::lb {
+
+void LoadMonitor::record(double seconds, graph::Vertex items) {
+  STANCE_REQUIRE(seconds >= 0.0, "LoadMonitor: negative time");
+  STANCE_REQUIRE(items >= 0, "LoadMonitor: negative item count");
+  seconds_ += seconds;
+  items_ += items;
+  ++phases_;
+}
+
+double LoadMonitor::time_per_item() const noexcept {
+  return items_ > 0 ? seconds_ / static_cast<double>(items_) : 0.0;
+}
+
+double LoadMonitor::capability() const noexcept {
+  return seconds_ > 0.0 ? static_cast<double>(items_) / seconds_ : 0.0;
+}
+
+void LoadMonitor::reset() {
+  seconds_ = 0.0;
+  items_ = 0;
+  phases_ = 0;
+}
+
+}  // namespace stance::lb

@@ -1,0 +1,41 @@
+// Per-processor load monitoring (paper §3.5 / §5).
+//
+// "One metric we have used is the average computation time per data item.
+// Each processor computes this information by dividing the total time spent
+// on the computation by the number of data elements it owned."
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace stance::lb {
+
+class LoadMonitor {
+ public:
+  /// Record one phase: `seconds` of (virtual) compute time spent on `items`
+  /// owned data elements.
+  void record(double seconds, graph::Vertex items);
+
+  /// Average computation time per data item since the last reset; 0 when
+  /// nothing has been recorded.
+  [[nodiscard]] double time_per_item() const noexcept;
+
+  /// Estimated computational capability: items per second (inverse of
+  /// time_per_item; 0 when unknown).
+  [[nodiscard]] double capability() const noexcept;
+
+  [[nodiscard]] double busy_seconds() const noexcept { return seconds_; }
+  [[nodiscard]] std::int64_t items_processed() const noexcept { return items_; }
+  [[nodiscard]] int phases() const noexcept { return phases_; }
+
+  /// Start a fresh measurement window (after every load-balance check).
+  void reset();
+
+ private:
+  double seconds_ = 0.0;
+  std::int64_t items_ = 0;
+  int phases_ = 0;
+};
+
+}  // namespace stance::lb

@@ -1,0 +1,75 @@
+#include "lb/predictor.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace stance::lb {
+
+const char* predictor_name(PredictorKind k) {
+  switch (k) {
+    case PredictorKind::kLast: return "last";
+    case PredictorKind::kEma: return "ema";
+    case PredictorKind::kTrend: return "trend";
+  }
+  return "?";
+}
+
+LoadPredictor::LoadPredictor(PredictorKind kind, double ema_alpha, int trend_window)
+    : kind_(kind), ema_alpha_(ema_alpha),
+      trend_window_(static_cast<std::size_t>(trend_window)) {
+  STANCE_REQUIRE(ema_alpha > 0.0 && ema_alpha <= 1.0, "ema alpha must be in (0,1]");
+  STANCE_REQUIRE(trend_window >= 2, "trend window must be at least 2");
+}
+
+void LoadPredictor::observe(double time_per_item) {
+  STANCE_REQUIRE(time_per_item >= 0.0, "time per item must be non-negative");
+  if (time_per_item <= 0.0) return;  // phase with no items: nothing learned
+  last_ = time_per_item;
+  ema_ = count_ == 0 ? time_per_item
+                     : ema_alpha_ * time_per_item + (1.0 - ema_alpha_) * ema_;
+  window_.push_back(time_per_item);
+  while (window_.size() > trend_window_) window_.pop_front();
+  ++count_;
+}
+
+double LoadPredictor::predict() const {
+  if (count_ == 0) return 0.0;
+  switch (kind_) {
+    case PredictorKind::kLast:
+      return last_;
+    case PredictorKind::kEma:
+      return ema_;
+    case PredictorKind::kTrend: {
+      const std::size_t n = window_.size();
+      if (n < 2) return last_;
+      // Least squares of tpi against phase index 0..n-1, evaluated at n.
+      double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto x = static_cast<double>(i);
+        sx += x;
+        sy += window_[i];
+        sxx += x * x;
+        sxy += x * window_[i];
+      }
+      const auto nn = static_cast<double>(n);
+      const double denom = nn * sxx - sx * sx;
+      if (denom == 0.0) return last_;
+      const double slope = (nn * sxy - sx * sy) / denom;
+      const double intercept = (sy - slope * sx) / nn;
+      const double extrapolated = intercept + slope * nn;
+      // Never predict a non-positive rate; fall back to the last value.
+      return extrapolated > 0.0 ? extrapolated : last_;
+    }
+  }
+  return last_;
+}
+
+void LoadPredictor::reset() {
+  last_ = 0.0;
+  ema_ = 0.0;
+  window_.clear();
+  count_ = 0;
+}
+
+}  // namespace stance::lb

@@ -1,0 +1,56 @@
+// Load prediction from more than one previous phase.
+//
+// The paper's controller assumes "the computational resources allocated for
+// the data parallel computation are the same as for the previous phase" and
+// notes (footnote 2) that "this could be extended to techniques that would
+// predict the available computational resources based on more than one
+// previous phase". This module implements that extension:
+//
+//   kLast  — the paper's behaviour: next phase = last phase.
+//   kEma   — exponential moving average; damps one-off spikes so a single
+//            noisy phase does not trigger a remap.
+//   kTrend — least-squares line over a sliding window, extrapolated one
+//            phase ahead; tracks steadily drifting loads.
+#pragma once
+
+#include <deque>
+
+namespace stance::lb {
+
+enum class PredictorKind {
+  kLast,
+  kEma,
+  kTrend,
+};
+
+[[nodiscard]] const char* predictor_name(PredictorKind k);
+
+class LoadPredictor {
+ public:
+  explicit LoadPredictor(PredictorKind kind = PredictorKind::kLast,
+                         double ema_alpha = 0.5, int trend_window = 4);
+
+  /// Record the measured time-per-item of one completed phase.
+  void observe(double time_per_item);
+
+  /// Predicted time-per-item of the next phase; 0 when nothing observed.
+  [[nodiscard]] double predict() const;
+
+  [[nodiscard]] PredictorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] int observations() const noexcept { return count_; }
+
+  /// Forget all history (e.g. after the data distribution changed so much
+  /// that old measurements are meaningless).
+  void reset();
+
+ private:
+  PredictorKind kind_;
+  double ema_alpha_;
+  std::size_t trend_window_;
+  double last_ = 0.0;
+  double ema_ = 0.0;
+  std::deque<double> window_;
+  int count_ = 0;
+};
+
+}  // namespace stance::lb

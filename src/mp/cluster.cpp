@@ -1,0 +1,118 @@
+#include "mp/cluster.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "mp/errors.hpp"
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
+namespace stance::mp {
+
+Cluster::Cluster(sim::MachineSpec spec)
+    : spec_(std::move(spec)),
+      boxes_(spec_.size()),
+      rendezvous_(spec_.size()),
+      last_stats_(spec_.size()) {
+  STANCE_REQUIRE(!spec_.nodes.empty(), "cluster must have at least one node");
+  clocks_.reserve(spec_.size());
+  for (const auto& node : spec_.nodes) {
+    clocks_.emplace_back(node.speed, node.profile);
+  }
+}
+
+void Cluster::run(const std::function<void(Process&)>& body) {
+  const int p = nprocs();
+  std::vector<std::exception_ptr> failures(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+
+  // Processes live in a stable vector so threads can reference them.
+  std::vector<std::unique_ptr<Process>> procs(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    procs[static_cast<std::size_t>(r)] = std::make_unique<Process>(
+        r, p, clocks_[static_cast<std::size_t>(r)], boxes_, rendezvous_, spec_.net);
+  }
+
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(*procs[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        failures[static_cast<std::size_t>(r)] = std::current_exception();
+        // Release everyone blocked in recv/collectives so the cluster can
+        // shut down instead of deadlocking.
+        for (auto& box : boxes_) box.shutdown();
+        rendezvous_.shutdown();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int r = 0; r < p; ++r) {
+    last_stats_[static_cast<std::size_t>(r)] = procs[static_cast<std::size_t>(r)]->stats();
+  }
+
+  // Find the original failure: the lowest rank whose exception is not the
+  // secondary ClusterAborted.
+  std::exception_ptr original;
+  std::exception_ptr any;
+  for (const auto& f : failures) {
+    if (!f) continue;
+    if (!any) any = f;
+    if (!original) {
+      try {
+        std::rethrow_exception(f);
+      } catch (const ClusterAborted&) {
+        // secondary failure; keep looking
+      } catch (...) {
+        original = f;
+      }
+    }
+  }
+  if (original || any) {
+    for (auto& box : boxes_) box.clear();
+    rendezvous_.clear();
+    std::rethrow_exception(original ? original : any);
+  }
+
+  for (std::size_t r = 0; r < boxes_.size(); ++r) {
+    STANCE_ASSERT_MSG(boxes_[r].pending() == 0,
+                      "message left in a mailbox at end of SPMD run (missing recv)");
+  }
+}
+
+std::vector<double> Cluster::finish_times() const {
+  std::vector<double> t;
+  t.reserve(clocks_.size());
+  for (const auto& c : clocks_) t.push_back(c.now());
+  return t;
+}
+
+double Cluster::makespan() const {
+  double m = 0.0;
+  for (const auto& c : clocks_) m = std::max(m, c.now());
+  return m;
+}
+
+CommStats Cluster::total_stats() const {
+  CommStats total;
+  for (const auto& s : last_stats_) total += s;
+  return total;
+}
+
+void Cluster::reset_clocks() {
+  for (auto& c : clocks_) c.reset();
+}
+
+void Cluster::set_profile(int rank, sim::LoadProfile profile) {
+  STANCE_REQUIRE(rank >= 0 && rank < nprocs(), "set_profile: rank out of range");
+  clocks_[static_cast<std::size_t>(rank)].set_profile(std::move(profile));
+}
+
+const sim::VirtualClock& Cluster::clock_of(int rank) const {
+  STANCE_REQUIRE(rank >= 0 && rank < nprocs(), "clock_of: rank out of range");
+  return clocks_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace stance::mp

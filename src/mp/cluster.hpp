@@ -1,0 +1,70 @@
+// Cluster: launches an SPMD function on every virtual workstation.
+//
+// Usage:
+//   sim::MachineSpec spec = sim::MachineSpec::sun4_ethernet(5);
+//   mp::Cluster cluster(spec);
+//   cluster.run([&](mp::Process& p) { ... SPMD program ... });
+//   double t = cluster.makespan();   // virtual seconds of the slowest rank
+//
+// Clocks persist across run() calls (multi-stage experiments accumulate
+// time); reset_clocks() starts a fresh experiment on the same cluster.
+// If any rank throws, the remaining ranks are released (their blocking
+// operations raise ClusterAborted) and run() rethrows the original
+// exception of the lowest-ranked failing process.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mp/comm_stats.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/process.hpp"
+#include "mp/rendezvous.hpp"
+#include "sim/machine.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace stance::mp {
+
+class Cluster {
+ public:
+  explicit Cluster(sim::MachineSpec spec);
+
+  [[nodiscard]] const sim::MachineSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int nprocs() const noexcept { return static_cast<int>(spec_.size()); }
+
+  /// Run `body` as an SPMD program: one thread per node, each handed its
+  /// Process. Returns when every rank finished; rethrows the first failure.
+  void run(const std::function<void(Process&)>& body);
+
+  /// Virtual finish time of each rank after the last run().
+  [[nodiscard]] std::vector<double> finish_times() const;
+
+  /// Virtual finish time of the slowest rank.
+  [[nodiscard]] double makespan() const;
+
+  /// Communication statistics of the last run(), per rank and aggregated.
+  [[nodiscard]] const std::vector<CommStats>& last_stats() const noexcept {
+    return last_stats_;
+  }
+  [[nodiscard]] CommStats total_stats() const;
+
+  /// Start a fresh experiment: clocks back to zero (profiles keep applying
+  /// from t=0 again).
+  void reset_clocks();
+
+  /// Swap a node's availability profile (adaptive-environment experiments).
+  void set_profile(int rank, sim::LoadProfile profile);
+
+  [[nodiscard]] const sim::VirtualClock& clock_of(int rank) const;
+
+ private:
+  sim::MachineSpec spec_;
+  std::vector<sim::VirtualClock> clocks_;
+  std::vector<Mailbox> boxes_;
+  Rendezvous rendezvous_;
+  std::vector<CommStats> last_stats_;
+};
+
+}  // namespace stance::mp

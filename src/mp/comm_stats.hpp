@@ -1,0 +1,37 @@
+// Per-process communication/computation accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stance::mp {
+
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_recv = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t collectives = 0;
+  std::uint64_t multicasts = 0;
+
+  /// Virtual-time breakdown: seconds spent computing vs. communicating
+  /// (sends, receives, waits in collectives).
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+
+  void reset() { *this = CommStats{}; }
+
+  CommStats& operator+=(const CommStats& o) {
+    messages_sent += o.messages_sent;
+    messages_recv += o.messages_recv;
+    bytes_sent += o.bytes_sent;
+    bytes_recv += o.bytes_recv;
+    collectives += o.collectives;
+    multicasts += o.multicasts;
+    compute_seconds += o.compute_seconds;
+    comm_seconds += o.comm_seconds;
+    return *this;
+  }
+};
+
+}  // namespace stance::mp

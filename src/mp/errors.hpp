@@ -1,0 +1,17 @@
+// Error types raised by the message-passing layer.
+#pragma once
+
+#include <stdexcept>
+
+namespace stance::mp {
+
+/// Thrown in every still-running process when any process of the SPMD
+/// program fails: blocked receives and collectives are released with this
+/// exception so the cluster can shut down instead of deadlocking. Cluster::
+/// run() rethrows the *original* failure, not this.
+class ClusterAborted : public std::runtime_error {
+ public:
+  ClusterAborted() : std::runtime_error("cluster aborted: a peer process failed") {}
+};
+
+}  // namespace stance::mp

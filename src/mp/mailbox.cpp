@@ -1,0 +1,65 @@
+#include "mp/mailbox.hpp"
+
+#include <algorithm>
+
+#include "mp/errors.hpp"
+
+namespace stance::mp {
+
+void Mailbox::deposit(RawMessage msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (down_) return;
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+RawMessage Mailbox::take(Rank source, Tag tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (down_) throw ClusterAborted();
+    const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const RawMessage& m) {
+      return m.source == source && m.tag == tag;
+    });
+    if (it != queue_.end()) {
+      RawMessage msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::optional<RawMessage> Mailbox::try_take(Rank source, Tag tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (down_) throw ClusterAborted();
+  const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const RawMessage& m) {
+    return m.source == source && m.tag == tag;
+  });
+  if (it == queue_.end()) return std::nullopt;
+  RawMessage msg = std::move(*it);
+  queue_.erase(it);
+  return msg;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    down_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.clear();
+  down_ = false;
+}
+
+}  // namespace stance::mp

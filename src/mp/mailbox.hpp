@@ -1,0 +1,50 @@
+// Per-process incoming message queue with (source, tag) matching.
+//
+// Sends are buffered (deposit never blocks), mirroring P4's buffered send;
+// receives block until a matching message arrives. Matching picks the
+// oldest message with the requested source and tag, so per-sender FIFO
+// order is preserved. A shutdown flag releases blocked receivers with
+// ClusterAborted when a peer process fails.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mp/message.hpp"
+
+namespace stance::mp {
+
+class Mailbox {
+ public:
+  /// Enqueue a message; never blocks. Safe from any thread.
+  void deposit(RawMessage msg);
+
+  /// Block until a message with this (source, tag) is available and return
+  /// it. Throws ClusterAborted after shutdown().
+  RawMessage take(Rank source, Tag tag);
+
+  /// Non-blocking variant; empty optional if no match is queued.
+  std::optional<RawMessage> try_take(Rank source, Tag tag);
+
+  /// Number of queued messages (diagnostics only).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Release all blocked takers with ClusterAborted; subsequent takes throw
+  /// immediately. deposit() becomes a no-op.
+  void shutdown();
+
+  /// Drop queued messages and clear the shutdown flag (cluster reuse after
+  /// an aborted run).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<RawMessage> queue_;
+  bool down_ = false;
+};
+
+}  // namespace stance::mp

@@ -1,0 +1,45 @@
+// Wire format of the simulated message-passing layer.
+//
+// Payloads are raw bytes; the typed send/recv templates in process.hpp
+// restrict element types to trivially copyable ones, which makes the
+// byte-level copy a faithful stand-in for a real wire transfer.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace stance::mp {
+
+using Rank = int;
+using Tag = int;
+
+struct RawMessage {
+  Rank source = -1;
+  Tag tag = 0;
+  std::vector<std::byte> payload;
+  double arrival = 0.0;  ///< virtual time at which the receiver may consume it
+};
+
+template <typename T>
+concept WireType = std::is_trivially_copyable_v<T>;
+
+/// Serialize a span of trivially copyable values into a byte vector.
+template <WireType T>
+std::vector<std::byte> to_bytes(std::span<const T> data) {
+  std::vector<std::byte> out(data.size_bytes());
+  if (!data.empty()) std::memcpy(out.data(), data.data(), data.size_bytes());
+  return out;
+}
+
+/// Deserialize a byte vector produced by to_bytes<T>.
+template <WireType T>
+std::vector<T> from_bytes(std::span<const std::byte> bytes) {
+  std::vector<T> out(bytes.size() / sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), bytes.data(), out.size() * sizeof(T));
+  return out;
+}
+
+}  // namespace stance::mp

@@ -1,0 +1,104 @@
+#include "mp/process.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace stance::mp {
+namespace {
+
+/// ceil(log2(n)) for n >= 1; 0 for n == 1.
+int ceil_log2(int n) {
+  STANCE_ASSERT(n >= 1);
+  return static_cast<int>(std::bit_width(static_cast<unsigned>(n) - 1u));
+}
+
+}  // namespace
+
+Process::Process(Rank rank, int nprocs, sim::VirtualClock& clock,
+                 std::vector<Mailbox>& boxes, Rendezvous& rendezvous,
+                 const sim::NetworkModel& net)
+    : rank_(rank), nprocs_(nprocs), clock_(clock), boxes_(boxes), rendezvous_(rendezvous),
+      net_(net) {
+  STANCE_ASSERT(rank >= 0 && rank < nprocs);
+  STANCE_ASSERT(boxes_.size() == static_cast<std::size_t>(nprocs));
+}
+
+void Process::compute(double work) {
+  STANCE_REQUIRE(work >= 0.0, "compute: negative work");
+  const double before = clock_.now();
+  clock_.advance_work(work);
+  stats_.compute_seconds += clock_.now() - before;
+}
+
+void Process::send_bytes(Rank dest, Tag tag, std::span<const std::byte> data) {
+  STANCE_REQUIRE(dest >= 0 && dest < nprocs_, "send: destination out of range");
+  STANCE_REQUIRE(dest != rank_, "send: cannot send to self");
+  const double before = clock_.now();
+  clock_.advance_work(net_.sender_busy(data.size()));  // protocol work runs on the
+                                                       // (possibly loaded) CPU
+  const double arrival = clock_.now() + net_.transfer_time(data.size());
+  boxes_[static_cast<std::size_t>(dest)].deposit(
+      RawMessage{rank_, tag, std::vector<std::byte>(data.begin(), data.end()), arrival});
+  ++stats_.messages_sent;
+  stats_.bytes_sent += data.size();
+  stats_.comm_seconds += clock_.now() - before;
+}
+
+RawMessage Process::recv_raw(Rank source, Tag tag) {
+  STANCE_REQUIRE(source >= 0 && source < nprocs_, "recv: source out of range");
+  STANCE_REQUIRE(source != rank_, "recv: cannot receive from self");
+  const double before = clock_.now();
+  RawMessage msg = boxes_[static_cast<std::size_t>(rank_)].take(source, tag);
+  clock_.merge(msg.arrival);
+  clock_.advance_work(net_.recv_overhead);
+  ++stats_.messages_recv;
+  stats_.bytes_recv += msg.payload.size();
+  stats_.comm_seconds += clock_.now() - before;
+  return msg;
+}
+
+void Process::multicast_bytes(std::span<const Rank> dests, Tag tag,
+                              std::span<const std::byte> data) {
+  if (dests.empty()) return;
+  if (!net_.multicast) {
+    for (const Rank d : dests) send_bytes(d, tag, data);
+    return;
+  }
+  const double before = clock_.now();
+  clock_.advance_work(net_.sender_busy(data.size()));  // one transmission
+  const double arrival = clock_.now() + net_.transfer_time(data.size());
+  for (const Rank d : dests) {
+    STANCE_REQUIRE(d >= 0 && d < nprocs_, "multicast: destination out of range");
+    STANCE_REQUIRE(d != rank_, "multicast: cannot send to self");
+    boxes_[static_cast<std::size_t>(d)].deposit(
+        RawMessage{rank_, tag, std::vector<std::byte>(data.begin(), data.end()), arrival});
+  }
+  ++stats_.messages_sent;
+  ++stats_.multicasts;
+  stats_.bytes_sent += data.size();
+  stats_.comm_seconds += clock_.now() - before;
+}
+
+void Process::barrier() {
+  auto round = collective({});
+  finish_collective(round.max_time, 0);
+}
+
+Rendezvous::Round Process::collective(std::vector<std::byte> blob) {
+  ++stats_.collectives;
+  return rendezvous_.enter(rank_, clock_.now(), std::move(blob));
+}
+
+void Process::finish_collective(double max_time, std::size_t bytes) {
+  const double before = clock_.now();
+  const int stages = ceil_log2(nprocs_);
+  const double cost =
+      static_cast<double>(stages) *
+          (net_.latency + net_.send_overhead + net_.recv_overhead) +
+      net_.contention * static_cast<double>(bytes) / net_.bandwidth;
+  clock_.merge(max_time);
+  clock_.advance_delay(cost);
+  stats_.comm_seconds += clock_.now() - before;
+}
+
+}  // namespace stance::mp

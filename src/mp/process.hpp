@@ -1,0 +1,258 @@
+// Process: the SPMD programming interface of the virtual cluster.
+//
+// One Process object is handed to the user function on each virtual
+// workstation (one std::thread per workstation). It provides:
+//
+//   * compute(work)            — charge virtual computation time
+//   * send / recv              — typed, blocking-receive point-to-point
+//   * multicast                — one transmission to many receivers (§3.6)
+//   * barrier / bcast / gather / allgather / allreduce / alltoallv
+//   * exchange_known           — schedule-driven sparse all-to-all
+//
+// Data movement is real (bytes are copied between threads); time is virtual
+// (see sim/virtual_clock.hpp). Collectives are deterministic: reductions are
+// folded in rank order on every rank.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mp/comm_stats.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/message.hpp"
+#include "mp/rendezvous.hpp"
+#include "sim/network_model.hpp"
+#include "sim/virtual_clock.hpp"
+#include "support/assert.hpp"
+
+namespace stance::mp {
+
+class Cluster;
+
+class Process {
+ public:
+  Process(Rank rank, int nprocs, sim::VirtualClock& clock, std::vector<Mailbox>& boxes,
+          Rendezvous& rendezvous, const sim::NetworkModel& net);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] Rank rank() const noexcept { return rank_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] bool is_root() const noexcept { return rank_ == 0; }
+
+  [[nodiscard]] sim::VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const sim::VirtualClock& clock() const noexcept { return clock_; }
+  [[nodiscard]] double now() const noexcept { return clock_.now(); }
+
+  [[nodiscard]] const sim::NetworkModel& net() const noexcept { return net_; }
+  [[nodiscard]] CommStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+
+  // --- computation ---------------------------------------------------------
+
+  /// Charge `work` seconds of computation at reference speed; the node's
+  /// relative speed and availability profile stretch it into virtual time.
+  void compute(double work);
+
+  // --- point-to-point ------------------------------------------------------
+
+  void send_bytes(Rank dest, Tag tag, std::span<const std::byte> data);
+  [[nodiscard]] RawMessage recv_raw(Rank source, Tag tag);
+
+  template <WireType T>
+  void send(Rank dest, Tag tag, std::span<const T> data) {
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+
+  template <WireType T>
+  void send(Rank dest, Tag tag, const std::vector<T>& data) {
+    send(dest, tag, std::span<const T>(data));
+  }
+
+  template <WireType T>
+  void send_value(Rank dest, Tag tag, const T& value) {
+    send(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  template <WireType T>
+  [[nodiscard]] std::vector<T> recv(Rank source, Tag tag) {
+    const RawMessage m = recv_raw(source, tag);
+    return from_bytes<T>(m.payload);
+  }
+
+  template <WireType T>
+  [[nodiscard]] T recv_value(Rank source, Tag tag) {
+    auto v = recv<T>(source, tag);
+    STANCE_ASSERT_MSG(v.size() == 1, "recv_value expected exactly one element");
+    return v[0];
+  }
+
+  // --- multicast (§3.6) ----------------------------------------------------
+
+  /// Send the same payload to every rank in `dests`. With a multicast-capable
+  /// network this is one transmission; otherwise it degrades to a loop of
+  /// unicasts. `dests` must not contain this rank.
+  void multicast_bytes(std::span<const Rank> dests, Tag tag,
+                       std::span<const std::byte> data);
+
+  template <WireType T>
+  void multicast(std::span<const Rank> dests, Tag tag, std::span<const T> data) {
+    multicast_bytes(dests, tag, std::as_bytes(data));
+  }
+
+  template <WireType T>
+  void multicast(const std::vector<Rank>& dests, Tag tag, const std::vector<T>& data) {
+    multicast(std::span<const Rank>(dests), tag, std::span<const T>(data));
+  }
+
+  // --- collectives ---------------------------------------------------------
+
+  /// Synchronize all ranks; clocks advance to the common post-barrier time.
+  void barrier();
+
+  /// Root's `data` is distributed to every rank (in place).
+  template <WireType T>
+  void bcast(Rank root, std::vector<T>& data) {
+    auto blob = rank_ == root ? to_bytes(std::span<const T>(data)) : std::vector<std::byte>{};
+    const auto round = collective(std::move(blob));
+    const auto& src = round.blobs[static_cast<std::size_t>(root)];
+    finish_collective(round.max_time, src.size());
+    if (rank_ != root) data = from_bytes<T>(src);
+  }
+
+  template <WireType T>
+  [[nodiscard]] T bcast_value(Rank root, const T& value) {
+    std::vector<T> v{value};
+    bcast(root, v);
+    return v[0];
+  }
+
+  /// Every rank contributes one value; all ranks receive the rank-indexed
+  /// vector of contributions.
+  template <WireType T>
+  [[nodiscard]] std::vector<T> allgather(const T& value) {
+    auto round = collective(to_bytes(std::span<const T>(&value, 1)));
+    finish_collective(round.max_time, sizeof(T) * static_cast<std::size_t>(nprocs_));
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(nprocs_));
+    for (const auto& blob : round.blobs) out.push_back(from_bytes<T>(blob).at(0));
+    return out;
+  }
+
+  /// Variable-length allgather: rank-indexed vectors of contributions.
+  template <WireType T>
+  [[nodiscard]] std::vector<std::vector<T>> allgatherv(std::span<const T> data) {
+    auto round = collective(to_bytes(data));
+    std::size_t total = 0;
+    for (const auto& blob : round.blobs) total += blob.size();
+    finish_collective(round.max_time, total);
+    std::vector<std::vector<T>> out;
+    out.reserve(static_cast<std::size_t>(nprocs_));
+    for (const auto& blob : round.blobs) out.push_back(from_bytes<T>(blob));
+    return out;
+  }
+
+  /// Reduce with a binary fold executed in rank order on every rank.
+  template <WireType T, typename Fold>
+  [[nodiscard]] T allreduce(const T& value, Fold fold) {
+    const auto all = allgather(value);
+    T acc = all[0];
+    for (std::size_t i = 1; i < all.size(); ++i) acc = fold(acc, all[i]);
+    return acc;
+  }
+
+  [[nodiscard]] double allreduce_sum(double value) {
+    return allreduce(value, [](double a, double b) { return a + b; });
+  }
+  [[nodiscard]] double allreduce_max(double value) {
+    return allreduce(value, [](double a, double b) { return a > b ? a : b; });
+  }
+  [[nodiscard]] double allreduce_min(double value) {
+    return allreduce(value, [](double a, double b) { return a < b ? a : b; });
+  }
+
+  /// Dense personalized all-to-all: `outgoing[r]` goes to rank r (empty
+  /// vectors are delivered as empty messages — every pair exchanges, which
+  /// is exactly the message-setup overhead the paper's "simple strategy"
+  /// pays). Returns the rank-indexed incoming vectors.
+  template <WireType T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& outgoing) {
+    STANCE_REQUIRE(outgoing.size() == static_cast<std::size_t>(nprocs_),
+                   "alltoallv: need one outgoing vector per rank");
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(nprocs_));
+    incoming[static_cast<std::size_t>(rank_)] = outgoing[static_cast<std::size_t>(rank_)];
+    for (int r = 0; r < nprocs_; ++r) {
+      if (r == rank_) continue;
+      send(r, kAllToAllTag, outgoing[static_cast<std::size_t>(r)]);
+    }
+    for (int r = 0; r < nprocs_; ++r) {
+      if (r == rank_) continue;
+      incoming[static_cast<std::size_t>(r)] = recv<T>(r, kAllToAllTag);
+    }
+    // On a shared medium (classic Ethernet) the burst of p(p-1) simultaneous
+    // transmissions serializes on the wire: each of this rank's transfers
+    // queues behind ~p-2 concurrent ones. This is what makes dense message
+    // rounds — the paper's "simple strategy" — degrade as processors are
+    // added (paper Table 3).
+    if (net_.shared_medium && nprocs_ > 2) {
+      double own_wire = 0.0;
+      for (int r = 0; r < nprocs_; ++r) {
+        if (r == rank_) continue;
+        own_wire += net_.wire_time(outgoing[static_cast<std::size_t>(r)].size() * sizeof(T));
+        own_wire += net_.wire_time(incoming[static_cast<std::size_t>(r)].size() * sizeof(T));
+      }
+      const double before = clock_.now();
+      clock_.advance_delay(0.5 * static_cast<double>(nprocs_ - 2) * own_wire);
+      stats_.comm_seconds += clock_.now() - before;
+    }
+    return incoming;
+  }
+
+  /// Sparse exchange when the communication pattern is known (from a
+  /// schedule): send `outgoing[i]` to `dests[i]`, receive one message from
+  /// each rank in `sources` (returned in the order of `sources`). Only the
+  /// needed messages are set up — the advantage sorting-based schedules buy.
+  template <WireType T>
+  [[nodiscard]] std::vector<std::vector<T>> exchange_known(
+      std::span<const Rank> dests, const std::vector<std::vector<T>>& outgoing,
+      std::span<const Rank> sources) {
+    STANCE_REQUIRE(dests.size() == outgoing.size(),
+                   "exchange_known: dests/outgoing size mismatch");
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      send(dests[i], kExchangeTag, outgoing[i]);
+    }
+    std::vector<std::vector<T>> incoming;
+    incoming.reserve(sources.size());
+    for (const Rank s : sources) incoming.push_back(recv<T>(s, kExchangeTag));
+    return incoming;
+  }
+
+ private:
+  friend class Cluster;
+
+  static constexpr Tag kAllToAllTag = 0x7f000001;
+  static constexpr Tag kExchangeTag = 0x7f000002;
+
+  /// Enter the rendezvous with this rank's blob; returns all blobs plus the
+  /// round's max deposit time. Accounts a collective in stats.
+  Rendezvous::Round collective(std::vector<std::byte> blob);
+
+  /// Advance the clock past a collective that moved `bytes` in total,
+  /// using a butterfly/dissemination cost model: ceil(log2 p) stages of
+  /// (latency + overheads) plus the serialized byte time.
+  void finish_collective(double max_time, std::size_t bytes);
+
+  const Rank rank_;
+  const int nprocs_;
+  sim::VirtualClock& clock_;
+  std::vector<Mailbox>& boxes_;
+  Rendezvous& rendezvous_;
+  const sim::NetworkModel& net_;
+  CommStats stats_;
+};
+
+}  // namespace stance::mp

@@ -1,0 +1,54 @@
+#include "mp/rendezvous.hpp"
+
+#include <algorithm>
+
+#include "mp/errors.hpp"
+#include "support/assert.hpp"
+
+namespace stance::mp {
+
+Rendezvous::Rendezvous(std::size_t nprocs) : nprocs_(nprocs), current_(nprocs) {
+  STANCE_REQUIRE(nprocs > 0, "rendezvous needs at least one participant");
+}
+
+Rendezvous::Round Rendezvous::enter(Rank rank, double time, std::vector<std::byte> blob) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (down_) throw ClusterAborted();
+  STANCE_ASSERT(rank >= 0 && static_cast<std::size_t>(rank) < nprocs_);
+  current_[static_cast<std::size_t>(rank)] = std::move(blob);
+  max_time_ = std::max(max_time_, time);
+  ++arrived_;
+  const std::uint64_t my_generation = generation_;
+  if (arrived_ == nprocs_) {
+    published_.blobs = std::move(current_);
+    published_.max_time = max_time_;
+    current_.assign(nprocs_, {});
+    arrived_ = 0;
+    max_time_ = 0.0;
+    ++generation_;
+    cv_.notify_all();
+    return published_;  // copy
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation || down_; });
+  if (down_) throw ClusterAborted();
+  return published_;  // copy
+}
+
+void Rendezvous::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    down_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Rendezvous::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_.assign(nprocs_, {});
+  arrived_ = 0;
+  max_time_ = 0.0;
+  published_ = Round{};
+  down_ = false;
+}
+
+}  // namespace stance::mp

@@ -1,0 +1,55 @@
+// Reusable all-to-all rendezvous used to implement collectives.
+//
+// Each participating rank deposits a byte blob and its current virtual time;
+// when the last rank arrives, the round's blobs and the maximum deposit time
+// are published and everyone is released with a *copy* of the result (the
+// copy keeps a fast rank's next round from racing a slow rank's read).
+// Collectives (barrier/bcast/allgather/allreduce) are byte-level folds over
+// this primitive, computed identically on every rank in rank order — which
+// makes floating-point reductions deterministic, unlike tree reductions
+// whose association order depends on arrival order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "mp/message.hpp"
+
+namespace stance::mp {
+
+class Rendezvous {
+ public:
+  explicit Rendezvous(std::size_t nprocs);
+
+  struct Round {
+    std::vector<std::vector<std::byte>> blobs;  ///< indexed by rank
+    double max_time = 0.0;                      ///< latest deposit time
+  };
+
+  /// Deposit `blob` for `rank` at virtual time `time`; blocks until all
+  /// ranks of the current round have deposited. Throws ClusterAborted after
+  /// shutdown().
+  Round enter(Rank rank, double time, std::vector<std::byte> blob);
+
+  /// Release all waiters with ClusterAborted.
+  void shutdown();
+
+  /// Reset for reuse after an aborted run.
+  void clear();
+
+ private:
+  const std::size_t nprocs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::vector<std::byte>> current_;
+  std::size_t arrived_ = 0;
+  double max_time_ = 0.0;
+  std::uint64_t generation_ = 0;
+  Round published_;
+  bool down_ = false;
+};
+
+}  // namespace stance::mp

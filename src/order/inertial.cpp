@@ -1,0 +1,61 @@
+// Recursive inertial bisection indexing: split perpendicular to the
+// principal axis of inertia (dominant eigenvector of the 2x2 covariance).
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "order/ordering.hpp"
+
+namespace stance::order {
+namespace {
+
+/// Dominant eigenvector of the symmetric 2x2 matrix [[a, b], [b, c]].
+Point2 principal_axis(double a, double b, double c) {
+  // Eigenvalues: ((a+c) ± sqrt((a-c)^2 + 4b^2)) / 2.
+  const double tr = a + c;
+  const double disc = std::sqrt((a - c) * (a - c) + 4.0 * b * b);
+  const double lambda = 0.5 * (tr + disc);
+  // (A - lambda I) x = 0  ->  x = (b, lambda - a) or (lambda - c, b).
+  Point2 v{b, lambda - a};
+  if (std::abs(v.x) + std::abs(v.y) < 1e-300) v = {lambda - c, b};
+  if (std::abs(v.x) + std::abs(v.y) < 1e-300) v = {1.0, 0.0};  // isotropic cloud
+  const double n = std::sqrt(norm2(v));
+  return {v.x / n, v.y / n};
+}
+
+void inertial_recurse(std::span<const Point2> pts, std::span<Vertex> ids) {
+  if (ids.size() <= 1) return;
+  // Centroid and covariance of the subset.
+  Point2 mean{0.0, 0.0};
+  for (const Vertex v : ids) mean = mean + pts[static_cast<std::size_t>(v)];
+  mean = mean * (1.0 / static_cast<double>(ids.size()));
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (const Vertex v : ids) {
+    const Point2 d = pts[static_cast<std::size_t>(v)] - mean;
+    sxx += d.x * d.x;
+    sxy += d.x * d.y;
+    syy += d.y * d.y;
+  }
+  const Point2 axis = principal_axis(sxx, sxy, syy);
+  const std::size_t mid = ids.size() / 2;
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid), ids.end(),
+                   [&](Vertex va, Vertex vb) {
+                     const double pa = dot(pts[static_cast<std::size_t>(va)], axis);
+                     const double pb = dot(pts[static_cast<std::size_t>(vb)], axis);
+                     if (pa != pb) return pa < pb;
+                     return va < vb;
+                   });
+  inertial_recurse(pts, ids.subspan(0, mid));
+  inertial_recurse(pts, ids.subspan(mid));
+}
+
+}  // namespace
+
+std::vector<Vertex> inertial_order(std::span<const Point2> pts) {
+  std::vector<Vertex> ids(pts.size());
+  std::iota(ids.begin(), ids.end(), Vertex{0});
+  inertial_recurse(pts, ids);
+  return invert(ids);
+}
+
+}  // namespace stance::order

@@ -1,0 +1,189 @@
+#include "order/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace stance::order {
+namespace {
+
+double hypot2(double a, double b) { return std::sqrt(a * a + b * b); }
+
+}  // namespace
+
+void tql2(std::vector<double>& diag, std::vector<double>& off,
+          std::vector<double>& vecs) {
+  const std::size_t n = diag.size();
+  STANCE_REQUIRE(off.size() + 1 == n || (n == 0 && off.empty()),
+                 "tql2: off-diagonal must have n-1 entries");
+  vecs.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) vecs[i * n + i] = 1.0;
+  if (n <= 1) return;
+
+  // e[i] holds the subdiagonal shifted up one slot, per the classic routine.
+  std::vector<double> e(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) e[i] = off[i];
+
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iter = 0;
+    for (;;) {
+      // Find a small subdiagonal element.
+      std::size_t m = l;
+      while (m + 1 < n) {
+        const double dd = std::abs(diag[m]) + std::abs(diag[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+        ++m;
+      }
+      if (m == l) break;
+      STANCE_ASSERT_MSG(++iter <= 60, "tql2: QL iteration failed to converge");
+
+      // Form the implicit Wilkinson shift.
+      double g = (diag[l + 1] - diag[l]) / (2.0 * e[l]);
+      double r = hypot2(g, 1.0);
+      g = diag[m] - diag[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      for (std::size_t i = m; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = hypot2(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          diag[i + 1] -= p;
+          e[m] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = diag[i + 1] - p;
+        r = (diag[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        diag[i + 1] = g + p;
+        g = c * r - b;
+        // Accumulate the transformation.
+        for (std::size_t k = 0; k < n; ++k) {
+          f = vecs[k * n + i + 1];
+          vecs[k * n + i + 1] = s * vecs[k * n + i] + c * f;
+          vecs[k * n + i] = c * vecs[k * n + i] - s * f;
+        }
+      }
+      if (r == 0.0 && m > l + 1) continue;
+      diag[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+
+  // Sort eigenvalues (and columns) ascending.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    std::size_t k = i;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (diag[j] < diag[k]) k = j;
+    }
+    if (k != i) {
+      std::swap(diag[i], diag[k]);
+      for (std::size_t row = 0; row < n; ++row) {
+        std::swap(vecs[row * n + i], vecs[row * n + k]);
+      }
+    }
+  }
+}
+
+std::vector<double> smallest_eigvec_deflated(
+    std::size_t n, const std::function<void(const double*, double*)>& apply,
+    const LanczosOptions& opts) {
+  STANCE_REQUIRE(n >= 2, "need at least 2 unknowns");
+  const auto m = static_cast<std::size_t>(
+      std::min<std::size_t>(static_cast<std::size_t>(opts.max_steps), n - 1));
+
+  Rng rng(opts.seed);
+  std::vector<std::vector<double>> basis;  // Lanczos vectors, each length n
+  basis.reserve(m + 1);
+
+  auto deflate = [n](std::vector<double>& v) {
+    double mean = 0.0;
+    for (const double x : v) mean += x;
+    mean /= static_cast<double>(n);
+    for (double& x : v) x -= mean;
+  };
+  auto norm = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (const double x : v) s += x * x;
+    return std::sqrt(s);
+  };
+  auto dot = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  };
+
+  std::vector<double> v0(n);
+  for (double& x : v0) x = rng.uniform(-1.0, 1.0);
+  deflate(v0);
+  double nv = norm(v0);
+  if (nv < 1e-300) {  // pathological start; use a deterministic ramp
+    for (std::size_t i = 0; i < n; ++i) v0[i] = static_cast<double>(i);
+    deflate(v0);
+    nv = norm(v0);
+  }
+  for (double& x : v0) x /= nv;
+  basis.push_back(std::move(v0));
+
+  std::vector<double> alpha;  // diagonal of T
+  std::vector<double> beta;   // subdiagonal of T
+  std::vector<double> w(n);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    apply(basis[j].data(), w.data());
+    const double a = dot(w, basis[j]);
+    alpha.push_back(a);
+    // w -= a v_j + beta_{j-1} v_{j-1}
+    for (std::size_t i = 0; i < n; ++i) w[i] -= a * basis[j][i];
+    if (j > 0) {
+      const double b = beta[j - 1];
+      for (std::size_t i = 0; i < n; ++i) w[i] -= b * basis[j - 1][i];
+    }
+    // Full reorthogonalization (against the deflated subspace too): cheap at
+    // these Krylov sizes and essential for mesh Laplacians.
+    std::vector<double> wv(w.begin(), w.end());
+    deflate(wv);
+    w = std::move(wv);
+    for (const auto& q : basis) {
+      const double c = dot(w, q);
+      for (std::size_t i = 0; i < n; ++i) w[i] -= c * q[i];
+    }
+    const double b = norm(w);
+    if (b < opts.tolerance) break;  // invariant subspace found
+    beta.push_back(b);
+    std::vector<double> next(n);
+    for (std::size_t i = 0; i < n; ++i) next[i] = w[i] / b;
+    basis.push_back(std::move(next));
+  }
+
+  // Smallest Ritz pair of T.
+  std::vector<double> d = alpha;
+  std::vector<double> e(beta.begin(),
+                        beta.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(beta.size(), alpha.size() - 1)));
+  std::vector<double> z;
+  tql2(d, e, z);
+  const std::size_t k = alpha.size();
+
+  std::vector<double> ritz(n, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double coeff = z[j * k + 0];  // eigenvector of smallest eigenvalue
+    if (coeff == 0.0) continue;
+    const auto& q = basis[j];
+    for (std::size_t i = 0; i < n; ++i) ritz[i] += coeff * q[i];
+  }
+  deflate(ritz);
+  const double rn = norm(ritz);
+  if (rn > 1e-300) {
+    for (double& x : ritz) x /= rn;
+  }
+  return ritz;
+}
+
+}  // namespace stance::order

@@ -1,0 +1,311 @@
+#include "order/order3d.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "order/ordering.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace stance::order {
+namespace {
+
+struct Box3 {
+  double lo[3] = {1e300, 1e300, 1e300};
+  double hi[3] = {-1e300, -1e300, -1e300};
+  void expand(const Point3& p) {
+    const double c[3] = {p.x, p.y, p.z};
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], c[d]);
+      hi[d] = std::max(hi[d], c[d]);
+    }
+  }
+  [[nodiscard]] int widest() const {
+    int best = 0;
+    for (int d = 1; d < 3; ++d) {
+      if (hi[d] - lo[d] > hi[best] - lo[best]) best = d;
+    }
+    return best;
+  }
+};
+
+double coord_of(const Point3& p, int axis) {
+  return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+}
+
+void rcb3_recurse(std::span<const Point3> pts, std::span<Vertex> ids) {
+  if (ids.size() <= 1) return;
+  Box3 bb;
+  for (const Vertex v : ids) bb.expand(pts[static_cast<std::size_t>(v)]);
+  const int axis = bb.widest();
+  const std::size_t mid = ids.size() / 2;
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid), ids.end(),
+                   [&](Vertex a, Vertex b) {
+                     const double ca = coord_of(pts[static_cast<std::size_t>(a)], axis);
+                     const double cb = coord_of(pts[static_cast<std::size_t>(b)], axis);
+                     if (ca != cb) return ca < cb;
+                     return a < b;
+                   });
+  rcb3_recurse(pts, ids.subspan(0, mid));
+  rcb3_recurse(pts, ids.subspan(mid));
+}
+
+/// Dominant eigenvector of a symmetric 3x3 matrix by power iteration with a
+/// deterministic start (plenty for an inertia axis).
+void principal_axis3(const double m[3][3], double out[3]) {
+  double v[3] = {1.0, 0.7, 0.4};
+  for (int it = 0; it < 60; ++it) {
+    double w[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) w[i] += m[i][j] * v[j];
+    }
+    const double norm = std::sqrt(w[0] * w[0] + w[1] * w[1] + w[2] * w[2]);
+    if (norm < 1e-300) break;  // isotropic: keep the previous direction
+    for (int i = 0; i < 3; ++i) v[i] = w[i] / norm;
+  }
+  for (int i = 0; i < 3; ++i) out[i] = v[i];
+}
+
+void inertial3_recurse(std::span<const Point3> pts, std::span<Vertex> ids) {
+  if (ids.size() <= 1) return;
+  double mean[3] = {0, 0, 0};
+  for (const Vertex v : ids) {
+    const auto& p = pts[static_cast<std::size_t>(v)];
+    mean[0] += p.x;
+    mean[1] += p.y;
+    mean[2] += p.z;
+  }
+  for (double& m : mean) m /= static_cast<double>(ids.size());
+  double cov[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  for (const Vertex v : ids) {
+    const auto& p = pts[static_cast<std::size_t>(v)];
+    const double d[3] = {p.x - mean[0], p.y - mean[1], p.z - mean[2]};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) cov[i][j] += d[i] * d[j];
+    }
+  }
+  double axis[3];
+  principal_axis3(cov, axis);
+  const std::size_t mid = ids.size() / 2;
+  auto proj = [&](Vertex v) {
+    const auto& p = pts[static_cast<std::size_t>(v)];
+    return p.x * axis[0] + p.y * axis[1] + p.z * axis[2];
+  };
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid), ids.end(),
+                   [&](Vertex a, Vertex b) {
+                     const double pa = proj(a), pb = proj(b);
+                     if (pa != pb) return pa < pb;
+                     return a < b;
+                   });
+  inertial3_recurse(pts, ids.subspan(0, mid));
+  inertial3_recurse(pts, ids.subspan(mid));
+}
+
+constexpr int kBits3 = 20;  // 2^20 per axis; 60-bit keys
+
+std::array<std::uint32_t, 3> quantize3(const Point3& p, const Box3& bb) {
+  std::array<std::uint32_t, 3> cell{};
+  const double c[3] = {p.x, p.y, p.z};
+  for (int d = 0; d < 3; ++d) {
+    const double span = bb.hi[d] - bb.lo[d];
+    const double s = span > 0 ? (double((1u << kBits3) - 1)) / span : 0.0;
+    cell[static_cast<std::size_t>(d)] =
+        static_cast<std::uint32_t>((c[d] - bb.lo[d]) * s);
+  }
+  return cell;
+}
+
+std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffffull;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffull;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffull;
+  v = (v | (v << 8)) & 0x100f00f00f00f00full;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ull;
+  v = (v | (v << 2)) & 0x1249249249249249ull;
+  return v;
+}
+
+std::uint64_t morton3_key(const std::array<std::uint32_t, 3>& c) {
+  return spread3(c[0]) | (spread3(c[1]) << 1) | (spread3(c[2]) << 2);
+}
+
+/// Skilling's transpose-to-Hilbert conversion (axes -> Hilbert transpose),
+/// then interleave the transpose into a single key.
+std::uint64_t hilbert3_key(std::array<std::uint32_t, 3> x) {
+  constexpr int b = kBits3;
+  // Inverse undo excess work (Skilling 2004, TransposetoAxes reversed).
+  std::uint32_t m = 1u << (b - 1);
+  // Axes -> transpose.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t pmask = q - 1;
+    for (int i = 0; i < 3; ++i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= pmask;  // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[static_cast<std::size_t>(i)]) & pmask;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < 3; ++i) x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[2] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < 3; ++i) x[static_cast<std::size_t>(i)] ^= t;
+  // Interleave the transpose bits, x[0] highest.
+  std::uint64_t key = 0;
+  for (int bit = b - 1; bit >= 0; --bit) {
+    for (int i = 0; i < 3; ++i) {
+      key = (key << 1) |
+            ((x[static_cast<std::size_t>(i)] >> static_cast<unsigned>(bit)) & 1u);
+    }
+  }
+  return key;
+}
+
+template <typename KeyFn>
+std::vector<Vertex> order_by_key3(std::span<const Point3> pts, KeyFn key) {
+  Box3 bb;
+  for (const auto& p : pts) bb.expand(p);
+  std::vector<std::pair<std::uint64_t, Vertex>> keyed(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    keyed[i] = {key(quantize3(pts[i], bb)), static_cast<Vertex>(i)};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<Vertex> perm(pts.size());
+  for (std::size_t pos = 0; pos < keyed.size(); ++pos) {
+    perm[static_cast<std::size_t>(keyed[pos].second)] = static_cast<Vertex>(pos);
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::vector<Vertex> rcb3_order(std::span<const Point3> pts) {
+  std::vector<Vertex> ids(pts.size());
+  std::iota(ids.begin(), ids.end(), Vertex{0});
+  rcb3_recurse(pts, ids);
+  return invert(ids);
+}
+
+std::vector<Vertex> inertial3_order(std::span<const Point3> pts) {
+  std::vector<Vertex> ids(pts.size());
+  std::iota(ids.begin(), ids.end(), Vertex{0});
+  inertial3_recurse(pts, ids);
+  return invert(ids);
+}
+
+std::vector<Vertex> morton3_order(std::span<const Point3> pts) {
+  return order_by_key3(pts, &morton3_key);
+}
+
+std::vector<Vertex> hilbert3_order(std::span<const Point3> pts) {
+  return order_by_key3(pts, &hilbert3_key);
+}
+
+}  // namespace stance::order
+
+namespace stance::graph {
+
+std::vector<Point3> random_points_3d(Vertex n, std::uint64_t seed) {
+  STANCE_REQUIRE(n > 0, "point count must be positive");
+  Rng rng(seed);
+  std::vector<Point3> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  return pts;
+}
+
+Csr random_geometric_3d(Vertex n, double radius, std::uint64_t seed,
+                        std::vector<Point3>* coords_out) {
+  STANCE_REQUIRE(radius > 0.0, "radius must be positive");
+  const auto pts = random_points_3d(n, seed);
+  const auto cells = static_cast<Vertex>(std::max(1.0, std::floor(1.0 / radius)));
+  auto clampc = [&](double x) {
+    return std::min<Vertex>(static_cast<Vertex>(x * cells), cells - 1);
+  };
+  auto cell_of = [&](const Point3& p) {
+    return (clampc(p.z) * cells + clampc(p.y)) * cells + clampc(p.x);
+  };
+  std::vector<std::vector<Vertex>> bins(
+      static_cast<std::size_t>(cells) * cells * cells);
+  for (Vertex i = 0; i < n; ++i) {
+    bins[static_cast<std::size_t>(cell_of(pts[static_cast<std::size_t>(i)]))].push_back(i);
+  }
+  std::vector<Edge> edges;
+  const double r2 = radius * radius;
+  auto dist3_2 = [](const Point3& a, const Point3& b) {
+    const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+    return dx * dx + dy * dy + dz * dz;
+  };
+  for (Vertex cz = 0; cz < cells; ++cz) {
+    for (Vertex cy = 0; cy < cells; ++cy) {
+      for (Vertex cx = 0; cx < cells; ++cx) {
+        const auto& bin =
+            bins[static_cast<std::size_t>((cz * cells + cy) * cells + cx)];
+        for (Vertex dz = 0; dz <= 1; ++dz) {
+          for (Vertex dy = dz == 0 ? 0 : -1; dy <= 1; ++dy) {
+            for (Vertex dx = (dz == 0 && dy == 0) ? 0 : -1; dx <= 1; ++dx) {
+              if (dz == 0 && dy == 0 && dx < 0) continue;
+              const Vertex ox = cx + dx, oy = cy + dy, oz = cz + dz;
+              if (ox < 0 || oy < 0 || ox >= cells || oy >= cells || oz >= cells) {
+                continue;
+              }
+              const auto& other =
+                  bins[static_cast<std::size_t>((oz * cells + oy) * cells + ox)];
+              const bool same = (dx == 0 && dy == 0 && dz == 0);
+              for (std::size_t i = 0; i < bin.size(); ++i) {
+                for (std::size_t j = same ? i + 1 : 0; j < other.size(); ++j) {
+                  if (dist3_2(pts[static_cast<std::size_t>(bin[i])],
+                              pts[static_cast<std::size_t>(other[j])]) <= r2) {
+                    edges.emplace_back(bin[i], other[j]);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  Csr g = Csr::from_edges(n, edges);
+  if (coords_out != nullptr) *coords_out = pts;
+  return g;
+}
+
+Csr grid_3d(Vertex nx, Vertex ny, Vertex nz, std::vector<Point3>* coords_out) {
+  STANCE_REQUIRE(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  const Vertex nv = nx * ny * nz;
+  auto id = [&](Vertex x, Vertex y, Vertex z) { return (z * ny + y) * nx + x; };
+  std::vector<Edge> edges;
+  for (Vertex z = 0; z < nz; ++z) {
+    for (Vertex y = 0; y < ny; ++y) {
+      for (Vertex x = 0; x < nx; ++x) {
+        if (x + 1 < nx) edges.emplace_back(id(x, y, z), id(x + 1, y, z));
+        if (y + 1 < ny) edges.emplace_back(id(x, y, z), id(x, y + 1, z));
+        if (z + 1 < nz) edges.emplace_back(id(x, y, z), id(x, y, z + 1));
+      }
+    }
+  }
+  Csr g = Csr::from_edges(nv, edges);
+  if (coords_out != nullptr) {
+    coords_out->resize(static_cast<std::size_t>(nv));
+    for (Vertex z = 0; z < nz; ++z) {
+      for (Vertex y = 0; y < ny; ++y) {
+        for (Vertex x = 0; x < nx; ++x) {
+          (*coords_out)[static_cast<std::size_t>(id(x, y, z))] = {
+              static_cast<double>(x) / std::max<Vertex>(nx - 1, 1),
+              static_cast<double>(y) / std::max<Vertex>(ny - 1, 1),
+              static_cast<double>(z) / std::max<Vertex>(nz - 1, 1)};
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace stance::graph

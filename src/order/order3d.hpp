@@ -1,0 +1,42 @@
+// Three-dimensional locality orderings.
+//
+// The paper's §3.1 covers computational graphs "embedded in two or three
+// dimensions"; these are the 3-D counterparts of the geometric orderings:
+// recursive coordinate bisection, inertial bisection (3x3 covariance),
+// Morton and Hilbert curves (Skilling's transpose algorithm). They operate
+// on coordinate spans directly; the graph side is unchanged — a permutation
+// is a permutation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/geometry.hpp"
+
+namespace stance::order {
+
+using graph::Point3;
+using graph::Vertex;
+
+[[nodiscard]] std::vector<Vertex> rcb3_order(std::span<const Point3> pts);
+[[nodiscard]] std::vector<Vertex> inertial3_order(std::span<const Point3> pts);
+[[nodiscard]] std::vector<Vertex> morton3_order(std::span<const Point3> pts);
+[[nodiscard]] std::vector<Vertex> hilbert3_order(std::span<const Point3> pts);
+
+}  // namespace stance::order
+
+namespace stance::graph {
+
+/// `n` uniform random points in the unit cube (seeded).
+std::vector<Point3> random_points_3d(Vertex n, std::uint64_t seed);
+
+/// 3-D random geometric graph: edge iff distance <= radius (cell binning).
+/// Returns the graph; coordinates are returned through `coords_out`.
+Csr random_geometric_3d(Vertex n, double radius, std::uint64_t seed,
+                        std::vector<Point3>* coords_out = nullptr);
+
+/// nx*ny*nz 7-point-stencil grid; coordinates through `coords_out`.
+Csr grid_3d(Vertex nx, Vertex ny, Vertex nz, std::vector<Point3>* coords_out = nullptr);
+
+}  // namespace stance::graph

@@ -1,0 +1,35 @@
+#include "order/quality.hpp"
+
+#include "graph/metrics.hpp"
+#include "support/assert.hpp"
+
+namespace stance::order {
+
+QualityReport evaluate_ordering(const graph::Csr& g, std::span<const graph::Vertex> perm,
+                                Method method, std::span<const int> procs) {
+  STANCE_REQUIRE(is_permutation(perm), "evaluate_ordering: not a permutation");
+  const graph::Csr pg = g.permuted(perm);
+  QualityReport r;
+  r.method = method;
+  r.bandwidth = graph::bandwidth(pg);
+  r.avg_edge_span = graph::avg_edge_span(pg);
+  r.cuts = graph::cut_profile(pg, procs);
+  return r;
+}
+
+std::vector<QualityReport> compare_orderings(const graph::Csr& g,
+                                             std::span<const Method> methods,
+                                             std::span<const int> procs,
+                                             std::uint64_t seed) {
+  std::vector<QualityReport> out;
+  for (const Method m : methods) {
+    const bool needs_coords = m == Method::kRcb || m == Method::kInertial ||
+                              m == Method::kMorton || m == Method::kHilbert;
+    if (needs_coords && !g.has_coords()) continue;
+    const auto perm = compute(g, m, seed);
+    out.push_back(evaluate_ordering(g, perm, m, procs));
+  }
+  return out;
+}
+
+}  // namespace stance::order

@@ -1,0 +1,33 @@
+// Ordering-quality evaluation: how good are contiguous partitions of the
+// permuted numbering across a range of processor counts? (Paper §3.1: "The
+// goal of this transformation is to achieve good partitioning for a wide
+// range of partitions.")
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "order/ordering.hpp"
+
+namespace stance::order {
+
+struct QualityReport {
+  Method method{};
+  graph::Vertex bandwidth = 0;      ///< max 1-D edge span after permutation
+  double avg_edge_span = 0.0;       ///< mean 1-D edge span
+  std::vector<graph::EdgeIndex> cuts;  ///< edge cut per entry of `procs`
+};
+
+/// Evaluate one ordering on `g` for each processor count in `procs`.
+QualityReport evaluate_ordering(const graph::Csr& g, std::span<const graph::Vertex> perm,
+                                Method method, std::span<const int> procs);
+
+/// Evaluate every method in `methods` (coordinate-based ones are skipped
+/// when the graph has no coordinates).
+std::vector<QualityReport> compare_orderings(const graph::Csr& g,
+                                             std::span<const Method> methods,
+                                             std::span<const int> procs,
+                                             std::uint64_t seed = 7);
+
+}  // namespace stance::order

@@ -1,0 +1,47 @@
+// Recursive coordinate bisection indexing (paper Fig. 2).
+#include <algorithm>
+#include <numeric>
+
+#include "order/ordering.hpp"
+#include "support/assert.hpp"
+
+namespace stance::order {
+namespace {
+
+void rcb_recurse(std::span<const Point2> pts, std::span<Vertex> ids) {
+  if (ids.size() <= 1) return;
+  graph::BoundingBox2 bb;
+  for (const Vertex v : ids) bb.expand(pts[static_cast<std::size_t>(v)]);
+  const bool split_x = bb.width() >= bb.height();
+  const std::size_t mid = ids.size() / 2;
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid), ids.end(),
+                   [&](Vertex a, Vertex b) {
+                     const Point2 pa = pts[static_cast<std::size_t>(a)];
+                     const Point2 pb = pts[static_cast<std::size_t>(b)];
+                     // Tie-break on the other coordinate, then id, so the
+                     // ordering is fully deterministic.
+                     if (split_x) {
+                       if (pa.x != pb.x) return pa.x < pb.x;
+                       if (pa.y != pb.y) return pa.y < pb.y;
+                     } else {
+                       if (pa.y != pb.y) return pa.y < pb.y;
+                       if (pa.x != pb.x) return pa.x < pb.x;
+                     }
+                     return a < b;
+                   });
+  rcb_recurse(pts, ids.subspan(0, mid));
+  rcb_recurse(pts, ids.subspan(mid));
+}
+
+}  // namespace
+
+std::vector<Vertex> rcb_order(std::span<const Point2> pts) {
+  const auto n = static_cast<Vertex>(pts.size());
+  std::vector<Vertex> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), Vertex{0});
+  rcb_recurse(pts, ids);
+  // ids is position -> vertex; callers want vertex -> position.
+  return invert(ids);
+}
+
+}  // namespace stance::order

@@ -1,0 +1,92 @@
+// Space-filling-curve orderings: Morton (Z-order) and Hilbert.
+//
+// Index-based partitioners are among the fast heuristics the paper cites
+// for clustering physically proximate nodes; both curves quantize the
+// bounding box to a 2^k x 2^k grid and sort vertices by curve position.
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "order/ordering.hpp"
+#include "support/assert.hpp"
+
+namespace stance::order {
+namespace {
+
+constexpr int kBits = 16;  // 2^16 x 2^16 grid; 32-bit curve keys
+
+/// Quantize points to grid cells in [0, 2^kBits).
+std::vector<std::pair<std::uint32_t, std::uint32_t>> quantize(
+    std::span<const Point2> pts) {
+  graph::BoundingBox2 bb;
+  for (const auto& p : pts) bb.expand(p);
+  const double sx = bb.width() > 0 ? (double((1u << kBits) - 1)) / bb.width() : 0.0;
+  const double sy = bb.height() > 0 ? (double((1u << kBits) - 1)) / bb.height() : 0.0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cells(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    cells[i] = {static_cast<std::uint32_t>((pts[i].x - bb.lo.x) * sx),
+                static_cast<std::uint32_t>((pts[i].y - bb.lo.y) * sy)};
+  }
+  return cells;
+}
+
+/// Interleave the low 16 bits of x and y (x in even positions).
+std::uint64_t morton_key(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0xffffull;
+    v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0full;
+    v = (v | (v << 2)) & 0x3333333333333333ull;
+    v = (v | (v << 1)) & 0x5555555555555555ull;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+/// Hilbert curve distance of cell (x, y) on a 2^kBits grid (classic
+/// rotate-and-accumulate formulation).
+std::uint64_t hilbert_key(std::uint32_t x, std::uint32_t y) {
+  std::uint64_t d = 0;
+  for (std::uint32_t s = 1u << (kBits - 1); s > 0; s >>= 1) {
+    const std::uint32_t rx = (x & s) > 0 ? 1u : 0u;
+    const std::uint32_t ry = (y & s) > 0 ? 1u : 0u;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+std::vector<Vertex> order_by_key(std::span<const Point2> pts,
+                                 std::uint64_t (*key)(std::uint32_t, std::uint32_t)) {
+  const auto cells = quantize(pts);
+  std::vector<std::pair<std::uint64_t, Vertex>> keyed(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    keyed[i] = {key(cells[i].first, cells[i].second), static_cast<Vertex>(i)};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<Vertex> perm(pts.size());
+  for (std::size_t pos = 0; pos < keyed.size(); ++pos) {
+    perm[static_cast<std::size_t>(keyed[pos].second)] = static_cast<Vertex>(pos);
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::vector<Vertex> morton_order(std::span<const Point2> pts) {
+  return order_by_key(pts, &morton_key);
+}
+
+std::vector<Vertex> hilbert_order(std::span<const Point2> pts) {
+  return order_by_key(pts, &hilbert_key);
+}
+
+}  // namespace stance::order

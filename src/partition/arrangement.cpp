@@ -1,0 +1,58 @@
+#include "partition/arrangement.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace stance::partition {
+
+std::vector<Transfer> plan_redistribution(const IntervalPartition& from,
+                                          const IntervalPartition& to) {
+  STANCE_REQUIRE(from.nparts() == to.nparts(), "redistribution: processor counts differ");
+  STANCE_REQUIRE(from.total() == to.total(), "redistribution: element counts differ");
+  std::vector<Transfer> transfers;
+  for (const Rank src : from.arrangement()) {
+    if (from.size(src) == 0) continue;
+    const Vertex lo = from.first(src);
+    const Vertex hi = from.end(src);
+    // Walk the destination blocks overlapping [lo, hi).
+    for (const Rank dst : to.arrangement()) {
+      if (dst == src) continue;
+      const Vertex b = std::max(lo, to.first(dst));
+      const Vertex e = std::min(hi, to.end(dst));
+      if (e > b) transfers.push_back({src, dst, b, e});
+    }
+  }
+  std::sort(transfers.begin(), transfers.end(), [](const Transfer& a, const Transfer& b) {
+    return a.begin < b.begin;
+  });
+  return transfers;
+}
+
+RedistributionCost redistribution_cost(const IntervalPartition& from,
+                                       const IntervalPartition& to) {
+  RedistributionCost c;
+  c.overlap = from.overlap(to);
+  c.moved = from.total() - c.overlap;
+  const auto transfers = plan_redistribution(from, to);
+  c.messages = static_cast<int>(transfers.size());
+  return c;
+}
+
+ArrangementObjective ArrangementObjective::from_network(const sim::NetworkModel& net,
+                                                        std::size_t element_bytes) {
+  ArrangementObjective obj;
+  obj.per_message = net.latency + net.send_overhead + net.recv_overhead;
+  obj.per_element = net.contention * static_cast<double>(element_bytes) / net.bandwidth;
+  return obj;
+}
+
+double score_arrangement(const IntervalPartition& from, std::span<const double> new_weights,
+                         const Arrangement& arrangement,
+                         const ArrangementObjective& objective) {
+  const auto to =
+      IntervalPartition::from_weights_arranged(from.total(), new_weights, arrangement);
+  return objective.score(redistribution_cost(from, to));
+}
+
+}  // namespace stance::partition

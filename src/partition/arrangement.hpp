@@ -1,0 +1,73 @@
+// Redistribution cost of switching between interval partitions (paper §3.4).
+//
+// When capabilities adapt, the new blocks can be laid along the line in any
+// of p! arrangements; the choice decides how much data moves and how many
+// messages it takes (paper Fig. 5: same new weights, 71 vs 35 elements
+// moved, 5 vs 3 messages).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "partition/interval.hpp"
+#include "sim/network_model.hpp"
+
+namespace stance::partition {
+
+/// One contiguous transfer of the redistribution: global range [begin, end)
+/// moves from processor src to processor dst.
+struct Transfer {
+  Rank src = -1;
+  Rank dst = -1;
+  Vertex begin = 0;
+  Vertex end = 0;
+
+  [[nodiscard]] Vertex count() const noexcept { return end - begin; }
+  friend bool operator==(const Transfer&, const Transfer&) = default;
+};
+
+/// All cross-processor transfers needed to go `from` -> `to`, ordered by
+/// global range. Intersections of one old interval with one new interval
+/// are contiguous, so each (src, dst) pair contributes at most one message.
+[[nodiscard]] std::vector<Transfer> plan_redistribution(const IntervalPartition& from,
+                                                        const IntervalPartition& to);
+
+struct RedistributionCost {
+  Vertex moved = 0;    ///< elements crossing the network
+  Vertex overlap = 0;  ///< elements staying put
+  int messages = 0;    ///< cross-processor transfers
+
+  friend bool operator==(const RedistributionCost&, const RedistributionCost&) = default;
+};
+
+[[nodiscard]] RedistributionCost redistribution_cost(const IntervalPartition& from,
+                                                     const IntervalPartition& to);
+
+/// Objective used by MCR: the (negated) time to redistribute under a network
+/// model — message setups plus element transfer time. Higher is better.
+struct ArrangementObjective {
+  double per_message = 0.0;  ///< seconds per message (latency + overheads)
+  double per_element = 0.0;  ///< seconds per element (element_bytes / bandwidth)
+
+  /// Derive from a network model and element size.
+  static ArrangementObjective from_network(const sim::NetworkModel& net,
+                                           std::size_t element_bytes);
+
+  /// Pure-overlap objective (ignores message count): the paper's first
+  /// criterion in isolation.
+  static ArrangementObjective overlap_only() { return {0.0, 1.0}; }
+
+  [[nodiscard]] double score(const RedistributionCost& c) const noexcept {
+    return -(per_message * static_cast<double>(c.messages) +
+             per_element * static_cast<double>(c.moved));
+  }
+};
+
+/// Score of laying out `new_weights` in `arrangement` order, relative to the
+/// current partition `from`.
+[[nodiscard]] double score_arrangement(const IntervalPartition& from,
+                                       std::span<const double> new_weights,
+                                       const Arrangement& arrangement,
+                                       const ArrangementObjective& objective);
+
+}  // namespace stance::partition

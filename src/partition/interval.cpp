@@ -1,0 +1,185 @@
+#include "partition/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace stance::partition {
+
+std::vector<Vertex> apportion(Vertex n, std::span<const double> weights) {
+  STANCE_REQUIRE(!weights.empty(), "apportion: need at least one weight");
+  STANCE_REQUIRE(n >= 0, "apportion: negative element count");
+  double total = 0.0;
+  for (const double w : weights) {
+    STANCE_REQUIRE(w >= 0.0, "apportion: negative weight");
+    total += w;
+  }
+  STANCE_REQUIRE(total > 0.0, "apportion: weights sum to zero");
+
+  const std::size_t p = weights.size();
+  std::vector<Vertex> sizes(p);
+  std::vector<std::pair<double, std::size_t>> remainder(p);
+  Vertex assigned = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double exact = static_cast<double>(n) * weights[i] / total;
+    sizes[i] = static_cast<Vertex>(std::floor(exact));
+    assigned += sizes[i];
+    remainder[i] = {exact - std::floor(exact), i};
+  }
+  // Hand the leftover items to the largest fractional parts (ties: lower
+  // index first, for determinism).
+  std::sort(remainder.begin(), remainder.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (Vertex left = n - assigned; left > 0; --left) {
+    ++sizes[remainder[static_cast<std::size_t>(n - assigned - left)].second];
+  }
+  return sizes;
+}
+
+IntervalPartition IntervalPartition::from_weights(Vertex n, std::span<const double> weights) {
+  Arrangement arr(weights.size());
+  std::iota(arr.begin(), arr.end(), 0);
+  return from_weights_arranged(n, weights, arr);
+}
+
+IntervalPartition IntervalPartition::from_weights_arranged(Vertex n,
+                                                           std::span<const double> weights,
+                                                           const Arrangement& arrangement) {
+  const auto sizes = apportion(n, weights);
+  return from_sizes_arranged(sizes, arrangement);
+}
+
+IntervalPartition IntervalPartition::from_sizes(std::span<const Vertex> sizes) {
+  Arrangement arr(sizes.size());
+  std::iota(arr.begin(), arr.end(), 0);
+  return from_sizes_arranged(sizes, arr);
+}
+
+IntervalPartition IntervalPartition::from_vertex_weights(
+    std::span<const double> vertex_weight, std::span<const double> proc_weights) {
+  Arrangement arr(proc_weights.size());
+  std::iota(arr.begin(), arr.end(), 0);
+  return from_vertex_weights_arranged(vertex_weight, proc_weights, arr);
+}
+
+IntervalPartition IntervalPartition::from_vertex_weights_arranged(
+    std::span<const double> vertex_weight, std::span<const double> proc_weights,
+    const Arrangement& arrangement) {
+  STANCE_REQUIRE(!proc_weights.empty(), "need at least one processor weight");
+  STANCE_REQUIRE(arrangement.size() == proc_weights.size(),
+                 "arrangement size must equal processor count");
+  double total_work = 0.0;
+  for (const double w : vertex_weight) {
+    STANCE_REQUIRE(w > 0.0, "vertex weights must be positive");
+    total_work += w;
+  }
+  double total_cap = 0.0;
+  for (const double w : proc_weights) {
+    STANCE_REQUIRE(w >= 0.0, "processor weights must be non-negative");
+    total_cap += w;
+  }
+  STANCE_REQUIRE(total_cap > 0.0, "processor weights must not all be zero");
+
+  // Walk the element list once, closing a block whenever the running work
+  // reaches the block's cumulative capability share.
+  const auto n = static_cast<Vertex>(vertex_weight.size());
+  std::vector<Vertex> sizes(proc_weights.size(), 0);
+  double cap_acc = 0.0;
+  double work_acc = 0.0;
+  Vertex cursor = 0;
+  for (std::size_t slot = 0; slot < arrangement.size(); ++slot) {
+    const Rank r = arrangement[slot];
+    cap_acc += proc_weights[static_cast<std::size_t>(r)];
+    const double target = total_work * cap_acc / total_cap;
+    const Vertex begin = cursor;
+    if (slot + 1 == arrangement.size()) {
+      cursor = n;  // last block takes the tail regardless of rounding
+    } else {
+      while (cursor < n) {
+        const double w = vertex_weight[static_cast<std::size_t>(cursor)];
+        // Include the element if that leaves the running work closer to the
+        // target than stopping here.
+        if (work_acc + w - target > target - work_acc) break;
+        work_acc += w;
+        ++cursor;
+      }
+    }
+    sizes[static_cast<std::size_t>(r)] = cursor - begin;
+  }
+  return from_sizes_arranged(sizes, arrangement);
+}
+
+IntervalPartition IntervalPartition::from_sizes_arranged(std::span<const Vertex> sizes,
+                                                         const Arrangement& arrangement) {
+  STANCE_REQUIRE(!sizes.empty(), "partition needs at least one block");
+  STANCE_REQUIRE(arrangement.size() == sizes.size(),
+                 "arrangement size must equal processor count");
+  {
+    std::vector<char> seen(sizes.size(), 0);
+    for (const Rank r : arrangement) {
+      STANCE_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < sizes.size() &&
+                         !seen[static_cast<std::size_t>(r)],
+                     "arrangement must be a permutation of processors");
+      seen[static_cast<std::size_t>(r)] = 1;
+    }
+  }
+  IntervalPartition part;
+  part.first_.resize(sizes.size());
+  part.size_.assign(sizes.begin(), sizes.end());
+  part.arrangement_ = arrangement;
+  Vertex cursor = 0;
+  for (const Rank r : arrangement) {
+    STANCE_REQUIRE(sizes[static_cast<std::size_t>(r)] >= 0, "negative block size");
+    part.first_[static_cast<std::size_t>(r)] = cursor;
+    cursor += sizes[static_cast<std::size_t>(r)];
+  }
+  part.total_ = cursor;
+  part.finalize();
+  return part;
+}
+
+void IntervalPartition::finalize() {
+  starts_.clear();
+  starts_.reserve(arrangement_.size());
+  for (const Rank r : arrangement_) starts_.push_back(first_[static_cast<std::size_t>(r)]);
+}
+
+Rank IntervalPartition::owner(Vertex g) const {
+  STANCE_REQUIRE(g >= 0 && g < total_, "owner: element out of range");
+  // Last block whose start is <= g. Empty blocks share their start with the
+  // following block; skip backwards over them.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), g);
+  auto idx = static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
+  while (size_[static_cast<std::size_t>(arrangement_[idx])] == 0) {
+    STANCE_ASSERT(idx > 0);
+    --idx;
+  }
+  return arrangement_[idx];
+}
+
+Rank IntervalPartition::owner_linear(Vertex g) const {
+  STANCE_REQUIRE(g >= 0 && g < total_, "owner: element out of range");
+  for (const Rank r : arrangement_) {
+    if (g >= first(r) && g < end(r)) return r;
+  }
+  STANCE_ASSERT_MSG(false, "owner_linear: intervals do not tile the range");
+  return -1;
+}
+
+Vertex IntervalPartition::overlap(const IntervalPartition& next) const {
+  STANCE_REQUIRE(next.nparts() == nparts(), "overlap: processor counts differ");
+  STANCE_REQUIRE(next.total() == total(), "overlap: element counts differ");
+  Vertex total_overlap = 0;
+  for (Rank p = 0; p < nparts(); ++p) {
+    const Vertex lo = std::max(first(p), next.first(p));
+    const Vertex hi = std::min(end(p), next.end(p));
+    if (hi > lo) total_overlap += hi - lo;
+  }
+  return total_overlap;
+}
+
+}  // namespace stance::partition

@@ -1,0 +1,112 @@
+// Interval partition of the one-dimensional numbering (paper §3.1-§3.2).
+//
+// After the Phase-A transformation, the data is a 1-D list of n elements;
+// processor p owns one contiguous interval. Intervals tile [0, n) but need
+// not be in processor order — the *arrangement* (which processor's block
+// comes first) is exactly the degree of freedom MCR optimizes (§3.4).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace stance::partition {
+
+using graph::Vertex;
+using Rank = int;
+
+/// Processor arrangement: arrangement[i] = processor whose block is i-th
+/// along the line. Always a permutation of 0..p-1.
+using Arrangement = std::vector<Rank>;
+
+class IntervalPartition {
+ public:
+  IntervalPartition() = default;
+
+  /// Blocks proportional to `weights` (largest-remainder rounding, so sizes
+  /// sum to exactly n), laid out in processor order 0,1,...,p-1.
+  static IntervalPartition from_weights(Vertex n, std::span<const double> weights);
+
+  /// Same, but blocks laid out along the line in `arrangement` order.
+  static IntervalPartition from_weights_arranged(Vertex n,
+                                                 std::span<const double> weights,
+                                                 const Arrangement& arrangement);
+
+  /// Explicit block sizes in processor order (must sum to n >= 0).
+  static IntervalPartition from_sizes(std::span<const Vertex> sizes);
+
+  /// Explicit sizes laid out in `arrangement` order.
+  static IntervalPartition from_sizes_arranged(std::span<const Vertex> sizes,
+                                               const Arrangement& arrangement);
+
+  /// Weighted elements (paper §3.1: "nodes with computational weight
+  /// proportional to the computational capabilities"): split positions
+  /// 0..n-1 so each processor's total *element* weight is proportional to
+  /// its capability. vertex_weight[i] is the work of the element at 1-D
+  /// position i (must be positive).
+  static IntervalPartition from_vertex_weights(std::span<const double> vertex_weight,
+                                               std::span<const double> proc_weights);
+
+  /// Weighted split laid out in `arrangement` order.
+  static IntervalPartition from_vertex_weights_arranged(
+      std::span<const double> vertex_weight, std::span<const double> proc_weights,
+      const Arrangement& arrangement);
+
+  [[nodiscard]] int nparts() const noexcept { return static_cast<int>(first_.size()); }
+  [[nodiscard]] Vertex total() const noexcept { return total_; }
+
+  /// Interval of processor p: [first(p), end(p)).
+  [[nodiscard]] Vertex first(Rank p) const { return first_[static_cast<std::size_t>(p)]; }
+  [[nodiscard]] Vertex size(Rank p) const { return size_[static_cast<std::size_t>(p)]; }
+  [[nodiscard]] Vertex end(Rank p) const { return first(p) + size(p); }
+
+  /// Owner of global element g — O(log p) binary search over block starts.
+  /// This is the replicated interval translation table of paper Fig. 3.
+  [[nodiscard]] Rank owner(Vertex g) const;
+
+  /// Owner by linear scan, as the paper describes ("the list is searched
+  /// until the processor holding the element is found"). Same result.
+  [[nodiscard]] Rank owner_linear(Vertex g) const;
+
+  /// (owner, local index) of global element g.
+  [[nodiscard]] std::pair<Rank, Vertex> dereference(Vertex g) const {
+    const Rank p = owner(g);
+    return {p, g - first(p)};
+  }
+
+  [[nodiscard]] Vertex to_local(Rank p, Vertex g) const { return g - first(p); }
+  [[nodiscard]] Vertex to_global(Rank p, Vertex local) const { return first(p) + local; }
+  [[nodiscard]] bool owns(Rank p, Vertex g) const { return g >= first(p) && g < end(p); }
+
+  /// Processors in block order along the line.
+  [[nodiscard]] const Arrangement& arrangement() const noexcept { return arrangement_; }
+
+  /// Elements that stay on their processor when switching to `next`
+  /// (sum over p of |old interval(p) ∩ new interval(p)|).
+  [[nodiscard]] Vertex overlap(const IntervalPartition& next) const;
+
+  /// Elements that must move across the network.
+  [[nodiscard]] Vertex moved(const IntervalPartition& next) const {
+    return total_ - overlap(next);
+  }
+
+  friend bool operator==(const IntervalPartition& a, const IntervalPartition& b) {
+    return a.first_ == b.first_ && a.size_ == b.size_;
+  }
+
+ private:
+  std::vector<Vertex> first_;   ///< per processor
+  std::vector<Vertex> size_;    ///< per processor
+  Arrangement arrangement_;     ///< processors in block order
+  std::vector<Vertex> starts_;  ///< block starts in line order (for owner())
+  Vertex total_ = 0;
+
+  void finalize();
+};
+
+/// Largest-remainder apportionment of n items to weights; sizes sum to n.
+std::vector<Vertex> apportion(Vertex n, std::span<const double> weights);
+
+}  // namespace stance::partition

@@ -1,0 +1,46 @@
+// MinimizeCostRedistribution (paper §3.4, Figs. 6-7).
+//
+// Greedy O(p^3) search over processor arrangements: for each processor (in
+// original-arrangement order), try every position in the output list, keep
+// the best-scoring one. MOVE is the paper's list-rearrangement primitive.
+// exhaustive_best() tries all p! arrangements — the optimal reference used
+// by tests and the Table 1/2 benches for small p.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "partition/arrangement.hpp"
+#include "partition/interval.hpp"
+
+namespace stance::partition {
+
+/// Paper Fig. 7: move element `c` of `list` to position `pos`, shifting the
+/// in-between elements toward the vacated slot.
+/// MOVE({1,3,5,4,6}, 5, 0) == {5,1,3,4,6}.
+void move_element(Arrangement& list, Rank c, std::size_t pos);
+
+/// Paper Fig. 6 (MCR): returns the arrangement for laying out `new_weights`
+/// given the current partition `from`. O(p^3) evaluations of the objective.
+[[nodiscard]] Arrangement minimize_cost_redistribution(
+    const IntervalPartition& from, std::span<const double> new_weights,
+    const ArrangementObjective& objective = ArrangementObjective::overlap_only());
+
+/// Optimal arrangement by trying all p! permutations. Feasible for small p
+/// ("choosing the best arrangement by trying out all cases is feasible only
+/// for a small number of processors").
+[[nodiscard]] Arrangement exhaustive_best(
+    const IntervalPartition& from, std::span<const double> new_weights,
+    const ArrangementObjective& objective = ArrangementObjective::overlap_only());
+
+/// Convenience: MCR and build the resulting partition.
+[[nodiscard]] IntervalPartition repartition_mcr(
+    const IntervalPartition& from, std::span<const double> new_weights,
+    const ArrangementObjective& objective = ArrangementObjective::overlap_only());
+
+/// Baseline: keep the processors in their current arrangement ("without
+/// MCR" columns of paper Table 2).
+[[nodiscard]] IntervalPartition repartition_same_arrangement(
+    const IntervalPartition& from, std::span<const double> new_weights);
+
+}  // namespace stance::partition

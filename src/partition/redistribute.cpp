@@ -1,0 +1,3 @@
+// redistribute() is a template (see redistribute.hpp); this translation unit
+// anchors the header in the build.
+#include "partition/redistribute.hpp"

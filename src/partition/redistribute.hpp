@@ -1,0 +1,97 @@
+// Execute a redistribution plan on the cluster: move the owned slices of a
+// distributed array from one interval partition to another (paper §3.4-§3.5
+// "performing the data movement").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mp/process.hpp"
+#include "partition/arrangement.hpp"
+#include "partition/interval.hpp"
+
+namespace stance::partition {
+
+/// Collective. `local` holds this rank's elements under `from` (local index
+/// 0 is global from.first(rank)); returns this rank's elements under `to`.
+/// Transfers are derived deterministically on every rank from the two
+/// partitions, so no size negotiation is needed. When `use_multicast` and
+/// the network supports it, per-destination messages that carry identical
+/// ranges would still differ in content, so multicast is not applicable
+/// here — it is used by the load-balancing controller instead.
+template <mp::WireType T>
+std::vector<T> redistribute(mp::Process& p, std::span<const T> local,
+                            const IntervalPartition& from, const IntervalPartition& to) {
+  const Rank me = p.rank();
+  STANCE_REQUIRE(static_cast<Vertex>(local.size()) == from.size(me),
+                 "redistribute: local size does not match the source partition");
+  const double enter_time = p.now();
+  const auto transfers = plan_redistribution(from, to);
+
+  std::vector<T> next(static_cast<std::size_t>(to.size(me)));
+  // Overlap: elements that stay here just change local index.
+  {
+    const Vertex lo = std::max(from.first(me), to.first(me));
+    const Vertex hi = std::min(from.end(me), to.end(me));
+    for (Vertex g = lo; g < hi; ++g) {
+      next[static_cast<std::size_t>(g - to.first(me))] =
+          local[static_cast<std::size_t>(g - from.first(me))];
+    }
+  }
+
+  // Sends and expected sources, in plan order (deterministic on all ranks).
+  std::vector<Rank> dests;
+  std::vector<std::vector<T>> outgoing;
+  std::vector<Rank> sources;
+  std::vector<const Transfer*> incoming_meta;
+  for (const auto& t : transfers) {
+    if (t.src == me) {
+      dests.push_back(t.dst);
+      std::vector<T> payload(static_cast<std::size_t>(t.count()));
+      for (Vertex g = t.begin; g < t.end; ++g) {
+        payload[static_cast<std::size_t>(g - t.begin)] =
+            local[static_cast<std::size_t>(g - from.first(me))];
+      }
+      outgoing.push_back(std::move(payload));
+    } else if (t.dst == me) {
+      sources.push_back(t.src);
+      incoming_meta.push_back(&t);
+    }
+  }
+
+  const auto received = p.exchange_known(std::span<const Rank>(dests), outgoing,
+                                         std::span<const Rank>(sources));
+
+  // Shared-medium serialization: all transfers of the plan contend for one
+  // wire, so no rank finishes before the whole byte volume has crossed it.
+  // Every rank knows the full plan, so this is computable locally and is
+  // identical on all ranks. (This is what separates the paper's Table 2
+  // "with MCR" and "without MCR" columns: MCR shrinks the serialized
+  // volume.)
+  if (p.net().shared_medium && !transfers.empty()) {
+    // Contention-free wire occupancy: the serialization below already
+    // accounts for the shared wire, so the collision factor would double
+    // count.
+    double serialized = 0.0;
+    for (const auto& t : transfers) {
+      serialized += p.net().latency + static_cast<double>(t.count()) * sizeof(T) /
+                                          p.net().bandwidth;
+    }
+    const double before = p.now();
+    p.clock().merge(enter_time + serialized);
+    p.stats().comm_seconds += p.now() - before;
+  }
+
+  for (std::size_t k = 0; k < received.size(); ++k) {
+    const Transfer& t = *incoming_meta[k];
+    STANCE_ASSERT_MSG(received[k].size() == static_cast<std::size_t>(t.count()),
+                      "redistribute: transfer size mismatch");
+    for (Vertex g = t.begin; g < t.end; ++g) {
+      next[static_cast<std::size_t>(g - to.first(me))] =
+          received[k][static_cast<std::size_t>(g - t.begin)];
+    }
+  }
+  return next;
+}
+
+}  // namespace stance::partition

@@ -1,0 +1,107 @@
+#include "partition/translation.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace stance::partition {
+
+std::vector<TranslationEntry> IntervalTranslationTable::dereference(
+    mp::Process& p, std::span<const Vertex> queries) const {
+  p.compute(costs_.per_table_lookup * static_cast<double>(queries.size()));
+  std::vector<TranslationEntry> out;
+  out.reserve(queries.size());
+  for (const Vertex g : queries) out.push_back(lookup(g));
+  return out;
+}
+
+ReplicatedTranslationTable ReplicatedTranslationTable::from_partition(
+    const IntervalPartition& part) {
+  ReplicatedTranslationTable t;
+  t.entries_.resize(static_cast<std::size_t>(part.total()));
+  for (Rank r = 0; r < part.nparts(); ++r) {
+    for (Vertex g = part.first(r); g < part.end(r); ++g) {
+      t.entries_[static_cast<std::size_t>(g)] = {r, g - part.first(r)};
+    }
+  }
+  return t;
+}
+
+ReplicatedTranslationTable ReplicatedTranslationTable::from_assignment(
+    std::span<const Rank> owner_of) {
+  ReplicatedTranslationTable t;
+  t.entries_.resize(owner_of.size());
+  Rank max_rank = -1;
+  for (const Rank r : owner_of) max_rank = std::max(max_rank, r);
+  std::vector<Vertex> next_local(static_cast<std::size_t>(max_rank) + 1, 0);
+  for (std::size_t g = 0; g < owner_of.size(); ++g) {
+    const Rank r = owner_of[g];
+    STANCE_REQUIRE(r >= 0, "from_assignment: negative owner");
+    t.entries_[g] = {r, next_local[static_cast<std::size_t>(r)]++};
+  }
+  return t;
+}
+
+DistributedTranslationTable::DistributedTranslationTable(
+    mp::Process& p, const IntervalPartition& data_partition, sim::CpuCostModel costs)
+    : costs_(costs) {
+  const Vertex n = data_partition.total();
+  const std::vector<double> equal(static_cast<std::size_t>(p.nprocs()), 1.0);
+  table_blocks_ = IntervalPartition::from_weights(n, equal);
+  const Rank me = p.rank();
+  local_entries_.resize(static_cast<std::size_t>(table_blocks_.size(me)));
+  for (Vertex i = 0; i < table_blocks_.size(me); ++i) {
+    const Vertex g = table_blocks_.first(me) + i;
+    const auto [home, local] = data_partition.dereference(g);
+    local_entries_[static_cast<std::size_t>(i)] = {home, local};
+  }
+  p.compute(costs_.per_list_op * static_cast<double>(local_entries_.size()));
+}
+
+std::vector<TranslationEntry> DistributedTranslationTable::dereference(
+    mp::Process& p, std::span<const Vertex> queries) const {
+  const auto np = static_cast<std::size_t>(p.nprocs());
+  const Rank me = p.rank();
+
+  // Bucket queries by the owner of their *table block*.
+  std::vector<std::vector<Vertex>> ask(np);
+  // Remember where each query's answer must land.
+  std::vector<std::vector<std::size_t>> slot(np);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Rank holder = table_blocks_.owner(queries[i]);
+    ask[static_cast<std::size_t>(holder)].push_back(queries[i]);
+    slot[static_cast<std::size_t>(holder)].push_back(i);
+  }
+  p.compute(costs_.per_list_op * static_cast<double>(queries.size()));
+
+  // Round 1: ship the queries (dense all-to-all — every pair pays a message
+  // setup, which is the cost the paper's Table 3 shows growing with p).
+  const auto incoming = p.alltoallv(ask);
+
+  // Answer what landed here (including our own bucket).
+  std::vector<std::vector<TranslationEntry>> replies(np);
+  for (std::size_t src = 0; src < np; ++src) {
+    replies[src].reserve(incoming[src].size());
+    for (const Vertex g : incoming[src]) {
+      STANCE_ASSERT_MSG(table_blocks_.owns(me, g),
+                        "translation query routed to the wrong table block");
+      replies[src].push_back(
+          local_entries_[static_cast<std::size_t>(g - table_blocks_.first(me))]);
+    }
+    p.compute(costs_.per_table_lookup * static_cast<double>(incoming[src].size()));
+  }
+
+  // Round 2: ship the answers back.
+  const auto answers = p.alltoallv(replies);
+
+  std::vector<TranslationEntry> out(queries.size());
+  for (std::size_t holder = 0; holder < np; ++holder) {
+    STANCE_ASSERT(answers[holder].size() == slot[holder].size());
+    for (std::size_t k = 0; k < answers[holder].size(); ++k) {
+      out[slot[holder][k]] = answers[holder][k];
+    }
+  }
+  return out;
+}
+
+}  // namespace stance::partition

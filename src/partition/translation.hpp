@@ -1,0 +1,115 @@
+// Translation tables: global index -> (home processor, local index).
+//
+// Paper §3.2 ("Data Referencing") contrasts three designs:
+//   1. Replicated explicit table — O(n) memory per processor, no
+//      communication to dereference.
+//   2. Distributed explicit table — O(n/p) memory, but dereferencing a
+//      remote entry costs communication (the CHAOS baseline).
+//   3. Replicated *interval* table — O(p) memory, no communication; only
+//      possible because Phase A reduced the data to 1-D intervals. This is
+//      the paper's contribution and what the rest of the library uses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mp/process.hpp"
+#include "partition/interval.hpp"
+#include "sim/cpu_costs.hpp"
+
+namespace stance::partition {
+
+struct TranslationEntry {
+  Rank home = -1;
+  Vertex local = -1;
+};
+
+/// Design 3: the replicated interval table (paper Fig. 3). A thin wrapper
+/// over IntervalPartition that charges lookup CPU cost to a virtual clock
+/// when used inside the SPMD program.
+class IntervalTranslationTable {
+ public:
+  explicit IntervalTranslationTable(IntervalPartition partition,
+                                    sim::CpuCostModel costs = sim::CpuCostModel::free())
+      : partition_(std::move(partition)), costs_(costs) {}
+
+  [[nodiscard]] TranslationEntry lookup(Vertex g) const {
+    const auto [home, local] = partition_.dereference(g);
+    return {home, local};
+  }
+
+  /// Batched lookup that charges per_table_lookup per query to `p`.
+  [[nodiscard]] std::vector<TranslationEntry> dereference(
+      mp::Process& p, std::span<const Vertex> queries) const;
+
+  [[nodiscard]] const IntervalPartition& partition() const noexcept { return partition_; }
+
+  /// Memory footprint per processor: one (first, size) pair per processor.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return static_cast<std::size_t>(partition_.nparts()) * 2 * sizeof(Vertex);
+  }
+
+ private:
+  IntervalPartition partition_;
+  sim::CpuCostModel costs_;
+};
+
+/// Design 1: replicated explicit table — an Entry per element on every
+/// processor. Supports arbitrary (non-interval) distributions.
+class ReplicatedTranslationTable {
+ public:
+  /// Build from an interval partition (for apples-to-apples comparisons).
+  static ReplicatedTranslationTable from_partition(const IntervalPartition& part);
+
+  /// Build from an arbitrary owner assignment; local indices are assigned in
+  /// global order within each owner.
+  static ReplicatedTranslationTable from_assignment(std::span<const Rank> owner_of);
+
+  [[nodiscard]] TranslationEntry lookup(Vertex g) const {
+    return entries_[static_cast<std::size_t>(g)];
+  }
+  [[nodiscard]] Vertex total() const noexcept {
+    return static_cast<Vertex>(entries_.size());
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return entries_.size() * sizeof(TranslationEntry);
+  }
+
+ private:
+  std::vector<TranslationEntry> entries_;
+};
+
+/// Design 2: block-distributed explicit table. Processor r stores the
+/// entries of the r-th block of global indices; dereferencing indices whose
+/// table block lives elsewhere requires a query/reply message exchange —
+/// the communication the paper's "simple strategy" pays in Table 3.
+class DistributedTranslationTable {
+ public:
+  /// Collective: every rank builds its table block from the (globally known)
+  /// data partition. `costs` charges lookup/processing work.
+  DistributedTranslationTable(mp::Process& p, const IntervalPartition& data_partition,
+                              sim::CpuCostModel costs = sim::CpuCostModel::free());
+
+  /// Collective: batched dereference of `queries` (global indices, any
+  /// order, duplicates allowed). Every rank must call this together.
+  /// Returns entries aligned with `queries`.
+  [[nodiscard]] std::vector<TranslationEntry> dereference(
+      mp::Process& p, std::span<const Vertex> queries) const;
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return local_entries_.size() * sizeof(TranslationEntry) +
+           static_cast<std::size_t>(table_blocks_.nparts()) * 2 * sizeof(Vertex);
+  }
+
+  [[nodiscard]] const IntervalPartition& table_blocks() const noexcept {
+    return table_blocks_;
+  }
+
+ private:
+  IntervalPartition table_blocks_;               ///< block distribution of entries
+  std::vector<TranslationEntry> local_entries_;  ///< this rank's block
+  sim::CpuCostModel costs_;
+};
+
+}  // namespace stance::partition

@@ -1,0 +1,103 @@
+// The "Simple Strategy" of paper Table 3: schedule construction against a
+// block-distributed explicit translation table. Dereferencing and send-list
+// discovery require dense all-to-all message rounds, whose setup cost grows
+// with the processor count — the behaviour the paper measures.
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "partition/translation.hpp"
+#include "sched/inspector.hpp"
+#include "sched/localize.hpp"
+#include "support/assert.hpp"
+
+namespace stance::sched {
+namespace {
+
+double sort_cost(const sim::CpuCostModel& costs, std::size_t k) {
+  if (k < 2) return 0.0;
+  return costs.per_sort_item * static_cast<double>(k) *
+         std::log2(static_cast<double>(k));
+}
+
+}  // namespace
+
+InspectorResult build_simple(mp::Process& p, const graph::Csr& g,
+                             const IntervalPartition& part,
+                             const sim::CpuCostModel& costs) {
+  const Rank me = p.rank();
+  const auto np = static_cast<std::size_t>(p.nprocs());
+  InspectorResult result;
+  CommSchedule& sched = result.schedule;
+  sched.nlocal = part.size(me);
+
+  // The explicit table (built collectively; O(n/p) memory per rank).
+  const partition::DistributedTranslationTable table(p, part, costs);
+
+  // Dedup references. Unlike the sorted builders — which classify each
+  // reference as local/remote with two comparisons against the interval
+  // table — the explicit-table strategy has no cheap local test, so *every*
+  // traversed reference goes through the hash table (then the unique ones
+  // are dereferenced through the distributed table, costing two dense
+  // message rounds).
+  auto refs = collect_offproc_refs(g, part, me);
+  p.compute(costs.per_hash_op * static_cast<double>(refs.traversed_refs));
+
+  std::vector<Vertex> uniques;
+  for (const auto& group : refs.globals) {
+    uniques.insert(uniques.end(), group.begin(), group.end());
+  }
+  const auto entries = table.dereference(p, uniques);
+
+  // Group by home (as reported by the table) and sort to canonical order.
+  std::map<Rank, std::vector<Vertex>> groups;
+  for (std::size_t i = 0; i < uniques.size(); ++i) {
+    groups[entries[i].home].push_back(uniques[i]);
+  }
+  p.compute(costs.per_list_op * static_cast<double>(uniques.size()));
+  std::vector<Rank> owners;
+  std::vector<std::vector<Vertex>> globals;
+  double recv_sort = 0.0;
+  for (auto& [owner, list] : groups) {
+    recv_sort += sort_cost(costs, list.size());
+    owners.push_back(owner);
+    globals.push_back(std::move(list));
+  }
+  p.compute(recv_sort);
+  const auto slot_of = canonical_ghost_layout(std::move(owners), std::move(globals), sched);
+
+  // Round 3: ship each home the (sorted) list of its elements we need, so
+  // the homes learn their send lists. Dense all-to-all again.
+  std::vector<std::vector<Vertex>> requests(np);
+  for (std::size_t i = 0; i < sched.recv_procs.size(); ++i) {
+    const auto& slots = sched.recv_slots[i];
+    auto& req = requests[static_cast<std::size_t>(sched.recv_procs[i])];
+    req.reserve(slots.size());
+    for (const Vertex slot : slots) {
+      req.push_back(sched.ghost_globals[static_cast<std::size_t>(slot)]);
+    }
+  }
+  const auto incoming = p.alltoallv(requests);
+
+  for (std::size_t src = 0; src < np; ++src) {
+    if (incoming[src].empty() || static_cast<Rank>(src) == me) continue;
+    std::vector<Vertex> locals;
+    locals.reserve(incoming[src].size());
+    for (const Vertex gref : incoming[src]) {
+      STANCE_ASSERT_MSG(part.owns(me, gref),
+                        "simple build: request for an element we do not own");
+      locals.push_back(gref - part.first(me));
+    }
+    sched.send_procs.push_back(static_cast<Rank>(src));
+    sched.send_items.push_back(std::move(locals));
+    p.compute(costs.per_list_op * static_cast<double>(incoming[src].size()));
+  }
+
+  result.lgraph = localize_graph(g, part, me, slot_of);
+  p.compute(costs.per_list_op * static_cast<double>(result.lgraph.refs.size()));
+  STANCE_ASSERT(sched.valid());
+  STANCE_ASSERT(result.lgraph.valid());
+  return result;
+}
+
+}  // namespace stance::sched

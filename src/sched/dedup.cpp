@@ -1,0 +1,2 @@
+// DedupTable is header-only; this file anchors it in the build.
+#include "sched/dedup.hpp"

@@ -1,0 +1,57 @@
+// Duplicate removal for off-processor references (paper §3.2: "The first
+// phase removes duplicate accesses to avoid fetching a data item more than
+// once. This is done by using a hash table.").
+//
+// DedupTable records global references in first-seen order and assigns each
+// unique reference a dense id — the executor's ghost pre-slot. The same
+// structure serves as the inspector's global -> ghost-slot map after the
+// canonical reordering.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace stance::sched {
+
+using graph::Vertex;
+
+class DedupTable {
+ public:
+  DedupTable() = default;
+  explicit DedupTable(std::size_t expected) { map_.reserve(expected); }
+
+  /// Record a reference; returns its dense id (existing or new).
+  Vertex insert(Vertex global) {
+    const auto [it, inserted] =
+        map_.try_emplace(global, static_cast<Vertex>(uniques_.size()));
+    if (inserted) uniques_.push_back(global);
+    ++operations_;
+    return it->second;
+  }
+
+  /// Dense id of a previously inserted reference; -1 if absent.
+  [[nodiscard]] Vertex find(Vertex global) const {
+    ++operations_;
+    const auto it = map_.find(global);
+    return it == map_.end() ? Vertex{-1} : it->second;
+  }
+
+  [[nodiscard]] std::size_t unique_count() const noexcept { return uniques_.size(); }
+
+  /// Unique references in first-insertion order.
+  [[nodiscard]] const std::vector<Vertex>& uniques() const noexcept { return uniques_; }
+
+  /// Hash operations performed so far (for CPU-cost charging).
+  [[nodiscard]] std::uint64_t operations() const noexcept { return operations_; }
+
+ private:
+  std::unordered_map<Vertex, Vertex> map_;
+  std::vector<Vertex> uniques_;
+  mutable std::uint64_t operations_ = 0;
+};
+
+}  // namespace stance::sched

@@ -1,0 +1,28 @@
+#include "sched/inspector.hpp"
+
+#include "support/assert.hpp"
+
+namespace stance::sched {
+
+const char* build_method_name(BuildMethod m) {
+  switch (m) {
+    case BuildMethod::kSimple: return "simple";
+    case BuildMethod::kSort1: return "sort1";
+    case BuildMethod::kSort2: return "sort2";
+  }
+  return "?";
+}
+
+InspectorResult build_schedule(mp::Process& p, const graph::Csr& g,
+                               const IntervalPartition& part, BuildMethod method,
+                               const sim::CpuCostModel& costs) {
+  switch (method) {
+    case BuildMethod::kSimple: return build_simple(p, g, part, costs);
+    case BuildMethod::kSort1: return build_sorted(p, g, part, /*sort_sends=*/true, costs);
+    case BuildMethod::kSort2: return build_sorted(p, g, part, /*sort_sends=*/false, costs);
+  }
+  STANCE_ASSERT_MSG(false, "unknown build method");
+  return {};
+}
+
+}  // namespace stance::sched

@@ -1,0 +1,61 @@
+// Inspector (Phase B): builds communication schedules (paper §3.2, Fig. 4).
+//
+// Three construction strategies are implemented, matching the paper's
+// Table 3 comparison:
+//
+//  * kSimple — the CHAOS-style baseline: a block-distributed explicit
+//    translation table is consulted over the network to find each
+//    reference's home, then request lists are shipped to the homes so they
+//    learn their send lists. Three dense all-to-all rounds; message setups
+//    grow with p.
+//  * kSort1 — exploits access symmetry (paper: iterative FEM-style loops):
+//    both sides derive their send and receive lists locally with no
+//    communication at all, paying local sorting of both lists.
+//  * kSort2 — like kSort1, but owned vertices are traversed in increasing
+//    local-reference order so the send list is born sorted and its sort is
+//    avoided.
+//
+// All three produce the identical canonical schedule (see schedule.hpp), so
+// the executor is oblivious to the choice; only the construction cost
+// charged to the virtual clock differs.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "mp/process.hpp"
+#include "partition/interval.hpp"
+#include "sched/schedule.hpp"
+#include "sim/cpu_costs.hpp"
+
+namespace stance::sched {
+
+enum class BuildMethod {
+  kSimple,
+  kSort1,
+  kSort2,
+};
+
+[[nodiscard]] const char* build_method_name(BuildMethod m);
+
+struct InspectorResult {
+  CommSchedule schedule;
+  LocalizedGraph lgraph;
+};
+
+/// Collective: every rank calls this with the same (permuted) global graph
+/// and partition. kSort1/kSort2 require a symmetric access pattern, which an
+/// undirected Csr guarantees. Returns this rank's schedule and localized
+/// adjacency; CPU and communication costs are charged to p's clock.
+[[nodiscard]] InspectorResult build_schedule(mp::Process& p, const graph::Csr& g,
+                                             const IntervalPartition& part,
+                                             BuildMethod method,
+                                             const sim::CpuCostModel& costs);
+
+/// Internal entry points (exposed for targeted tests/benches).
+[[nodiscard]] InspectorResult build_sorted(mp::Process& p, const graph::Csr& g,
+                                           const IntervalPartition& part, bool sort_sends,
+                                           const sim::CpuCostModel& costs);
+[[nodiscard]] InspectorResult build_simple(mp::Process& p, const graph::Csr& g,
+                                           const IntervalPartition& part,
+                                           const sim::CpuCostModel& costs);
+
+}  // namespace stance::sched

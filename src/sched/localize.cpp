@@ -1,0 +1,112 @@
+#include "sched/localize.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace stance::sched {
+
+OffProcRefs collect_offproc_refs(const graph::Csr& g, const IntervalPartition& part,
+                                 Rank me) {
+  OffProcRefs out;
+  DedupTable dedup;
+  std::map<Rank, std::vector<Vertex>> groups;  // ordered by rank
+  for (Vertex v = part.first(me); v < part.end(me); ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      ++out.traversed_refs;
+      if (part.owns(me, u)) continue;
+      const auto before = dedup.unique_count();
+      dedup.insert(u);
+      if (dedup.unique_count() > before) {
+        groups[part.owner(u)].push_back(u);
+      }
+    }
+  }
+  out.hash_ops = dedup.operations();
+  out.owners.reserve(groups.size());
+  out.globals.reserve(groups.size());
+  for (auto& [owner, refs] : groups) {
+    out.owners.push_back(owner);
+    out.globals.push_back(std::move(refs));
+  }
+  return out;
+}
+
+SendSets collect_symmetric_sends(const graph::Csr& g, const IntervalPartition& part,
+                                 Rank me) {
+  SendSets out;
+  std::map<Rank, std::vector<Vertex>> groups;
+  std::vector<Rank> vertex_dests;  // per-vertex scratch (degrees are small)
+  for (Vertex v = part.first(me); v < part.end(me); ++v) {
+    vertex_dests.clear();
+    for (const Vertex u : g.neighbors(v)) {
+      ++out.traversed_refs;
+      if (part.owns(me, u)) continue;
+      vertex_dests.push_back(part.owner(u));
+    }
+    std::sort(vertex_dests.begin(), vertex_dests.end());
+    vertex_dests.erase(std::unique(vertex_dests.begin(), vertex_dests.end()),
+                       vertex_dests.end());
+    for (const Rank d : vertex_dests) groups[d].push_back(v - part.first(me));
+  }
+  out.dests.reserve(groups.size());
+  out.locals.reserve(groups.size());
+  for (auto& [dest, locals] : groups) {
+    out.dests.push_back(dest);
+    out.locals.push_back(std::move(locals));
+  }
+  return out;
+}
+
+std::unordered_map<Vertex, Vertex> canonical_ghost_layout(
+    std::vector<Rank> owners, std::vector<std::vector<Vertex>> globals,
+    CommSchedule& sched) {
+  STANCE_ASSERT(owners.size() == globals.size());
+  // Groups must arrive in ascending owner order; sort each group's globals.
+  for (std::size_t i = 1; i < owners.size(); ++i) STANCE_ASSERT(owners[i - 1] < owners[i]);
+  std::unordered_map<Vertex, Vertex> slot_of;
+  sched.recv_procs = std::move(owners);
+  sched.recv_slots.clear();
+  sched.ghost_globals.clear();
+  Vertex slot = 0;
+  for (auto& group : globals) {
+    std::sort(group.begin(), group.end());
+    std::vector<Vertex> slots(group.size());
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      slots[k] = slot;
+      slot_of.emplace(group[k], slot);
+      sched.ghost_globals.push_back(group[k]);
+      ++slot;
+    }
+    sched.recv_slots.push_back(std::move(slots));
+  }
+  sched.nghost = slot;
+  return slot_of;
+}
+
+LocalizedGraph localize_graph(const graph::Csr& g, const IntervalPartition& part,
+                              Rank me,
+                              const std::unordered_map<Vertex, Vertex>& slot_of) {
+  LocalizedGraph lg;
+  lg.nlocal = part.size(me);
+  lg.nghost = static_cast<Vertex>(slot_of.size());
+  lg.offsets.reserve(static_cast<std::size_t>(lg.nlocal) + 1);
+  lg.offsets.push_back(0);
+  const Vertex base = part.first(me);
+  for (Vertex v = base; v < part.end(me); ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      if (part.owns(me, u)) {
+        lg.refs.push_back(u - base);
+      } else {
+        const auto it = slot_of.find(u);
+        STANCE_ASSERT_MSG(it != slot_of.end(), "localize: reference missing a ghost slot");
+        lg.refs.push_back(lg.nlocal + it->second);
+      }
+    }
+    lg.offsets.push_back(static_cast<graph::EdgeIndex>(lg.refs.size()));
+  }
+  return lg;
+}
+
+}  // namespace stance::sched

@@ -1,0 +1,54 @@
+// Shared inspector machinery: collecting off-processor references and
+// rewriting global references to local/ghost storage ("address translation",
+// paper §2 item 4 and §3.2).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "partition/interval.hpp"
+#include "sched/dedup.hpp"
+#include "sched/schedule.hpp"
+
+namespace stance::sched {
+
+/// Unique off-processor references of one rank, grouped by home processor,
+/// in owned-vertex traversal order (i.e. unsorted within each group), plus
+/// the hash-operation count for CPU-cost charging.
+struct OffProcRefs {
+  std::vector<Rank> owners;                      ///< peers referenced, ascending
+  std::vector<std::vector<Vertex>> globals;      ///< per owner, traversal order
+  std::uint64_t hash_ops = 0;                    ///< dedup work performed
+  std::uint64_t traversed_refs = 0;              ///< directed references scanned
+};
+
+/// Scan the adjacency of rank `me`'s owned interval in increasing local
+/// order and dedup the off-processor references.
+OffProcRefs collect_offproc_refs(const graph::Csr& g, const IntervalPartition& part,
+                                 Rank me);
+
+/// By access symmetry (paper §3.2): the owned vertices that have at least
+/// one neighbor on peer `o` — these are exactly the elements `o` will need
+/// from us. Returned per peer, ascending local index (traversal order).
+struct SendSets {
+  std::vector<Rank> dests;                   ///< ascending
+  std::vector<std::vector<Vertex>> locals;   ///< per dest, ascending local index
+  std::uint64_t traversed_refs = 0;
+};
+SendSets collect_symmetric_sends(const graph::Csr& g, const IntervalPartition& part,
+                                 Rank me);
+
+/// Build the canonical ghost layout from per-owner reference lists: sort
+/// each group ascending, lay groups out by ascending owner rank. Fills
+/// nghost / recv_procs / recv_slots / ghost_globals of `sched` and returns
+/// the global -> slot map.
+std::unordered_map<Vertex, Vertex> canonical_ghost_layout(
+    std::vector<Rank> owners, std::vector<std::vector<Vertex>> globals,
+    CommSchedule& sched);
+
+/// Rewrite the owned adjacency to local/ghost references.
+LocalizedGraph localize_graph(const graph::Csr& g, const IntervalPartition& part,
+                              Rank me,
+                              const std::unordered_map<Vertex, Vertex>& slot_of);
+
+}  // namespace stance::sched

@@ -1,0 +1,64 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace stance::sched {
+namespace {
+
+bool sorted_unique(const std::vector<Rank>& v) {
+  return std::adjacent_find(v.begin(), v.end(),
+                            [](Rank a, Rank b) { return a >= b; }) == v.end();
+}
+
+}  // namespace
+
+std::size_t CommSchedule::total_sent() const {
+  std::size_t n = 0;
+  for (const auto& items : send_items) n += items.size();
+  return n;
+}
+
+std::size_t CommSchedule::total_received() const {
+  std::size_t n = 0;
+  for (const auto& slots : recv_slots) n += slots.size();
+  return n;
+}
+
+bool CommSchedule::valid() const {
+  if (send_procs.size() != send_items.size()) return false;
+  if (recv_procs.size() != recv_slots.size()) return false;
+  if (!sorted_unique(send_procs) || !sorted_unique(recv_procs)) return false;
+  if (ghost_globals.size() != static_cast<std::size_t>(nghost)) return false;
+  if (total_received() != static_cast<std::size_t>(nghost)) return false;
+  for (const auto& items : send_items) {
+    if (items.empty()) return false;  // empty messages are never scheduled
+    for (const Vertex v : items) {
+      if (v < 0 || v >= nlocal) return false;
+    }
+  }
+  std::vector<char> slot_seen(static_cast<std::size_t>(nghost), 0);
+  for (const auto& slots : recv_slots) {
+    if (slots.empty()) return false;
+    for (const Vertex s : slots) {
+      if (s < 0 || s >= nghost) return false;
+      if (slot_seen[static_cast<std::size_t>(s)]) return false;
+      slot_seen[static_cast<std::size_t>(s)] = 1;
+    }
+  }
+  return true;
+}
+
+bool LocalizedGraph::valid() const {
+  if (offsets.size() != static_cast<std::size_t>(nlocal) + 1) return false;
+  if (offsets.front() != 0 ||
+      offsets.back() != static_cast<graph::EdgeIndex>(refs.size())) {
+    return false;
+  }
+  if (!std::is_sorted(offsets.begin(), offsets.end())) return false;
+  for (const Vertex r : refs) {
+    if (r < 0 || r >= nlocal + nghost) return false;
+  }
+  return true;
+}
+
+}  // namespace stance::sched

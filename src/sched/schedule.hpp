@@ -1,0 +1,77 @@
+// Communication schedules (paper §3.2).
+//
+// A CommSchedule is what the inspector hands the executor: per peer, which
+// *local* elements to send (the paper's "send list") and into which ghost-
+// buffer slot each received element lands (the paper's "permutation list").
+//
+// Canonical ghost layout used by every builder in this library: ghost slots
+// are grouped by home processor in ascending rank order, and ordered by
+// global index (equivalently, by local index on the home processor) within
+// each group — the order schedule_sort1/sort2 produce by sorting. All three
+// builders therefore yield byte-identical executor behaviour and differ only
+// in construction cost.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "partition/interval.hpp"
+
+namespace stance::sched {
+
+using graph::Vertex;
+using partition::IntervalPartition;
+using partition::Rank;
+
+struct CommSchedule {
+  Vertex nlocal = 0;  ///< owned elements of this rank
+  Vertex nghost = 0;  ///< distinct off-processor elements referenced
+
+  /// Peers this rank sends to, ascending. send_items[i] lists the *local*
+  /// indices of the owned elements shipped to send_procs[i], in message
+  /// order (ascending, by the canonical layout).
+  std::vector<Rank> send_procs;
+  std::vector<std::vector<Vertex>> send_items;
+
+  /// Peers this rank receives from, ascending. recv_slots[i][k] is the
+  /// ghost-buffer slot of the k-th element of the message from
+  /// recv_procs[i] (the permutation list).
+  std::vector<Rank> recv_procs;
+  std::vector<std::vector<Vertex>> recv_slots;
+
+  /// Global index of each ghost slot (inspector by-product; used for index
+  /// rewriting and consistency checks).
+  std::vector<Vertex> ghost_globals;
+
+  [[nodiscard]] std::size_t total_sent() const;
+  [[nodiscard]] std::size_t total_received() const;
+  [[nodiscard]] std::size_t message_count() const {
+    return send_procs.size() + recv_procs.size();
+  }
+
+  /// Structural invariants: sorted unique peers, slots in range & unique,
+  /// local send indices in [0, nlocal), ghost_globals consistent with
+  /// nghost. Cheap enough to assert in tests on every build.
+  [[nodiscard]] bool valid() const;
+};
+
+/// The paper's Figure-8 loop references: adjacency of the owned vertices
+/// with references rewritten to local storage — values < nlocal index the
+/// owned array; values >= nlocal index slot (value - nlocal) of the ghost
+/// buffer.
+struct LocalizedGraph {
+  Vertex nlocal = 0;
+  Vertex nghost = 0;
+  std::vector<graph::EdgeIndex> offsets;  ///< size nlocal + 1
+  std::vector<Vertex> refs;               ///< rewritten references
+
+  [[nodiscard]] std::span<const Vertex> refs_of(Vertex local) const {
+    const auto b = offsets[static_cast<std::size_t>(local)];
+    const auto e = offsets[static_cast<std::size_t>(local) + 1];
+    return {refs.data() + b, static_cast<std::size_t>(e - b)};
+  }
+  [[nodiscard]] bool valid() const;
+};
+
+}  // namespace stance::sched

@@ -1,0 +1,35 @@
+// CPU cost constants for the runtime's own bookkeeping work.
+//
+// The paper's tables measure not only the application loop but the runtime
+// itself: hashing references, sorting schedules, translation-table lookups,
+// buffer copies. These constants charge that work to the virtual clock.
+// `sun4()` is calibrated so the reproduction benches land in the same range
+// as the paper's 1995 measurements (see DESIGN.md §5); the absolute values
+// carry no meaning beyond that.
+#pragma once
+
+namespace stance::sim {
+
+struct CpuCostModel {
+  double per_hash_op = 0.0;        ///< insert/lookup of one reference in a hash table
+  double per_sort_item = 0.0;      ///< per item, multiplied by log2(n) by callers
+  double per_table_lookup = 0.0;   ///< one interval/explicit-table dereference
+  double per_copy_element = 0.0;   ///< staging one element into a message buffer
+  double per_list_op = 0.0;        ///< generic per-element list processing
+
+  /// Zero-cost model for algorithm unit tests.
+  static CpuCostModel free() { return CpuCostModel{}; }
+
+  /// Early-90s SUN4-class workstation.
+  static CpuCostModel sun4() {
+    CpuCostModel m;
+    m.per_hash_op = 3.0e-6;
+    m.per_sort_item = 0.8e-6;
+    m.per_table_lookup = 1.5e-6;
+    m.per_copy_element = 2.5e-7;
+    m.per_list_op = 4.0e-7;
+    return m;
+  }
+};
+
+}  // namespace stance::sim

@@ -1,0 +1,169 @@
+#include "sim/load_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace stance::sim {
+namespace {
+
+void validate(const std::vector<LoadSegment>& segs) {
+  STANCE_REQUIRE(!segs.empty(), "LoadProfile needs at least one segment");
+  STANCE_REQUIRE(segs.front().start == 0.0, "first LoadSegment must start at 0");
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    STANCE_REQUIRE(segs[i].avail > 0.0 && segs[i].avail <= 1.0,
+                   "availability must be in (0,1]");
+    if (i > 0) {
+      STANCE_REQUIRE(segs[i].start > segs[i - 1].start,
+                     "LoadSegments must be strictly increasing");
+    }
+  }
+}
+
+}  // namespace
+
+LoadProfile::LoadProfile() : LoadProfile({{0.0, 1.0}}, 0.0) {}
+
+LoadProfile::LoadProfile(std::vector<LoadSegment> segments, double period)
+    : segments_(std::move(segments)), period_(period) {
+  validate(segments_);
+  if (period_ > 0.0) {
+    STANCE_REQUIRE(segments_.back().start < period_,
+                   "periodic profile: last segment must start inside the period");
+    per_period_busy_ = integrate_base(0.0, period_);
+  }
+}
+
+LoadProfile LoadProfile::constant(double avail) { return LoadProfile({{0.0, avail}}, 0.0); }
+
+LoadProfile LoadProfile::step(double t, double before, double after) {
+  STANCE_REQUIRE(t > 0.0, "step time must be positive");
+  return LoadProfile({{0.0, before}, {t, after}}, 0.0);
+}
+
+LoadProfile LoadProfile::competing_jobs(int n_jobs) {
+  STANCE_REQUIRE(n_jobs >= 0, "competing job count must be non-negative");
+  return constant(1.0 / (1.0 + static_cast<double>(n_jobs)));
+}
+
+LoadProfile LoadProfile::periodic(double period, double duty, double busy_avail,
+                                  double idle_avail) {
+  STANCE_REQUIRE(period > 0.0, "period must be positive");
+  STANCE_REQUIRE(duty > 0.0 && duty < 1.0, "duty must be in (0,1)");
+  return LoadProfile({{0.0, busy_avail}, {duty * period, idle_avail}}, period);
+}
+
+LoadProfile LoadProfile::trace(std::vector<LoadSegment> segments) {
+  return LoadProfile(std::move(segments), 0.0);
+}
+
+LoadProfile LoadProfile::periodic_trace(std::vector<LoadSegment> segments, double period) {
+  return LoadProfile(std::move(segments), period);
+}
+
+double LoadProfile::availability(double t) const noexcept {
+  if (t < 0.0) t = 0.0;
+  if (period_ > 0.0) t = std::fmod(t, period_);
+  // Last segment whose start <= t.
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+                             [](double v, const LoadSegment& s) { return v < s.start; });
+  STANCE_ASSERT(it != segments_.begin());
+  return std::prev(it)->avail;
+}
+
+double LoadProfile::integrate_base(double t0, double t1) const noexcept {
+  if (t1 <= t0) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const double seg_start = segments_[i].start;
+    const double seg_end = (i + 1 < segments_.size())
+                               ? segments_[i + 1].start
+                               : std::max(t1, seg_start);  // open-ended tail
+    const double lo = std::max(t0, seg_start);
+    const double hi = std::min(t1, seg_end);
+    if (hi > lo) total += (hi - lo) * segments_[i].avail;
+    if (seg_end >= t1) break;
+  }
+  return total;
+}
+
+double LoadProfile::integrate(double t0, double t1) const noexcept {
+  if (t1 <= t0) return 0.0;
+  if (period_ <= 0.0) return integrate_base(t0, t1);
+  // Reduce to whole periods plus partial windows.
+  const double k0 = std::floor(t0 / period_);
+  const double k1 = std::floor(t1 / period_);
+  const double r0 = t0 - k0 * period_;
+  const double r1 = t1 - k1 * period_;
+  if (k0 == k1) return integrate_base(r0, r1);
+  double total = integrate_base(r0, period_);
+  total += (k1 - k0 - 1.0) * per_period_busy_;
+  total += integrate_base(0.0, r1);
+  return total;
+}
+
+double LoadProfile::finish_time(double start, double busy) const noexcept {
+  if (busy <= 0.0) return start;
+  if (start < 0.0) start = 0.0;
+
+  double t = start;
+  double remaining = busy;
+
+  if (period_ > 0.0) {
+    // Finish the current partial period.
+    const double k = std::floor(t / period_);
+    const double in_period = t - k * period_;
+    const double rest_of_period = integrate_base(in_period, period_);
+    if (remaining >= rest_of_period) {
+      remaining -= rest_of_period;
+      t = (k + 1.0) * period_;
+      // Skip whole periods.
+      const double whole = std::floor(remaining / per_period_busy_);
+      // Guard against landing exactly on a boundary: consume whole periods
+      // only while strictly more work remains afterwards.
+      if (whole >= 1.0) {
+        t += whole * period_;
+        remaining -= whole * per_period_busy_;
+      }
+      if (remaining <= 0.0) return t;
+      // Fall through into the base scan from period start.
+      return t + (finish_time_from_base(remaining));
+    }
+    return k * period_ + finish_time_from(in_period, remaining);
+  }
+  return finish_time_from(t, remaining);
+}
+
+// --- helpers below are declared inline here to keep the header slim -------
+
+namespace {
+// Scan segments of `segs` from local time `t0` consuming `busy`; the last
+// segment extends forever. Returns the absolute local finish time.
+double scan(const std::vector<LoadSegment>& segs, double t0, double busy) {
+  double remaining = busy;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const double seg_start = segs[i].start;
+    const bool last = (i + 1 == segs.size());
+    const double seg_end = last ? 0.0 : segs[i + 1].start;
+    if (!last && seg_end <= t0) continue;
+    const double lo = std::max(t0, seg_start);
+    if (last) return lo + remaining / segs[i].avail;
+    const double capacity = (seg_end - lo) * segs[i].avail;
+    if (remaining <= capacity) return lo + remaining / segs[i].avail;
+    remaining -= capacity;
+  }
+  STANCE_ASSERT_MSG(false, "unreachable: last segment is open-ended");
+  return 0.0;
+}
+}  // namespace
+
+double LoadProfile::finish_time_from(double local_t0, double busy) const noexcept {
+  return scan(segments_, local_t0, busy);
+}
+
+double LoadProfile::finish_time_from_base(double busy) const noexcept {
+  return scan(segments_, 0.0, busy);
+}
+
+}  // namespace stance::sim

@@ -1,0 +1,85 @@
+// Time-varying CPU availability of a virtual workstation.
+//
+// The paper's adaptive experiments add a "constant competing load" to one
+// workstation: that machine then delivers only a fraction of its CPU to the
+// data-parallel process. A LoadProfile models exactly that: a function
+// f(t) in (0, 1] giving the fraction of the node's CPU available to the
+// application at virtual time t. Profiles are piecewise constant, optionally
+// periodic, so that advancing a clock through `busy` CPU-seconds has a
+// closed-form solution per segment.
+#pragma once
+
+#include <vector>
+
+namespace stance::sim {
+
+/// One piecewise-constant segment: availability `avail` from `start` until
+/// the next segment's start (the last segment extends to infinity).
+struct LoadSegment {
+  double start = 0.0;
+  double avail = 1.0;
+};
+
+class LoadProfile {
+ public:
+  /// Fully available machine (the default).
+  LoadProfile();
+
+  /// Constant availability f(t) = avail.
+  static LoadProfile constant(double avail);
+
+  /// `before` until time `t`, then `after` forever. Models a competing job
+  /// arriving (or leaving) at `t`.
+  static LoadProfile step(double t, double before, double after);
+
+  /// `n_jobs` equal competing CPU-bound jobs: the application receives
+  /// 1/(1+n_jobs) of the CPU (fair-share scheduling).
+  static LoadProfile competing_jobs(int n_jobs);
+
+  /// Periodic profile: availability `busy_avail` for `duty*period` seconds,
+  /// then `idle_avail` for the rest, repeating. Models diurnal sharing.
+  static LoadProfile periodic(double period, double duty, double busy_avail,
+                              double idle_avail);
+
+  /// Arbitrary piecewise-constant trace; segments must be sorted by start,
+  /// the first must start at 0, all availabilities in (0, 1].
+  static LoadProfile trace(std::vector<LoadSegment> segments);
+
+  /// Periodic version of an arbitrary trace: the segment list describes one
+  /// period of length `period`, then repeats.
+  static LoadProfile periodic_trace(std::vector<LoadSegment> segments, double period);
+
+  /// Availability at time t.
+  [[nodiscard]] double availability(double t) const noexcept;
+
+  /// CPU-seconds delivered in [t0, t1].
+  [[nodiscard]] double integrate(double t0, double t1) const noexcept;
+
+  /// Earliest time t1 >= start such that integrate(start, t1) == busy.
+  /// This is how a VirtualClock advances through computation.
+  [[nodiscard]] double finish_time(double start, double busy) const noexcept;
+
+  [[nodiscard]] bool is_periodic() const noexcept { return period_ > 0.0; }
+  [[nodiscard]] double period() const noexcept { return period_; }
+  [[nodiscard]] const std::vector<LoadSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+ private:
+  LoadProfile(std::vector<LoadSegment> segments, double period);
+
+  /// integrate() restricted to one pass over the segment list, with t0/t1
+  /// already reduced into the base window for periodic profiles.
+  [[nodiscard]] double integrate_base(double t0, double t1) const noexcept;
+
+  /// finish_time() within the base segment list starting at local time t0
+  /// (the last segment is treated as open-ended).
+  [[nodiscard]] double finish_time_from(double local_t0, double busy) const noexcept;
+  [[nodiscard]] double finish_time_from_base(double busy) const noexcept;
+
+  std::vector<LoadSegment> segments_;
+  double period_ = 0.0;           ///< 0 = aperiodic
+  double per_period_busy_ = 0.0;  ///< CPU-seconds per period (periodic only)
+};
+
+}  // namespace stance::sim

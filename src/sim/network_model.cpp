@@ -1,0 +1,37 @@
+#include "sim/network_model.hpp"
+
+namespace stance::sim {
+
+NetworkModel NetworkModel::ideal() {
+  NetworkModel m;
+  m.name = "ideal";
+  return m;
+}
+
+NetworkModel NetworkModel::ethernet_10mbps(bool multicast_enabled) {
+  NetworkModel m;
+  m.name = "ethernet-10mbps";
+  m.latency = 1.5e-3;
+  m.bandwidth = 1.0e6;
+  m.send_overhead = 0.4e-3;
+  m.recv_overhead = 0.4e-3;
+  m.send_per_byte = 1.0 / m.bandwidth;  // synchronous send (P4 over TCP)
+  m.contention = 1.0;
+  m.multicast = multicast_enabled;
+  m.shared_medium = true;
+  return m;
+}
+
+NetworkModel NetworkModel::atm_155mbps() {
+  NetworkModel m;
+  m.name = "atm-155mbps";
+  m.latency = 0.3e-3;
+  m.bandwidth = 16.0e6;
+  m.send_overhead = 0.15e-3;
+  m.recv_overhead = 0.15e-3;
+  m.contention = 1.0;
+  m.multicast = true;
+  return m;
+}
+
+}  // namespace stance::sim

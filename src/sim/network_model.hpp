@@ -1,0 +1,72 @@
+// Analytic cost model of the interconnect.
+//
+// The paper's cluster is SUN4 workstations on 10 Mb/s shared Ethernet under
+// the P4 message-passing library; §3.6 notes that latency dominates and that
+// the library can use Ethernet multicast. We model a message of b bytes as
+//
+//   sender busy:   send_overhead
+//   wire:          latency + b / bandwidth          (unicast)
+//   receiver busy: recv_overhead
+//
+// and a multicast of b bytes to k receivers as one transmission (when
+// `multicast` is enabled) instead of k. A `contention` factor >= 1 scales
+// the wire term to approximate a shared medium.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace stance::sim {
+
+struct NetworkModel {
+  std::string name = "ideal";
+  double latency = 0.0;        ///< seconds per message on the wire
+  double bandwidth = 1e12;     ///< bytes per second
+  double send_overhead = 0.0;  ///< sender CPU seconds per message
+  double recv_overhead = 0.0;  ///< receiver CPU seconds per message
+  double send_per_byte = 0.0;  ///< sender CPU seconds per byte: > 0 models a
+                               ///< synchronous protocol stack (the 1995 P4/TCP
+                               ///< reality) where the sender is busy for the
+                               ///< whole transmission
+  double contention = 1.0;     ///< >= 1; shared-medium slowdown of wire terms
+  bool multicast = false;      ///< hardware multicast available
+  bool shared_medium = false;  ///< one transmission at a time (classic Ethernet)
+
+  /// Wire time for one b-byte transmission.
+  [[nodiscard]] double wire_time(std::size_t bytes) const noexcept {
+    return contention * (latency + static_cast<double>(bytes) / bandwidth);
+  }
+
+  /// Sender CPU time for one b-byte message (protocol work; with a
+  /// synchronous stack this includes pushing every byte onto the wire).
+  [[nodiscard]] double sender_busy(std::size_t bytes) const noexcept {
+    return send_overhead + contention * static_cast<double>(bytes) * send_per_byte;
+  }
+
+  /// End-to-end arrival delay after the sender finished its busy period.
+  /// With a synchronous stack the bytes were already paid by the sender, so
+  /// only the latency remains in flight.
+  [[nodiscard]] double transfer_time(std::size_t bytes) const noexcept {
+    if (send_per_byte > 0.0) return contention * latency;
+    return wire_time(bytes);
+  }
+
+  /// Sender-side cost of issuing one multicast (or the first of k unicasts).
+  [[nodiscard]] double multicast_sends(std::size_t k) const noexcept {
+    return multicast ? 1.0 : static_cast<double>(k);
+  }
+
+  /// Instantaneous (zero-cost) network for unit tests of algorithms.
+  static NetworkModel ideal();
+
+  /// 10 Mb/s shared Ethernet with early-90s protocol stacks: ~1.5 ms
+  /// latency, ~1 MB/s effective bandwidth, multicast capable. This is the
+  /// preset used by the paper-reproduction benches.
+  static NetworkModel ethernet_10mbps(bool multicast_enabled = false);
+
+  /// 155 Mb/s ATM LAN (paper ref [2]): lower latency, ~16 MB/s, native
+  /// multicast. Used by ablation benches.
+  static NetworkModel atm_155mbps();
+};
+
+}  // namespace stance::sim

@@ -1,0 +1,3 @@
+// VirtualClock is header-only; this translation unit exists so the module
+// shows up in the library and to anchor the vtable-free class's tests.
+#include "sim/virtual_clock.hpp"

@@ -1,0 +1,63 @@
+// Per-process virtual clock.
+//
+// Every virtual workstation in the simulated cluster owns a VirtualClock.
+// Computation advances it through the node's LoadProfile (heterogeneous
+// speed + competing load); communication advances it by model-derived
+// delays; synchronization merges it with peers' clocks. All times reported
+// by benches are read from these clocks ("virtual seconds").
+#pragma once
+
+#include "sim/load_profile.hpp"
+
+namespace stance::sim {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  VirtualClock(double speed, LoadProfile profile)
+      : speed_(speed), profile_(std::move(profile)) {}
+
+  /// Current virtual time in seconds.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Relative speed of this node (1.0 = reference workstation).
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+
+  [[nodiscard]] const LoadProfile& profile() const noexcept { return profile_; }
+
+  /// Replace the availability profile (used by adaptive experiments that
+  /// inject a competing load mid-run; times already accrued are unaffected).
+  void set_profile(LoadProfile profile) { profile_ = std::move(profile); }
+
+  /// Perform `work` seconds-at-reference-speed of computation: the clock
+  /// advances until speed * integral(availability) covers it.
+  void advance_work(double work) noexcept {
+    if (work <= 0.0) return;
+    now_ = profile_.finish_time(now_, work / speed_);
+  }
+
+  /// Advance by a fixed wall-clock delay (network latency, fixed overheads).
+  void advance_delay(double seconds) noexcept {
+    if (seconds > 0.0) now_ += seconds;
+  }
+
+  /// Synchronize forward: never moves the clock backwards.
+  void merge(double other_time) noexcept {
+    if (other_time > now_) now_ = other_time;
+  }
+
+  /// Hard reset (new experiment on a reused cluster).
+  void reset(double t = 0.0) noexcept { now_ = t; }
+
+  /// Effective delivered speed at the current instant (speed * availability).
+  [[nodiscard]] double effective_speed() const noexcept {
+    return speed_ * profile_.availability(now_);
+  }
+
+ private:
+  double now_ = 0.0;
+  double speed_ = 1.0;
+  LoadProfile profile_{};
+};
+
+}  // namespace stance::sim

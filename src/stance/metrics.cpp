@@ -1,0 +1,27 @@
+#include "stance/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace stance {
+
+double nonuniform_efficiency(double t_combined, std::span<const double> t_individual) {
+  STANCE_REQUIRE(t_combined > 0.0, "efficiency: combined time must be positive");
+  STANCE_REQUIRE(!t_individual.empty(), "efficiency: need at least one node time");
+  double rate_sum = 0.0;
+  for (const double t : t_individual) {
+    STANCE_REQUIRE(t > 0.0, "efficiency: node times must be positive");
+    rate_sum += 1.0 / t;
+  }
+  return (1.0 / t_combined) / rate_sum;
+}
+
+double speedup_vs_best(double t_combined, std::span<const double> t_individual) {
+  STANCE_REQUIRE(t_combined > 0.0, "speedup: combined time must be positive");
+  STANCE_REQUIRE(!t_individual.empty(), "speedup: need at least one node time");
+  const double best = *std::min_element(t_individual.begin(), t_individual.end());
+  return best / t_combined;
+}
+
+}  // namespace stance

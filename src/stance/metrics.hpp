@@ -1,0 +1,20 @@
+// Performance metrics for nonuniform environments (paper §4).
+#pragma once
+
+#include <span>
+
+namespace stance {
+
+/// Nonuniform-environment efficiency:
+///   E(p1..pn) = (1 / T(p1..pn)) / (sum_i 1 / T(pi))
+/// where T(pi) is the time node i would need to complete the whole task
+/// alone and T(p1..pn) is the measured combined time. Equals classic
+/// efficiency (speedup / n) when all nodes are identical.
+[[nodiscard]] double nonuniform_efficiency(double t_combined,
+                                           std::span<const double> t_individual);
+
+/// Classic speedup against the fastest single node.
+[[nodiscard]] double speedup_vs_best(double t_combined,
+                                     std::span<const double> t_individual);
+
+}  // namespace stance

@@ -1,0 +1,45 @@
+// Umbrella header for the STANCE library.
+//
+// STANCE — Software Techniques for Adaptive and Nonuniform Computational
+// Environments — reproduces the runtime system of Kaddoura & Ranka (HPDC
+// 1996): inspector/executor parallelization of irregular data-parallel
+// applications over a heterogeneous, adaptively loaded cluster, built on a
+// one-dimensional locality-preserving numbering.
+//
+// Layering (bottom up):
+//   support/   logging, RNG, stats, tables
+//   sim/       virtual cluster: clocks, load profiles, network cost model
+//   mp/        SPMD message passing (Cluster, Process, collectives)
+//   graph/     computational graphs, mesh generators, metrics
+//   order/     Phase A — 1-D locality transformations
+//   partition/ interval partitions, translation tables, MCR, redistribution
+//   sched/     Phase B — inspector (simple / sort1 / sort2)
+//   exec/      Phase C — executor (gather/scatter, the Fig. 8 loop)
+//   lb/        Phase D — monitoring, controller, adaptive executor
+//   stance/    Session facade + paper §4 metrics
+#pragma once
+
+#include "exec/gather_scatter.hpp"
+#include "exec/cg.hpp"
+#include "exec/irregular_loop.hpp"
+#include "graph/builders.hpp"
+#include "graph/csr.hpp"
+#include "graph/delaunay.hpp"
+#include "graph/io.hpp"
+#include "graph/metrics.hpp"
+#include "lb/adaptive_executor.hpp"
+#include "lb/controller.hpp"
+#include "lb/predictor.hpp"
+#include "lb/load_monitor.hpp"
+#include "mp/cluster.hpp"
+#include "mp/process.hpp"
+#include "order/ordering.hpp"
+#include "order/quality.hpp"
+#include "partition/interval.hpp"
+#include "partition/mcr.hpp"
+#include "partition/redistribute.hpp"
+#include "partition/translation.hpp"
+#include "sched/inspector.hpp"
+#include "sim/machine.hpp"
+#include "stance/metrics.hpp"
+#include "stance/session.hpp"

@@ -1,0 +1,42 @@
+// Assertion macros used throughout the STANCE library.
+//
+// STANCE_ASSERT is an internal-invariant check: it is compiled in all build
+// types (the library is a research artifact; a wrong answer is worse than a
+// slow one), and aborts with a source location on failure.
+//
+// STANCE_REQUIRE is a precondition check on public API boundaries; it throws
+// std::invalid_argument so callers (tests in particular) can observe it.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace stance {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "STANCE_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace stance
+
+#define STANCE_ASSERT(expr)                                      \
+  do {                                                           \
+    if (!(expr)) ::stance::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define STANCE_ASSERT_MSG(expr, msg)                                \
+  do {                                                              \
+    if (!(expr)) ::stance::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define STANCE_REQUIRE(expr, what)                                        \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      throw std::invalid_argument(std::string("STANCE_REQUIRE failed: ") + \
+                                  (what) + " (" #expr ")");               \
+  } while (0)

@@ -1,0 +1,50 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+namespace stance {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return options_.count(name) > 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& def) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace stance

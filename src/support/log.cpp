@@ -1,0 +1,58 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stance::log {
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char* env = std::getenv("STANCE_LOG");
+  if (env == nullptr) return static_cast<int>(Level::kWarn);
+  return static_cast<int>(parse_level(env));
+}()};
+
+std::mutex& write_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_name(Level lv) {
+  switch (lv) {
+    case Level::kError: return "ERROR";
+    case Level::kWarn: return "WARN";
+    case Level::kInfo: return "INFO";
+    case Level::kDebug: return "DEBUG";
+    case Level::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() noexcept { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(Level lv) noexcept {
+  g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+Level parse_level(const std::string& s) noexcept {
+  std::string t;
+  t.reserve(s.size());
+  for (char c : s) t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (t == "error") return Level::kError;
+  if (t == "warn" || t == "warning") return Level::kWarn;
+  if (t == "info") return Level::kInfo;
+  if (t == "debug") return Level::kDebug;
+  if (t == "trace") return Level::kTrace;
+  return Level::kInfo;
+}
+
+void write(Level lv, const std::string& tag, const std::string& message) {
+  std::lock_guard<std::mutex> lock(write_mutex());
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(lv), tag.c_str(), message.c_str());
+}
+
+}  // namespace stance::log

@@ -1,0 +1,56 @@
+// Minimal leveled logger. Thread-safe (one mutex around the write); intended
+// for diagnostics from inside the simulated cluster, where many threads log
+// concurrently. Level is process-global and settable from the environment
+// variable STANCE_LOG (error|warn|info|debug|trace).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace stance::log {
+
+enum class Level : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Current global level; messages above it are dropped.
+Level level() noexcept;
+void set_level(Level lv) noexcept;
+
+/// Parse "error"/"warn"/"info"/"debug"/"trace" (case-insensitive).
+/// Unknown strings map to kInfo.
+Level parse_level(const std::string& s) noexcept;
+
+/// Emit one line: "[LEVEL] tag: message\n" to stderr under a global mutex.
+void write(Level lv, const std::string& tag, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void error(const std::string& tag, Args&&... args) {
+  if (level() >= Level::kError) write(Level::kError, tag, detail::cat(args...));
+}
+template <typename... Args>
+void warn(const std::string& tag, Args&&... args) {
+  if (level() >= Level::kWarn) write(Level::kWarn, tag, detail::cat(args...));
+}
+template <typename... Args>
+void info(const std::string& tag, Args&&... args) {
+  if (level() >= Level::kInfo) write(Level::kInfo, tag, detail::cat(args...));
+}
+template <typename... Args>
+void debug(const std::string& tag, Args&&... args) {
+  if (level() >= Level::kDebug) write(Level::kDebug, tag, detail::cat(args...));
+}
+template <typename... Args>
+void trace(const std::string& tag, Args&&... args) {
+  if (level() >= Level::kTrace) write(Level::kTrace, tag, detail::cat(args...));
+}
+
+}  // namespace stance::log

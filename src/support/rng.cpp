@@ -1,0 +1,51 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace stance {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  STANCE_ASSERT(n > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  // Box–Muller; discards the second variate to stay stateless.
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::vector<double> random_weights(std::size_t count, Rng& rng, double min_share) {
+  STANCE_ASSERT(count > 0);
+  STANCE_ASSERT(min_share * static_cast<double>(count) < 1.0);
+  std::vector<double> w(count);
+  double sum = 0.0;
+  for (auto& x : w) {
+    x = rng.uniform(0.05, 1.0);
+    sum += x;
+  }
+  // Every share is min_share plus a proportional slice of what remains, so
+  // the result sums to 1 and respects the floor exactly.
+  const double spread = 1.0 - min_share * static_cast<double>(count);
+  for (auto& x : w) x = min_share + spread * x / sum;
+  return w;
+}
+
+}  // namespace stance

@@ -1,0 +1,107 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All experiments in this repository are seeded; given the same seed they
+// produce bit-identical workloads on any platform. We use SplitMix64 for
+// seeding / cheap streams and xoshiro256** as the main generator (both are
+// public-domain algorithms by Blackman & Vigna). Rng satisfies
+// UniformRandomBitGenerator so it can drive <random> distributions, but the
+// helpers below avoid libstdc++ distribution objects for cross-platform
+// reproducibility of the *sequences* themselves.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace stance {
+
+/// SplitMix64: stateless-feeling 64-bit mixer; used to expand one user seed
+/// into generator state and independent substreams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the repository's main PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedu) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's method.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (deterministic, platform independent).
+  double normal() noexcept;
+
+  /// A fresh generator whose stream is independent of this one.
+  Rng split() noexcept { return Rng((*this)() ^ 0x9e3779b97f4a7c15ull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// In-place Fisher–Yates shuffle driven by `rng`.
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+/// `count` positive weights that sum to 1.0 (used for random processor
+/// capability vectors, as in the paper's Table 2 experiment).
+std::vector<double> random_weights(std::size_t count, Rng& rng, double min_share = 0.02);
+
+}  // namespace stance

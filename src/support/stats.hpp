@@ -1,0 +1,42 @@
+// Small statistics helpers used by benches and the load-balancing module.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stance {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample by linear interpolation; `q` in [0,1].
+/// Copies and sorts; intended for bench-sized samples.
+double percentile(std::vector<double> sample, double q);
+
+/// Arithmetic mean of a vector (0 for empty).
+double mean_of(const std::vector<double>& v);
+
+/// Load-imbalance ratio: max/mean of per-processor loads (1.0 = perfect).
+double imbalance(const std::vector<double>& per_proc_load);
+
+}  // namespace stance

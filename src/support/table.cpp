@@ -1,0 +1,107 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace stance {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' && c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+std::string format_number(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& s) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(s);
+  return *this;
+}
+
+TextTable& TextTable::cell(double v, int precision) { return cell(format_number(v, precision)); }
+
+TextTable& TextTable::cell(std::size_t v) { return cell(std::to_string(v)); }
+
+TextTable& TextTable::cell(long long v) { return cell(std::to_string(v)); }
+
+void TextTable::print(std::ostream& os) const {
+  const std::size_t ncols = std::max(
+      header_.size(),
+      rows_.empty() ? std::size_t{0}
+                    : std::max_element(rows_.begin(), rows_.end(),
+                                       [](const auto& a, const auto& b) {
+                                         return a.size() < b.size();
+                                       })
+                          ->size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::size_t total = 1;
+  for (std::size_t w : width) total += w + 3;
+
+  auto hline = [&] { os << std::string(total, '-') << '\n'; };
+  auto emit = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& s = c < r.size() ? r[c] : std::string{};
+      const std::size_t pad = width[c] - s.size();
+      if (looks_numeric(s)) {
+        os << ' ' << std::string(pad, ' ') << s << " |";
+      } else {
+        os << ' ' << s << std::string(pad, ' ') << " |";
+      }
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  hline();
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (const auto& r : rows_) emit(r);
+  hline();
+}
+
+std::string TextTable::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace stance

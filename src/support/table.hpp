@@ -1,0 +1,44 @@
+// ASCII table printer used by every bench binary to render paper-style
+// tables ("Table 4: Execution time of the parallel loop ...").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stance {
+
+/// Column-aligned table with a title and a header row. Cells are strings;
+/// numeric helpers format with a fixed precision. Rendered with a box of
+/// '-' / '|' characters; right-aligns cells that parse as numbers.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Begin a new row; `cell` appends to the row under construction.
+  TextTable& row();
+  TextTable& cell(const std::string& s);
+  TextTable& cell(double v, int precision = 4);
+  TextTable& cell(std::size_t v);
+  TextTable& cell(long long v);
+  TextTable& cell(int v) { return cell(static_cast<long long>(v)); }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` digits after the point, trimming
+/// trailing zeros (so 0.0250 prints as 0.025, matching the paper's style).
+std::string format_number(double v, int precision = 4);
+
+}  // namespace stance

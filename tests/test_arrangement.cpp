@@ -1,0 +1,120 @@
+// Tests for redistribution planning and arrangement scoring, including the
+// paper's Figure-5 example verified exactly.
+#include <gtest/gtest.h>
+
+#include "partition/arrangement.hpp"
+#include "support/rng.hpp"
+
+namespace stance::partition {
+namespace {
+
+const std::vector<double> kOldW{0.27, 0.18, 0.34, 0.07, 0.14};
+const std::vector<double> kNewW{0.10, 0.13, 0.29, 0.24, 0.24};
+
+TEST(PlanRedistribution, IdenticalPartitionsNeedNothing) {
+  const auto part = IntervalPartition::from_sizes(std::vector<Vertex>{4, 6});
+  EXPECT_TRUE(plan_redistribution(part, part).empty());
+  const auto c = redistribution_cost(part, part);
+  EXPECT_EQ(c.moved, 0);
+  EXPECT_EQ(c.messages, 0);
+  EXPECT_EQ(c.overlap, 10);
+}
+
+TEST(PlanRedistribution, TransfersCoverExactlyTheMovedElements) {
+  Rng rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t p = 2 + rng.below(6);
+    const auto wa = random_weights(p, rng);
+    const auto wb = random_weights(p, rng);
+    const auto n = static_cast<Vertex>(40 + rng.below(400));
+    const auto from = IntervalPartition::from_weights(n, wa);
+    const auto to = IntervalPartition::from_weights(n, wb);
+    const auto transfers = plan_redistribution(from, to);
+    Vertex total = 0;
+    for (const auto& t : transfers) {
+      EXPECT_NE(t.src, t.dst);
+      EXPECT_LT(t.begin, t.end);
+      total += t.count();
+      // Every element of the range is owned by src before and dst after.
+      EXPECT_TRUE(from.owns(t.src, t.begin));
+      EXPECT_TRUE(from.owns(t.src, t.end - 1));
+      EXPECT_TRUE(to.owns(t.dst, t.begin));
+      EXPECT_TRUE(to.owns(t.dst, t.end - 1));
+    }
+    EXPECT_EQ(total, from.moved(to));
+  }
+}
+
+TEST(PlanRedistribution, AtMostOneTransferPerPair) {
+  Rng rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto wa = random_weights(5, rng);
+    const auto wb = random_weights(5, rng);
+    const auto from = IntervalPartition::from_weights(300, wa);
+    const auto to = IntervalPartition::from_weights(300, wb);
+    std::set<std::pair<Rank, Rank>> pairs;
+    for (const auto& t : plan_redistribution(from, to)) {
+      EXPECT_TRUE(pairs.emplace(t.src, t.dst).second)
+          << "duplicate transfer " << t.src << "->" << t.dst;
+    }
+  }
+}
+
+TEST(RedistributionCost, PaperFigure5Messages) {
+  // The paper quotes 71 moved / 5 messages and 35 moved / 3 messages; exact
+  // arithmetic on the quoted weights gives 69/6 and 36/5 (see EXPERIMENTS.md
+  // — the figure is hand-approximated). The ordering of the two options is
+  // what matters and is preserved.
+  const auto from = IntervalPartition::from_weights(100, kOldW);
+  const auto same = IntervalPartition::from_weights(100, kNewW);
+  const auto c1 = redistribution_cost(from, same);
+  EXPECT_EQ(c1.moved, 69);
+  EXPECT_EQ(c1.overlap, 31);
+  EXPECT_EQ(c1.messages, 6);
+  const auto better =
+      IntervalPartition::from_weights_arranged(100, kNewW, Arrangement{0, 3, 1, 2, 4});
+  const auto c2 = redistribution_cost(from, better);
+  EXPECT_EQ(c2.moved, 36);
+  EXPECT_EQ(c2.overlap, 64);
+  EXPECT_EQ(c2.messages, 5);
+}
+
+TEST(ArrangementObjective, OverlapOnlyPrefersLessMovement) {
+  const auto obj = ArrangementObjective::overlap_only();
+  const auto from = IntervalPartition::from_weights(100, kOldW);
+  const double same = score_arrangement(from, kNewW, Arrangement{0, 1, 2, 3, 4}, obj);
+  const double better = score_arrangement(from, kNewW, Arrangement{0, 3, 1, 2, 4}, obj);
+  EXPECT_GT(better, same);
+  EXPECT_DOUBLE_EQ(same, -69.0);
+  EXPECT_DOUBLE_EQ(better, -36.0);
+}
+
+TEST(ArrangementObjective, FromNetworkWeighsMessages) {
+  const auto net = sim::NetworkModel::ethernet_10mbps();
+  const auto obj = ArrangementObjective::from_network(net, sizeof(double));
+  EXPECT_GT(obj.per_message, 1e-3);  // latency + overheads
+  EXPECT_NEAR(obj.per_element, 8.0 / 1.0e6, 1e-12);
+  const RedistributionCost c{.moved = 100, .overlap = 0, .messages = 4};
+  EXPECT_LT(obj.score(c), 0.0);
+}
+
+TEST(ArrangementObjective, MessagePenaltyCanFlipTheChoice) {
+  // An arrangement with slightly more data movement but fewer messages wins
+  // under a latency-heavy objective.
+  const auto from = IntervalPartition::from_sizes(std::vector<Vertex>{50, 50});
+  const std::vector<double> new_w{0.5, 0.5};
+  ArrangementObjective latency_heavy{1000.0, 0.0};
+  const double keep = score_arrangement(from, new_w, Arrangement{0, 1}, latency_heavy);
+  const double swap = score_arrangement(from, new_w, Arrangement{1, 0}, latency_heavy);
+  EXPECT_GT(keep, swap);  // swapping 2 equal blocks = pure message waste
+}
+
+TEST(Transfer, CountAndEquality) {
+  const Transfer t{0, 1, 10, 25};
+  EXPECT_EQ(t.count(), 15);
+  EXPECT_EQ(t, (Transfer{0, 1, 10, 25}));
+  EXPECT_FALSE(t == (Transfer{0, 1, 10, 24}));
+}
+
+}  // namespace
+}  // namespace stance::partition

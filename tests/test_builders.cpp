@@ -1,0 +1,131 @@
+// Tests for graph builders and graph I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builders.hpp"
+#include "graph/io.hpp"
+
+namespace stance::graph {
+namespace {
+
+TEST(Grid2d, StructureAndCoords) {
+  const Csr g = grid_2d(4, 3);
+  EXPECT_EQ(g.num_vertices(), 12);
+  // Edges: 3*3 horizontal + 4*2 vertical = 17.
+  EXPECT_EQ(g.num_edges(), 17);
+  EXPECT_TRUE(g.has_coords());
+  EXPECT_TRUE(g.is_connected());
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(5), 4);  // (1,1) interior
+}
+
+TEST(Grid2d, SingleRowIsAPath) {
+  const Csr g = grid_2d(5, 1);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Grid2dTri, AddsOneDiagonalPerCell) {
+  const Csr g = grid_2d_tri(4, 3);
+  EXPECT_EQ(g.num_edges(), 17 + 3 * 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Grid2dTri, RejectsDegenerate) {
+  EXPECT_THROW(grid_2d_tri(1, 5), std::invalid_argument);
+  EXPECT_THROW(grid_2d(0, 5), std::invalid_argument);
+}
+
+TEST(RandomPoints, InUnitSquareAndDeterministic) {
+  const auto a = random_points(100, 5);
+  const auto b = random_points(100, 5);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i].x, 0.0);
+    EXPECT_LT(a[i].x, 1.0);
+    EXPECT_GE(a[i].y, 0.0);
+    EXPECT_LT(a[i].y, 1.0);
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(ClusteredPoints, StayInUnitSquare) {
+  const auto pts = clustered_points(500, 3, 7);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST(RandomGeometric, EdgesRespectRadius) {
+  const Csr g = random_geometric(300, 0.08, 13);
+  EXPECT_TRUE(g.has_coords());
+  const Vertex nv = g.num_vertices();
+  for (Vertex v = 0; v < nv; ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      EXPECT_LE(dist(g.coord(v), g.coord(u)), 0.08 + 1e-12);
+    }
+  }
+}
+
+TEST(RandomGeometric, MatchesBruteForce) {
+  const Csr g = random_geometric(120, 0.15, 21);
+  const auto& pts = g.coords();
+  EdgeIndex expected = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (dist(pts[i], pts[j]) <= 0.15) ++expected;
+    }
+  }
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(TinyMesh, IsSmallAndConnected) {
+  const Csr g = tiny_mesh();
+  EXPECT_EQ(g.num_vertices(), 9);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GraphIo, RoundTripWithCoords) {
+  const Csr g = grid_2d_tri(5, 4);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Csr g2 = read_graph(ss);
+  EXPECT_EQ(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_EQ(g2.offsets(), g.offsets());
+  EXPECT_EQ(g2.targets(), g.targets());
+  ASSERT_TRUE(g2.has_coords());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(g2.coord(v).x, g.coord(v).x);
+    EXPECT_DOUBLE_EQ(g2.coord(v).y, g.coord(v).y);
+  }
+}
+
+TEST(GraphIo, RoundTripWithoutCoords) {
+  const Csr g = Csr::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Csr g2 = read_graph(ss);
+  EXPECT_EQ(g2.num_edges(), 2);
+  EXPECT_FALSE(g2.has_coords());
+}
+
+TEST(GraphIo, RejectsBadMagic) {
+  std::stringstream ss("not-a-graph 1 3 0 0\n");
+  EXPECT_THROW(read_graph(ss), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsTruncatedStream) {
+  std::stringstream ss("stance-graph 1 4 3 0\n0 1\n");
+  EXPECT_THROW(read_graph(ss), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stance::graph

@@ -1,0 +1,206 @@
+// Tests for the distributed Laplacian operator and conjugate-gradient
+// solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/cg.hpp"
+#include "exec/operators.hpp"
+#include "graph/builders.hpp"
+#include "mp/cluster.hpp"
+#include "partition/interval.hpp"
+#include "sched/inspector.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace stance::exec {
+namespace {
+
+using partition::IntervalPartition;
+using sched::InspectorResult;
+
+std::vector<InspectorResult> build_all(const graph::Csr& g,
+                                       const IntervalPartition& part) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(part.nparts())));
+  std::vector<InspectorResult> results(static_cast<std::size_t>(part.nparts()));
+  cluster.run([&](mp::Process& p) {
+    results[static_cast<std::size_t>(p.rank())] = sched::build_schedule(
+        p, g, part, sched::BuildMethod::kSort2, sim::CpuCostModel::free());
+  });
+  return results;
+}
+
+TEST(LaplacianOperator, MatchesReferenceApply) {
+  const auto g = graph::random_delaunay(400, 6);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 2, 1});
+  const auto schedules = build_all(g, part);
+  const double shift = 0.7;
+
+  // Global input vector, deterministic.
+  std::vector<double> x(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(0.1 * static_cast<double>(i));
+  std::vector<double> expected(x.size());
+  LaplacianOperator::reference_apply(g, shift, x, expected);
+
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
+    LaplacianOperator A(ir.lgraph, ir.schedule, shift);
+    const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+    std::vector<double> xl(n), yl(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xl[i] = x[static_cast<std::size_t>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i)))];
+    }
+    A.apply(p, xl, yl);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto gidx = static_cast<std::size_t>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i)));
+      EXPECT_EQ(yl[i], expected[gidx]) << "global " << gidx;
+    }
+  });
+}
+
+TEST(LaplacianOperator, LaplacianOfConstantIsShiftTimesConstant) {
+  const auto g = graph::grid_2d_tri(8, 8);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1});
+  const auto schedules = build_all(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(2));
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
+    LaplacianOperator A(ir.lgraph, ir.schedule, 2.5);
+    const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+    std::vector<double> x(n, 3.0), y(n);
+    A.apply(p, x, y);
+    for (const double v : y) EXPECT_NEAR(v, 2.5 * 3.0, 1e-12);  // L * const = 0
+  });
+}
+
+struct CgCase {
+  int procs;
+  graph::Vertex vertices;
+};
+
+class CgSolve : public ::testing::TestWithParam<CgCase> {};
+
+TEST_P(CgSolve, SolvesShiftedLaplacian) {
+  const auto [procs, vertices] = GetParam();
+  const auto g = graph::random_delaunay(vertices, 17);
+  const auto part = IntervalPartition::from_weights(
+      g.num_vertices(), std::vector<double>(static_cast<std::size_t>(procs), 1.0));
+  const auto schedules = build_all(g, part);
+  const double shift = 0.5;
+
+  // Manufactured solution: x* known, b = A x*.
+  std::vector<double> x_star(static_cast<std::size_t>(g.num_vertices()));
+  Rng rng(3);
+  for (auto& v : x_star) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b(x_star.size());
+  LaplacianOperator::reference_apply(g, shift, x_star, b);
+
+  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(procs)));
+  std::vector<double> max_err(static_cast<std::size_t>(procs), 0.0);
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
+    LaplacianOperator A(ir.lgraph, ir.schedule, shift);
+    const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+    std::vector<double> bl(n), xl(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      bl[i] = b[static_cast<std::size_t>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i)))];
+    }
+    CgOptions opts;
+    opts.tolerance = 1e-10;
+    const auto result = conjugate_gradient(p, A, bl, xl, opts);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.relative_residual, 1e-9);
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto gidx = static_cast<std::size_t>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i)));
+      err = std::max(err, std::abs(xl[i] - x_star[gidx]));
+    }
+    max_err[static_cast<std::size_t>(p.rank())] = err;
+  });
+  for (const double e : max_err) EXPECT_LT(e, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcsAndSizes, CgSolve,
+                         ::testing::Values(CgCase{1, 200}, CgCase{2, 200},
+                                           CgCase{3, 500}, CgCase{5, 500}));
+
+TEST(CgSolve, DeterministicAcrossRuns) {
+  const auto g = graph::random_delaunay(300, 9);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1, 1});
+  const auto schedules = build_all(g, part);
+  auto run_once = [&] {
+    mp::Cluster cluster(sim::MachineSpec::uniform(3));
+    std::vector<double> solution;
+    cluster.run([&](mp::Process& p) {
+      const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
+      LaplacianOperator A(ir.lgraph, ir.schedule, 1.0);
+      const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+      std::vector<double> bl(n, 1.0), xl(n, 0.0);
+      (void)conjugate_gradient(p, A, bl, xl);
+      if (p.rank() == 1) solution = xl;
+    });
+    return solution;
+  };
+  EXPECT_EQ(run_once(), run_once());  // bit-identical
+}
+
+TEST(CgSolve, ZeroRhsConvergesImmediately) {
+  const auto g = graph::grid_2d_tri(6, 6);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1});
+  const auto schedules = build_all(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(2));
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
+    LaplacianOperator A(ir.lgraph, ir.schedule, 1.0);
+    const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+    std::vector<double> bl(n, 0.0), xl(n, 0.0);
+    const auto result = conjugate_gradient(p, A, bl, xl);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 0);
+  });
+}
+
+TEST(CgSolve, RespectsIterationCap) {
+  const auto g = graph::random_delaunay(400, 2);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1.0});
+  const auto schedules = build_all(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(1));
+  cluster.run([&](mp::Process& p) {
+    LaplacianOperator A(schedules[0].lgraph, schedules[0].schedule, 1e-6);
+    std::vector<double> bl(static_cast<std::size_t>(g.num_vertices()), 1.0);
+    std::vector<double> xl(bl.size(), 0.0);
+    CgOptions opts;
+    opts.max_iterations = 3;
+    opts.tolerance = 1e-14;
+    const auto result = conjugate_gradient(p, A, bl, xl, opts);
+    EXPECT_LE(result.iterations, 3);
+  });
+}
+
+TEST(CgSolve, Validation) {
+  const auto g = graph::grid_2d_tri(4, 4);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1.0});
+  const auto schedules = build_all(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(1));
+  cluster.run([&](mp::Process& p) {
+    LaplacianOperator A(schedules[0].lgraph, schedules[0].schedule, 1.0);
+    std::vector<double> wrong(3), x(16);
+    EXPECT_THROW((void)conjugate_gradient(p, A, wrong, x), std::invalid_argument);
+    EXPECT_THROW(LaplacianOperator(schedules[0].lgraph, schedules[0].schedule, -1.0),
+                 std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace stance::exec

@@ -1,0 +1,134 @@
+// Unit tests for graph::Csr.
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+
+namespace stance::graph {
+namespace {
+
+Csr triangle() {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  return Csr::from_edges(3, edges);
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Csr, IsolatedVertices) {
+  const Csr g = Csr::from_edges(5, {});
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Csr, TriangleStructure) {
+  const Csr g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 2.0);
+}
+
+TEST(Csr, NeighborsAreSorted) {
+  const std::vector<Edge> edges{{2, 0}, {2, 3}, {2, 1}};
+  const Csr g = Csr::from_edges(4, edges);
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0);
+  EXPECT_EQ(nb[1], 1);
+  EXPECT_EQ(nb[2], 3);
+}
+
+TEST(Csr, SelfLoopsDropped) {
+  const std::vector<Edge> edges{{0, 0}, {0, 1}};
+  const Csr g = Csr::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(Csr, DuplicateEdgesCollapsed) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {0, 1}};
+  const Csr g = Csr::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Csr, OutOfRangeEdgeRejected) {
+  const std::vector<Edge> edges{{0, 5}};
+  EXPECT_THROW(Csr::from_edges(3, edges), std::invalid_argument);
+}
+
+TEST(Csr, EdgeListRoundTrips) {
+  const Csr g = triangle();
+  const auto edges = g.edge_list();
+  const Csr g2 = Csr::from_edges(g.num_vertices(), edges);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_EQ(g2.offsets(), g.offsets());
+  EXPECT_EQ(g2.targets(), g.targets());
+}
+
+TEST(Csr, CoordsAttachAndValidate) {
+  Csr g = triangle();
+  EXPECT_FALSE(g.has_coords());
+  g.set_coords({{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_TRUE(g.has_coords());
+  EXPECT_DOUBLE_EQ(g.coord(1).x, 1.0);
+  EXPECT_THROW(g.set_coords({{0, 0}}), std::invalid_argument);
+}
+
+TEST(Csr, PermutedRelabelsEdgesAndCoords) {
+  Csr g = triangle();
+  g.set_coords({{0, 0}, {1, 0}, {0, 1}});
+  // perm: old 0 -> 2, old 1 -> 0, old 2 -> 1.
+  const std::vector<Vertex> perm{2, 0, 1};
+  const Csr pg = g.permuted(perm);
+  EXPECT_EQ(pg.num_edges(), 3);
+  EXPECT_TRUE(pg.is_symmetric());
+  // Old vertex 0 (coord 0,0) is now vertex 2.
+  EXPECT_DOUBLE_EQ(pg.coord(2).x, 0.0);
+  EXPECT_DOUBLE_EQ(pg.coord(0).x, 1.0);  // old vertex 1
+}
+
+TEST(Csr, PermutedByIdentityIsIdentical) {
+  const Csr g = triangle();
+  const std::vector<Vertex> id{0, 1, 2};
+  const Csr pg = g.permuted(id);
+  EXPECT_EQ(pg.offsets(), g.offsets());
+  EXPECT_EQ(pg.targets(), g.targets());
+}
+
+TEST(Csr, PermutedPreservesDegreeMultiset) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  const Csr g = Csr::from_edges(4, edges);
+  const std::vector<Vertex> perm{3, 1, 0, 2};
+  const Csr pg = g.permuted(perm);
+  std::vector<Vertex> da, db;
+  for (Vertex v = 0; v < 4; ++v) {
+    da.push_back(g.degree(v));
+    db.push_back(pg.degree(perm[static_cast<std::size_t>(v)]));
+  }
+  EXPECT_EQ(da, db);
+}
+
+TEST(Csr, PathGraphConnectivity) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_TRUE(Csr::from_edges(4, edges).is_connected());
+  const std::vector<Edge> split{{0, 1}, {2, 3}};
+  EXPECT_FALSE(Csr::from_edges(4, split).is_connected());
+}
+
+TEST(Csr, PermutationSizeValidated) {
+  const Csr g = triangle();
+  const std::vector<Vertex> bad{0, 1};
+  EXPECT_THROW(g.permuted(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stance::graph

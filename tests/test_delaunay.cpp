@@ -1,0 +1,100 @@
+// Tests for the Bowyer–Watson Delaunay triangulator, including brute-force
+// verification of the empty-circumcircle property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builders.hpp"
+#include "graph/delaunay.hpp"
+#include "support/rng.hpp"
+
+namespace stance::graph {
+namespace {
+
+TEST(Delaunay, RejectsDegenerateInput) {
+  EXPECT_THROW(delaunay_triangulate(std::vector<Point2>{{0, 0}, {1, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(delaunay_triangulate(std::vector<Point2>{{0, 0}, {1, 1}, {0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Delaunay, SingleTriangle) {
+  const std::vector<Point2> pts{{0, 0}, {1, 0}, {0, 1}};
+  const auto tris = delaunay_triangulate(pts);
+  ASSERT_EQ(tris.size(), 1u);
+  std::vector<Vertex> v{tris[0].v[0], tris[0].v[1], tris[0].v[2]};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<Vertex>{0, 1, 2}));
+}
+
+TEST(Delaunay, SquareSplitsIntoTwoTriangles) {
+  const std::vector<Point2> pts{{0, 0}, {1, 0}, {1, 1.05}, {0, 1}};
+  const auto tris = delaunay_triangulate(pts);
+  EXPECT_EQ(tris.size(), 2u);
+  EXPECT_EQ(delaunay_violations(pts, tris), 0u);
+}
+
+TEST(Delaunay, UniformPointsTriangleCountNearTwoN) {
+  const auto pts = random_points(200, 31);
+  const auto tris = delaunay_triangulate(pts);
+  EXPECT_GT(tris.size(), 300u);       // ~2n - h - 2 for uniform points
+  EXPECT_LT(tris.size(), 2u * 200u);  // planar upper bound
+  EXPECT_EQ(delaunay_violations(pts, tris), 0u);
+}
+
+class DelaunayProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelaunayProperty, EmptyCircumcirclesOnRandomPointSets) {
+  const auto pts = random_points(120, GetParam());
+  const auto tris = delaunay_triangulate(pts);
+  EXPECT_EQ(delaunay_violations(pts, tris), 0u);
+}
+
+TEST_P(DelaunayProperty, GraphIsPlanarScaleAndConnected) {
+  const Csr g = random_delaunay(150, GetParam() + 1000);
+  EXPECT_EQ(g.num_vertices(), 150);
+  EXPECT_LE(g.num_edges(), 3 * 150 - 6);  // planar: E <= 3V - 6
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_TRUE(g.has_coords());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelaunayProperty, ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(Delaunay, DeterministicForSeed) {
+  const Csr a = random_delaunay(500, 7);
+  const Csr b = random_delaunay(500, 7);
+  EXPECT_EQ(a.offsets(), b.offsets());
+  EXPECT_EQ(a.targets(), b.targets());
+}
+
+TEST(Delaunay, ClusteredPointsTriangulate) {
+  const auto pts = clustered_points(400, 4, 11);
+  const auto tris = delaunay_triangulate(pts);
+  EXPECT_EQ(delaunay_violations(pts, tris), 0u);
+}
+
+TEST(Delaunay, GridPointsWithJitter) {
+  // Near-degenerate (grid-like) configurations still triangulate when
+  // lightly jittered.
+  Rng rng(3);
+  std::vector<Point2> pts;
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 12; ++x) {
+      pts.push_back({x + 1e-4 * rng.uniform(), y + 1e-4 * rng.uniform()});
+    }
+  }
+  const auto tris = delaunay_triangulate(pts);
+  EXPECT_GT(tris.size(), 200u);
+  EXPECT_EQ(delaunay_violations(pts, tris), 0u);
+}
+
+TEST(Delaunay, PaperScaleMeshBuilds) {
+  const Csr g = graph::paper_mesh();
+  EXPECT_EQ(g.num_vertices(), 30269);
+  EXPECT_GT(g.num_edges(), 80000);
+  EXPECT_TRUE(g.is_connected());
+}
+
+}  // namespace
+}  // namespace stance::graph

@@ -1,0 +1,145 @@
+// Tests for the scatter-based edge sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/edge_sweep.hpp"
+#include "exec/operators.hpp"
+#include "graph/builders.hpp"
+#include "mp/cluster.hpp"
+#include "partition/interval.hpp"
+#include "sched/inspector.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace stance::exec {
+namespace {
+
+using partition::IntervalPartition;
+using sched::InspectorResult;
+
+std::vector<InspectorResult> build_all(const graph::Csr& g,
+                                       const IntervalPartition& part) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(part.nparts())));
+  std::vector<InspectorResult> results(static_cast<std::size_t>(part.nparts()));
+  cluster.run([&](mp::Process& p) {
+    results[static_cast<std::size_t>(p.rank())] = sched::build_schedule(
+        p, g, part, sched::BuildMethod::kSort2, sim::CpuCostModel::free());
+  });
+  return results;
+}
+
+void check_against_reference(const graph::Csr& g, const std::vector<double>& weights) {
+  const auto part = IntervalPartition::from_weights(g.num_vertices(), weights);
+  const auto schedules = build_all(g, part);
+
+  std::vector<double> y(static_cast<std::size_t>(g.num_vertices()));
+  Rng rng(9);
+  for (auto& v : y) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> expected(y.size());
+  EdgeSweep::reference_sweep(g, y, expected);
+
+  mp::Cluster cluster(sim::MachineSpec::uniform(weights.size()));
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
+    EdgeSweep sweep(ir.lgraph, ir.schedule);
+    const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+    std::vector<double> yl(n), accl(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      yl[i] = y[static_cast<std::size_t>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i)))];
+    }
+    sweep.sweep(p, yl, accl);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto gidx = static_cast<std::size_t>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i)));
+      // Accumulation order differs from the reference: tolerance-based.
+      EXPECT_NEAR(accl[i], expected[gidx], 1e-12 * (1.0 + std::abs(expected[gidx])))
+          << "global " << gidx;
+    }
+  });
+}
+
+TEST(EdgeSweep, MatchesReferenceOnGrid) {
+  check_against_reference(graph::grid_2d_tri(9, 7), {1.0, 1.0, 1.0});
+}
+
+TEST(EdgeSweep, MatchesReferenceOnDelaunay) {
+  check_against_reference(graph::random_delaunay(500, 12), {0.5, 0.2, 0.2, 0.1});
+}
+
+TEST(EdgeSweep, SingleProcessor) {
+  check_against_reference(graph::random_delaunay(200, 4), {1.0});
+}
+
+class EdgeSweepSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeSweepSweep, RandomMeshesAndProcCounts) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto procs = 1 + rng.below(6);
+  check_against_reference(
+      graph::random_delaunay(static_cast<graph::Vertex>(150 + rng.below(400)),
+                             1000 + static_cast<std::uint64_t>(GetParam())),
+      random_weights(procs, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeSweepSweep, ::testing::Range(0, 10));
+
+TEST(EdgeSweep, FluxOfConstantFieldIsZero) {
+  const auto g = graph::grid_2d_tri(8, 8);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1});
+  const auto schedules = build_all(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(2));
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
+    EdgeSweep sweep(ir.lgraph, ir.schedule);
+    const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+    std::vector<double> y(n, 4.25), acc(n, 99.0);
+    sweep.sweep(p, y, acc);
+    for (const double v : acc) EXPECT_DOUBLE_EQ(v, 0.0);
+  });
+}
+
+TEST(EdgeSweep, TotalFluxIsConserved) {
+  // Sum over all vertices of acc must be 0 (every flux enters one endpoint
+  // and leaves the other).
+  const auto g = graph::random_delaunay(400, 21);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1, 1});
+  const auto schedules = build_all(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  std::vector<double> partial(3, 0.0);
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
+    EdgeSweep sweep(ir.lgraph, ir.schedule);
+    const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+    std::vector<double> y(n), acc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = std::sin(static_cast<double>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i))));
+    }
+    sweep.sweep(p, y, acc);
+    double s = 0.0;
+    for (const double v : acc) s += v;
+    partial[static_cast<std::size_t>(p.rank())] = s;
+  });
+  EXPECT_NEAR(partial[0] + partial[1] + partial[2], 0.0, 1e-10);
+}
+
+TEST(EdgeSweep, EqualsMinusLaplacian) {
+  // acc = -L y for undirected graphs: cross-check against the operator.
+  const auto g = graph::random_delaunay(300, 30);
+  std::vector<double> y(static_cast<std::size_t>(g.num_vertices()));
+  Rng rng(2);
+  for (auto& v : y) v = rng.uniform();
+  std::vector<double> acc(y.size()), ly(y.size());
+  EdgeSweep::reference_sweep(g, y, acc);
+  exec::LaplacianOperator::reference_apply(g, 0.0, y, ly);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(acc[i], -ly[i], 1e-11);
+  }
+}
+
+}  // namespace
+}  // namespace stance::exec

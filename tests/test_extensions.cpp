@@ -1,0 +1,318 @@
+// Tests for the library's beyond-the-paper extensions: vertex-weighted
+// interval partitioning, load prediction from multiple phases, the
+// distributed load-balancing strategy, and per-vertex work in the executor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/irregular_loop.hpp"
+#include "graph/builders.hpp"
+#include "lb/adaptive_executor.hpp"
+#include "lb/controller.hpp"
+#include "lb/predictor.hpp"
+#include "mp/cluster.hpp"
+#include "partition/interval.hpp"
+#include "sched/inspector.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace stance {
+namespace {
+
+using partition::Arrangement;
+using partition::IntervalPartition;
+using partition::Vertex;
+
+// --- vertex-weighted partitioning ---------------------------------------------
+
+TEST(VertexWeights, UniformWeightsMatchCountSplit) {
+  const std::vector<double> vw(100, 1.0);
+  const std::vector<double> pw{1.0, 1.0};
+  const auto weighted = IntervalPartition::from_vertex_weights(vw, pw);
+  EXPECT_EQ(weighted.size(0), 50);
+  EXPECT_EQ(weighted.size(1), 50);
+}
+
+TEST(VertexWeights, HeavyElementsShrinkTheBlock) {
+  // First 10 elements carry weight 10, the rest weight 1: an equal-work
+  // split must give processor 0 far fewer than half the elements.
+  std::vector<double> vw(100, 1.0);
+  for (int i = 0; i < 10; ++i) vw[static_cast<std::size_t>(i)] = 10.0;
+  const std::vector<double> pw{1.0, 1.0};
+  const auto part = IntervalPartition::from_vertex_weights(vw, pw);
+  // Total work 190, target 95 each: 10 heavy ones = 100 > 95, so the split
+  // lands at 9 or 10 heavy elements.
+  EXPECT_LE(part.size(0), 10);
+  EXPECT_GE(part.size(0), 9);
+}
+
+TEST(VertexWeights, BalancesWorkWithinOneElement) {
+  Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t p = 2 + rng.below(5);
+    const auto pw = random_weights(p, rng);
+    std::vector<double> vw(200 + rng.below(400));
+    double max_w = 0.0;
+    for (auto& w : vw) {
+      w = rng.uniform(0.1, 4.0);
+      max_w = std::max(max_w, w);
+    }
+    const auto part = IntervalPartition::from_vertex_weights(vw, pw);
+    double total = 0.0;
+    for (const double w : vw) total += w;
+    // Each block's work is within one max-element of its target share.
+    for (std::size_t r = 0; r < p; ++r) {
+      double work = 0.0;
+      for (Vertex g = part.first(static_cast<int>(r)); g < part.end(static_cast<int>(r));
+           ++g) {
+        work += vw[static_cast<std::size_t>(g)];
+      }
+      const double target = total * pw[r];
+      EXPECT_NEAR(work, target, max_w + 1e-9)
+          << "trial " << trial << " rank " << r;
+    }
+  }
+}
+
+TEST(VertexWeights, ArrangedLayoutRespected) {
+  const std::vector<double> vw(60, 1.0);
+  const std::vector<double> pw{1.0, 1.0, 1.0};
+  const auto part = IntervalPartition::from_vertex_weights_arranged(
+      vw, pw, Arrangement{2, 0, 1});
+  EXPECT_EQ(part.first(2), 0);
+  EXPECT_EQ(part.first(0), 20);
+  EXPECT_EQ(part.first(1), 40);
+}
+
+TEST(VertexWeights, Validation) {
+  const std::vector<double> bad_vw{1.0, -1.0};
+  const std::vector<double> pw{1.0};
+  EXPECT_THROW(IntervalPartition::from_vertex_weights(bad_vw, pw),
+               std::invalid_argument);
+  const std::vector<double> vw{1.0, 1.0};
+  EXPECT_THROW(IntervalPartition::from_vertex_weights(vw, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(VertexWeights, DegreeWeightedSplitBalancesLoopWork) {
+  // Weighting each vertex by (1 + degree) balances the Fig. 8 loop better
+  // than counting vertices when degrees are skewed.
+  const auto g = graph::random_geometric(800, 0.08, 3);
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> vw(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    vw[v] = 1.0 + static_cast<double>(g.degree(static_cast<graph::Vertex>(v)));
+  }
+  const std::vector<double> pw{1.0, 1.0, 1.0};
+  const auto by_count = IntervalPartition::from_weights(g.num_vertices(), pw);
+  const auto by_work = IntervalPartition::from_vertex_weights(vw, pw);
+  auto imbalance = [&](const IntervalPartition& part) {
+    double worst = 0.0, total = 0.0;
+    for (int r = 0; r < part.nparts(); ++r) {
+      double w = 0.0;
+      for (Vertex v = part.first(r); v < part.end(r); ++v) {
+        w += vw[static_cast<std::size_t>(v)];
+      }
+      worst = std::max(worst, w);
+      total += w;
+    }
+    return worst / (total / part.nparts());
+  };
+  EXPECT_LE(imbalance(by_work), imbalance(by_count) + 1e-9);
+}
+
+// --- load predictor -----------------------------------------------------------
+
+TEST(Predictor, LastReturnsLastObservation) {
+  lb::LoadPredictor p(lb::PredictorKind::kLast);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  p.observe(3.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+}
+
+TEST(Predictor, EmaSmoothsSpikes) {
+  lb::LoadPredictor p(lb::PredictorKind::kEma, 0.25);
+  for (int i = 0; i < 20; ++i) p.observe(1.0);
+  p.observe(10.0);  // one-off spike
+  EXPECT_LT(p.predict(), 4.0);
+  EXPECT_GT(p.predict(), 1.0);
+}
+
+TEST(Predictor, TrendExtrapolatesLinearDrift) {
+  lb::LoadPredictor p(lb::PredictorKind::kTrend, 0.5, 4);
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) p.observe(v);
+  EXPECT_NEAR(p.predict(), 5.0, 1e-9);
+}
+
+TEST(Predictor, TrendNeverPredictsNonPositive) {
+  lb::LoadPredictor p(lb::PredictorKind::kTrend, 0.5, 4);
+  for (const double v : {4.0, 3.0, 2.0, 0.5}) p.observe(v);
+  EXPECT_GT(p.predict(), 0.0);
+}
+
+TEST(Predictor, IgnoresEmptyPhases) {
+  lb::LoadPredictor p(lb::PredictorKind::kLast);
+  p.observe(2.0);
+  p.observe(0.0);  // a phase with no items teaches nothing
+  EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+  EXPECT_EQ(p.observations(), 1);
+}
+
+TEST(Predictor, ResetForgets) {
+  lb::LoadPredictor p(lb::PredictorKind::kEma);
+  p.observe(7.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(Predictor, Validation) {
+  EXPECT_THROW(lb::LoadPredictor(lb::PredictorKind::kEma, 0.0), std::invalid_argument);
+  EXPECT_THROW(lb::LoadPredictor(lb::PredictorKind::kTrend, 0.5, 1),
+               std::invalid_argument);
+  lb::LoadPredictor p;
+  EXPECT_THROW(p.observe(-1.0), std::invalid_argument);
+}
+
+// --- distributed strategy -------------------------------------------------------
+
+TEST(DistributedLb, MatchesCentralizedDecision) {
+  const auto part = IntervalPartition::from_weights(1200, std::vector<double>(4, 1.0));
+  lb::LbOptions central;
+  central.objective.per_element = 1e-6;
+  lb::LbOptions distributed = central;
+  distributed.strategy = lb::LbStrategy::kDistributed;
+
+  auto run = [&](const lb::LbOptions& opts) {
+    mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(4));
+    std::vector<lb::LbDecision> decisions(4);
+    cluster.run([&](mp::Process& p) {
+      decisions[static_cast<std::size_t>(p.rank())] =
+          lb::load_balance_check(p, part, p.rank() == 0 ? 0.03 : 0.01, opts);
+    });
+    return decisions;
+  };
+  const auto a = run(central);
+  const auto b = run(distributed);
+  ASSERT_TRUE(a[0].remap);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(a[static_cast<std::size_t>(r)].remap, b[static_cast<std::size_t>(r)].remap);
+    EXPECT_TRUE(a[static_cast<std::size_t>(r)].new_partition ==
+                b[static_cast<std::size_t>(r)].new_partition);
+  }
+  // All ranks agree among themselves too.
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_TRUE(b[0].new_partition == b[static_cast<std::size_t>(r)].new_partition);
+  }
+}
+
+TEST(DistributedLb, ScalesBetterThanCentralized) {
+  const auto part = IntervalPartition::from_weights(10000, std::vector<double>(12, 1.0));
+  auto cost = [&](lb::LbStrategy strategy) {
+    mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(12));
+    lb::LbOptions opts;
+    opts.strategy = strategy;
+    cluster.run([&](mp::Process& p) {
+      (void)lb::load_balance_check(p, part, 0.01, opts);
+    });
+    return cluster.makespan();
+  };
+  // Centralized: p-1 serial receives + p-1 sends. Distributed: one
+  // log-tree allgather.
+  EXPECT_LT(cost(lb::LbStrategy::kDistributed), cost(lb::LbStrategy::kCentralized));
+}
+
+// --- per-vertex work in the executor ----------------------------------------------
+
+TEST(VertexWork, ScalesChargedTime) {
+  const auto g = graph::grid_2d_tri(10, 10);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1.0});
+  mp::Cluster cluster(sim::MachineSpec::uniform(1));
+  cluster.run([&](mp::Process& p) {
+    const auto ir = sched::build_schedule(p, g, part, sched::BuildMethod::kSort2,
+                                          sim::CpuCostModel::free());
+    exec::IrregularLoop loop(ir.lgraph, ir.schedule, exec::LoopCostModel{1e-5, 0.0});
+    const double uniform = loop.work_per_iteration();
+    loop.set_vertex_work(std::vector<double>(100, 3.0));
+    EXPECT_NEAR(loop.work_per_iteration(), 3.0 * uniform, 1e-12);
+    loop.set_vertex_work({});
+    EXPECT_NEAR(loop.work_per_iteration(), uniform, 1e-12);
+  });
+}
+
+TEST(VertexWork, DoesNotChangeResults) {
+  const auto g = graph::random_delaunay(300, 8);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1});
+  mp::Cluster cluster(sim::MachineSpec::uniform(2));
+  std::vector<std::vector<double>> with(2), without(2);
+  for (const bool weighted : {false, true}) {
+    cluster.reset_clocks();
+    cluster.run([&](mp::Process& p) {
+      const auto ir = sched::build_schedule(p, g, part, sched::BuildMethod::kSort2,
+                                            sim::CpuCostModel::free());
+      exec::IrregularLoop loop(ir.lgraph, ir.schedule, exec::LoopCostModel{1e-6, 1e-6});
+      if (weighted) {
+        std::vector<double> w(static_cast<std::size_t>(ir.schedule.nlocal), 2.5);
+        loop.set_vertex_work(std::move(w));
+      }
+      std::vector<double> y(static_cast<std::size_t>(ir.schedule.nlocal), 1.5);
+      loop.iterate(p, y, 10);
+      (weighted ? with : without)[static_cast<std::size_t>(p.rank())] = std::move(y);
+    });
+  }
+  EXPECT_EQ(with, without);  // multipliers change time, never values
+}
+
+TEST(VertexWork, Validation) {
+  const auto g = graph::grid_2d_tri(4, 4);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1.0});
+  mp::Cluster cluster(sim::MachineSpec::uniform(1));
+  cluster.run([&](mp::Process& p) {
+    const auto ir = sched::build_schedule(p, g, part, sched::BuildMethod::kSort2,
+                                          sim::CpuCostModel::free());
+    exec::IrregularLoop loop(ir.lgraph, ir.schedule);
+    EXPECT_THROW(loop.set_vertex_work(std::vector<double>(3, 1.0)),
+                 std::invalid_argument);
+    EXPECT_THROW(loop.set_vertex_work(std::vector<double>(16, -1.0)),
+                 std::invalid_argument);
+  });
+}
+
+// --- predictors inside the adaptive executor ---------------------------------------
+
+TEST(PredictorIntegration, EmaAvoidsChasingAnOscillatingLoad) {
+  // A load that flips faster than the check interval: the kLast predictor
+  // keeps remapping after every flip; kEma converges to the average and
+  // stops remapping. EMA must remap at most as often.
+  const auto g = graph::random_delaunay(2500, 13);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1, 1});
+  auto remaps = [&](lb::PredictorKind kind, double alpha) {
+    mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(3));
+    cluster.set_profile(0, sim::LoadProfile::periodic(0.6, 0.5, 1.0 / 3.0, 1.0));
+    lb::AdaptiveOptions opts;
+    opts.lb.objective = partition::ArrangementObjective::from_network(
+        cluster.spec().net, sizeof(double));
+    opts.cpu = sim::CpuCostModel::sun4();
+    opts.loop = exec::LoopCostModel{2e-6, 2e-6};
+    opts.predictor = kind;
+    opts.ema_alpha = alpha;
+    std::vector<int> counts(3);
+    cluster.run([&](mp::Process& p) {
+      lb::AdaptiveExecutor ax(p, g, part, opts);
+      std::vector<double> y(static_cast<std::size_t>(ax.partition().size(p.rank())),
+                            1.0);
+      counts[static_cast<std::size_t>(p.rank())] = ax.run(p, y, 120).remaps;
+    });
+    return counts[0];
+  };
+  const int last = remaps(lb::PredictorKind::kLast, 0.5);
+  const int ema = remaps(lb::PredictorKind::kEma, 0.15);
+  EXPECT_LE(ema, last);
+}
+
+}  // namespace
+}  // namespace stance

@@ -1,0 +1,84 @@
+// Tests for partition/ordering quality metrics.
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/metrics.hpp"
+
+namespace stance::graph {
+namespace {
+
+Csr path4() { return Csr::from_edges(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}}); }
+
+TEST(EdgeCut, PathSplitInHalf) {
+  const Csr g = path4();
+  const std::vector<int> part{0, 0, 1, 1};
+  EXPECT_EQ(edge_cut(g, part), 1);
+  EXPECT_EQ(boundary_vertices(g, part), 2);
+}
+
+TEST(EdgeCut, AllInOnePart) {
+  const Csr g = path4();
+  const std::vector<int> part{0, 0, 0, 0};
+  EXPECT_EQ(edge_cut(g, part), 0);
+  EXPECT_EQ(boundary_vertices(g, part), 0);
+}
+
+TEST(EdgeCut, AlternatingCutsEverything) {
+  const Csr g = path4();
+  const std::vector<int> part{0, 1, 0, 1};
+  EXPECT_EQ(edge_cut(g, part), 3);
+  EXPECT_EQ(boundary_vertices(g, part), 4);
+}
+
+TEST(EdgeCut, SizeMismatchRejected) {
+  const Csr g = path4();
+  const std::vector<int> part{0, 0};
+  EXPECT_THROW(edge_cut(g, part), std::invalid_argument);
+}
+
+TEST(Bandwidth, PathIsOne) { EXPECT_EQ(bandwidth(path4()), 1); }
+
+TEST(Bandwidth, LongEdgeDominates) {
+  const Csr g = Csr::from_edges(10, std::vector<Edge>{{0, 9}, {1, 2}});
+  EXPECT_EQ(bandwidth(g), 9);
+}
+
+TEST(AvgEdgeSpan, PathIsOne) { EXPECT_DOUBLE_EQ(avg_edge_span(path4()), 1.0); }
+
+TEST(AvgEdgeSpan, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(avg_edge_span(Csr::from_edges(3, {})), 0.0);
+}
+
+TEST(ContiguousParts, EqualWeightsSplitEvenly) {
+  const std::vector<double> w{1.0, 1.0};
+  const auto part = contiguous_parts(10, w);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(part[static_cast<std::size_t>(i)], 0);
+  for (int i = 5; i < 10; ++i) EXPECT_EQ(part[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(ContiguousParts, WeightedSplit) {
+  const std::vector<double> w{3.0, 1.0};
+  const auto part = contiguous_parts(8, w);
+  int count0 = 0;
+  for (const int p : part) count0 += (p == 0);
+  EXPECT_EQ(count0, 6);
+}
+
+TEST(ContiguousParts, RejectsZeroTotalWeight) {
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(contiguous_parts(4, w), std::invalid_argument);
+}
+
+TEST(CutProfile, GridCutGrowsWithParts) {
+  const Csr g = grid_2d(16, 16);
+  const std::vector<int> procs{1, 2, 4, 8};
+  const auto profile = cut_profile(g, procs);
+  ASSERT_EQ(profile.size(), 4u);
+  EXPECT_EQ(profile[0], 0);  // one part: no cut
+  for (std::size_t i = 1; i < profile.size(); ++i) EXPECT_GE(profile[i], profile[i - 1]);
+  // Row-major grid numbering: a p-way contiguous split cuts ~(p-1) rows.
+  EXPECT_EQ(profile[1], 16);
+}
+
+}  // namespace
+}  // namespace stance::graph

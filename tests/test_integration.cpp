@@ -1,0 +1,141 @@
+// System-level property tests: random end-to-end configurations — mesh
+// family, ordering, schedule builder, weights, cluster size, load profiles —
+// must always (a) compute exactly what the sequential reference computes,
+// (b) produce valid, mutually consistent schedules, and (c) be virtually
+// deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stance/stance.hpp"
+#include "support/rng.hpp"
+
+namespace stance {
+namespace {
+
+graph::Csr random_mesh(Rng& rng) {
+  const auto kind = rng.below(4);
+  const auto n = static_cast<graph::Vertex>(150 + rng.below(500));
+  switch (kind) {
+    case 0: return graph::random_delaunay(n, rng());
+    case 1: return graph::clustered_delaunay(n, 2 + static_cast<int>(rng.below(4)), rng());
+    case 2: {
+      const auto side = static_cast<graph::Vertex>(8 + rng.below(15));
+      return graph::grid_2d_tri(side, side);
+    }
+    default: return graph::random_geometric(n, 0.12, rng());
+  }
+}
+
+order::Method random_method(Rng& rng, bool has_coords) {
+  for (;;) {
+    const auto m = order::all_methods()[rng.below(order::all_methods().size())];
+    const bool needs_coords = m == order::Method::kRcb ||
+                              m == order::Method::kInertial ||
+                              m == order::Method::kMorton ||
+                              m == order::Method::kHilbert;
+    if (!needs_coords || has_coords) return m;
+  }
+}
+
+sched::BuildMethod random_builder(Rng& rng) {
+  switch (rng.below(3)) {
+    case 0: return sched::BuildMethod::kSimple;
+    case 1: return sched::BuildMethod::kSort1;
+    default: return sched::BuildMethod::kSort2;
+  }
+}
+
+class EndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEnd, ParallelLoopEqualsReferenceUnderRandomConfig) {
+  Rng rng(GetParam() * 7919 + 13);
+  const graph::Csr mesh = random_mesh(rng);
+  const auto procs = 1 + rng.below(6);
+
+  SessionConfig cfg;
+  cfg.machine = (GetParam() % 2 == 0)
+                    ? sim::MachineSpec::heterogeneous(procs, rng())
+                    : sim::MachineSpec::uniform_ethernet(procs, rng() % 2 == 0);
+  cfg.ordering = random_method(rng, mesh.has_coords());
+  cfg.build = random_builder(rng);
+  cfg.seed = rng();
+
+  Session s(mesh, cfg);
+  const int iters = 1 + static_cast<int>(rng.below(12));
+  EXPECT_EQ(s.verify_against_reference(iters), 0.0)
+      << "mesh nv=" << mesh.num_vertices() << " procs=" << procs
+      << " ordering=" << order::method_name(cfg.ordering)
+      << " builder=" << sched::build_method_name(cfg.build) << " iters=" << iters;
+}
+
+TEST_P(EndToEnd, AdaptiveRunNeverChangesResults) {
+  // Whatever the load profile, the remaps, or the predictor, the computed
+  // values must match the no-LB run (modulo checksum regrouping noise).
+  Rng rng(GetParam() * 104729 + 7);
+  const graph::Csr mesh = graph::random_delaunay(
+      static_cast<graph::Vertex>(300 + rng.below(500)), rng());
+  const auto procs = 2 + rng.below(4);
+
+  SessionConfig cfg;
+  cfg.machine = sim::MachineSpec::uniform_ethernet(procs);
+  cfg.ordering = order::Method::kHilbert;
+  cfg.build = random_builder(rng);
+  Session s(mesh, cfg);
+  const auto loaded_rank = static_cast<int>(rng.below(procs));
+  switch (rng.below(3)) {
+    case 0:
+      s.cluster().set_profile(loaded_rank, sim::LoadProfile::competing_jobs(
+                                               1 + static_cast<int>(rng.below(3))));
+      break;
+    case 1:
+      s.cluster().set_profile(loaded_rank,
+                              sim::LoadProfile::periodic(rng.uniform(0.5, 3.0), 0.5,
+                                                         1.0 / 3.0, 1.0));
+      break;
+    default:
+      s.cluster().set_profile(loaded_rank,
+                              sim::LoadProfile::step(rng.uniform(0.1, 1.0), 1.0, 0.4));
+      break;
+  }
+
+  lb::LbOptions lbopts;
+  lbopts.check_interval = 5 + static_cast<int>(rng.below(10));
+  lbopts.objective = partition::ArrangementObjective::from_network(
+      cfg.machine.net, sizeof(double));
+  lbopts.strategy = rng.below(2) == 0 ? lb::LbStrategy::kCentralized
+                                      : lb::LbStrategy::kDistributed;
+  lbopts.use_multicast = rng.below(2) == 0;
+
+  const int iters = 30 + static_cast<int>(rng.below(40));
+  const auto with = s.run_adaptive(iters, lbopts, true);
+  const auto without = s.run_adaptive(iters, lbopts, false);
+  EXPECT_NEAR(with.checksum, without.checksum,
+              1e-9 * (1.0 + std::abs(without.checksum)));
+}
+
+TEST_P(EndToEnd, VirtualTimeIsDeterministic) {
+  Rng rng(GetParam() * 31 + 5);
+  const graph::Csr mesh = graph::random_delaunay(400, rng());
+  SessionConfig cfg;
+  cfg.machine = sim::MachineSpec::sun4_ethernet(2 + rng.below(4));
+  cfg.ordering = order::Method::kRcb;
+  auto run_once = [&] {
+    Session s(mesh, cfg);
+    s.cluster().set_profile(0, sim::LoadProfile::competing_jobs(2));
+    lb::LbOptions lbopts;
+    lbopts.objective = partition::ArrangementObjective::from_network(
+        cfg.machine.net, sizeof(double));
+    const auto r = s.run_adaptive(40, lbopts, true);
+    return std::make_pair(r.loop_seconds, r.checksum);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEnd, ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace stance

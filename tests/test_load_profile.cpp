@@ -1,0 +1,132 @@
+// Unit + property tests for sim::LoadProfile — the availability model behind
+// the paper's "competing load" experiments.
+#include <gtest/gtest.h>
+
+#include "sim/load_profile.hpp"
+
+namespace stance::sim {
+namespace {
+
+TEST(LoadProfile, DefaultIsFullyAvailable) {
+  LoadProfile p;
+  EXPECT_DOUBLE_EQ(p.availability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.availability(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(p.integrate(0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.finish_time(3.0, 7.0), 10.0);
+}
+
+TEST(LoadProfile, ConstantHalf) {
+  const auto p = LoadProfile::constant(0.5);
+  EXPECT_DOUBLE_EQ(p.availability(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.integrate(0.0, 10.0), 5.0);
+  // 4 busy seconds at half speed take 8 wall seconds.
+  EXPECT_DOUBLE_EQ(p.finish_time(2.0, 4.0), 10.0);
+}
+
+TEST(LoadProfile, CompetingJobsFairShare) {
+  EXPECT_DOUBLE_EQ(LoadProfile::competing_jobs(0).availability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(LoadProfile::competing_jobs(1).availability(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(LoadProfile::competing_jobs(2).availability(0.0), 1.0 / 3.0);
+}
+
+TEST(LoadProfile, StepChangesAvailability) {
+  const auto p = LoadProfile::step(10.0, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(p.availability(9.999), 1.0);
+  EXPECT_DOUBLE_EQ(p.availability(10.0), 0.25);
+  // Busy work spanning the step: 12 busy seconds starting at 0 =
+  // 10 (full) + 2 more at quarter speed = 8 wall -> finish at 18.
+  EXPECT_DOUBLE_EQ(p.finish_time(0.0, 12.0), 18.0);
+  EXPECT_DOUBLE_EQ(p.integrate(0.0, 18.0), 12.0);
+}
+
+TEST(LoadProfile, StepFromLoadedToFree) {
+  const auto p = LoadProfile::step(4.0, 0.5, 1.0);
+  // 4 busy seconds: 2 delivered by t=4, remaining 2 at full speed -> t=6.
+  EXPECT_DOUBLE_EQ(p.finish_time(0.0, 4.0), 6.0);
+}
+
+TEST(LoadProfile, FinishTimeZeroBusyIsStart) {
+  const auto p = LoadProfile::step(1.0, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(p.finish_time(42.0, 0.0), 42.0);
+}
+
+TEST(LoadProfile, TraceMultiSegment) {
+  const auto p = LoadProfile::trace({{0.0, 1.0}, {5.0, 0.2}, {10.0, 0.8}});
+  EXPECT_DOUBLE_EQ(p.availability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.availability(7.0), 0.2);
+  EXPECT_DOUBLE_EQ(p.availability(100.0), 0.8);
+  EXPECT_DOUBLE_EQ(p.integrate(0.0, 12.0), 5.0 + 1.0 + 1.6);
+}
+
+TEST(LoadProfile, PeriodicAvailabilityWraps) {
+  // 10 s period: 0.3 available for the first 4 s, 1.0 for the rest.
+  const auto p = LoadProfile::periodic(10.0, 0.4, 0.3, 1.0);
+  EXPECT_DOUBLE_EQ(p.availability(1.0), 0.3);
+  EXPECT_DOUBLE_EQ(p.availability(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.availability(11.0), 0.3);
+  EXPECT_DOUBLE_EQ(p.availability(25.0), 1.0);
+}
+
+TEST(LoadProfile, PeriodicIntegrateOverWholePeriods) {
+  const auto p = LoadProfile::periodic(10.0, 0.4, 0.3, 1.0);
+  const double per_period = 4.0 * 0.3 + 6.0 * 1.0;  // 7.2
+  EXPECT_NEAR(p.integrate(0.0, 30.0), 3.0 * per_period, 1e-9);
+  EXPECT_NEAR(p.integrate(5.0, 15.0), 5.0 + 0.3 * 4.0 + 1.0, 1e-9);
+}
+
+TEST(LoadProfile, PeriodicFinishTimeAcrossManyPeriods) {
+  const auto p = LoadProfile::periodic(10.0, 0.4, 0.3, 1.0);
+  const double per_period = 7.2;
+  // 5 whole periods' worth of busy time starting at 0 finishes at t=50.
+  EXPECT_NEAR(p.finish_time(0.0, 5.0 * per_period), 50.0, 1e-9);
+  // Half a period more: 4*0.3=1.2 from the busy window, then 2.4 at full.
+  EXPECT_NEAR(p.finish_time(0.0, 5.0 * per_period + 1.2 + 2.4), 56.4, 1e-9);
+}
+
+TEST(LoadProfile, ValidationRejectsBadSegments) {
+  EXPECT_THROW(LoadProfile::trace({}), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::trace({{1.0, 0.5}}), std::invalid_argument);  // not at 0
+  EXPECT_THROW(LoadProfile::trace({{0.0, 0.0}}), std::invalid_argument);  // avail 0
+  EXPECT_THROW(LoadProfile::trace({{0.0, 1.5}}), std::invalid_argument);  // avail > 1
+  EXPECT_THROW(LoadProfile::trace({{0.0, 0.5}, {0.0, 0.6}}), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::step(-1.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::periodic(0.0, 0.5, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(LoadProfile::competing_jobs(-1), std::invalid_argument);
+}
+
+// Property: finish_time and integrate are inverse operations.
+class ProfileRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileRoundTrip, IntegrateOfFinishEqualsBusy) {
+  const int variant = GetParam();
+  LoadProfile p;
+  switch (variant % 5) {
+    case 0: p = LoadProfile::constant(0.7); break;
+    case 1: p = LoadProfile::step(3.0, 1.0, 0.4); break;
+    case 2: p = LoadProfile::trace({{0.0, 0.9}, {2.0, 0.3}, {7.5, 0.6}}); break;
+    case 3: p = LoadProfile::periodic(4.0, 0.5, 0.25, 1.0); break;
+    case 4: p = LoadProfile::competing_jobs(3); break;
+  }
+  const double start = 0.37 * static_cast<double>(variant);
+  const double busy = 0.91 * static_cast<double>(variant + 1);
+  const double finish = p.finish_time(start, busy);
+  EXPECT_GE(finish, start);
+  EXPECT_NEAR(p.integrate(start, finish), busy, 1e-9 * (1.0 + busy));
+}
+
+TEST_P(ProfileRoundTrip, FinishTimeIsMonotoneInBusy) {
+  const int variant = GetParam();
+  const auto p = (variant % 2 == 0) ? LoadProfile::periodic(3.0, 0.3, 0.2, 0.9)
+                                    : LoadProfile::step(5.0, 0.8, 0.3);
+  double prev = p.finish_time(1.0, 0.0);
+  for (int k = 1; k <= 20; ++k) {
+    const double f = p.finish_time(1.0, 0.5 * k);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProfileRoundTrip, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace stance::sim

@@ -1,0 +1,181 @@
+// Unit tests for mp::Mailbox and mp::Rendezvous, including threaded blocking
+// behaviour and shutdown (failure-injection) paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "mp/errors.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/message.hpp"
+#include "mp/rendezvous.hpp"
+
+namespace stance::mp {
+namespace {
+
+RawMessage make_msg(Rank src, Tag tag, std::initializer_list<int> vals, double arrival) {
+  std::vector<int> v(vals);
+  return RawMessage{src, tag, to_bytes(std::span<const int>(v)), arrival};
+}
+
+TEST(Bytes, RoundTripInts) {
+  std::vector<int> v{1, -2, 3, 2000000000};
+  const auto bytes = to_bytes(std::span<const int>(v));
+  EXPECT_EQ(bytes.size(), v.size() * sizeof(int));
+  EXPECT_EQ(from_bytes<int>(bytes), v);
+}
+
+TEST(Bytes, RoundTripDoublesAndEmpty) {
+  std::vector<double> v{1.5, -2.25, 0.0};
+  EXPECT_EQ(from_bytes<double>(to_bytes(std::span<const double>(v))), v);
+  std::vector<double> empty;
+  EXPECT_TRUE(from_bytes<double>(to_bytes(std::span<const double>(empty))).empty());
+}
+
+TEST(Mailbox, TakeMatchesSourceAndTag) {
+  Mailbox box;
+  box.deposit(make_msg(1, 10, {111}, 0.0));
+  box.deposit(make_msg(2, 10, {222}, 0.0));
+  box.deposit(make_msg(1, 20, {333}, 0.0));
+  const auto m = box.take(2, 10);
+  EXPECT_EQ(from_bytes<int>(m.payload)[0], 222);
+  EXPECT_EQ(box.pending(), 2u);
+}
+
+TEST(Mailbox, FifoPerSenderAndTag) {
+  Mailbox box;
+  box.deposit(make_msg(3, 7, {1}, 0.0));
+  box.deposit(make_msg(3, 7, {2}, 0.0));
+  box.deposit(make_msg(3, 7, {3}, 0.0));
+  EXPECT_EQ(from_bytes<int>(box.take(3, 7).payload)[0], 1);
+  EXPECT_EQ(from_bytes<int>(box.take(3, 7).payload)[0], 2);
+  EXPECT_EQ(from_bytes<int>(box.take(3, 7).payload)[0], 3);
+}
+
+TEST(Mailbox, TryTakeReturnsEmptyWhenNoMatch) {
+  Mailbox box;
+  box.deposit(make_msg(1, 1, {9}, 0.0));
+  EXPECT_FALSE(box.try_take(1, 2).has_value());
+  EXPECT_FALSE(box.try_take(2, 1).has_value());
+  EXPECT_TRUE(box.try_take(1, 1).has_value());
+}
+
+TEST(Mailbox, BlockingTakeWakesOnDeposit) {
+  Mailbox box;
+  std::atomic<bool> got{false};
+  std::thread taker([&] {
+    const auto m = box.take(5, 5);
+    EXPECT_EQ(from_bytes<int>(m.payload)[0], 55);
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  box.deposit(make_msg(5, 5, {55}, 1.0));
+  taker.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(Mailbox, ShutdownReleasesBlockedTaker) {
+  Mailbox box;
+  std::atomic<bool> aborted{false};
+  std::thread taker([&] {
+    try {
+      (void)box.take(1, 1);
+    } catch (const ClusterAborted&) {
+      aborted = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.shutdown();
+  taker.join();
+  EXPECT_TRUE(aborted.load());
+}
+
+TEST(Mailbox, DepositAfterShutdownIsDropped) {
+  Mailbox box;
+  box.shutdown();
+  box.deposit(make_msg(1, 1, {1}, 0.0));
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, ClearReenablesAfterShutdown) {
+  Mailbox box;
+  box.shutdown();
+  box.clear();
+  box.deposit(make_msg(1, 1, {1}, 0.0));
+  EXPECT_EQ(box.pending(), 1u);
+  EXPECT_TRUE(box.try_take(1, 1).has_value());
+}
+
+TEST(Rendezvous, SingleParticipantCompletesImmediately) {
+  Rendezvous rv(1);
+  std::vector<int> data{42};
+  const auto round = rv.enter(0, 3.5, to_bytes(std::span<const int>(data)));
+  ASSERT_EQ(round.blobs.size(), 1u);
+  EXPECT_EQ(from_bytes<int>(round.blobs[0])[0], 42);
+  EXPECT_DOUBLE_EQ(round.max_time, 3.5);
+}
+
+TEST(Rendezvous, CollectsAllBlobsAndMaxTime) {
+  constexpr int kN = 4;
+  Rendezvous rv(kN);
+  std::vector<std::thread> threads;
+  std::vector<Rendezvous::Round> rounds(kN);
+  for (int r = 0; r < kN; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<int> mine{r * 100};
+      rounds[static_cast<std::size_t>(r)] =
+          rv.enter(r, static_cast<double>(r), to_bytes(std::span<const int>(mine)));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < kN; ++r) {
+    const auto& round = rounds[static_cast<std::size_t>(r)];
+    EXPECT_DOUBLE_EQ(round.max_time, 3.0);
+    for (int s = 0; s < kN; ++s) {
+      EXPECT_EQ(from_bytes<int>(round.blobs[static_cast<std::size_t>(s)])[0], s * 100);
+    }
+  }
+}
+
+TEST(Rendezvous, ReusableAcrossRounds) {
+  constexpr int kN = 3;
+  Rendezvous rv(kN);
+  for (int round_no = 0; round_no < 5; ++round_no) {
+    std::vector<std::thread> threads;
+    std::vector<double> maxes(kN);
+    for (int r = 0; r < kN; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<int> mine{round_no * 10 + r};
+        const auto round =
+            rv.enter(r, static_cast<double>(round_no), to_bytes(std::span<const int>(mine)));
+        maxes[static_cast<std::size_t>(r)] = round.max_time;
+        for (int s = 0; s < kN; ++s) {
+          EXPECT_EQ(from_bytes<int>(round.blobs[static_cast<std::size_t>(s)])[0],
+                    round_no * 10 + s);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const double m : maxes) EXPECT_DOUBLE_EQ(m, static_cast<double>(round_no));
+  }
+}
+
+TEST(Rendezvous, ShutdownReleasesWaiters) {
+  Rendezvous rv(2);
+  std::atomic<bool> aborted{false};
+  std::thread waiter([&] {
+    try {
+      (void)rv.enter(0, 0.0, {});
+    } catch (const ClusterAborted&) {
+      aborted = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  rv.shutdown();
+  waiter.join();
+  EXPECT_TRUE(aborted.load());
+}
+
+}  // namespace
+}  // namespace stance::mp

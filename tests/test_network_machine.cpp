@@ -1,0 +1,101 @@
+// Unit tests for sim::NetworkModel and sim::MachineSpec presets.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "sim/network_model.hpp"
+
+namespace stance::sim {
+namespace {
+
+TEST(NetworkModel, IdealIsFree) {
+  const auto m = NetworkModel::ideal();
+  EXPECT_DOUBLE_EQ(m.wire_time(0), 0.0);
+  EXPECT_NEAR(m.wire_time(1 << 20), 0.0, 1e-5);
+  EXPECT_DOUBLE_EQ(m.send_overhead, 0.0);
+}
+
+TEST(NetworkModel, EthernetLatencyDominatesSmallMessages) {
+  const auto m = NetworkModel::ethernet_10mbps();
+  const double small = m.wire_time(8);
+  const double large = m.wire_time(100000);
+  EXPECT_GT(small, 1e-3);             // ~latency
+  EXPECT_LT(small, 2e-3);
+  EXPECT_GT(large, 0.09);             // bandwidth term dominates
+}
+
+TEST(NetworkModel, WireTimeScalesWithBytes) {
+  const auto m = NetworkModel::ethernet_10mbps();
+  EXPECT_NEAR(m.wire_time(2000) - m.wire_time(1000), 1000.0 / m.bandwidth, 1e-12);
+}
+
+TEST(NetworkModel, ContentionScalesWireTime) {
+  auto m = NetworkModel::ethernet_10mbps();
+  const double base = m.wire_time(5000);
+  m.contention = 2.0;
+  EXPECT_DOUBLE_EQ(m.wire_time(5000), 2.0 * base);
+}
+
+TEST(NetworkModel, MulticastSendCount) {
+  auto m = NetworkModel::ethernet_10mbps(true);
+  EXPECT_DOUBLE_EQ(m.multicast_sends(7), 1.0);
+  m.multicast = false;
+  EXPECT_DOUBLE_EQ(m.multicast_sends(7), 7.0);
+}
+
+TEST(NetworkModel, AtmIsFasterThanEthernet) {
+  const auto eth = NetworkModel::ethernet_10mbps();
+  const auto atm = NetworkModel::atm_155mbps();
+  EXPECT_LT(atm.latency, eth.latency);
+  EXPECT_GT(atm.bandwidth, eth.bandwidth);
+  EXPECT_TRUE(atm.multicast);
+}
+
+TEST(MachineSpec, UniformNodesAllFullSpeed) {
+  const auto spec = MachineSpec::uniform(4);
+  ASSERT_EQ(spec.size(), 4u);
+  for (const auto& n : spec.nodes) EXPECT_DOUBLE_EQ(n.speed, 1.0);
+  EXPECT_DOUBLE_EQ(spec.total_speed(), 4.0);
+}
+
+TEST(MachineSpec, SpeedSharesSumToOne) {
+  const auto spec = MachineSpec::heterogeneous(6, 1);
+  const auto shares = spec.speed_shares();
+  double sum = 0.0;
+  for (const double s : shares) {
+    EXPECT_GT(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MachineSpec, Sun4PresetBounds) {
+  for (std::size_t n = 1; n <= 5; ++n) {
+    const auto spec = MachineSpec::sun4_ethernet(n);
+    EXPECT_EQ(spec.size(), n);
+    for (const auto& node : spec.nodes) {
+      EXPECT_GT(node.speed, 0.9);
+      EXPECT_LT(node.speed, 1.1);
+    }
+    EXPECT_EQ(spec.net.name, "ethernet-10mbps");
+  }
+  EXPECT_THROW(MachineSpec::sun4_ethernet(6), std::invalid_argument);
+  EXPECT_THROW(MachineSpec::sun4_ethernet(0), std::invalid_argument);
+}
+
+TEST(MachineSpec, HeterogeneousIsSeedDeterministic) {
+  const auto a = MachineSpec::heterogeneous(5, 9);
+  const auto b = MachineSpec::heterogeneous(5, 9);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(a.nodes[i].speed, b.nodes[i].speed);
+  const auto c = MachineSpec::heterogeneous(5, 10);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 5; ++i) any_diff |= a.nodes[i].speed != c.nodes[i].speed;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MachineSpec, RejectsEmptyCluster) {
+  EXPECT_THROW(MachineSpec::uniform(0), std::invalid_argument);
+  EXPECT_THROW(MachineSpec::heterogeneous(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stance::sim

@@ -1,0 +1,160 @@
+// Tests for the 3-D orderings, generators, and Chaco I/O.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "graph/builders.hpp"
+#include "graph/io.hpp"
+#include "graph/metrics.hpp"
+#include "order/order3d.hpp"
+#include "order/ordering.hpp"
+
+namespace stance::order {
+namespace {
+
+using graph::Csr;
+using graph::Point3;
+
+std::vector<Point3> cloud(graph::Vertex n, std::uint64_t seed) {
+  return graph::random_points_3d(n, seed);
+}
+
+using Order3Fn = std::vector<Vertex> (*)(std::span<const Point3>);
+
+struct NamedFn {
+  const char* name;
+  Order3Fn fn;
+};
+
+class Order3Method : public ::testing::TestWithParam<NamedFn> {};
+
+TEST_P(Order3Method, ProducesPermutation) {
+  const auto pts = cloud(500, 3);
+  const auto perm = GetParam().fn(pts);
+  EXPECT_EQ(perm.size(), pts.size());
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST_P(Order3Method, Deterministic) {
+  const auto pts = cloud(300, 5);
+  EXPECT_EQ(GetParam().fn(pts), GetParam().fn(pts));
+}
+
+TEST_P(Order3Method, PreservesLocalityOnGeometricGraph) {
+  std::vector<Point3> pts;
+  const Csr g = graph::random_geometric_3d(800, 0.14, 7, &pts);
+  const auto perm = GetParam().fn(pts);
+  const auto rnd = random_order(g.num_vertices(), 99);
+  const std::vector<int> procs{4};
+  const auto cut = graph::cut_profile(g.permuted(perm), procs)[0];
+  const auto rnd_cut = graph::cut_profile(g.permuted(rnd), procs)[0];
+  EXPECT_LT(cut, rnd_cut / 2) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Order3Method,
+                         ::testing::Values(NamedFn{"rcb3", &rcb3_order},
+                                           NamedFn{"inertial3", &inertial3_order},
+                                           NamedFn{"morton3", &morton3_order},
+                                           NamedFn{"hilbert3", &hilbert3_order}),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Rcb3, LineOfPointsOrderedAlongIt) {
+  std::vector<Point3> pts;
+  for (int i = 0; i < 32; ++i) {
+    pts.push_back({static_cast<double>(i), 0.0, 0.0});
+  }
+  const auto perm = rcb3_order(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(perm[i], static_cast<Vertex>(i));
+  }
+}
+
+TEST(Hilbert3, ConsecutiveCurvePositionsAreClose) {
+  const auto pts = cloud(3000, 11);
+  const auto perm = hilbert3_order(pts);
+  const auto pos_to_vertex = invert(perm);
+  double total = 0.0;
+  for (std::size_t i = 1; i < pos_to_vertex.size(); ++i) {
+    const auto& a = pts[static_cast<std::size_t>(pos_to_vertex[i - 1])];
+    const auto& b = pts[static_cast<std::size_t>(pos_to_vertex[i])];
+    total += std::sqrt((a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y) +
+                       (a.z - b.z) * (a.z - b.z));
+  }
+  const double mean_jump = total / static_cast<double>(pos_to_vertex.size() - 1);
+  // Ideal ~ (1/3000)^(1/3) = 0.07; generous bound, and must beat Morton.
+  EXPECT_LT(mean_jump, 0.15);
+}
+
+TEST(Grid3d, StructureAndConnectivity) {
+  std::vector<Point3> coords;
+  const Csr g = graph::grid_3d(4, 3, 2, &coords);
+  EXPECT_EQ(g.num_vertices(), 24);
+  // Edges: 3*3*2 x-dir + 4*2*2 y-dir + 4*3*1 z-dir = 18 + 16 + 12.
+  EXPECT_EQ(g.num_edges(), 46);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(coords.size(), 24u);
+  EXPECT_EQ(g.max_degree(), 5);  // nz = 2: no vertex has neighbors on both z sides
+}
+
+TEST(RandomGeometric3d, EdgesRespectRadiusAndMatchBruteForce) {
+  std::vector<Point3> pts;
+  const Csr g = graph::random_geometric_3d(150, 0.22, 13, &pts);
+  graph::EdgeIndex expected = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double dx = pts[i].x - pts[j].x;
+      const double dy = pts[i].y - pts[j].y;
+      const double dz = pts[i].z - pts[j].z;
+      if (dx * dx + dy * dy + dz * dz <= 0.22 * 0.22) ++expected;
+    }
+  }
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+}  // namespace
+}  // namespace stance::order
+
+namespace stance::graph {
+namespace {
+
+TEST(ChacoIo, RoundTrip) {
+  const Csr g = grid_2d_tri(6, 5);
+  std::stringstream ss;
+  write_chaco(ss, g);
+  const Csr g2 = read_chaco(ss);
+  EXPECT_EQ(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_EQ(g2.offsets(), g.offsets());
+  EXPECT_EQ(g2.targets(), g.targets());
+}
+
+TEST(ChacoIo, ParsesKnownLiteral) {
+  // The 4-cycle in Chaco format.
+  std::stringstream ss("% a comment\n4 4\n2 4\n1 3\n2 4\n1 3\n");
+  const Csr g = read_chaco(ss);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(ChacoIo, IsolatedVertexHasEmptyLine) {
+  std::stringstream out;
+  const Csr g = Csr::from_edges(3, std::vector<Edge>{{0, 1}});
+  write_chaco(out, g);
+  const Csr g2 = read_chaco(out);
+  EXPECT_EQ(g2.num_vertices(), 3);
+  EXPECT_EQ(g2.degree(2), 0);
+}
+
+TEST(ChacoIo, RejectsBadInput) {
+  std::stringstream missing("4 4\n2 4\n1 3\n");  // only 2 of 4 lines
+  EXPECT_THROW(read_chaco(missing), std::invalid_argument);
+  std::stringstream range("2 1\n3\n1\n");  // neighbor 3 of 2 vertices
+  EXPECT_THROW(read_chaco(range), std::invalid_argument);
+  std::stringstream weighted("2 1 1\n2 5\n1 5\n");  // fmt != 0
+  EXPECT_THROW(read_chaco(weighted), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stance::graph

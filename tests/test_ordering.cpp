@@ -1,0 +1,227 @@
+// Tests for the Phase-A orderings: every method must produce a permutation,
+// be deterministic, and the locality-aware methods must beat the random
+// baseline on contiguous-partition edge cut (the paper's §3.1 property).
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/metrics.hpp"
+#include "order/ordering.hpp"
+#include "order/quality.hpp"
+
+namespace stance::order {
+namespace {
+
+using graph::Csr;
+using graph::EdgeIndex;
+
+const Csr& test_mesh() {
+  static const Csr g = graph::random_delaunay(600, 42);
+  return g;
+}
+
+// --- basic helpers -----------------------------------------------------------
+
+TEST(Invert, RoundTrips) {
+  const std::vector<Vertex> perm{2, 0, 3, 1};
+  const auto inv = invert(perm);
+  EXPECT_EQ(inv, (std::vector<Vertex>{1, 3, 0, 2}));
+  EXPECT_EQ(invert(inv), perm);
+}
+
+TEST(IsPermutation, DetectsDefects) {
+  EXPECT_TRUE(is_permutation(std::vector<Vertex>{0, 1, 2}));
+  EXPECT_FALSE(is_permutation(std::vector<Vertex>{0, 0, 2}));
+  EXPECT_FALSE(is_permutation(std::vector<Vertex>{0, 1, 3}));
+  EXPECT_FALSE(is_permutation(std::vector<Vertex>{-1, 0, 1}));
+  EXPECT_TRUE(is_permutation(std::vector<Vertex>{}));
+}
+
+TEST(IdentityOrder, IsIdentity) {
+  const auto p = identity_order(5);
+  for (Vertex i = 0; i < 5; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+}
+
+TEST(MethodName, AllNamed) {
+  for (const Method m : all_methods()) EXPECT_NE(method_name(m), "?");
+}
+
+// --- every method yields a valid deterministic permutation -------------------
+
+class OrderingMethod : public ::testing::TestWithParam<Method> {};
+
+TEST_P(OrderingMethod, ProducesPermutation) {
+  const auto perm = compute(test_mesh(), GetParam(), 7);
+  EXPECT_EQ(perm.size(), static_cast<std::size_t>(test_mesh().num_vertices()));
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST_P(OrderingMethod, DeterministicForSeed) {
+  const auto a = compute(test_mesh(), GetParam(), 7);
+  const auto b = compute(test_mesh(), GetParam(), 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(OrderingMethod, WorksOnTriangulatedGrid) {
+  const Csr g = graph::grid_2d_tri(12, 12);
+  const auto perm = compute(g, GetParam(), 3);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, OrderingMethod,
+                         ::testing::ValuesIn(all_methods().begin(), all_methods().end()),
+                         [](const auto& info) {
+                           std::string n = method_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// --- locality quality ---------------------------------------------------------
+
+EdgeIndex cut_at(const Csr& g, const std::vector<Vertex>& perm, int parts) {
+  const Csr pg = g.permuted(perm);
+  const std::vector<int> procs{parts};
+  return graph::cut_profile(pg, procs)[0];
+}
+
+class LocalityMethod : public ::testing::TestWithParam<Method> {};
+
+TEST_P(LocalityMethod, BeatsRandomBaselineOnMesh) {
+  const Csr& g = test_mesh();
+  const auto perm = compute(g, GetParam(), 7);
+  const auto rnd = random_order(g.num_vertices(), 99);
+  for (const int parts : {2, 4, 8}) {
+    EXPECT_LT(cut_at(g, perm, parts), cut_at(g, rnd, parts) / 2)
+        << method_name(GetParam()) << " at p=" << parts;
+  }
+}
+
+TEST_P(LocalityMethod, GoodForAWideRangeOfPartitions) {
+  // The paper's §3.1 claim: one transformation serves many processor counts.
+  // Sanity bound: cut at p parts stays under c * sqrt(n * p) for meshes.
+  const Csr& g = test_mesh();
+  const auto perm = compute(g, GetParam(), 7);
+  const double n = static_cast<double>(g.num_vertices());
+  for (const int parts : {2, 3, 5, 8, 16}) {
+    // A random order cuts ~E*(1-1/p) edges (~1400+ here); locality-aware
+    // orders stay within a multiple of the sqrt(n*p) mesh-cut scaling.
+    const double bound = 12.0 * std::sqrt(n * parts);
+    EXPECT_LT(static_cast<double>(cut_at(g, perm, parts)), bound)
+        << method_name(GetParam()) << " at p=" << parts;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GeometricAndSpectral, LocalityMethod,
+                         ::testing::Values(Method::kRcb, Method::kInertial,
+                                           Method::kMorton, Method::kHilbert,
+                                           Method::kSpectral, Method::kCuthillMckee),
+                         [](const auto& info) {
+                           std::string n = method_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// --- method-specific behaviour -------------------------------------------------
+
+TEST(RcbOrder, SplitsAlongLongAxisFirst) {
+  // Points strung along x: RCB order must follow x order.
+  std::vector<graph::Point2> pts;
+  for (int i = 0; i < 16; ++i) pts.push_back({static_cast<double>(i), 0.1});
+  const auto perm = rcb_order(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(perm[i], static_cast<Vertex>(i));
+  }
+}
+
+TEST(HilbertOrder, NeighborsOnCurveAreClose) {
+  // Hilbert's defining property vs Morton: consecutive curve positions are
+  // adjacent grid cells. Check mean jump distance is small.
+  const auto pts = graph::random_points(2000, 5);
+  const auto perm = hilbert_order(pts);
+  const auto pos_to_vertex = invert(perm);
+  double total = 0.0;
+  for (std::size_t i = 1; i < pos_to_vertex.size(); ++i) {
+    total += dist(pts[static_cast<std::size_t>(pos_to_vertex[i - 1])],
+                  pts[static_cast<std::size_t>(pos_to_vertex[i])]);
+  }
+  const double mean_jump = total / static_cast<double>(pos_to_vertex.size() - 1);
+  EXPECT_LT(mean_jump, 0.08);  // ~sqrt(1/2000)=0.022 ideal; generous bound
+}
+
+TEST(CuthillMckee, ReducesBandwidthOnGrid) {
+  // Row-major grid has bandwidth nx; RCM should not exceed it and must
+  // crush the bandwidth of a randomly permuted version.
+  const Csr g = graph::grid_2d(20, 20);
+  const auto rnd = random_order(g.num_vertices(), 3);
+  const Csr shuffled = g.permuted(rnd);
+  const auto rcm = cuthill_mckee_order(shuffled);
+  EXPECT_LE(graph::bandwidth(shuffled.permuted(rcm)), 2 * 20);
+  EXPECT_GT(graph::bandwidth(shuffled), 100);
+}
+
+TEST(CuthillMckee, HandlesDisconnectedGraphs) {
+  const Csr g = Csr::from_edges(
+      6, std::vector<graph::Edge>{{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const auto perm = cuthill_mckee_order(g);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(SpectralOrder, SplitsDumbbellAtTheBridge) {
+  // Two dense cliques joined by one edge: the Fiedler split must separate
+  // the cliques, so a 2-way contiguous cut of the ordering cuts ~1 edge.
+  std::vector<graph::Edge> edges;
+  for (Vertex i = 0; i < 8; ++i) {
+    for (Vertex j = static_cast<Vertex>(i + 1); j < 8; ++j) {
+      edges.push_back({i, j});          // clique A: 0..7
+      edges.push_back({static_cast<Vertex>(i + 8), static_cast<Vertex>(j + 8)});
+    }
+  }
+  edges.push_back({7, 8});  // bridge
+  const Csr g = Csr::from_edges(16, edges);
+  const auto perm = spectral_order(g);
+  EXPECT_TRUE(is_permutation(perm));
+  EXPECT_LE(cut_at(g, perm, 2), 2);
+}
+
+TEST(SpectralOrder, OptionsValidated) {
+  SpectralOptions bad;
+  bad.leaf_size = 1;
+  EXPECT_THROW(spectral_order(test_mesh(), bad), std::invalid_argument);
+  bad = SpectralOptions{};
+  bad.lanczos_steps = 0;
+  EXPECT_THROW(spectral_order(test_mesh(), bad), std::invalid_argument);
+}
+
+TEST(ComputeDispatch, CoordlessGraphRejectsGeometricMethods) {
+  const Csr g = Csr::from_edges(4, std::vector<graph::Edge>{{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_THROW(compute(g, Method::kRcb), std::invalid_argument);
+  EXPECT_THROW(compute(g, Method::kHilbert), std::invalid_argument);
+  // Edge-based methods are fine.
+  EXPECT_TRUE(is_permutation(compute(g, Method::kCuthillMckee)));
+  EXPECT_TRUE(is_permutation(compute(g, Method::kSpectral)));
+}
+
+TEST(CompareOrderings, SkipsGeometricWithoutCoords) {
+  const Csr g = Csr::from_edges(4, std::vector<graph::Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<int> procs{2};
+  const auto reports = compare_orderings(g, all_methods(), procs);
+  // identity, random, spectral, cuthill-mckee survive.
+  EXPECT_EQ(reports.size(), 4u);
+}
+
+TEST(EvaluateOrdering, ReportsCutsPerProcCount) {
+  const Csr& g = test_mesh();
+  const auto perm = compute(g, Method::kHilbert);
+  const std::vector<int> procs{1, 2, 4};
+  const auto r = evaluate_ordering(g, perm, Method::kHilbert, procs);
+  ASSERT_EQ(r.cuts.size(), 3u);
+  EXPECT_EQ(r.cuts[0], 0);
+  EXPECT_GT(r.bandwidth, 0);
+  EXPECT_GT(r.avg_edge_span, 0.0);
+}
+
+}  // namespace
+}  // namespace stance::order

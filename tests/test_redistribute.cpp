@@ -1,0 +1,132 @@
+// Tests for executing redistribution plans on the cluster.
+#include <gtest/gtest.h>
+
+#include "mp/cluster.hpp"
+#include "partition/mcr.hpp"
+#include "partition/redistribute.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace stance::partition {
+namespace {
+
+/// Fill each rank's local slice with f(global index); redistribute; verify
+/// every element landed where the target partition says it should.
+void check_roundtrip(std::size_t nprocs, const IntervalPartition& from,
+                     const IntervalPartition& to) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(nprocs));
+  auto value_of = [](Vertex g) { return 1000.0 + static_cast<double>(g) * 0.5; };
+  cluster.run([&](mp::Process& p) {
+    const auto me = p.rank();
+    std::vector<double> local(static_cast<std::size_t>(from.size(me)));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      local[i] = value_of(from.to_global(me, static_cast<Vertex>(i)));
+    }
+    const auto next = redistribute<double>(p, local, from, to);
+    ASSERT_EQ(next.size(), static_cast<std::size_t>(to.size(me)));
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      EXPECT_DOUBLE_EQ(next[i], value_of(to.to_global(me, static_cast<Vertex>(i))));
+    }
+  });
+}
+
+TEST(Redistribute, NoOpWhenPartitionsMatch) {
+  const auto part = IntervalPartition::from_sizes(std::vector<Vertex>{7, 3});
+  check_roundtrip(2, part, part);
+}
+
+TEST(Redistribute, SimpleShift) {
+  const auto from = IntervalPartition::from_sizes(std::vector<Vertex>{6, 4});
+  const auto to = IntervalPartition::from_sizes(std::vector<Vertex>{4, 6});
+  check_roundtrip(2, from, to);
+}
+
+TEST(Redistribute, PaperFigure5BothArrangements) {
+  const std::vector<double> old_w{0.27, 0.18, 0.34, 0.07, 0.14};
+  const std::vector<double> new_w{0.10, 0.13, 0.29, 0.24, 0.24};
+  const auto from = IntervalPartition::from_weights(100, old_w);
+  check_roundtrip(5, from, IntervalPartition::from_weights(100, new_w));
+  check_roundtrip(5, from, IntervalPartition::from_weights_arranged(
+                               100, new_w, Arrangement{0, 3, 1, 2, 4}));
+}
+
+TEST(Redistribute, EmptySourceBlock) {
+  const auto from = IntervalPartition::from_sizes(std::vector<Vertex>{0, 10});
+  const auto to = IntervalPartition::from_sizes(std::vector<Vertex>{5, 5});
+  check_roundtrip(2, from, to);
+}
+
+TEST(Redistribute, EmptyTargetBlock) {
+  const auto from = IntervalPartition::from_sizes(std::vector<Vertex>{5, 5});
+  const auto to = IntervalPartition::from_sizes(std::vector<Vertex>{10, 0});
+  check_roundtrip(2, from, to);
+}
+
+TEST(Redistribute, CompleteReversalOfArrangement) {
+  const auto from = IntervalPartition::from_sizes(std::vector<Vertex>{3, 3, 4});
+  const auto to = IntervalPartition::from_sizes_arranged(std::vector<Vertex>{3, 3, 4},
+                                                         Arrangement{2, 1, 0});
+  check_roundtrip(3, from, to);
+}
+
+class RedistributeRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RedistributeRandom, RandomWeightPairs) {
+  Rng rng(GetParam());
+  const std::size_t p = 2 + rng.below(5);
+  const auto wa = random_weights(p, rng);
+  const auto wb = random_weights(p, rng);
+  const auto n = static_cast<Vertex>(50 + rng.below(300));
+  const auto from = IntervalPartition::from_weights(n, wa);
+  // Alternate between MCR-arranged and same-arranged targets.
+  const auto to = (GetParam() % 2 == 0) ? repartition_mcr(from, wb)
+                                        : repartition_same_arrangement(from, wb);
+  check_roundtrip(p, from, to);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedistributeRandom, ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Redistribute, MessageCountMatchesPlan) {
+  const std::vector<double> old_w{0.27, 0.18, 0.34, 0.07, 0.14};
+  const std::vector<double> new_w{0.10, 0.13, 0.29, 0.24, 0.24};
+  const auto from = IntervalPartition::from_weights(100, old_w);
+  const auto to = IntervalPartition::from_weights(100, new_w);
+  mp::Cluster cluster(sim::MachineSpec::uniform(5));
+  cluster.run([&](mp::Process& p) {
+    std::vector<double> local(static_cast<std::size_t>(from.size(p.rank())), 1.0);
+    (void)redistribute<double>(p, local, from, to);
+  });
+  EXPECT_EQ(cluster.total_stats().messages_sent, 6u);  // exact plan: 6 messages
+}
+
+TEST(Redistribute, McrArrangementMovesFewerBytes) {
+  const std::vector<double> old_w{0.27, 0.18, 0.34, 0.07, 0.14};
+  const std::vector<double> new_w{0.10, 0.13, 0.29, 0.24, 0.24};
+  const auto from = IntervalPartition::from_weights(100, old_w);
+  auto run = [&](const IntervalPartition& to) {
+    mp::Cluster cluster(sim::MachineSpec::uniform(5));
+    cluster.run([&](mp::Process& p) {
+      std::vector<double> local(static_cast<std::size_t>(from.size(p.rank())), 1.0);
+      (void)redistribute<double>(p, local, from, to);
+    });
+    return cluster.total_stats().bytes_sent;
+  };
+  const auto without = run(repartition_same_arrangement(from, new_w));
+  const auto with = run(repartition_mcr(from, new_w));
+  EXPECT_EQ(without, 69u * sizeof(double));
+  EXPECT_LE(with, 36u * sizeof(double));
+  EXPECT_LT(with, without);
+}
+
+TEST(Redistribute, WrongLocalSizeRejected) {
+  const auto part = IntervalPartition::from_sizes(std::vector<Vertex>{5, 5});
+  mp::Cluster cluster(sim::MachineSpec::uniform(2));
+  EXPECT_THROW(cluster.run([&](mp::Process& p) {
+                 std::vector<double> local(3);  // wrong size on every rank
+                 (void)redistribute<double>(p, local, part, part);
+               }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stance::partition

@@ -1,0 +1,289 @@
+// Tests for the inspector: dedup, schedule structure, cross-rank
+// consistency, and equality of the three construction strategies.
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "mp/cluster.hpp"
+#include "sched/dedup.hpp"
+#include "sched/inspector.hpp"
+#include "sched/localize.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace stance::sched {
+namespace {
+
+using graph::Csr;
+using partition::IntervalPartition;
+
+// --- DedupTable -------------------------------------------------------------
+
+TEST(DedupTable, AssignsDenseIdsInFirstSeenOrder) {
+  DedupTable t;
+  EXPECT_EQ(t.insert(100), 0);
+  EXPECT_EQ(t.insert(50), 1);
+  EXPECT_EQ(t.insert(100), 0);  // duplicate
+  EXPECT_EQ(t.insert(7), 2);
+  EXPECT_EQ(t.unique_count(), 3u);
+  EXPECT_EQ(t.uniques(), (std::vector<Vertex>{100, 50, 7}));
+}
+
+TEST(DedupTable, FindReturnsMinusOneForAbsent) {
+  DedupTable t;
+  t.insert(5);
+  EXPECT_EQ(t.find(5), 0);
+  EXPECT_EQ(t.find(6), -1);
+}
+
+TEST(DedupTable, CountsOperations) {
+  DedupTable t;
+  t.insert(1);
+  t.insert(1);
+  (void)t.find(1);
+  EXPECT_EQ(t.operations(), 3u);
+}
+
+// --- building & consistency ---------------------------------------------------
+
+std::vector<InspectorResult> build_all(const Csr& g, const IntervalPartition& part,
+                                       BuildMethod method) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(part.nparts())));
+  std::vector<InspectorResult> results(static_cast<std::size_t>(part.nparts()));
+  cluster.run([&](mp::Process& p) {
+    results[static_cast<std::size_t>(p.rank())] =
+        build_schedule(p, g, part, method, sim::CpuCostModel::free());
+  });
+  return results;
+}
+
+/// Cross-rank invariant: for every (sender s -> receiver r) pair, the global
+/// ids of the elements s sends equal, in order, the ghost globals r expects
+/// from s.
+void check_pairwise_consistency(const IntervalPartition& part,
+                                const std::vector<InspectorResult>& results) {
+  const int p = part.nparts();
+  for (int s = 0; s < p; ++s) {
+    const auto& sender = results[static_cast<std::size_t>(s)].schedule;
+    for (std::size_t i = 0; i < sender.send_procs.size(); ++i) {
+      const int r = sender.send_procs[i];
+      const auto& receiver = results[static_cast<std::size_t>(r)].schedule;
+      // Find the matching receive segment.
+      const auto it = std::find(receiver.recv_procs.begin(), receiver.recv_procs.end(),
+                                static_cast<partition::Rank>(s));
+      ASSERT_NE(it, receiver.recv_procs.end()) << s << "->" << r << " has no recv side";
+      const auto seg = static_cast<std::size_t>(it - receiver.recv_procs.begin());
+      const auto& slots = receiver.recv_slots[seg];
+      const auto& items = sender.send_items[i];
+      ASSERT_EQ(items.size(), slots.size()) << s << "->" << r;
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        const Vertex global_sent = part.to_global(s, items[k]);
+        const Vertex global_expected =
+            receiver.ghost_globals[static_cast<std::size_t>(slots[k])];
+        EXPECT_EQ(global_sent, global_expected) << s << "->" << r << " element " << k;
+      }
+    }
+    // Symmetry of the message graph: every recv segment has a send side.
+    for (const auto src : sender.recv_procs) {
+      const auto& other = results[static_cast<std::size_t>(src)].schedule;
+      EXPECT_NE(std::find(other.send_procs.begin(), other.send_procs.end(),
+                          static_cast<partition::Rank>(s)),
+                other.send_procs.end());
+    }
+  }
+}
+
+/// The ghost set of each rank must be exactly the off-interval neighbors of
+/// its owned vertices.
+void check_ghosts_cover_references(const Csr& g, const IntervalPartition& part,
+                                   const std::vector<InspectorResult>& results) {
+  for (int r = 0; r < part.nparts(); ++r) {
+    const auto& sched = results[static_cast<std::size_t>(r)].schedule;
+    std::set<Vertex> expected;
+    for (Vertex v = part.first(r); v < part.end(r); ++v) {
+      for (const Vertex u : g.neighbors(v)) {
+        if (!part.owns(r, u)) expected.insert(u);
+      }
+    }
+    const std::set<Vertex> actual(sched.ghost_globals.begin(), sched.ghost_globals.end());
+    EXPECT_EQ(actual, expected) << "rank " << r;
+  }
+}
+
+class BuildMethodTest : public ::testing::TestWithParam<BuildMethod> {};
+
+TEST_P(BuildMethodTest, ValidOnGrid) {
+  const Csr g = graph::grid_2d_tri(8, 8);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1, 1});
+  const auto results = build_all(g, part, GetParam());
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.schedule.valid());
+    EXPECT_TRUE(r.lgraph.valid());
+  }
+  check_pairwise_consistency(part, results);
+  check_ghosts_cover_references(g, part, results);
+}
+
+TEST_P(BuildMethodTest, ValidOnDelaunayWithSkewedWeights) {
+  const Csr g = graph::random_delaunay(400, 9);
+  const auto part = IntervalPartition::from_weights(
+      g.num_vertices(), std::vector<double>{0.45, 0.05, 0.3, 0.2});
+  const auto results = build_all(g, part, GetParam());
+  check_pairwise_consistency(part, results);
+  check_ghosts_cover_references(g, part, results);
+}
+
+TEST_P(BuildMethodTest, SingleProcessorHasNoCommunication) {
+  const Csr g = graph::grid_2d_tri(6, 6);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1.0});
+  const auto results = build_all(g, part, GetParam());
+  const auto& s = results[0].schedule;
+  EXPECT_EQ(s.nghost, 0);
+  EXPECT_TRUE(s.send_procs.empty());
+  EXPECT_TRUE(s.recv_procs.empty());
+  EXPECT_EQ(results[0].lgraph.nlocal, g.num_vertices());
+}
+
+TEST_P(BuildMethodTest, ArrangedPartitionWorks) {
+  const Csr g = graph::grid_2d_tri(10, 6);
+  const auto part = IntervalPartition::from_weights_arranged(
+      g.num_vertices(), std::vector<double>{1, 1, 1}, partition::Arrangement{2, 0, 1});
+  const auto results = build_all(g, part, GetParam());
+  check_pairwise_consistency(part, results);
+  check_ghosts_cover_references(g, part, results);
+}
+
+TEST_P(BuildMethodTest, EmptyBlockRankIsIdle) {
+  const Csr g = graph::grid_2d_tri(6, 6);
+  const std::vector<Vertex> sizes{18, 0, 18};
+  const auto part = IntervalPartition::from_sizes(sizes);
+  const auto results = build_all(g, part, GetParam());
+  const auto& idle = results[1].schedule;
+  EXPECT_EQ(idle.nlocal, 0);
+  EXPECT_EQ(idle.nghost, 0);
+  check_pairwise_consistency(part, results);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuilders, BuildMethodTest,
+                         ::testing::Values(BuildMethod::kSimple, BuildMethod::kSort1,
+                                           BuildMethod::kSort2),
+                         [](const auto& info) {
+                           return std::string(build_method_name(info.param));
+                         });
+
+TEST(BuildEquivalence, AllThreeStrategiesProduceTheSameSchedule) {
+  const Csr g = graph::random_delaunay(300, 5);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 2, 1, 1});
+  const auto simple = build_all(g, part, BuildMethod::kSimple);
+  const auto sort1 = build_all(g, part, BuildMethod::kSort1);
+  const auto sort2 = build_all(g, part, BuildMethod::kSort2);
+  for (std::size_t r = 0; r < simple.size(); ++r) {
+    const auto& a = simple[r].schedule;
+    const auto& b = sort1[r].schedule;
+    const auto& c = sort2[r].schedule;
+    EXPECT_EQ(a.send_procs, b.send_procs);
+    EXPECT_EQ(a.send_items, b.send_items);
+    EXPECT_EQ(a.recv_procs, b.recv_procs);
+    EXPECT_EQ(a.recv_slots, b.recv_slots);
+    EXPECT_EQ(a.ghost_globals, b.ghost_globals);
+    EXPECT_EQ(b.send_items, c.send_items);
+    EXPECT_EQ(b.recv_slots, c.recv_slots);
+    EXPECT_EQ(b.ghost_globals, c.ghost_globals);
+    EXPECT_EQ(simple[r].lgraph.refs, sort2[r].lgraph.refs);
+  }
+}
+
+TEST(BuildCosts, SortedBuildersAvoidCommunication) {
+  const Csr g = graph::grid_2d_tri(12, 12);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1, 1, 1});
+  auto message_count = [&](BuildMethod m) {
+    mp::Cluster cluster(sim::MachineSpec::uniform(4));
+    std::vector<InspectorResult> results(4);
+    cluster.run([&](mp::Process& p) {
+      results[static_cast<std::size_t>(p.rank())] =
+          build_schedule(p, g, part, m, sim::CpuCostModel::free());
+    });
+    return cluster.total_stats().messages_sent;
+  };
+  EXPECT_EQ(message_count(BuildMethod::kSort1), 0u);
+  EXPECT_EQ(message_count(BuildMethod::kSort2), 0u);
+  EXPECT_GT(message_count(BuildMethod::kSimple), 0u);
+}
+
+TEST(BuildCosts, Sort1ChargesMoreThanSort2) {
+  const Csr g = graph::random_delaunay(2000, 3);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1, 1});
+  auto build_time = [&](BuildMethod m) {
+    mp::Cluster cluster(sim::MachineSpec::uniform(3));
+    cluster.run([&](mp::Process& p) {
+      (void)build_schedule(p, g, part, m, sim::CpuCostModel::sun4());
+    });
+    return cluster.makespan();
+  };
+  EXPECT_GT(build_time(BuildMethod::kSort1), build_time(BuildMethod::kSort2));
+}
+
+TEST(BuildCosts, Table3Shape) {
+  // Paper Table 3: the simple strategy gets *worse* as processors are added
+  // (message setups), the sorting strategies get *better* (less local data).
+  // The crossover means simple may win at p=2; by larger p it must lose.
+  const Csr g = graph::random_delaunay(3000, 5);
+  auto build_time = [&](BuildMethod m, std::size_t nprocs) {
+    const auto part = IntervalPartition::from_weights(
+        g.num_vertices(), std::vector<double>(nprocs, 1.0));
+    mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs));
+    cluster.run([&](mp::Process& p) {
+      (void)build_schedule(p, g, part, m, sim::CpuCostModel::sun4());
+    });
+    return cluster.makespan();
+  };
+  EXPECT_GT(build_time(BuildMethod::kSimple, 8), build_time(BuildMethod::kSimple, 2));
+  EXPECT_LT(build_time(BuildMethod::kSort2, 8), build_time(BuildMethod::kSort2, 2));
+  EXPECT_GT(build_time(BuildMethod::kSimple, 8), build_time(BuildMethod::kSort2, 8));
+}
+
+TEST(LocalizedGraph, RefsPointToCorrectValues) {
+  const Csr g = graph::grid_2d_tri(7, 5);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1});
+  const auto results = build_all(g, part, BuildMethod::kSort2);
+  for (int r = 0; r < 2; ++r) {
+    const auto& ir = results[static_cast<std::size_t>(r)];
+    for (Vertex local = 0; local < ir.lgraph.nlocal; ++local) {
+      const Vertex global = part.to_global(r, local);
+      const auto nbrs = g.neighbors(global);
+      const auto refs = ir.lgraph.refs_of(local);
+      ASSERT_EQ(nbrs.size(), refs.size());
+      for (std::size_t k = 0; k < refs.size(); ++k) {
+        const Vertex expect_global = nbrs[k];
+        const Vertex ref = refs[k];
+        const Vertex actual_global =
+            ref < ir.lgraph.nlocal
+                ? part.to_global(r, ref)
+                : ir.schedule.ghost_globals[static_cast<std::size_t>(ref -
+                                                                     ir.lgraph.nlocal)];
+        EXPECT_EQ(actual_global, expect_global);
+      }
+    }
+  }
+}
+
+TEST(ScheduleValidity, DetectsCorruption) {
+  const Csr g = graph::grid_2d_tri(5, 5);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1});
+  auto results = build_all(g, part, BuildMethod::kSort2);
+  auto& s = results[0].schedule;
+  ASSERT_TRUE(s.valid());
+  if (!s.send_items.empty() && !s.send_items[0].empty()) {
+    s.send_items[0][0] = s.nlocal + 5;  // out of range
+    EXPECT_FALSE(s.valid());
+  }
+}
+
+}  // namespace
+}  // namespace stance::sched

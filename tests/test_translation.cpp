@@ -1,0 +1,131 @@
+// Tests for the three translation-table designs (paper §3.2, Fig. 3).
+#include <gtest/gtest.h>
+
+#include "mp/cluster.hpp"
+#include "partition/translation.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace stance::partition {
+namespace {
+
+TEST(IntervalTable, LookupMatchesPartition) {
+  const auto part = IntervalPartition::from_sizes(std::vector<Vertex>{3, 5, 2});
+  const IntervalTranslationTable table(part);
+  for (Vertex g = 0; g < part.total(); ++g) {
+    const auto e = table.lookup(g);
+    EXPECT_EQ(e.home, part.owner(g));
+    EXPECT_EQ(e.local, g - part.first(e.home));
+  }
+}
+
+TEST(IntervalTable, MemoryIsProportionalToP) {
+  const auto small = IntervalTranslationTable(
+      IntervalPartition::from_sizes(std::vector<Vertex>{1000000, 1000000}));
+  const auto big = IntervalTranslationTable(IntervalPartition::from_sizes(
+      std::vector<Vertex>(16, 125000)));
+  EXPECT_EQ(small.memory_bytes(), 2u * 2 * sizeof(Vertex));
+  EXPECT_EQ(big.memory_bytes(), 16u * 2 * sizeof(Vertex));
+}
+
+TEST(ReplicatedTable, FromPartitionMatches) {
+  const auto part = IntervalPartition::from_sizes_arranged(std::vector<Vertex>{4, 3, 3},
+                                                           Arrangement{1, 2, 0});
+  const auto table = ReplicatedTranslationTable::from_partition(part);
+  for (Vertex g = 0; g < part.total(); ++g) {
+    const auto e = table.lookup(g);
+    EXPECT_EQ(e.home, part.owner(g));
+    EXPECT_EQ(e.local, g - part.first(e.home));
+  }
+  EXPECT_EQ(table.memory_bytes(), 10u * sizeof(TranslationEntry));
+}
+
+TEST(ReplicatedTable, FromArbitraryAssignment) {
+  // Cyclic distribution over 3 processors — not an interval partition.
+  std::vector<Rank> owner_of{0, 1, 2, 0, 1, 2, 0};
+  const auto table = ReplicatedTranslationTable::from_assignment(owner_of);
+  EXPECT_EQ(table.lookup(0).home, 0);
+  EXPECT_EQ(table.lookup(0).local, 0);
+  EXPECT_EQ(table.lookup(3).home, 0);
+  EXPECT_EQ(table.lookup(3).local, 1);
+  EXPECT_EQ(table.lookup(5).home, 2);
+  EXPECT_EQ(table.lookup(5).local, 1);
+  EXPECT_EQ(table.lookup(6).local, 2);
+}
+
+TEST(ReplicatedTable, RejectsNegativeOwner) {
+  std::vector<Rank> owner_of{0, -1};
+  EXPECT_THROW(ReplicatedTranslationTable::from_assignment(owner_of),
+               std::invalid_argument);
+}
+
+TEST(DistributedTable, DereferenceMatchesDirectLookup) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(4));
+  const auto part = IntervalPartition::from_sizes(std::vector<Vertex>{25, 13, 40, 22});
+  Rng rng(8);
+  std::vector<Vertex> queries;
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back(static_cast<Vertex>(rng.below(100)));
+  }
+  cluster.run([&](mp::Process& p) {
+    const DistributedTranslationTable table(p, part);
+    const auto entries = table.dereference(p, queries);
+    ASSERT_EQ(entries.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(entries[i].home, part.owner(queries[i]));
+      EXPECT_EQ(entries[i].local, queries[i] - part.first(entries[i].home));
+    }
+  });
+}
+
+TEST(DistributedTable, ArrangedPartitionStillResolves) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  const auto part = IntervalPartition::from_sizes_arranged(std::vector<Vertex>{10, 20, 30},
+                                                           Arrangement{2, 0, 1});
+  cluster.run([&](mp::Process& p) {
+    const DistributedTranslationTable table(p, part);
+    std::vector<Vertex> queries{0, 29, 30, 39, 40, 59};
+    const auto entries = table.dereference(p, queries);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(entries[i].home, part.owner(queries[i]));
+    }
+  });
+}
+
+TEST(DistributedTable, MemoryIsBlockSized) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(4));
+  const auto part = IntervalPartition::from_sizes(std::vector<Vertex>{25, 25, 25, 25});
+  cluster.run([&](mp::Process& p) {
+    const DistributedTranslationTable table(p, part);
+    // 25 entries per rank + the p-entry block index.
+    EXPECT_LE(table.memory_bytes(), 25u * sizeof(TranslationEntry) + 64u);
+  });
+}
+
+TEST(DistributedTable, DereferenceCostsGrowWithProcessors) {
+  // The simple strategy's weakness: message setups scale with p.
+  auto measure = [](std::size_t nprocs) {
+    mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs));
+    const auto part = IntervalPartition::from_weights(
+        1000, std::vector<double>(nprocs, 1.0));
+    cluster.run([&](mp::Process& p) {
+      const DistributedTranslationTable table(p, part);
+      std::vector<Vertex> queries{1, 500, 999};
+      (void)table.dereference(p, queries);
+    });
+    return cluster.makespan();
+  };
+  EXPECT_LT(measure(2), measure(8));
+}
+
+TEST(DistributedTable, EmptyQueryListIsFine) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(2));
+  const auto part = IntervalPartition::from_sizes(std::vector<Vertex>{5, 5});
+  cluster.run([&](mp::Process& p) {
+    const DistributedTranslationTable table(p, part);
+    EXPECT_TRUE(table.dereference(p, {}).empty());
+  });
+}
+
+}  // namespace
+}  // namespace stance::partition

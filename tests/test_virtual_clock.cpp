@@ -1,0 +1,99 @@
+// Unit tests for sim::VirtualClock.
+#include <gtest/gtest.h>
+
+#include "sim/virtual_clock.hpp"
+
+namespace stance::sim {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  EXPECT_DOUBLE_EQ(c.speed(), 1.0);
+}
+
+TEST(VirtualClock, AdvanceWorkAtUnitSpeed) {
+  VirtualClock c;
+  c.advance_work(2.5);
+  EXPECT_DOUBLE_EQ(c.now(), 2.5);
+}
+
+TEST(VirtualClock, SlowNodeStretchesWork) {
+  VirtualClock c(0.5, LoadProfile{});
+  c.advance_work(3.0);  // 3 reference-seconds on a half-speed node
+  EXPECT_DOUBLE_EQ(c.now(), 6.0);
+}
+
+TEST(VirtualClock, LoadedNodeStretchesWork) {
+  VirtualClock c(1.0, LoadProfile::competing_jobs(1));
+  c.advance_work(3.0);
+  EXPECT_DOUBLE_EQ(c.now(), 6.0);
+}
+
+TEST(VirtualClock, SpeedAndLoadCompose) {
+  VirtualClock c(0.5, LoadProfile::constant(0.5));
+  c.advance_work(1.0);
+  EXPECT_DOUBLE_EQ(c.now(), 4.0);
+}
+
+TEST(VirtualClock, AdvanceDelayIgnoresProfile) {
+  VirtualClock c(1.0, LoadProfile::constant(0.1));
+  c.advance_delay(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+}
+
+TEST(VirtualClock, NegativeAmountsAreNoOps) {
+  VirtualClock c;
+  c.advance_work(-1.0);
+  c.advance_delay(-1.0);
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(VirtualClock, MergeNeverGoesBackwards) {
+  VirtualClock c;
+  c.advance_delay(5.0);
+  c.merge(3.0);
+  EXPECT_DOUBLE_EQ(c.now(), 5.0);
+  c.merge(8.0);
+  EXPECT_DOUBLE_EQ(c.now(), 8.0);
+}
+
+TEST(VirtualClock, ResetRestartsTime) {
+  VirtualClock c;
+  c.advance_work(10.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.reset(4.0);
+  EXPECT_DOUBLE_EQ(c.now(), 4.0);
+}
+
+TEST(VirtualClock, WorkSpansProfileStep) {
+  // Full speed until t=2, then 25%: 4 busy seconds = 2 + 2/0.25 = 10.
+  VirtualClock c(1.0, LoadProfile::step(2.0, 1.0, 0.25));
+  c.advance_work(4.0);
+  EXPECT_DOUBLE_EQ(c.now(), 10.0);
+}
+
+TEST(VirtualClock, SetProfileAppliesToFutureWork) {
+  VirtualClock c;
+  c.advance_work(1.0);
+  c.set_profile(LoadProfile::constant(0.5));
+  c.advance_work(1.0);
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+}
+
+TEST(VirtualClock, EffectiveSpeedTracksProfile) {
+  VirtualClock c(2.0, LoadProfile::step(5.0, 1.0, 0.5));
+  EXPECT_DOUBLE_EQ(c.effective_speed(), 2.0);
+  c.advance_delay(6.0);
+  EXPECT_DOUBLE_EQ(c.effective_speed(), 1.0);
+}
+
+TEST(VirtualClock, SequentialWorkAccumulates) {
+  VirtualClock c(1.0, LoadProfile::constant(0.5));
+  for (int i = 0; i < 10; ++i) c.advance_work(0.5);
+  EXPECT_NEAR(c.now(), 10.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace stance::sim
