@@ -4,6 +4,7 @@
 
 #include "partition/arrangement.hpp"
 #include "support/rng.hpp"
+#include "test_util.hpp"
 
 namespace stance::partition {
 namespace {
@@ -24,11 +25,9 @@ TEST(PlanRedistribution, TransfersCoverExactlyTheMovedElements) {
   Rng rng(23);
   for (int trial = 0; trial < 40; ++trial) {
     const std::size_t p = 2 + rng.below(6);
-    const auto wa = random_weights(p, rng);
-    const auto wb = random_weights(p, rng);
     const auto n = static_cast<Vertex>(40 + rng.below(400));
-    const auto from = IntervalPartition::from_weights(n, wa);
-    const auto to = IntervalPartition::from_weights(n, wb);
+    const auto from = test::random_partition(n, p, rng);
+    const auto to = test::random_partition(n, p, rng);
     const auto transfers = plan_redistribution(from, to);
     Vertex total = 0;
     for (const auto& t : transfers) {
@@ -48,10 +47,8 @@ TEST(PlanRedistribution, TransfersCoverExactlyTheMovedElements) {
 TEST(PlanRedistribution, AtMostOneTransferPerPair) {
   Rng rng(29);
   for (int trial = 0; trial < 20; ++trial) {
-    const auto wa = random_weights(5, rng);
-    const auto wb = random_weights(5, rng);
-    const auto from = IntervalPartition::from_weights(300, wa);
-    const auto to = IntervalPartition::from_weights(300, wb);
+    const auto from = test::random_partition(300, 5, rng);
+    const auto to = test::random_partition(300, 5, rng);
     std::set<std::pair<Rank, Rank>> pairs;
     for (const auto& t : plan_redistribution(from, to)) {
       EXPECT_TRUE(pairs.emplace(t.src, t.dst).second)

@@ -12,29 +12,19 @@
 #include "sched/inspector.hpp"
 #include "sim/machine.hpp"
 #include "support/rng.hpp"
+#include "test_util.hpp"
 
 namespace stance::exec {
 namespace {
 
 using partition::IntervalPartition;
-using sched::InspectorResult;
-
-std::vector<InspectorResult> build_all(const graph::Csr& g,
-                                       const IntervalPartition& part) {
-  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(part.nparts())));
-  std::vector<InspectorResult> results(static_cast<std::size_t>(part.nparts()));
-  cluster.run([&](mp::Process& p) {
-    results[static_cast<std::size_t>(p.rank())] = sched::build_schedule(
-        p, g, part, sched::BuildMethod::kSort2, sim::CpuCostModel::free());
-  });
-  return results;
-}
+using test::build_all_schedules;
 
 TEST(LaplacianOperator, MatchesReferenceApply) {
   const auto g = graph::random_delaunay(400, 6);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 2, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   const double shift = 0.7;
 
   // Global input vector, deterministic.
@@ -66,7 +56,7 @@ TEST(LaplacianOperator, LaplacianOfConstantIsShiftTimesConstant) {
   const auto g = graph::grid_2d_tri(8, 8);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(2));
   cluster.run([&](mp::Process& p) {
     const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
@@ -90,13 +80,12 @@ TEST_P(CgSolve, SolvesShiftedLaplacian) {
   const auto g = graph::random_delaunay(vertices, 17);
   const auto part = IntervalPartition::from_weights(
       g.num_vertices(), std::vector<double>(static_cast<std::size_t>(procs), 1.0));
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   const double shift = 0.5;
 
   // Manufactured solution: x* known, b = A x*.
-  std::vector<double> x_star(static_cast<std::size_t>(g.num_vertices()));
-  Rng rng(3);
-  for (auto& v : x_star) v = rng.uniform(-1.0, 1.0);
+  const auto x_star =
+      test::seeded_values(static_cast<std::size_t>(g.num_vertices()), 3);
   std::vector<double> b(x_star.size());
   LaplacianOperator::reference_apply(g, shift, x_star, b);
 
@@ -135,7 +124,7 @@ TEST(CgSolve, DeterministicAcrossRuns) {
   const auto g = graph::random_delaunay(300, 9);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   auto run_once = [&] {
     mp::Cluster cluster(sim::MachineSpec::uniform(3));
     std::vector<double> solution;
@@ -156,7 +145,7 @@ TEST(CgSolve, ZeroRhsConvergesImmediately) {
   const auto g = graph::grid_2d_tri(6, 6);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(2));
   cluster.run([&](mp::Process& p) {
     const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
@@ -173,7 +162,7 @@ TEST(CgSolve, RespectsIterationCap) {
   const auto g = graph::random_delaunay(400, 2);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1.0});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(1));
   cluster.run([&](mp::Process& p) {
     LaplacianOperator A(schedules[0].lgraph, schedules[0].schedule, 1e-6);
@@ -191,7 +180,7 @@ TEST(CgSolve, Validation) {
   const auto g = graph::grid_2d_tri(4, 4);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1.0});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(1));
   cluster.run([&](mp::Process& p) {
     LaplacianOperator A(schedules[0].lgraph, schedules[0].schedule, 1.0);

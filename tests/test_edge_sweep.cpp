@@ -11,31 +11,20 @@
 #include "sched/inspector.hpp"
 #include "sim/machine.hpp"
 #include "support/rng.hpp"
+#include "test_util.hpp"
 
 namespace stance::exec {
 namespace {
 
 using partition::IntervalPartition;
-using sched::InspectorResult;
-
-std::vector<InspectorResult> build_all(const graph::Csr& g,
-                                       const IntervalPartition& part) {
-  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(part.nparts())));
-  std::vector<InspectorResult> results(static_cast<std::size_t>(part.nparts()));
-  cluster.run([&](mp::Process& p) {
-    results[static_cast<std::size_t>(p.rank())] = sched::build_schedule(
-        p, g, part, sched::BuildMethod::kSort2, sim::CpuCostModel::free());
-  });
-  return results;
-}
+using test::build_all_schedules;
 
 void check_against_reference(const graph::Csr& g, const std::vector<double>& weights) {
   const auto part = IntervalPartition::from_weights(g.num_vertices(), weights);
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
 
-  std::vector<double> y(static_cast<std::size_t>(g.num_vertices()));
-  Rng rng(9);
-  for (auto& v : y) v = rng.uniform(-2.0, 2.0);
+  const auto y =
+      test::seeded_values(static_cast<std::size_t>(g.num_vertices()), 9, -2.0, 2.0);
   std::vector<double> expected(y.size());
   EdgeSweep::reference_sweep(g, y, expected);
 
@@ -89,7 +78,7 @@ TEST(EdgeSweep, FluxOfConstantFieldIsZero) {
   const auto g = graph::grid_2d_tri(8, 8);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(2));
   cluster.run([&](mp::Process& p) {
     const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
@@ -107,7 +96,7 @@ TEST(EdgeSweep, TotalFluxIsConserved) {
   const auto g = graph::random_delaunay(400, 21);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(3));
   std::vector<double> partial(3, 0.0);
   cluster.run([&](mp::Process& p) {

@@ -10,30 +10,20 @@
 #include "mp/cluster.hpp"
 #include "sched/inspector.hpp"
 #include "sim/machine.hpp"
+#include "test_util.hpp"
 
 namespace stance::exec {
 namespace {
 
 using graph::Csr;
 using partition::IntervalPartition;
-using sched::BuildMethod;
-using sched::InspectorResult;
-
-std::vector<InspectorResult> build_all(const Csr& g, const IntervalPartition& part) {
-  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(part.nparts())));
-  std::vector<InspectorResult> results(static_cast<std::size_t>(part.nparts()));
-  cluster.run([&](mp::Process& p) {
-    results[static_cast<std::size_t>(p.rank())] = sched::build_schedule(
-        p, g, part, BuildMethod::kSort2, sim::CpuCostModel::free());
-  });
-  return results;
-}
+using test::build_all_schedules;
 
 TEST(Gather, FetchesOffProcessorValues) {
   const Csr g = graph::grid_2d_tri(8, 6);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(3));
   cluster.run([&](mp::Process& p) {
     const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
@@ -55,7 +45,7 @@ TEST(Gather, SizeValidation) {
   const Csr g = graph::grid_2d_tri(4, 4);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(2));
   EXPECT_THROW(cluster.run([&](mp::Process& p) {
                  const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
@@ -70,7 +60,7 @@ TEST(Scatter, AddCombinesContributionsAtOwners) {
   const Csr g = graph::grid_2d_tri(8, 6);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(3));
   cluster.run([&](mp::Process& p) {
     const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
@@ -101,7 +91,7 @@ TEST(Scatter, CustomCombineMax) {
   const Csr g = graph::grid_2d_tri(6, 4);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(2));
   cluster.run([&](mp::Process& p) {
     const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
@@ -120,7 +110,7 @@ TEST(Scatter, CustomCombineMax) {
 double run_parallel_loop(const Csr& g, const std::vector<double>& weights, int iters,
                          std::vector<double>& out) {
   const auto part = IntervalPartition::from_weights(g.num_vertices(), weights);
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   const auto nprocs = weights.size();
   mp::Cluster cluster(sim::MachineSpec::uniform(nprocs));
   std::vector<std::vector<double>> per_rank(nprocs);
@@ -164,9 +154,7 @@ TEST_P(LoopVsReference, BitIdenticalToSequential) {
   run_parallel_loop(g, std::vector<double>(static_cast<std::size_t>(procs), 1.0), iters,
                     parallel);
   const auto reference = run_reference_loop(g, iters);
-  for (std::size_t i = 0; i < parallel.size(); ++i) {
-    EXPECT_EQ(parallel[i], reference[i]) << "vertex " << i;
-  }
+  test::expect_vectors_eq(parallel, reference);  // bit-identical
 }
 
 INSTANTIATE_TEST_SUITE_P(ProcsAndIters, LoopVsReference,
@@ -178,9 +166,7 @@ TEST(LoopVsReferenceSkewed, UnevenWeightsStillExact) {
   std::vector<double> parallel;
   run_parallel_loop(g, {0.55, 0.05, 0.25, 0.15}, 10, parallel);
   const auto reference = run_reference_loop(g, 10);
-  for (std::size_t i = 0; i < parallel.size(); ++i) {
-    EXPECT_EQ(parallel[i], reference[i]);
-  }
+  test::expect_vectors_eq(parallel, reference);
 }
 
 TEST(IrregularLoop, ValuesStayBoundedByConvexity) {
@@ -199,7 +185,7 @@ TEST(IrregularLoop, WorkPerIterationMatchesCostModel) {
   const Csr g = graph::grid_2d_tri(10, 10);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1.0});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   LoopCostModel costs{2.0e-6, 1.0e-6};
   IrregularLoop loop(schedules[0].lgraph, schedules[0].schedule, costs);
   const double expected = 2.0e-6 * 100.0 + 1.0e-6 * 2.0 * static_cast<double>(g.num_edges());
@@ -210,7 +196,7 @@ TEST(IrregularLoop, ChargesVirtualTime) {
   const Csr g = graph::grid_2d_tri(10, 10);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1.0});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   mp::Cluster cluster(sim::MachineSpec::uniform(1));
   cluster.run([&](mp::Process& p) {
     IrregularLoop loop(schedules[0].lgraph, schedules[0].schedule,
@@ -226,7 +212,7 @@ TEST(IrregularLoop, MismatchedScheduleRejected) {
   // Asymmetric split so the two ranks' local sizes genuinely differ.
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 2});
-  const auto schedules = build_all(g, part);
+  const auto schedules = build_all_schedules(g, part);
   ASSERT_NE(schedules[0].lgraph.nlocal, schedules[1].schedule.nlocal);
   EXPECT_THROW(IrregularLoop(schedules[0].lgraph, schedules[1].schedule),
                std::invalid_argument);

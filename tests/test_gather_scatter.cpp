@@ -1,0 +1,161 @@
+// Typed tests for the header-only gather/scatter kernels: the templates must
+// behave identically on float, double, and integer index-vector payloads
+// (previously only the double path was exercised, via test_exec.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "exec/gather_scatter.hpp"
+#include "graph/builders.hpp"
+#include "mp/cluster.hpp"
+#include "test_util.hpp"
+
+namespace stance::exec {
+namespace {
+
+using partition::IntervalPartition;
+using test::build_all_schedules;
+
+// One mesh/partition/schedule triple shared (built once) by every payload
+// type and the index-vector test below; tests only read from it.
+struct MeshSetup {
+  graph::Csr g;
+  IntervalPartition part;
+  std::vector<sched::InspectorResult> schedules;
+};
+
+const MeshSetup& shared_setup() {
+  static const MeshSetup s = [] {
+    MeshSetup m{graph::random_delaunay(200, 31), {}, {}};
+    m.part = IntervalPartition::from_weights(m.g.num_vertices(),
+                                             std::vector<double>{0.5, 0.3, 0.2});
+    m.schedules = build_all_schedules(m.g, m.part);
+    return m;
+  }();
+  return s;
+}
+
+template <typename T>
+class GatherScatterTyped : public ::testing::Test {
+ protected:
+  const IntervalPartition& part_ = shared_setup().part;
+  const std::vector<sched::InspectorResult>& schedules_ = shared_setup().schedules;
+};
+
+using WirePayloads =
+    ::testing::Types<float, double, std::int32_t, std::uint16_t, std::int64_t>;
+TYPED_TEST_SUITE(GatherScatterTyped, WirePayloads);
+
+TYPED_TEST(GatherScatterTyped, GatherDeliversGlobalIds) {
+  using T = TypeParam;
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = this->schedules_[static_cast<std::size_t>(p.rank())];
+    // local[i] = global id of element i; small enough to be exact in every
+    // payload type (200 vertices).
+    std::vector<T> local(static_cast<std::size_t>(ir.schedule.nlocal));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      local[i] = static_cast<T>(
+          this->part_.to_global(p.rank(), static_cast<graph::Vertex>(i)));
+    }
+    std::vector<T> ghost(static_cast<std::size_t>(ir.schedule.nghost), T{0});
+    gather<T>(p, ir.schedule, local, ghost);
+    for (std::size_t slot = 0; slot < ghost.size(); ++slot) {
+      EXPECT_EQ(ghost[slot], static_cast<T>(ir.schedule.ghost_globals[slot]))
+          << "slot " << slot;
+    }
+  });
+}
+
+TYPED_TEST(GatherScatterTyped, ScatterAddAccumulatesReferencerCounts) {
+  using T = TypeParam;
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = this->schedules_[static_cast<std::size_t>(p.rank())];
+    // Every rank contributes 1 per ghost reference; each owned element ends
+    // up with the number of *other* ranks referencing it (exact in any T).
+    std::vector<T> ghost(static_cast<std::size_t>(ir.schedule.nghost), T{1});
+    std::vector<T> local(static_cast<std::size_t>(ir.schedule.nlocal), T{0});
+    scatter_add<T>(p, ir.schedule, ghost, local);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const auto global =
+          this->part_.to_global(p.rank(), static_cast<graph::Vertex>(i));
+      T expected{0};
+      for (int r = 0; r < this->part_.nparts(); ++r) {
+        if (r == p.rank()) continue;
+        const auto& gg =
+            this->schedules_[static_cast<std::size_t>(r)].schedule.ghost_globals;
+        if (std::count(gg.begin(), gg.end(), global) > 0) {
+          expected = static_cast<T>(expected + T{1});
+        }
+      }
+      EXPECT_EQ(local[i], expected) << "local " << i;
+    }
+  });
+}
+
+TYPED_TEST(GatherScatterTyped, ScatterGatherRoundTripPreservesValues) {
+  using T = TypeParam;
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = this->schedules_[static_cast<std::size_t>(p.rank())];
+    // Max-combine scatter of gathered values is the identity: each owner
+    // already holds the value every referencer sends back.
+    std::vector<T> local(static_cast<std::size_t>(ir.schedule.nlocal));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      local[i] = static_cast<T>(
+          7 + this->part_.to_global(p.rank(), static_cast<graph::Vertex>(i)) % 40);
+    }
+    const std::vector<T> before = local;
+    std::vector<T> ghost(static_cast<std::size_t>(ir.schedule.nghost));
+    gather<T>(p, ir.schedule, local, ghost);
+    scatter<T>(p, ir.schedule, ghost, local,
+               [](T a, T b) { return std::max(a, b); });
+    test::expect_vectors_eq(local, before);
+  });
+}
+
+TYPED_TEST(GatherScatterTyped, EmptyClusterSegmentsAreFine) {
+  using T = TypeParam;
+  // Single rank: no communication, gather/scatter must still validate sizes
+  // and touch nothing.
+  const auto g = graph::grid_2d_tri(5, 5);
+  const auto part =
+      IntervalPartition::from_weights(g.num_vertices(), std::vector<double>{1.0});
+  const auto schedules = build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(1));
+  cluster.run([&](mp::Process& p) {
+    std::vector<T> local(static_cast<std::size_t>(schedules[0].schedule.nlocal), T{3});
+    std::vector<T> ghost;
+    gather<T>(p, schedules[0].schedule, local, ghost);
+    scatter_add<T>(p, schedules[0].schedule, ghost, local);
+    for (const T v : local) EXPECT_EQ(v, T{3});
+  });
+}
+
+// The index-vector path: gather the owner-rank of each ghost as an integer
+// payload, then use it for indirection — the idiom translation tables use.
+TEST(GatherScatterIndexVector, GatheredIndicesAreValidForIndirection) {
+  const auto& [g, part, schedules] = shared_setup();
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  cluster.run([&](mp::Process& p) {
+    const auto& ir = schedules[static_cast<std::size_t>(p.rank())];
+    std::vector<std::int32_t> owner_of(
+        static_cast<std::size_t>(ir.schedule.nlocal),
+        static_cast<std::int32_t>(p.rank()));
+    std::vector<std::int32_t> ghost_owner(
+        static_cast<std::size_t>(ir.schedule.nghost), -1);
+    gather<std::int32_t>(p, ir.schedule, owner_of, ghost_owner);
+    for (std::size_t slot = 0; slot < ghost_owner.size(); ++slot) {
+      // Indirection through the gathered index must agree with the partition.
+      ASSERT_GE(ghost_owner[slot], 0);
+      ASSERT_LT(ghost_owner[slot], part.nparts());
+      EXPECT_EQ(ghost_owner[slot], part.owner(ir.schedule.ghost_globals[slot]));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace stance::exec

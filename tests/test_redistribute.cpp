@@ -6,6 +6,7 @@
 #include "partition/redistribute.hpp"
 #include "sim/machine.hpp"
 #include "support/rng.hpp"
+#include "test_util.hpp"
 
 namespace stance::partition {
 namespace {
@@ -74,10 +75,9 @@ class RedistributeRandom : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(RedistributeRandom, RandomWeightPairs) {
   Rng rng(GetParam());
   const std::size_t p = 2 + rng.below(5);
-  const auto wa = random_weights(p, rng);
   const auto wb = random_weights(p, rng);
   const auto n = static_cast<Vertex>(50 + rng.below(300));
-  const auto from = IntervalPartition::from_weights(n, wa);
+  const auto from = test::random_partition(n, p, rng);
   // Alternate between MCR-arranged and same-arranged targets.
   const auto to = (GetParam() % 2 == 0) ? repartition_mcr(from, wb)
                                         : repartition_same_arrangement(from, wb);

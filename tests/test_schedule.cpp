@@ -9,6 +9,7 @@
 #include "sched/localize.hpp"
 #include "sim/machine.hpp"
 #include "support/rng.hpp"
+#include "test_util.hpp"
 
 namespace stance::sched {
 namespace {
@@ -45,16 +46,7 @@ TEST(DedupTable, CountsOperations) {
 
 // --- building & consistency ---------------------------------------------------
 
-std::vector<InspectorResult> build_all(const Csr& g, const IntervalPartition& part,
-                                       BuildMethod method) {
-  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(part.nparts())));
-  std::vector<InspectorResult> results(static_cast<std::size_t>(part.nparts()));
-  cluster.run([&](mp::Process& p) {
-    results[static_cast<std::size_t>(p.rank())] =
-        build_schedule(p, g, part, method, sim::CpuCostModel::free());
-  });
-  return results;
-}
+using test::build_all_schedules;
 
 /// Cross-rank invariant: for every (sender s -> receiver r) pair, the global
 /// ids of the elements s sends equal, in order, the ghost globals r expects
@@ -115,7 +107,7 @@ TEST_P(BuildMethodTest, ValidOnGrid) {
   const Csr g = graph::grid_2d_tri(8, 8);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1, 1});
-  const auto results = build_all(g, part, GetParam());
+  const auto results = build_all_schedules(g, part, GetParam());
   for (const auto& r : results) {
     EXPECT_TRUE(r.schedule.valid());
     EXPECT_TRUE(r.lgraph.valid());
@@ -128,7 +120,7 @@ TEST_P(BuildMethodTest, ValidOnDelaunayWithSkewedWeights) {
   const Csr g = graph::random_delaunay(400, 9);
   const auto part = IntervalPartition::from_weights(
       g.num_vertices(), std::vector<double>{0.45, 0.05, 0.3, 0.2});
-  const auto results = build_all(g, part, GetParam());
+  const auto results = build_all_schedules(g, part, GetParam());
   check_pairwise_consistency(part, results);
   check_ghosts_cover_references(g, part, results);
 }
@@ -137,7 +129,7 @@ TEST_P(BuildMethodTest, SingleProcessorHasNoCommunication) {
   const Csr g = graph::grid_2d_tri(6, 6);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1.0});
-  const auto results = build_all(g, part, GetParam());
+  const auto results = build_all_schedules(g, part, GetParam());
   const auto& s = results[0].schedule;
   EXPECT_EQ(s.nghost, 0);
   EXPECT_TRUE(s.send_procs.empty());
@@ -149,7 +141,7 @@ TEST_P(BuildMethodTest, ArrangedPartitionWorks) {
   const Csr g = graph::grid_2d_tri(10, 6);
   const auto part = IntervalPartition::from_weights_arranged(
       g.num_vertices(), std::vector<double>{1, 1, 1}, partition::Arrangement{2, 0, 1});
-  const auto results = build_all(g, part, GetParam());
+  const auto results = build_all_schedules(g, part, GetParam());
   check_pairwise_consistency(part, results);
   check_ghosts_cover_references(g, part, results);
 }
@@ -158,7 +150,7 @@ TEST_P(BuildMethodTest, EmptyBlockRankIsIdle) {
   const Csr g = graph::grid_2d_tri(6, 6);
   const std::vector<Vertex> sizes{18, 0, 18};
   const auto part = IntervalPartition::from_sizes(sizes);
-  const auto results = build_all(g, part, GetParam());
+  const auto results = build_all_schedules(g, part, GetParam());
   const auto& idle = results[1].schedule;
   EXPECT_EQ(idle.nlocal, 0);
   EXPECT_EQ(idle.nghost, 0);
@@ -176,9 +168,9 @@ TEST(BuildEquivalence, AllThreeStrategiesProduceTheSameSchedule) {
   const Csr g = graph::random_delaunay(300, 5);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 2, 1, 1});
-  const auto simple = build_all(g, part, BuildMethod::kSimple);
-  const auto sort1 = build_all(g, part, BuildMethod::kSort1);
-  const auto sort2 = build_all(g, part, BuildMethod::kSort2);
+  const auto simple = build_all_schedules(g, part, BuildMethod::kSimple);
+  const auto sort1 = build_all_schedules(g, part, BuildMethod::kSort1);
+  const auto sort2 = build_all_schedules(g, part, BuildMethod::kSort2);
   for (std::size_t r = 0; r < simple.size(); ++r) {
     const auto& a = simple[r].schedule;
     const auto& b = sort1[r].schedule;
@@ -250,7 +242,7 @@ TEST(LocalizedGraph, RefsPointToCorrectValues) {
   const Csr g = graph::grid_2d_tri(7, 5);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1});
-  const auto results = build_all(g, part, BuildMethod::kSort2);
+  const auto results = build_all_schedules(g, part, BuildMethod::kSort2);
   for (int r = 0; r < 2; ++r) {
     const auto& ir = results[static_cast<std::size_t>(r)];
     for (Vertex local = 0; local < ir.lgraph.nlocal; ++local) {
@@ -276,7 +268,7 @@ TEST(ScheduleValidity, DetectsCorruption) {
   const Csr g = graph::grid_2d_tri(5, 5);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),
                                                     std::vector<double>{1, 1});
-  auto results = build_all(g, part, BuildMethod::kSort2);
+  auto results = build_all_schedules(g, part, BuildMethod::kSort2);
   auto& s = results[0].schedule;
   ASSERT_TRUE(s.valid());
   if (!s.send_items.empty() && !s.send_items[0].empty()) {
