@@ -7,8 +7,14 @@
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "stance/stance.hpp"
 #include "support/cli.hpp"
@@ -72,5 +78,77 @@ inline void print_preamble(const std::string& what) {
             << " columns are the 1995 published values — compare shapes, not\n"
             << " absolutes; see EXPERIMENTS.md)\n\n";
 }
+
+/// Machine-readable bench results: a flat list of named entries, each a
+/// list of (key, value) fields, serialized as pretty JSON. This is the
+/// perf trajectory of the repo — CI uploads the BENCH_*.json artifacts so
+/// regressions are visible across PRs without rerunning old builds.
+class JsonReporter {
+ public:
+  class Entry {
+   public:
+    explicit Entry(std::string name) : name_(std::move(name)) {}
+
+    Entry& field(const std::string& key, double v) {
+      std::ostringstream os;
+      os.precision(9);
+      os << v;
+      fields_.emplace_back(key, os.str());
+      return *this;
+    }
+    Entry& field(const std::string& key, long long v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Entry& field(const std::string& key, std::size_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Entry& field(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, "\"" + v + "\"");
+      return *this;
+    }
+
+   private:
+    friend class JsonReporter;
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// References stay valid across later entry() calls (deque storage).
+  Entry& entry(const std::string& name) {
+    entries_.emplace_back(name);
+    return entries_.back();
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << str();
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "error: failed to write " << path << "\n";
+      std::exit(1);
+    }
+    std::cout << "wrote " << path << "\n";
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::ostringstream os;
+    os << "{\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      os << "    {\n      \"name\": \"" << e.name_ << "\"";
+      for (const auto& [key, value] : e.fields_) {
+        os << ",\n      \"" << key << "\": " << value;
+      }
+      os << "\n    }" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+  }
+
+ private:
+  std::deque<Entry> entries_;
+};
 
 }  // namespace stance::bench

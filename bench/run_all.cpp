@@ -1,0 +1,242 @@
+// Machine-readable perf trajectory: times the overhauled inspector/executor
+// hot paths against the frozen seed baseline (seed_baseline.hpp) and the
+// incremental rebuild against a from-scratch build, writing
+// BENCH_schedule.json and BENCH_remap.json. CI runs this with --small and
+// uploads the artifacts; developers run it bare for the paper-scale mesh.
+//
+//   --small        4k mesh / reduced query counts (CI smoke)
+//   --repeats=N    best-of-N timing (default 5)
+//   --out-dir=DIR  where the JSON lands (default .)
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "mp/cluster.hpp"
+#include "partition/mcr.hpp"
+#include "sched/incremental.hpp"
+#include "sched/localize.hpp"
+#include "seed_baseline.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace stance;
+using partition::IntervalPartition;
+
+/// The overhauled inspector hot path for one rank (build_sorted minus the
+/// virtual-clock charges): one fused traversal with flat-hash dedup,
+/// memoized page-cached home lookups, and a provisional-id patch pass.
+sched::CommSchedule current_inspect(const graph::Csr& g, const IntervalPartition& part,
+                                    partition::Rank me, sched::LocalizedGraph& lg_out) {
+  auto fused = sched::inspect_fused(g, part, me);
+  lg_out = std::move(fused.lgraph);
+  return std::move(fused.sched);
+}
+
+/// Best-of-N host seconds of `body`.
+template <typename F>
+double best_of(int repeats, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    bench::HostTimer timer;
+    body();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+void bench_schedule_build(bench::JsonReporter& report, const graph::Csr& mesh,
+                          int repeats) {
+  const std::size_t nprocs = 8;
+  const auto part = IntervalPartition::from_weights(
+      mesh.num_vertices(), std::vector<double>(nprocs, 1.0));
+
+  volatile std::size_t sink = 0;
+  const double seed_s = best_of(repeats, [&] {
+    for (std::size_t r = 0; r < nprocs; ++r) {
+      sched::LocalizedGraph lg;
+      const auto s = bench::seed::seed_inspect(mesh, part, static_cast<int>(r), lg);
+      sink = sink + s.ghost_globals.size() + lg.refs.size();
+    }
+  });
+  const double current_s = best_of(repeats, [&] {
+    for (std::size_t r = 0; r < nprocs; ++r) {
+      sched::LocalizedGraph lg;
+      const auto s = current_inspect(mesh, part, static_cast<int>(r), lg);
+      sink = sink + s.ghost_globals.size() + lg.refs.size();
+    }
+  });
+
+  report.entry("table3_schedule_build")
+      .field("mesh_vertices", static_cast<long long>(mesh.num_vertices()))
+      .field("mesh_edges", static_cast<long long>(mesh.num_edges()))
+      .field("ranks", nprocs)
+      .field("seed_host_seconds", seed_s)
+      .field("current_host_seconds", current_s)
+      .field("speedup", seed_s / current_s);
+  std::cout << "table3_schedule_build: seed " << seed_s << " s, current " << current_s
+            << " s, speedup " << seed_s / current_s << "x\n";
+}
+
+void bench_translation(bench::JsonReporter& report, bool small, int repeats) {
+  const auto n = static_cast<graph::Vertex>(small ? 100000 : 1000000);
+  const std::size_t nprocs = 16;
+  const std::size_t nqueries = small ? 200000 : 2000000;
+  const auto part =
+      IntervalPartition::from_weights(n, std::vector<double>(nprocs, 1.0));
+  const bench::seed::SeedOwnerTable seed_table(part);
+
+  Rng rng(7);
+  std::vector<graph::Vertex> queries(nqueries);
+  for (auto& q : queries) {
+    q = static_cast<graph::Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+  }
+
+  volatile long long sink = 0;
+  const double seed_s = best_of(repeats, [&] {
+    long long acc = 0;
+    for (const auto q : queries) acc += seed_table.owner(q);
+    sink = sink + acc;
+  });
+  const double current_s = best_of(repeats, [&] {
+    long long acc = 0;
+    for (const auto q : queries) acc += part.owner(q);
+    sink = sink + acc;
+  });
+
+  report.entry("ablate_translation")
+      .field("elements", static_cast<long long>(n))
+      .field("ranks", nprocs)
+      .field("queries", nqueries)
+      .field("seed_host_seconds", seed_s)
+      .field("current_host_seconds", current_s)
+      .field("seed_ns_per_lookup", 1e9 * seed_s / static_cast<double>(nqueries))
+      .field("current_ns_per_lookup", 1e9 * current_s / static_cast<double>(nqueries))
+      .field("speedup", seed_s / current_s);
+  std::cout << "ablate_translation: seed " << seed_s << " s, current " << current_s
+            << " s, speedup " << seed_s / current_s << "x\n";
+}
+
+/// One remap benchmark mode: `next_pair` yields (from, to) partitions.
+template <typename NextPair>
+void bench_remap_mode(bench::JsonReporter& report, const graph::Csr& mesh,
+                      const std::string& name, std::size_t nprocs, int deltas,
+                      NextPair&& next_pair) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(nprocs));
+
+  double full_host = 0.0, incr_host = 0.0;
+  double full_virtual = 0.0, incr_virtual = 0.0;
+  double moved_fraction = 0.0;
+  for (int d = 0; d < deltas; ++d) {
+    const auto [from, to] = next_pair();
+    moved_fraction +=
+        static_cast<double>(from.moved(to)) / static_cast<double>(from.total());
+
+    std::vector<sched::InspectorResult> old(nprocs);
+    cluster.run([&](mp::Process& p) {
+      old[static_cast<std::size_t>(p.rank())] = sched::build_schedule(
+          p, mesh, from, sched::BuildMethod::kSort2, sim::CpuCostModel::sun4());
+    });
+
+    // From-scratch rebuild on `to`: per-rank host seconds, summed.
+    std::atomic<double> host_sum{0.0};
+    cluster.reset_clocks();
+    cluster.run([&](mp::Process& p) {
+      bench::HostTimer timer;
+      const auto r = sched::build_schedule(p, mesh, to, sched::BuildMethod::kSort2,
+                                           sim::CpuCostModel::sun4());
+      const double t = timer.seconds();
+      volatile std::size_t sink = r.schedule.nghost;
+      (void)sink;
+      double cur = host_sum.load();
+      while (!host_sum.compare_exchange_weak(cur, cur + t)) {
+      }
+    });
+    full_host += host_sum.load();
+    full_virtual += cluster.makespan();
+
+    // Incremental patch from `old`.
+    host_sum.store(0.0);
+    cluster.reset_clocks();
+    cluster.run([&](mp::Process& p) {
+      bench::HostTimer timer;
+      const auto r = sched::rebuild_incremental(
+          p, mesh, from, to, old[static_cast<std::size_t>(p.rank())],
+          sim::CpuCostModel::sun4());
+      const double t = timer.seconds();
+      volatile std::size_t sink = r.schedule.nghost;
+      (void)sink;
+      double cur = host_sum.load();
+      while (!host_sum.compare_exchange_weak(cur, cur + t)) {
+      }
+    });
+    incr_host += host_sum.load();
+    incr_virtual += cluster.makespan();
+  }
+
+  report.entry(name)
+      .field("mesh_vertices", static_cast<long long>(mesh.num_vertices()))
+      .field("ranks", nprocs)
+      .field("deltas", static_cast<long long>(deltas))
+      .field("avg_moved_fraction", moved_fraction / deltas)
+      .field("full_host_seconds", full_host / deltas)
+      .field("incremental_host_seconds", incr_host / deltas)
+      .field("host_speedup", full_host / incr_host)
+      .field("full_virtual_seconds", full_virtual / deltas)
+      .field("incremental_virtual_seconds", incr_virtual / deltas)
+      .field("virtual_speedup", full_virtual / incr_virtual);
+  std::cout << name << ": full " << full_host / deltas << " s/delta, incremental "
+            << incr_host / deltas << " s/delta, speedup " << full_host / incr_host
+            << "x (virtual " << full_virtual / incr_virtual << "x)\n";
+}
+
+void bench_remap(bench::JsonReporter& report, const graph::Csr& mesh, int deltas) {
+  const std::size_t nprocs = 5;
+
+  // Worst case for patching: MCR remaps after full random capability
+  // redraws — typically half the line moves.
+  Rng redraw_rng(1234);
+  bench_remap_mode(report, mesh, "table2_incremental_rebuild", nprocs, deltas, [&] {
+    const auto from = IntervalPartition::from_weights(mesh.num_vertices(),
+                                                      random_weights(nprocs, redraw_rng));
+    const auto to = partition::repartition_mcr(from, random_weights(nprocs, redraw_rng));
+    return std::make_pair(from, to);
+  });
+
+  // The adaptive steady state (paper footnote 1: the structure adapts every
+  // few iterations): capabilities drift a few percent, boundaries slide.
+  Rng drift_rng(5678);
+  auto weights = random_weights(nprocs, drift_rng);
+  bench_remap_mode(report, mesh, "table2_incremental_rebuild_drift", nprocs, deltas,
+                   [&] {
+                     const auto from = IntervalPartition::from_weights(
+                         mesh.num_vertices(), weights);
+                     for (auto& w : weights) w *= drift_rng.uniform(0.95, 1.05);
+                     const auto to = partition::repartition_same_arrangement(
+                         from, weights);
+                     return std::make_pair(from, to);
+                   });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool small = args.get_bool("small", false);
+  const int repeats = static_cast<int>(args.get_int("repeats", 5));
+  const std::string out_dir = args.get("out-dir", ".");
+  std::cout << "\n=== run_all — machine-readable perf benches ===\n";
+
+  const graph::Csr& mesh = bench::mesh_for(args);
+  std::cout << "mesh: " << mesh.num_vertices() << " vertices, " << mesh.num_edges()
+            << " edges\n";
+
+  bench::JsonReporter schedule_report;
+  bench_schedule_build(schedule_report, mesh, repeats);
+  bench_translation(schedule_report, small, repeats);
+  schedule_report.write(out_dir + "/BENCH_schedule.json");
+
+  bench::JsonReporter remap_report;
+  bench_remap(remap_report, mesh, small ? 5 : 20);
+  remap_report.write(out_dir + "/BENCH_remap.json");
+  return 0;
+}

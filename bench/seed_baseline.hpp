@@ -1,0 +1,137 @@
+// Frozen copy of the seed's inspector/translation hot path, kept verbatim
+// so every future build can measure its speedup against the same baseline
+// (BENCH_schedule.json). Do not "fix" this code — it *is* the baseline:
+// node-based std::unordered_map dedup, std::map rank grouping, and
+// binary-search interval dereferencing, exactly as the seed shipped them.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/interval.hpp"
+#include "sched/schedule.hpp"
+
+namespace stance::bench::seed {
+
+using graph::Vertex;
+using partition::IntervalPartition;
+using partition::Rank;
+
+/// The seed's DedupTable: node-based hashing, one allocation per unique.
+class SeedDedupTable {
+ public:
+  Vertex insert(Vertex global) {
+    const auto [it, inserted] =
+        map_.try_emplace(global, static_cast<Vertex>(uniques_.size()));
+    if (inserted) uniques_.push_back(global);
+    return it->second;
+  }
+  [[nodiscard]] std::size_t unique_count() const noexcept { return uniques_.size(); }
+  [[nodiscard]] const std::vector<Vertex>& uniques() const noexcept { return uniques_; }
+
+ private:
+  std::unordered_map<Vertex, Vertex> map_;
+  std::vector<Vertex> uniques_;
+};
+
+/// The seed's replicated interval table dereference: binary search over
+/// block starts per lookup (no page index).
+class SeedOwnerTable {
+ public:
+  explicit SeedOwnerTable(const IntervalPartition& part) : part_(part) {
+    for (const Rank r : part.arrangement()) starts_.push_back(part.first(r));
+  }
+
+  [[nodiscard]] Rank owner(Vertex g) const {
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), g);
+    auto idx = static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
+    while (part_.size(part_.arrangement()[idx]) == 0) --idx;
+    return part_.arrangement()[idx];
+  }
+
+ private:
+  const IntervalPartition& part_;
+  std::vector<Vertex> starts_;
+};
+
+/// Seed inspector hot path for one rank: dedup + group (ordered map) +
+/// canonical layout (node-based slot map) + localize + symmetric sends —
+/// the exact sequence build_sorted executed before the overhaul.
+inline sched::CommSchedule seed_inspect(const graph::Csr& g,
+                                        const IntervalPartition& part, Rank me,
+                                        sched::LocalizedGraph& lg_out) {
+  const SeedOwnerTable table(part);
+  sched::CommSchedule sched;
+  sched.nlocal = part.size(me);
+
+  // collect_offproc_refs (seed): unordered_map dedup, std::map grouping.
+  SeedDedupTable dedup;
+  std::map<Rank, std::vector<Vertex>> groups;
+  for (Vertex v = part.first(me); v < part.end(me); ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      if (part.owns(me, u)) continue;
+      const auto before = dedup.unique_count();
+      dedup.insert(u);
+      if (dedup.unique_count() > before) groups[table.owner(u)].push_back(u);
+    }
+  }
+
+  // canonical_ghost_layout (seed): node-based slot map.
+  std::unordered_map<Vertex, Vertex> slot_of;
+  Vertex slot = 0;
+  for (auto& [owner, group] : groups) {
+    std::sort(group.begin(), group.end());
+    std::vector<Vertex> slots(group.size());
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      slots[k] = slot;
+      slot_of.emplace(group[k], slot);
+      sched.ghost_globals.push_back(group[k]);
+      ++slot;
+    }
+    sched.recv_procs.push_back(owner);
+    sched.recv_slots.push_back(std::move(slots));
+  }
+  sched.nghost = slot;
+
+  // collect_symmetric_sends (seed).
+  std::map<Rank, std::vector<Vertex>> send_groups;
+  std::vector<Rank> vertex_dests;
+  for (Vertex v = part.first(me); v < part.end(me); ++v) {
+    vertex_dests.clear();
+    for (const Vertex u : g.neighbors(v)) {
+      if (part.owns(me, u)) continue;
+      vertex_dests.push_back(table.owner(u));
+    }
+    std::sort(vertex_dests.begin(), vertex_dests.end());
+    vertex_dests.erase(std::unique(vertex_dests.begin(), vertex_dests.end()),
+                       vertex_dests.end());
+    for (const Rank d : vertex_dests) send_groups[d].push_back(v - part.first(me));
+  }
+  for (auto& [dest, locals] : send_groups) {
+    sched.send_procs.push_back(dest);
+    sched.send_items.push_back(std::move(locals));
+  }
+
+  // localize_graph (seed): node-based slot lookups per reference.
+  lg_out = sched::LocalizedGraph{};
+  lg_out.nlocal = part.size(me);
+  lg_out.nghost = static_cast<Vertex>(slot_of.size());
+  lg_out.offsets.push_back(0);
+  const Vertex base = part.first(me);
+  for (Vertex v = base; v < part.end(me); ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      if (part.owns(me, u)) {
+        lg_out.refs.push_back(u - base);
+      } else {
+        lg_out.refs.push_back(lg_out.nlocal + slot_of.find(u)->second);
+      }
+    }
+    lg_out.offsets.push_back(static_cast<graph::EdgeIndex>(lg_out.refs.size()));
+  }
+  return sched;
+}
+
+}  // namespace stance::bench::seed

@@ -51,6 +51,7 @@ class EdgeSweep {
   std::vector<int> ghost_home_;  ///< home rank per ghost slot
   std::vector<double> ghost_values_;
   std::vector<double> ghost_contrib_;
+  ExecWorkspace ws_;  ///< persistent pack/unpack buffers (zero-alloc sweep)
 };
 
 }  // namespace stance::exec

@@ -2,11 +2,19 @@
 // into the local ghost buffer; scatter pushes ghost contributions back to
 // their owners with a combining operator. Both are driven entirely by a
 // CommSchedule — the executor never consults a translation table.
+//
+// Steady-state calls are allocation-free: payloads are packed into a
+// persistent ExecWorkspace and received via Process::recv_into, whose
+// buffers round-trip through the mailbox pool. Each executor phase uses a
+// distinct message tag so interleaved phases (e.g. a sweep's gather racing
+// an operator's gather on a buffered-send cluster) can never cross-match.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <span>
 
+#include "exec/workspace.hpp"
 #include "mp/process.hpp"
 #include "sched/schedule.hpp"
 #include "sim/cpu_costs.hpp"
@@ -19,37 +27,67 @@ using sched::Vertex;
 
 inline constexpr mp::Tag kGatherTag = 0x7e000001;
 inline constexpr mp::Tag kScatterTag = 0x7e000002;
+// Per-phase tags for the executors built on gather/scatter. Keeping every
+// call site on its own tag means a message can only ever match the phase
+// that posted it.
+inline constexpr mp::Tag kLoopGatherTag = 0x7e000011;
+inline constexpr mp::Tag kSweepGatherTag = 0x7e000012;
+inline constexpr mp::Tag kSweepScatterTag = 0x7e000013;
+inline constexpr mp::Tag kOperatorGatherTag = 0x7e000014;
 
 /// Collective. `local` is this rank's owned values (size nlocal); on return
-/// `ghost` (size nghost) holds the referenced off-processor values.
+/// `ghost` (size nghost) holds the referenced off-processor values. `ws`
+/// provides the packing/unpacking buffers and is typically owned by the
+/// calling executor for the lifetime of the schedule.
 template <mp::WireType T>
 void gather(mp::Process& p, const CommSchedule& s, std::span<const T> local,
-            std::span<T> ghost, const sim::CpuCostModel& costs = sim::CpuCostModel::free()) {
+            std::span<T> ghost, ExecWorkspace& ws,
+            const sim::CpuCostModel& costs = sim::CpuCostModel::free(),
+            mp::Tag tag = kGatherTag) {
   STANCE_REQUIRE(local.size() == static_cast<std::size_t>(s.nlocal),
                  "gather: local buffer size mismatch");
   STANCE_REQUIRE(ghost.size() == static_cast<std::size_t>(s.nghost),
                  "gather: ghost buffer size mismatch");
+  std::size_t max_send = 0;
+  for (const auto& items : s.send_items) max_send = std::max(max_send, items.size());
+  std::size_t max_recv = 0;
+  for (const auto& slots : s.recv_slots) max_recv = std::max(max_recv, slots.size());
+  // Cover both this gather's inbound messages and the matching scatter's
+  // (which arrive on the send lists), two iterations deep.
+  ws.prewarm(p, 2 * (s.send_procs.size() + s.recv_procs.size()),
+             std::max(max_send, max_recv) * sizeof(T));
   // Pack and post every send first (sends are buffered), then receive in
   // ascending peer order.
-  std::vector<T> payload;
+  const std::span<T> payload = ws.send_buffer<T>(max_send);
   for (std::size_t i = 0; i < s.send_procs.size(); ++i) {
     const auto& items = s.send_items[i];
-    payload.resize(items.size());
     for (std::size_t k = 0; k < items.size(); ++k) {
       payload[k] = local[static_cast<std::size_t>(items[k])];
     }
     p.compute(costs.per_copy_element * static_cast<double>(items.size()));
-    p.send(s.send_procs[i], kGatherTag, std::span<const T>(payload));
+    p.send(s.send_procs[i], tag,
+           std::span<const T>(payload.data(), items.size()));
   }
+  const std::span<T> incoming = ws.recv_buffer<T>(max_recv);
   for (std::size_t i = 0; i < s.recv_procs.size(); ++i) {
-    const auto data = p.recv<T>(s.recv_procs[i], kGatherTag);
     const auto& slots = s.recv_slots[i];
-    STANCE_ASSERT_MSG(data.size() == slots.size(), "gather: message size mismatch");
+    p.recv_into(s.recv_procs[i], tag, incoming.subspan(0, slots.size()));
     for (std::size_t k = 0; k < slots.size(); ++k) {
-      ghost[static_cast<std::size_t>(slots[k])] = data[k];
+      ghost[static_cast<std::size_t>(slots[k])] = incoming[k];
     }
     p.compute(costs.per_copy_element * static_cast<double>(slots.size()));
   }
+}
+
+/// Workspace-free convenience overload (allocates a transient workspace;
+/// prefer the workspace form inside iteration loops).
+template <mp::WireType T>
+void gather(mp::Process& p, const CommSchedule& s, std::span<const T> local,
+            std::span<T> ghost,
+            const sim::CpuCostModel& costs = sim::CpuCostModel::free(),
+            mp::Tag tag = kGatherTag) {
+  ExecWorkspace ws;
+  gather(p, s, local, ghost, ws, costs, tag);
 }
 
 /// Collective. Reverse of gather: `ghost` holds contributions this rank
@@ -57,40 +95,67 @@ void gather(mp::Process& p, const CommSchedule& s, std::span<const T> local,
 /// contribution into `local` via `combine(local_value, contribution)`.
 template <mp::WireType T, typename Combine>
 void scatter(mp::Process& p, const CommSchedule& s, std::span<const T> ghost,
-             std::span<T> local, Combine combine,
-             const sim::CpuCostModel& costs = sim::CpuCostModel::free()) {
+             std::span<T> local, Combine combine, ExecWorkspace& ws,
+             const sim::CpuCostModel& costs = sim::CpuCostModel::free(),
+             mp::Tag tag = kScatterTag) {
   STANCE_REQUIRE(local.size() == static_cast<std::size_t>(s.nlocal),
                  "scatter: local buffer size mismatch");
   STANCE_REQUIRE(ghost.size() == static_cast<std::size_t>(s.nghost),
                  "scatter: ghost buffer size mismatch");
-  std::vector<T> payload;
+  std::size_t max_send = 0;
+  for (const auto& slots : s.recv_slots) max_send = std::max(max_send, slots.size());
+  std::size_t max_recv = 0;
+  for (const auto& items : s.send_items) max_recv = std::max(max_recv, items.size());
+  ws.prewarm(p, 2 * (s.send_procs.size() + s.recv_procs.size()),
+             std::max(max_send, max_recv) * sizeof(T));
+  const std::span<T> payload = ws.send_buffer<T>(max_send);
   for (std::size_t i = 0; i < s.recv_procs.size(); ++i) {
     const auto& slots = s.recv_slots[i];
-    payload.resize(slots.size());
     for (std::size_t k = 0; k < slots.size(); ++k) {
       payload[k] = ghost[static_cast<std::size_t>(slots[k])];
     }
     p.compute(costs.per_copy_element * static_cast<double>(slots.size()));
-    p.send(s.recv_procs[i], kScatterTag, std::span<const T>(payload));
+    p.send(s.recv_procs[i], tag,
+           std::span<const T>(payload.data(), slots.size()));
   }
+  const std::span<T> incoming = ws.recv_buffer<T>(max_recv);
   for (std::size_t i = 0; i < s.send_procs.size(); ++i) {
-    const auto data = p.recv<T>(s.send_procs[i], kScatterTag);
     const auto& items = s.send_items[i];
-    STANCE_ASSERT_MSG(data.size() == items.size(), "scatter: message size mismatch");
+    p.recv_into(s.send_procs[i], tag, incoming.subspan(0, items.size()));
     for (std::size_t k = 0; k < items.size(); ++k) {
       auto& slot = local[static_cast<std::size_t>(items[k])];
-      slot = combine(slot, data[k]);
+      slot = combine(slot, incoming[k]);
     }
     p.compute(costs.per_copy_element * static_cast<double>(items.size()));
   }
 }
 
+/// Workspace-free convenience overload.
+template <mp::WireType T, typename Combine>
+void scatter(mp::Process& p, const CommSchedule& s, std::span<const T> ghost,
+             std::span<T> local, Combine combine,
+             const sim::CpuCostModel& costs = sim::CpuCostModel::free(),
+             mp::Tag tag = kScatterTag) {
+  ExecWorkspace ws;
+  scatter(p, s, ghost, local, combine, ws, costs, tag);
+}
+
 /// Sum-combining scatter, the common case for FEM assembly.
 template <mp::WireType T>
 void scatter_add(mp::Process& p, const CommSchedule& s, std::span<const T> ghost,
+                 std::span<T> local, ExecWorkspace& ws,
+                 const sim::CpuCostModel& costs = sim::CpuCostModel::free(),
+                 mp::Tag tag = kScatterTag) {
+  scatter(p, s, ghost, local, [](T a, T b) { return a + b; }, ws, costs, tag);
+}
+
+template <mp::WireType T>
+void scatter_add(mp::Process& p, const CommSchedule& s, std::span<const T> ghost,
                  std::span<T> local,
-                 const sim::CpuCostModel& costs = sim::CpuCostModel::free()) {
-  scatter(p, s, ghost, local, [](T a, T b) { return a + b; }, costs);
+                 const sim::CpuCostModel& costs = sim::CpuCostModel::free(),
+                 mp::Tag tag = kScatterTag) {
+  ExecWorkspace ws;
+  scatter_add(p, s, ghost, local, ws, costs, tag);
 }
 
 }  // namespace stance::exec

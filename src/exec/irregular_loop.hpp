@@ -72,6 +72,7 @@ class IrregularLoop {
   std::vector<double> vertex_work_;  ///< empty = uniform
   std::vector<double> ghost_;
   std::vector<double> t_;
+  ExecWorkspace ws_;  ///< persistent pack/unpack buffers (zero-alloc iterate)
 
   void recompute_work();
 };

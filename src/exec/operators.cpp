@@ -22,7 +22,7 @@ void LaplacianOperator::apply(mp::Process& p, std::span<const double> x,
   const auto nlocal = static_cast<std::size_t>(lgraph_.nlocal);
   STANCE_REQUIRE(x.size() == nlocal && y.size() == nlocal,
                  "LaplacianOperator::apply: vector size mismatch");
-  gather<double>(p, sched_, x, ghost_, cpu_costs_);
+  gather<double>(p, sched_, x, ghost_, ws_, cpu_costs_, kOperatorGatherTag);
   for (std::size_t i = 0; i < nlocal; ++i) {
     const auto refs = lgraph_.refs_of(static_cast<sched::Vertex>(i));
     double acc = (shift_ + static_cast<double>(refs.size())) * x[i];

@@ -45,6 +45,7 @@ class LaplacianOperator {
   sim::CpuCostModel cpu_costs_;
   double work_per_apply_ = 0.0;
   std::vector<double> ghost_;
+  ExecWorkspace ws_;  ///< persistent pack/unpack buffers (zero-alloc apply)
 };
 
 }  // namespace stance::exec

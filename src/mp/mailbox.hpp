@@ -5,13 +5,18 @@
 // oldest message with the requested source and tag, so per-sender FIFO
 // order is preserved. A shutdown flag releases blocked receivers with
 // ClusterAborted when a peer process fails.
+//
+// The mailbox also pools payload buffers: senders targeting this mailbox
+// acquire their payload storage from here, and the receiver recycles it
+// after consuming a message, so steady-state exchanges (the executor's
+// gather/scatter iterations) perform no heap allocations.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "mp/message.hpp"
 
@@ -19,6 +24,12 @@ namespace stance::mp {
 
 class Mailbox {
  public:
+  Mailbox() {
+    // Pre-size the queue and pool so steady-state deposits never grow them.
+    queue_.reserve(kMaxPooled);
+    pool_.reserve(kMaxPooled);
+  }
+
   /// Enqueue a message; never blocks. Safe from any thread.
   void deposit(RawMessage msg);
 
@@ -28,6 +39,24 @@ class Mailbox {
 
   /// Non-blocking variant; empty optional if no match is queued.
   std::optional<RawMessage> try_take(Rank source, Tag tag);
+
+  /// A payload buffer of exactly `size` bytes, reusing a recycled buffer's
+  /// capacity when one is pooled. Senders to this mailbox call this so the
+  /// buffer's storage round-trips instead of being reallocated per message.
+  [[nodiscard]] std::vector<std::byte> acquire(std::size_t size);
+
+  /// Return a consumed payload buffer to the pool (bounded; excess buffers
+  /// are simply freed).
+  void recycle(std::vector<std::byte> buffer);
+
+  /// Ensure the pool holds at least `count` buffers of capacity >= `bytes`.
+  /// Executors call this (through Process::prefill_recv_buffers) with their
+  /// schedule's worst-case inbound message pattern, which makes steady-state
+  /// sends to this mailbox deterministically allocation-free. Returns false
+  /// when the kMaxPooled cap truncated the request — the zero-alloc
+  /// guarantee then degrades to best-effort and callers must not memoize
+  /// the requirement as satisfied.
+  [[nodiscard]] bool prefill(std::size_t count, std::size_t bytes);
 
   /// Number of queued messages (diagnostics only).
   [[nodiscard]] std::size_t pending() const;
@@ -41,9 +70,14 @@ class Mailbox {
   void clear();
 
  private:
+  static constexpr std::size_t kMaxPooled = 256;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<RawMessage> queue_;
+  // FIFO bag: matching scans oldest-first, erase preserves order, and the
+  // vector's capacity is retained across steady-state push/pop cycles.
+  std::vector<RawMessage> queue_;
+  std::vector<std::vector<std::byte>> pool_;
   bool down_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "mp/process.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -37,8 +38,10 @@ void Process::send_bytes(Rank dest, Tag tag, std::span<const std::byte> data) {
   clock_.advance_work(net_.sender_busy(data.size()));  // protocol work runs on the
                                                        // (possibly loaded) CPU
   const double arrival = clock_.now() + net_.transfer_time(data.size());
-  boxes_[static_cast<std::size_t>(dest)].deposit(
-      RawMessage{rank_, tag, std::vector<std::byte>(data.begin(), data.end()), arrival});
+  Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
+  std::vector<std::byte> payload = box.acquire(data.size());
+  std::copy(data.begin(), data.end(), payload.begin());
+  box.deposit(RawMessage{rank_, tag, std::move(payload), arrival});
   ++stats_.messages_sent;
   stats_.bytes_sent += data.size();
   stats_.comm_seconds += clock_.now() - before;
@@ -57,6 +60,10 @@ RawMessage Process::recv_raw(Rank source, Tag tag) {
   return msg;
 }
 
+void Process::recycle(RawMessage&& msg) {
+  boxes_[static_cast<std::size_t>(rank_)].recycle(std::move(msg.payload));
+}
+
 void Process::multicast_bytes(std::span<const Rank> dests, Tag tag,
                               std::span<const std::byte> data) {
   if (dests.empty()) return;
@@ -70,8 +77,10 @@ void Process::multicast_bytes(std::span<const Rank> dests, Tag tag,
   for (const Rank d : dests) {
     STANCE_REQUIRE(d >= 0 && d < nprocs_, "multicast: destination out of range");
     STANCE_REQUIRE(d != rank_, "multicast: cannot send to self");
-    boxes_[static_cast<std::size_t>(d)].deposit(
-        RawMessage{rank_, tag, std::vector<std::byte>(data.begin(), data.end()), arrival});
+    Mailbox& box = boxes_[static_cast<std::size_t>(d)];
+    std::vector<std::byte> payload = box.acquire(data.size());
+    std::copy(data.begin(), data.end(), payload.begin());
+    box.deposit(RawMessage{rank_, tag, std::move(payload), arrival});
   }
   ++stats_.messages_sent;
   ++stats_.multicasts;

@@ -90,6 +90,31 @@ class Process {
     return v[0];
   }
 
+  /// Allocation-free receive: the matching message must carry exactly
+  /// `out.size()` elements, which are copied into `out`; the payload buffer
+  /// is recycled into this rank's mailbox pool for senders to reuse. This
+  /// is the executor's steady-state receive path.
+  template <WireType T>
+  void recv_into(Rank source, Tag tag, std::span<T> out) {
+    RawMessage m = recv_raw(source, tag);
+    STANCE_ASSERT_MSG(m.payload.size() == out.size_bytes(),
+                      "recv_into: message size mismatch");
+    if (!out.empty()) std::memcpy(out.data(), m.payload.data(), out.size_bytes());
+    recycle(std::move(m));
+  }
+
+  /// Return a consumed message's payload buffer to this rank's mailbox
+  /// pool so future senders reuse it instead of allocating.
+  void recycle(RawMessage&& msg);
+
+  /// Pre-provision this rank's mailbox pool for a known inbound message
+  /// pattern: `count` concurrent messages of up to `bytes` each. Senders to
+  /// this rank then never allocate in steady state. False when the pool cap
+  /// truncated the request (guarantee degrades to best-effort).
+  [[nodiscard]] bool prefill_recv_buffers(std::size_t count, std::size_t bytes) {
+    return boxes_[static_cast<std::size_t>(rank_)].prefill(count, bytes);
+  }
+
   // --- multicast (§3.6) ----------------------------------------------------
 
   /// Send the same payload to every rank in `dests`. With a multicast-capable

@@ -1,6 +1,7 @@
 #include "partition/interval.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 
@@ -146,19 +147,35 @@ void IntervalPartition::finalize() {
   starts_.clear();
   starts_.reserve(arrangement_.size());
   for (const Rank r : arrangement_) starts_.push_back(first_[static_cast<std::size_t>(r)]);
-}
 
-Rank IntervalPartition::owner(Vertex g) const {
-  STANCE_REQUIRE(g >= 0 && g < total_, "owner: element out of range");
-  // Last block whose start is <= g. Empty blocks share their start with the
-  // following block; skip backwards over them.
-  auto it = std::upper_bound(starts_.begin(), starts_.end(), g);
-  auto idx = static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
-  while (size_[static_cast<std::size_t>(arrangement_[idx])] == 0) {
-    STANCE_ASSERT(idx > 0);
-    --idx;
+  // Page index for owner(): pages are sized so there are a handful per
+  // block (~4x the processor count, capped), which makes the forward scan
+  // in owner() almost always zero or one step.
+  page_line_.clear();
+  page_shift_ = 0;
+  if (total_ == 0) return;
+  const auto target_pages =
+      std::min<std::size_t>(std::bit_ceil(4 * arrangement_.size()), 1u << 16);
+  while ((static_cast<std::size_t>(total_) >> page_shift_) >= target_pages) {
+    ++page_shift_;
   }
-  return arrangement_[idx];
+  const std::size_t npages =
+      (static_cast<std::size_t>(total_ - 1) >> page_shift_) + 1;
+  page_line_.resize(npages);
+  // Walk pages and blocks together; li tracks the last non-empty block
+  // whose start is <= the page's first element (empty blocks share their
+  // start with the following block, so they are skipped).
+  std::size_t li = 0;
+  while (size_[static_cast<std::size_t>(arrangement_[li])] == 0) ++li;
+  std::size_t j = li + 1;
+  for (std::size_t page = 0; page < npages; ++page) {
+    const auto page_first = static_cast<Vertex>(page << page_shift_);
+    while (j < starts_.size() && starts_[j] <= page_first) {
+      if (size_[static_cast<std::size_t>(arrangement_[j])] != 0) li = j;
+      ++j;
+    }
+    page_line_[page] = static_cast<std::int32_t>(li);
+  }
 }
 
 Rank IntervalPartition::owner_linear(Vertex g) const {

@@ -6,11 +6,13 @@
 // comes first) is exactly the degree of freedom MCR optimizes (§3.4).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "support/assert.hpp"
 
 namespace stance::partition {
 
@@ -62,9 +64,21 @@ class IntervalPartition {
   [[nodiscard]] Vertex size(Rank p) const { return size_[static_cast<std::size_t>(p)]; }
   [[nodiscard]] Vertex end(Rank p) const { return first(p) + size(p); }
 
-  /// Owner of global element g — O(log p) binary search over block starts.
-  /// This is the replicated interval translation table of paper Fig. 3.
-  [[nodiscard]] Rank owner(Vertex g) const;
+  /// Owner of global element g. This is the replicated interval translation
+  /// table of paper Fig. 3, accelerated by a page index: the line is cut
+  /// into power-of-two-sized pages (a few per block) and each page caches
+  /// the block its first element falls in, so a lookup is one shift, one
+  /// load, and at most a short forward scan — instead of a branchy
+  /// O(log p) binary search per dereference.
+  [[nodiscard]] Rank owner(Vertex g) const {
+    STANCE_REQUIRE(g >= 0 && g < total_, "owner: element out of range");
+    auto li = static_cast<std::size_t>(page_line_[static_cast<std::size_t>(g) >>
+                                                 page_shift_]);
+    for (std::size_t j = li + 1; j < starts_.size() && starts_[j] <= g; ++j) {
+      if (size_[static_cast<std::size_t>(arrangement_[j])] != 0) li = j;
+    }
+    return arrangement_[li];
+  }
 
   /// Owner by linear scan, as the paper describes ("the list is searched
   /// until the processor holding the element is found"). Same result.
@@ -96,11 +110,19 @@ class IntervalPartition {
     return a.first_ == b.first_ && a.size_ == b.size_;
   }
 
+  /// Bytes of the replicated lookup structures (starts + page index) — the
+  /// O(p) memory the paper's §3.2 comparison charges the interval table.
+  [[nodiscard]] std::size_t index_bytes() const noexcept {
+    return starts_.size() * sizeof(Vertex) + page_line_.size() * sizeof(std::int32_t);
+  }
+
  private:
   std::vector<Vertex> first_;   ///< per processor
   std::vector<Vertex> size_;    ///< per processor
   Arrangement arrangement_;     ///< processors in block order
   std::vector<Vertex> starts_;  ///< block starts in line order (for owner())
+  std::vector<std::int32_t> page_line_;  ///< line index of each page's first element
+  int page_shift_ = 0;                   ///< log2 of the page size
   Vertex total_ = 0;
 
   void finalize();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/flat_hash.hpp"
 
 namespace stance::partition {
 
@@ -63,16 +64,35 @@ std::vector<TranslationEntry> DistributedTranslationTable::dereference(
   const auto np = static_cast<std::size_t>(p.nprocs());
   const Rank me = p.rank();
 
-  // Bucket queries by the owner of their *table block*.
-  std::vector<std::vector<Vertex>> ask(np);
-  // Remember where each query's answer must land.
-  std::vector<std::vector<std::size_t>> slot(np);
+  // Translation cache: dedup the queries through a flat hash so each
+  // distinct global index crosses the network exactly once; repeated
+  // queries are answered from the cache when the replies are fanned back
+  // out below. The per-query hash charge is deliberate — CHAOS-style
+  // software caching pays hash work to save message rounds — and applies
+  // even when the caller (build_simple) already deduplicated, mirroring a
+  // layer that cannot assume unique inputs.
+  support::FlatHash<Vertex, Vertex> cache(queries.size());
+  std::vector<Vertex> cache_id(queries.size());
+  std::vector<Vertex> uniques;
+  uniques.reserve(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    const Rank holder = table_blocks_.owner(queries[i]);
-    ask[static_cast<std::size_t>(holder)].push_back(queries[i]);
+    const auto [id, inserted] =
+        cache.try_emplace(queries[i], static_cast<Vertex>(uniques.size()));
+    if (inserted) uniques.push_back(queries[i]);
+    cache_id[i] = id;
+  }
+  p.compute(costs_.per_hash_op * static_cast<double>(queries.size()));
+
+  // Bucket the unique queries by the owner of their *table block*.
+  std::vector<std::vector<Vertex>> ask(np);
+  // Remember where each unique query's answer must land.
+  std::vector<std::vector<std::size_t>> slot(np);
+  for (std::size_t i = 0; i < uniques.size(); ++i) {
+    const Rank holder = table_blocks_.owner(uniques[i]);
+    ask[static_cast<std::size_t>(holder)].push_back(uniques[i]);
     slot[static_cast<std::size_t>(holder)].push_back(i);
   }
-  p.compute(costs_.per_list_op * static_cast<double>(queries.size()));
+  p.compute(costs_.per_list_op * static_cast<double>(uniques.size()));
 
   // Round 1: ship the queries (dense all-to-all — every pair pays a message
   // setup, which is the cost the paper's Table 3 shows growing with p).
@@ -91,15 +111,20 @@ std::vector<TranslationEntry> DistributedTranslationTable::dereference(
     p.compute(costs_.per_table_lookup * static_cast<double>(incoming[src].size()));
   }
 
-  // Round 2: ship the answers back.
+  // Round 2: ship the answers back, then fan them out to every (possibly
+  // duplicated) original query through the cache ids.
   const auto answers = p.alltoallv(replies);
 
-  std::vector<TranslationEntry> out(queries.size());
+  std::vector<TranslationEntry> unique_entries(uniques.size());
   for (std::size_t holder = 0; holder < np; ++holder) {
     STANCE_ASSERT(answers[holder].size() == slot[holder].size());
     for (std::size_t k = 0; k < answers[holder].size(); ++k) {
-      out[slot[holder][k]] = answers[holder][k];
+      unique_entries[slot[holder][k]] = answers[holder][k];
     }
+  }
+  std::vector<TranslationEntry> out(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i] = unique_entries[static_cast<std::size_t>(cache_id[i])];
   }
   return out;
 }

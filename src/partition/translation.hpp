@@ -45,9 +45,11 @@ class IntervalTranslationTable {
 
   [[nodiscard]] const IntervalPartition& partition() const noexcept { return partition_; }
 
-  /// Memory footprint per processor: one (first, size) pair per processor.
+  /// Memory footprint per processor: one (first, size) pair per processor
+  /// plus the O(p) page index that accelerates owner().
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
-    return static_cast<std::size_t>(partition_.nparts()) * 2 * sizeof(Vertex);
+    return static_cast<std::size_t>(partition_.nparts()) * 2 * sizeof(Vertex) +
+           partition_.index_bytes();
   }
 
  private:

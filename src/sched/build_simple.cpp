@@ -4,7 +4,6 @@
 // with the processor count — the behaviour the paper measures.
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "partition/translation.hpp"
 #include "sched/inspector.hpp"
@@ -12,15 +11,6 @@
 #include "support/assert.hpp"
 
 namespace stance::sched {
-namespace {
-
-double sort_cost(const sim::CpuCostModel& costs, std::size_t k) {
-  if (k < 2) return 0.0;
-  return costs.per_sort_item * static_cast<double>(k) *
-         std::log2(static_cast<double>(k));
-}
-
-}  // namespace
 
 InspectorResult build_simple(mp::Process& p, const graph::Csr& g,
                              const IntervalPartition& part,
@@ -50,18 +40,20 @@ InspectorResult build_simple(mp::Process& p, const graph::Csr& g,
   const auto entries = table.dereference(p, uniques);
 
   // Group by home (as reported by the table) and sort to canonical order.
-  std::map<Rank, std::vector<Vertex>> groups;
+  // Homes are dense ranks, so rank-indexed buckets beat an ordered map.
+  std::vector<std::vector<Vertex>> buckets(np);
   for (std::size_t i = 0; i < uniques.size(); ++i) {
-    groups[entries[i].home].push_back(uniques[i]);
+    buckets[static_cast<std::size_t>(entries[i].home)].push_back(uniques[i]);
   }
   p.compute(costs.per_list_op * static_cast<double>(uniques.size()));
   std::vector<Rank> owners;
   std::vector<std::vector<Vertex>> globals;
   double recv_sort = 0.0;
-  for (auto& [owner, list] : groups) {
-    recv_sort += sort_cost(costs, list.size());
-    owners.push_back(owner);
-    globals.push_back(std::move(list));
+  for (std::size_t r = 0; r < buckets.size(); ++r) {
+    if (buckets[r].empty()) continue;
+    recv_sort += sort_cost(costs, buckets[r].size());
+    owners.push_back(static_cast<Rank>(r));
+    globals.push_back(std::move(buckets[r]));
   }
   p.compute(recv_sort);
   const auto slot_of = canonical_ghost_layout(std::move(owners), std::move(globals), sched);

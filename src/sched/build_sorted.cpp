@@ -1,63 +1,57 @@
 // schedule_sort1 / schedule_sort2 (paper §3.2, Fig. 4): communication-free
 // schedule construction for symmetric access patterns.
 #include <cmath>
+#include <utility>
 
 #include "sched/inspector.hpp"
 #include "sched/localize.hpp"
 #include "support/assert.hpp"
 
 namespace stance::sched {
-namespace {
-
-/// Virtual cost of sorting k items (comparison sort, per-item x log2 k).
-double sort_cost(const sim::CpuCostModel& costs, std::size_t k) {
-  if (k < 2) return 0.0;
-  return costs.per_sort_item * static_cast<double>(k) *
-         std::log2(static_cast<double>(k));
-}
-
-}  // namespace
 
 InspectorResult build_sorted(mp::Process& p, const graph::Csr& g,
                              const IntervalPartition& part, bool sort_sends,
                              const sim::CpuCostModel& costs) {
   const Rank me = p.rank();
-  InspectorResult result;
-  CommSchedule& sched = result.schedule;
-  sched.nlocal = part.size(me);
 
-  // Receive side: dedup off-processor references (hash table), group by
-  // home processor (interval-table lookups), sort each group into the
-  // canonical order ("each segment ... sorted according to the local
-  // references of these nodes in their home processor").
-  auto refs = collect_offproc_refs(g, part, me);
-  p.compute(costs.per_hash_op * static_cast<double>(refs.hash_ops) +
-            costs.per_table_lookup * static_cast<double>(refs.traversed_refs));
+  // One fused traversal produces the receive side, the send side, and the
+  // localized graph (see inspect_fused). The virtual clock is charged
+  // exactly what the paper's separate phases perform:
+  //
+  //  * Receive side: dedup off-processor references (hash table), group by
+  //    home processor (interval-table lookups), sort each group into the
+  //    canonical order ("each segment ... sorted according to the local
+  //    references of these nodes in their home processor").
+  //  * Send side, by symmetry: no communication. sort1 collects then
+  //    sorts; sort2 traverses owned vertices in increasing local order so
+  //    each send list is born sorted and the sort is skipped; sort1 is
+  //    additionally charged the sort it would have performed (the
+  //    schedules are identical either way).
+  //  * Localize: one list operation per rewritten reference.
+  FusedInspect fused = inspect_fused(g, part, me);
+  p.compute(costs.per_hash_op * static_cast<double>(fused.hash_ops) +
+            costs.per_table_lookup * static_cast<double>(fused.traversed_refs));
   double recv_sort = 0.0;
-  for (const auto& group : refs.globals) recv_sort += sort_cost(costs, group.size());
+  for (const auto& group : fused.sched.recv_slots) {
+    recv_sort += sort_cost(costs, group.size());
+  }
   p.compute(recv_sort);
 
-  const auto slot_of =
-      canonical_ghost_layout(std::move(refs.owners), std::move(refs.globals), sched);
-
-  // Send side, by symmetry: no communication. sort1 collects then sorts;
-  // sort2 traverses owned vertices in increasing local order so each send
-  // list is born sorted and the sort is skipped. Construction here is the
-  // sort2 traversal for both; sort1 is additionally charged the sort it
-  // would have performed (the schedules are identical either way).
-  auto sends = collect_symmetric_sends(g, part, me);
-  p.compute(costs.per_list_op * static_cast<double>(sends.traversed_refs));
+  p.compute(costs.per_list_op * static_cast<double>(fused.traversed_refs));
   if (sort_sends) {
     double send_sort = 0.0;
-    for (const auto& group : sends.locals) send_sort += sort_cost(costs, group.size());
+    for (const auto& group : fused.sched.send_items) {
+      send_sort += sort_cost(costs, group.size());
+    }
     p.compute(send_sort);
   }
-  sched.send_procs = std::move(sends.dests);
-  sched.send_items = std::move(sends.locals);
 
-  result.lgraph = localize_graph(g, part, me, slot_of);
-  p.compute(costs.per_list_op * static_cast<double>(result.lgraph.refs.size()));
-  STANCE_ASSERT(sched.valid());
+  p.compute(costs.per_list_op * static_cast<double>(fused.lgraph.refs.size()));
+
+  InspectorResult result;
+  result.schedule = std::move(fused.sched);
+  result.lgraph = std::move(fused.lgraph);
+  STANCE_ASSERT(result.schedule.valid());
   STANCE_ASSERT(result.lgraph.valid());
   return result;
 }

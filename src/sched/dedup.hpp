@@ -5,15 +5,17 @@
 // DedupTable records global references in first-seen order and assigns each
 // unique reference a dense id — the executor's ghost pre-slot. The same
 // structure serves as the inspector's global -> ghost-slot map after the
-// canonical reordering.
+// canonical reordering. Backed by the shared open-addressing FlatHash, so
+// each hash operation is one probe over contiguous slots — no per-entry
+// allocation, no pointer chasing.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "support/flat_hash.hpp"
 
 namespace stance::sched {
 
@@ -22,22 +24,24 @@ using graph::Vertex;
 class DedupTable {
  public:
   DedupTable() = default;
-  explicit DedupTable(std::size_t expected) { map_.reserve(expected); }
+  explicit DedupTable(std::size_t expected) : map_(expected) {
+    uniques_.reserve(expected);
+  }
 
   /// Record a reference; returns its dense id (existing or new).
   Vertex insert(Vertex global) {
-    const auto [it, inserted] =
+    const auto [id, inserted] =
         map_.try_emplace(global, static_cast<Vertex>(uniques_.size()));
     if (inserted) uniques_.push_back(global);
     ++operations_;
-    return it->second;
+    return id;
   }
 
   /// Dense id of a previously inserted reference; -1 if absent.
   [[nodiscard]] Vertex find(Vertex global) const {
     ++operations_;
-    const auto it = map_.find(global);
-    return it == map_.end() ? Vertex{-1} : it->second;
+    const Vertex* id = map_.find(global);
+    return id == nullptr ? Vertex{-1} : *id;
   }
 
   [[nodiscard]] std::size_t unique_count() const noexcept { return uniques_.size(); }
@@ -49,7 +53,7 @@ class DedupTable {
   [[nodiscard]] std::uint64_t operations() const noexcept { return operations_; }
 
  private:
-  std::unordered_map<Vertex, Vertex> map_;
+  support::FlatHash<Vertex, Vertex> map_;
   std::vector<Vertex> uniques_;
   mutable std::uint64_t operations_ = 0;
 };

@@ -1,0 +1,176 @@
+#include "sched/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sched/localize.hpp"
+#include "support/assert.hpp"
+
+namespace stance::sched {
+
+InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
+                                    const IntervalPartition& from,
+                                    const IntervalPartition& to,
+                                    const InspectorResult& old,
+                                    const sim::CpuCostModel& costs) {
+  STANCE_REQUIRE(from.nparts() == to.nparts(),
+                 "rebuild_incremental: processor counts differ");
+  STANCE_REQUIRE(from.total() == to.total(),
+                 "rebuild_incremental: element counts differ");
+  const Rank me = p.rank();
+  STANCE_REQUIRE(old.schedule.nlocal == from.size(me),
+                 "rebuild_incremental: old schedule does not match `from`");
+
+  const Vertex f0 = from.first(me), e0 = from.end(me);
+  const Vertex f1 = to.first(me), e1 = to.end(me);
+  const Vertex nlocal_old = old.schedule.nlocal;
+  const Vertex nlocal_new = to.size(me);
+  const Vertex keep_lo = std::max(f0, f1);
+  const Vertex keep_hi = std::min(e0, e1);
+
+  InspectorResult result;
+  CommSchedule& sched = result.schedule;
+  LocalizedGraph& lg = result.lgraph;
+  sched.nlocal = nlocal_new;
+  lg.nlocal = nlocal_new;
+  lg.offsets.reserve(static_cast<std::size_t>(nlocal_new) + 1);
+  lg.offsets.push_back(0);
+  {
+    // Exact reference count: kept vertices contribute their old spans,
+    // gained vertices their global-graph degrees.
+    std::size_t nrefs = 0;
+    if (keep_hi > keep_lo) {
+      nrefs += static_cast<std::size_t>(
+          old.lgraph.offsets[static_cast<std::size_t>(keep_hi - f0)] -
+          old.lgraph.offsets[static_cast<std::size_t>(keep_lo - f0)]);
+    }
+    const auto degree_sum = [&](Vertex lo, Vertex hi) {
+      return lo < hi ? static_cast<std::size_t>(
+                           g.offsets()[static_cast<std::size_t>(hi)] -
+                           g.offsets()[static_cast<std::size_t>(lo)])
+                     : std::size_t{0};
+    };
+    nrefs += degree_sum(f1, std::min(e1, f0));
+    nrefs += degree_sum(std::max(f1, e0), e1);
+    lg.refs.reserve(nrefs);
+  }
+
+  // Map an old localized reference back to its global index: pure
+  // arithmetic, no hash, no graph access.
+  const auto& old_ghosts = old.schedule.ghost_globals;
+  const auto old_global = [&](Vertex r) {
+    return r < nlocal_old ? f0 + r
+                          : old_ghosts[static_cast<std::size_t>(r - nlocal_old)];
+  };
+
+  // Single replay pass (the incremental analogue of inspect_fused): kept
+  // vertices replay their references from the old localized graph — pure
+  // integer arithmetic, no graph traversal — while gained vertices are
+  // scanned in the global graph. The hash only ever sees each *distinct*
+  // newly-ghost global once: references that stay local are a shifted copy
+  // of the old value, and references to surviving ghosts go through a
+  // lazily-filled per-old-slot translation (one array load per duplicate).
+  DedupTable dedup;           // global -> first-seen id (+ hash-op count)
+  std::vector<Rank> home_of;  // id -> home rank
+  std::vector<std::vector<Vertex>> send_buckets(
+      static_cast<std::size_t>(to.nparts()));
+  std::vector<Rank> vertex_dests;
+  std::uint64_t replayed = 0;  // kept references re-classified (2 compares)
+
+  // Provisional id (or local index) of a global that is off-processor
+  // under `to`.
+  const auto ghost_ref = [&](Vertex u) {
+    const auto before = dedup.unique_count();
+    const Vertex id = dedup.insert(u);
+    if (dedup.unique_count() > before) home_of.push_back(to.owner(u));
+    return nlocal_new + id;
+  };
+  const auto classify = [&](Vertex u) {
+    ++replayed;
+    if (u >= f1 && u < e1) {
+      lg.refs.push_back(u - f1);
+      return;
+    }
+    const Vertex r = ghost_ref(u);
+    lg.refs.push_back(r);
+    vertex_dests.push_back(home_of[static_cast<std::size_t>(r - nlocal_new)]);
+  };
+
+  // Old local references keep their old value plus a constant shift while
+  // they stay in the new interval: r maps to global f0 + r, owned under
+  // `to` iff r lies in [f1 - f0, e1 - f0).
+  const Vertex lo_r = f1 - f0;
+  const Vertex hi_r = e1 - f0;
+  // Lazily-computed new reference value per surviving old ghost slot.
+  constexpr Vertex kUnset = -1;
+  std::vector<Vertex> slot_val(old_ghosts.size(), kUnset);
+
+  for (Vertex v = f1; v < e1; ++v) {
+    vertex_dests.clear();
+    if (v >= keep_lo && v < keep_hi) {
+      for (const Vertex r : old.lgraph.refs_of(v - f0)) {
+        ++replayed;
+        if (r < nlocal_old) {
+          if (r >= lo_r && r < hi_r) {
+            lg.refs.push_back(r - lo_r);  // still local: constant shift
+          } else {
+            const Vertex nv = ghost_ref(f0 + r);  // lost from our interval
+            lg.refs.push_back(nv);
+            vertex_dests.push_back(home_of[static_cast<std::size_t>(nv - nlocal_new)]);
+          }
+        } else {
+          auto& nv = slot_val[static_cast<std::size_t>(r - nlocal_old)];
+          if (nv == kUnset) {
+            const Vertex u = old_global(r);
+            nv = (u >= f1 && u < e1) ? u - f1 : ghost_ref(u);
+          }
+          lg.refs.push_back(nv);
+          if (nv >= nlocal_new) {
+            vertex_dests.push_back(home_of[static_cast<std::size_t>(nv - nlocal_new)]);
+          }
+        }
+      }
+    } else {
+      for (const Vertex u : g.neighbors(v)) classify(u);
+    }
+    if (!vertex_dests.empty()) {
+      std::sort(vertex_dests.begin(), vertex_dests.end());
+      vertex_dests.erase(std::unique(vertex_dests.begin(), vertex_dests.end()),
+                         vertex_dests.end());
+      for (const Rank d : vertex_dests) {
+        send_buckets[static_cast<std::size_t>(d)].push_back(v - f1);
+      }
+    }
+    lg.offsets.push_back(static_cast<graph::EdgeIndex>(lg.refs.size()));
+  }
+  compact_buckets(send_buckets, sched.send_procs, sched.send_items);
+
+  // Canonical ghost layout + provisional-id patch, shared with
+  // inspect_fused so the layouts cannot drift apart.
+  const std::vector<Vertex> perm =
+      canonical_layout_ids(dedup.uniques(), home_of, to.nparts(), sched);
+  lg.nghost = sched.nghost;
+  for (Vertex& r : lg.refs) {
+    if (r >= nlocal_new) r = nlocal_new + perm[static_cast<std::size_t>(r - nlocal_new)];
+  }
+  double group_sort = 0.0;
+  for (const auto& group : sched.recv_slots) {
+    group_sort += sort_cost(costs, group.size());
+  }
+
+  // Charge the (much smaller) rebuild work: arithmetic replays at list-op
+  // cost, hashing only for the off-processor subset, one home lookup per
+  // unique, the per-group sorts, and the patch pass.
+  p.compute(costs.per_list_op * static_cast<double>(replayed) +
+            costs.per_hash_op * static_cast<double>(dedup.operations()) +
+            costs.per_table_lookup * static_cast<double>(dedup.unique_count()) +
+            group_sort +
+            costs.per_list_op * static_cast<double>(lg.refs.size()));
+
+  STANCE_ASSERT(sched.valid());
+  STANCE_ASSERT(result.lgraph.valid());
+  return result;
+}
+
+}  // namespace stance::sched

@@ -1,0 +1,39 @@
+// Incremental schedule rebuild after a data remap (paper §3.4-§3.5).
+//
+// An MCR remap slides interval boundaries; most owned vertices and most of
+// the communication schedule survive. Instead of re-running the full
+// inspector — re-hashing every off-processor reference of every owned
+// vertex against the new partition — the rebuild patches the old result:
+//
+//   * References of *kept* vertices are replayed from the old localized
+//     graph by pure arithmetic (local refs map back through the old
+//     interval base, ghost refs through the old ghost_globals), so only
+//     their classification against the new interval is re-checked: two
+//     comparisons per reference, no graph traversal, no hashing except for
+//     the references that actually become ghosts.
+//   * Only vertices *gained* from peers are scanned in the global graph.
+//
+// The result is byte-equivalent to build_schedule() from scratch on the new
+// partition (the canonical layout of schedule.hpp makes this well-defined);
+// tests/test_incremental.cpp holds the from-scratch equivalence oracle.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "mp/process.hpp"
+#include "partition/interval.hpp"
+#include "sched/inspector.hpp"
+
+namespace stance::sched {
+
+/// Collective and communication-free (like the sort2 builder). `old` must
+/// be the inspector result of rank p.rank() for partition `from`; returns
+/// the result for `to`, byte-identical to a from-scratch build. CPU cost is
+/// charged per reference replayed / hashed, so the virtual clock also sees
+/// the savings the paper attributes to avoiding full schedule rebuilds.
+[[nodiscard]] InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
+                                                  const IntervalPartition& from,
+                                                  const IntervalPartition& to,
+                                                  const InspectorResult& old,
+                                                  const sim::CpuCostModel& costs);
+
+}  // namespace stance::sched

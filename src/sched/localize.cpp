@@ -1,17 +1,71 @@
 #include "sched/localize.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cmath>
+#include <utility>
 
 #include "support/assert.hpp"
 
 namespace stance::sched {
 
+double sort_cost(const sim::CpuCostModel& costs, std::size_t k) {
+  if (k < 2) return 0.0;
+  return costs.per_sort_item * static_cast<double>(k) *
+         std::log2(static_cast<double>(k));
+}
+
+// Ranks are small dense ints, so direct indexing replaces the ordered-map
+// lookups the seed paid per reference.
+void compact_buckets(std::vector<std::vector<Vertex>>& buckets,
+                     std::vector<Rank>& ranks,
+                     std::vector<std::vector<Vertex>>& lists) {
+  std::size_t nonempty = 0;
+  for (const auto& b : buckets) nonempty += b.empty() ? 0 : 1;
+  ranks.reserve(nonempty);
+  lists.reserve(nonempty);
+  for (std::size_t r = 0; r < buckets.size(); ++r) {
+    if (buckets[r].empty()) continue;
+    ranks.push_back(static_cast<Rank>(r));
+    lists.push_back(std::move(buckets[r]));
+  }
+}
+
+std::vector<Vertex> canonical_layout_ids(const std::vector<Vertex>& uniques,
+                                         const std::vector<Rank>& home_of,
+                                         int nparts, CommSchedule& sched) {
+  STANCE_ASSERT(uniques.size() == home_of.size());
+  std::vector<std::vector<std::pair<Vertex, Vertex>>> buckets(
+      static_cast<std::size_t>(nparts));
+  for (std::size_t id = 0; id < uniques.size(); ++id) {
+    buckets[static_cast<std::size_t>(home_of[id])].emplace_back(
+        uniques[id], static_cast<Vertex>(id));
+  }
+  std::vector<Vertex> perm(uniques.size());
+  sched.ghost_globals.reserve(uniques.size());
+  Vertex slot = 0;
+  for (std::size_t r = 0; r < buckets.size(); ++r) {
+    auto& group = buckets[r];
+    if (group.empty()) continue;
+    std::sort(group.begin(), group.end());
+    std::vector<Vertex> slots(group.size());
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      slots[k] = slot;
+      perm[static_cast<std::size_t>(group[k].second)] = slot;
+      sched.ghost_globals.push_back(group[k].first);
+      ++slot;
+    }
+    sched.recv_procs.push_back(static_cast<Rank>(r));
+    sched.recv_slots.push_back(std::move(slots));
+  }
+  sched.nghost = slot;
+  return perm;
+}
+
 OffProcRefs collect_offproc_refs(const graph::Csr& g, const IntervalPartition& part,
                                  Rank me) {
   OffProcRefs out;
   DedupTable dedup;
-  std::map<Rank, std::vector<Vertex>> groups;  // ordered by rank
+  std::vector<std::vector<Vertex>> buckets(static_cast<std::size_t>(part.nparts()));
   for (Vertex v = part.first(me); v < part.end(me); ++v) {
     for (const Vertex u : g.neighbors(v)) {
       ++out.traversed_refs;
@@ -19,24 +73,19 @@ OffProcRefs collect_offproc_refs(const graph::Csr& g, const IntervalPartition& p
       const auto before = dedup.unique_count();
       dedup.insert(u);
       if (dedup.unique_count() > before) {
-        groups[part.owner(u)].push_back(u);
+        buckets[static_cast<std::size_t>(part.owner(u))].push_back(u);
       }
     }
   }
   out.hash_ops = dedup.operations();
-  out.owners.reserve(groups.size());
-  out.globals.reserve(groups.size());
-  for (auto& [owner, refs] : groups) {
-    out.owners.push_back(owner);
-    out.globals.push_back(std::move(refs));
-  }
+  compact_buckets(buckets, out.owners, out.globals);
   return out;
 }
 
 SendSets collect_symmetric_sends(const graph::Csr& g, const IntervalPartition& part,
                                  Rank me) {
   SendSets out;
-  std::map<Rank, std::vector<Vertex>> groups;
+  std::vector<std::vector<Vertex>> buckets(static_cast<std::size_t>(part.nparts()));
   std::vector<Rank> vertex_dests;  // per-vertex scratch (degrees are small)
   for (Vertex v = part.first(me); v < part.end(me); ++v) {
     vertex_dests.clear();
@@ -48,46 +97,104 @@ SendSets collect_symmetric_sends(const graph::Csr& g, const IntervalPartition& p
     std::sort(vertex_dests.begin(), vertex_dests.end());
     vertex_dests.erase(std::unique(vertex_dests.begin(), vertex_dests.end()),
                        vertex_dests.end());
-    for (const Rank d : vertex_dests) groups[d].push_back(v - part.first(me));
+    for (const Rank d : vertex_dests) {
+      buckets[static_cast<std::size_t>(d)].push_back(v - part.first(me));
+    }
   }
-  out.dests.reserve(groups.size());
-  out.locals.reserve(groups.size());
-  for (auto& [dest, locals] : groups) {
-    out.dests.push_back(dest);
-    out.locals.push_back(std::move(locals));
+  compact_buckets(buckets, out.dests, out.locals);
+  return out;
+}
+
+SlotMap canonical_ghost_layout(std::vector<Rank> owners,
+                               std::vector<std::vector<Vertex>> globals,
+                               CommSchedule& sched) {
+  STANCE_ASSERT(owners.size() == globals.size());
+  // Groups must arrive in ascending owner order.
+  for (std::size_t i = 1; i < owners.size(); ++i) STANCE_ASSERT(owners[i - 1] < owners[i]);
+  // Thin wrapper over the shared layout core, so every builder produces the
+  // identical canonical layout by construction.
+  std::vector<Vertex> uniques;
+  std::vector<Rank> home_of;
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    for (const Vertex g : globals[i]) {
+      uniques.push_back(g);
+      home_of.push_back(owners[i]);
+    }
+  }
+  const int nparts = owners.empty() ? 0 : owners.back() + 1;
+  sched.recv_procs.clear();
+  sched.recv_slots.clear();
+  sched.ghost_globals.clear();
+  canonical_layout_ids(uniques, home_of, nparts, sched);
+  SlotMap slot_of(sched.ghost_globals.size());
+  for (std::size_t slot = 0; slot < sched.ghost_globals.size(); ++slot) {
+    slot_of.try_emplace(sched.ghost_globals[slot], static_cast<Vertex>(slot));
+  }
+  return slot_of;
+}
+
+FusedInspect inspect_fused(const graph::Csr& g, const IntervalPartition& part,
+                           Rank me) {
+  FusedInspect out;
+  CommSchedule& sched = out.sched;
+  LocalizedGraph& lg = out.lgraph;
+  const Vertex base = part.first(me);
+  const Vertex limit = part.end(me);
+  const Vertex nlocal = part.size(me);
+  sched.nlocal = nlocal;
+  lg.nlocal = nlocal;
+  lg.offsets.reserve(static_cast<std::size_t>(nlocal) + 1);
+  lg.offsets.push_back(0);
+  lg.refs.reserve(static_cast<std::size_t>(
+      g.offsets()[static_cast<std::size_t>(limit)] -
+      g.offsets()[static_cast<std::size_t>(base)]));
+
+  // Single traversal: dedup, memoized homes, send sets, provisional refs.
+  DedupTable dedup;             // global -> first-seen id (+ hash-op count)
+  std::vector<Rank> home_of;    // id -> home rank
+  std::vector<std::vector<Vertex>> send_buckets(
+      static_cast<std::size_t>(part.nparts()));
+  std::vector<Rank> vertex_dests;  // per-vertex scratch (degrees are small)
+  for (Vertex v = base; v < limit; ++v) {
+    vertex_dests.clear();
+    for (const Vertex u : g.neighbors(v)) {
+      ++out.traversed_refs;
+      if (u >= base && u < limit) {
+        lg.refs.push_back(u - base);
+        continue;
+      }
+      const auto before = dedup.unique_count();
+      const Vertex id = dedup.insert(u);
+      if (dedup.unique_count() > before) home_of.push_back(part.owner(u));
+      lg.refs.push_back(nlocal + id);  // provisional: patched to a slot below
+      vertex_dests.push_back(home_of[static_cast<std::size_t>(id)]);
+    }
+    if (!vertex_dests.empty()) {
+      std::sort(vertex_dests.begin(), vertex_dests.end());
+      vertex_dests.erase(std::unique(vertex_dests.begin(), vertex_dests.end()),
+                         vertex_dests.end());
+      for (const Rank d : vertex_dests) {
+        send_buckets[static_cast<std::size_t>(d)].push_back(v - base);
+      }
+    }
+    lg.offsets.push_back(static_cast<graph::EdgeIndex>(lg.refs.size()));
+  }
+  compact_buckets(send_buckets, sched.send_procs, sched.send_items);
+  out.hash_ops = dedup.operations();
+
+  // Canonical ghost layout, then one linear patch pass rewriting the
+  // provisional first-seen ids to canonical slots.
+  const std::vector<Vertex> perm =
+      canonical_layout_ids(dedup.uniques(), home_of, part.nparts(), sched);
+  lg.nghost = sched.nghost;
+  for (Vertex& r : lg.refs) {
+    if (r >= nlocal) r = nlocal + perm[static_cast<std::size_t>(r - nlocal)];
   }
   return out;
 }
 
-std::unordered_map<Vertex, Vertex> canonical_ghost_layout(
-    std::vector<Rank> owners, std::vector<std::vector<Vertex>> globals,
-    CommSchedule& sched) {
-  STANCE_ASSERT(owners.size() == globals.size());
-  // Groups must arrive in ascending owner order; sort each group's globals.
-  for (std::size_t i = 1; i < owners.size(); ++i) STANCE_ASSERT(owners[i - 1] < owners[i]);
-  std::unordered_map<Vertex, Vertex> slot_of;
-  sched.recv_procs = std::move(owners);
-  sched.recv_slots.clear();
-  sched.ghost_globals.clear();
-  Vertex slot = 0;
-  for (auto& group : globals) {
-    std::sort(group.begin(), group.end());
-    std::vector<Vertex> slots(group.size());
-    for (std::size_t k = 0; k < group.size(); ++k) {
-      slots[k] = slot;
-      slot_of.emplace(group[k], slot);
-      sched.ghost_globals.push_back(group[k]);
-      ++slot;
-    }
-    sched.recv_slots.push_back(std::move(slots));
-  }
-  sched.nghost = slot;
-  return slot_of;
-}
-
 LocalizedGraph localize_graph(const graph::Csr& g, const IntervalPartition& part,
-                              Rank me,
-                              const std::unordered_map<Vertex, Vertex>& slot_of) {
+                              Rank me, const SlotMap& slot_of) {
   LocalizedGraph lg;
   lg.nlocal = part.size(me);
   lg.nghost = static_cast<Vertex>(slot_of.size());
@@ -99,9 +206,9 @@ LocalizedGraph localize_graph(const graph::Csr& g, const IntervalPartition& part
       if (part.owns(me, u)) {
         lg.refs.push_back(u - base);
       } else {
-        const auto it = slot_of.find(u);
-        STANCE_ASSERT_MSG(it != slot_of.end(), "localize: reference missing a ghost slot");
-        lg.refs.push_back(lg.nlocal + it->second);
+        const Vertex* slot = slot_of.find(u);
+        STANCE_ASSERT_MSG(slot != nullptr, "localize: reference missing a ghost slot");
+        lg.refs.push_back(lg.nlocal + *slot);
       }
     }
     lg.offsets.push_back(static_cast<graph::EdgeIndex>(lg.refs.size()));

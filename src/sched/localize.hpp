@@ -3,14 +3,26 @@
 // paper §2 item 4 and §3.2).
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "partition/interval.hpp"
 #include "sched/dedup.hpp"
 #include "sched/schedule.hpp"
+#include "sim/cpu_costs.hpp"
+#include "support/flat_hash.hpp"
 
 namespace stance::sched {
+
+/// Virtual cost of comparison-sorting k items (per-item x log2 k) — the
+/// charge every schedule builder applies to its group sorts. One shared
+/// definition so the builders and the incremental rebuild can never
+/// desynchronize their cost models.
+double sort_cost(const sim::CpuCostModel& costs, std::size_t k);
+
+/// Global index -> ghost slot, the inspector's address-translation map.
+/// Open-addressing (see support/flat_hash.hpp): one probe per reference in
+/// the localize pass instead of a node walk.
+using SlotMap = support::FlatHash<Vertex, Vertex>;
 
 /// Unique off-processor references of one rank, grouped by home processor,
 /// in owned-vertex traversal order (i.e. unsorted within each group), plus
@@ -42,13 +54,47 @@ SendSets collect_symmetric_sends(const graph::Csr& g, const IntervalPartition& p
 /// each group ascending, lay groups out by ascending owner rank. Fills
 /// nghost / recv_procs / recv_slots / ghost_globals of `sched` and returns
 /// the global -> slot map.
-std::unordered_map<Vertex, Vertex> canonical_ghost_layout(
-    std::vector<Rank> owners, std::vector<std::vector<Vertex>> globals,
-    CommSchedule& sched);
+SlotMap canonical_ghost_layout(std::vector<Rank> owners,
+                               std::vector<std::vector<Vertex>> globals,
+                               CommSchedule& sched);
+
+/// Canonical-layout core shared by inspect_fused and rebuild_incremental:
+/// bucket the unique globals (with their first-seen ids) by home rank, sort
+/// each group by global index, assign consecutive slots; fills nghost /
+/// recv_procs / recv_slots / ghost_globals of `sched` and returns the
+/// first-seen id -> canonical slot permutation. One definition so the
+/// byte-identical equivalence between the fused builder and the
+/// incremental rebuild can never drift.
+std::vector<Vertex> canonical_layout_ids(const std::vector<Vertex>& uniques,
+                                         const std::vector<Rank>& home_of,
+                                         int nparts, CommSchedule& sched);
+
+/// Compact rank-indexed buckets into (ascending ranks, per-rank lists),
+/// moving the lists out of `buckets`.
+void compact_buckets(std::vector<std::vector<Vertex>>& buckets,
+                     std::vector<Rank>& ranks,
+                     std::vector<std::vector<Vertex>>& lists);
 
 /// Rewrite the owned adjacency to local/ghost references.
 LocalizedGraph localize_graph(const graph::Csr& g, const IntervalPartition& part,
-                              Rank me,
-                              const std::unordered_map<Vertex, Vertex>& slot_of);
+                              Rank me, const SlotMap& slot_of);
+
+/// Single-traversal inspector for symmetric access patterns: one pass over
+/// the owned adjacency dedups the off-processor references, memoizes each
+/// unique's home (one page-cached lookup per unique, an array load for
+/// every duplicate), collects the send sets, and emits the localized graph
+/// with provisional first-seen ghost ids; a linear patch pass then rewrites
+/// the ids to canonical slots. Replaces the seed's three full traversals
+/// (collect refs, collect sends, localize) — the dominant schedule-build
+/// cost — with one. The operation counts mirror what the separate passes
+/// would have charged, so virtual-clock accounting is unchanged.
+struct FusedInspect {
+  CommSchedule sched;      ///< fully populated, canonical layout
+  LocalizedGraph lgraph;   ///< fully populated
+  std::uint64_t hash_ops = 0;        ///< dedup work performed
+  std::uint64_t traversed_refs = 0;  ///< directed references scanned
+};
+FusedInspect inspect_fused(const graph::Csr& g, const IntervalPartition& part,
+                           Rank me);
 
 }  // namespace stance::sched

@@ -1,0 +1,148 @@
+// Open-addressing flat hash map shared by the inspector/executor hot paths
+// (sched/dedup, sched/localize, partition/translation).
+//
+// The paper's schedule-construction and translation costs are dominated by
+// hash operations (§3.2, Table 3); node-based std::unordered_map pays one
+// allocation plus one pointer chase per entry. FlatHash keeps key/value
+// slots in one contiguous array: power-of-two capacity, multiplicative
+// (Fibonacci) hashing, linear probing, and no tombstones — the library
+// never erases individual entries, so probe chains never degrade.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace stance::support {
+
+/// Default hash policy: Fibonacci multiplicative hashing. The caller shifts
+/// the product down to the table's index width, so all entropy of the key
+/// ends up in the high bits the table actually uses.
+struct FibonacciHash {
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t key) const noexcept {
+    return key * 0x9E3779B97F4A7C15ull;
+  }
+};
+
+/// Flat open-addressing map from an integral key to a trivially copyable
+/// value. Insert-only (clear() drops everything at once): linear probing
+/// with no tombstones keeps every probe chain as short as the load factor
+/// allows. Grows at ~7/8 load by rehashing into twice the slots.
+template <typename Key, typename Value, typename Hash = FibonacciHash>
+class FlatHash {
+  static_assert(std::is_integral_v<Key>, "FlatHash keys must be integral");
+
+ public:
+  FlatHash() = default;
+  explicit FlatHash(std::size_t expected) { reserve(expected); }
+
+  /// Insert `key` -> `value` if absent. Returns {current value, inserted}.
+  std::pair<Value, bool> try_emplace(Key key, Value value) {
+    grow_if_needed(size_ + 1);
+    const std::size_t idx = probe(key);
+    if (occupied_[idx]) return {slots_[idx].value, false};
+    occupied_[idx] = 1;
+    slots_[idx] = Slot{key, value};
+    ++size_;
+    return {value, true};
+  }
+
+  /// Pointer to the value of `key`, or nullptr if absent.
+  [[nodiscard]] const Value* find(Key key) const {
+    if (size_ == 0) return nullptr;
+    const std::size_t idx = probe(key);
+    return occupied_[idx] ? &slots_[idx].value : nullptr;
+  }
+
+  [[nodiscard]] Value* find(Key key) {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+
+  [[nodiscard]] bool contains(Key key) const { return find(key) != nullptr; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Ensure `expected` entries fit without rehashing.
+  void reserve(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 7 / 8 < expected) cap *= 2;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Drop all entries; keeps the slot array (capacity reuse across calls).
+  void clear() {
+    std::fill(occupied_.begin(), occupied_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
+  /// Longest probe chain a lookup can currently walk (diagnostics/tests).
+  [[nodiscard]] std::size_t max_probe_length() const {
+    std::size_t worst = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!occupied_[i]) continue;
+      const std::size_t home = home_of(slots_[i].key);
+      const std::size_t dist = (i + slots_.size() - home) & mask_;
+      worst = worst < dist + 1 ? dist + 1 : worst;
+    }
+    return worst;
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;  // power of two
+
+  [[nodiscard]] std::size_t home_of(Key key) const {
+    // High bits of the multiplicative hash, folded to the table width.
+    const int shift = std::countl_zero(static_cast<std::uint64_t>(mask_));
+    return static_cast<std::size_t>(
+               Hash{}(static_cast<std::uint64_t>(key)) >> shift) &
+           mask_;
+  }
+
+  /// First slot that is empty or holds `key`. Capacity is kept below full,
+  /// so the scan always terminates.
+  [[nodiscard]] std::size_t probe(Key key) const {
+    std::size_t idx = home_of(key);
+    while (occupied_[idx] && slots_[idx].key != key) idx = (idx + 1) & mask_;
+    return idx;
+  }
+
+  void grow_if_needed(std::size_t needed) {
+    if (slots_.empty()) rehash(kMinCapacity);
+    if (needed * 8 > slots_.size() * 7) rehash(slots_.size() * 2);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    STANCE_ASSERT((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_occupied = std::move(occupied_);
+    slots_.assign(new_capacity, Slot{});
+    occupied_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_occupied[i]) continue;
+      const std::size_t idx = probe(old_slots[i].key);
+      occupied_[idx] = 1;
+      slots_[idx] = old_slots[i];
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> occupied_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace stance::support

@@ -1,0 +1,148 @@
+// Allocation-counting hook for the executor's steady state (ISSUE 2
+// acceptance): after a warm-up pass, gather/scatter iterations must perform
+// zero heap allocations on every rank — payloads live in the persistent
+// ExecWorkspace and message buffers round-trip through the mailbox pool.
+//
+// Global operator new is replaced with a thread-local counting shim; each
+// virtual workstation is one thread, so a rank's counter measures exactly
+// the allocations its own code path performed between two barriers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "exec/edge_sweep.hpp"
+#include "exec/gather_scatter.hpp"
+#include "exec/irregular_loop.hpp"
+#include "graph/builders.hpp"
+#include "mp/cluster.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+// Plain zero-initialized TLS: safe to touch from any allocation context.
+thread_local std::size_t t_alloc_count = 0;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace stance {
+namespace {
+
+using exec::ExecWorkspace;
+
+constexpr int kWarmup = 8;
+constexpr int kMeasured = 16;
+
+/// Measured allocations of `iteration`, run kMeasured times after kWarmup
+/// warm-up rounds, per rank. Barriers fence the measurement so no rank is
+/// still warming up while another is being measured.
+template <typename F>
+std::vector<std::size_t> measure_steady_state(mp::Cluster& cluster, F&& iteration) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(cluster.spec().nodes.size()));
+  cluster.run([&](mp::Process& p) {
+    for (int it = 0; it < kWarmup; ++it) iteration(p);
+    p.barrier();
+    const std::size_t before = t_alloc_count;
+    for (int it = 0; it < kMeasured; ++it) iteration(p);
+    counts[static_cast<std::size_t>(p.rank())] = t_alloc_count - before;
+    p.barrier();
+  });
+  return counts;
+}
+
+TEST(ExecAlloc, GatherScatterSteadyStateIsAllocationFree) {
+  Rng rng(99);
+  const graph::Csr g = graph::random_delaunay(1500, 99);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto results = test::build_all_schedules(g, part);
+
+  mp::Cluster cluster(sim::MachineSpec::uniform(4));
+  std::vector<ExecWorkspace> ws(4);
+  std::vector<std::vector<double>> local(4), ghost(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    const auto& s = results[r].schedule;
+    local[r].assign(static_cast<std::size_t>(s.nlocal), 1.0 + static_cast<double>(r));
+    ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
+  }
+
+  const auto counts = measure_steady_state(cluster, [&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    const auto& s = results[r].schedule;
+    exec::gather<double>(p, s, local[r], std::span<double>(ghost[r]), ws[r]);
+    exec::scatter_add<double>(p, s, ghost[r], std::span<double>(local[r]), ws[r]);
+  });
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    EXPECT_EQ(counts[r], 0u) << "rank " << r << " allocated in steady state";
+  }
+}
+
+TEST(ExecAlloc, IrregularLoopSteadyStateIsAllocationFree) {
+  Rng rng(7);
+  const graph::Csr g = graph::random_delaunay(1200, 7);
+  const auto part = test::random_partition(g.num_vertices(), 3, rng);
+  const auto results = test::build_all_schedules(g, part);
+
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  std::vector<std::unique_ptr<exec::IrregularLoop>> loops(3);
+  std::vector<std::vector<double>> y(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    loops[r] = std::make_unique<exec::IrregularLoop>(results[r].lgraph,
+                                                     results[r].schedule);
+    y[r].assign(static_cast<std::size_t>(results[r].schedule.nlocal), 1.0);
+  }
+
+  const auto counts = measure_steady_state(cluster, [&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    loops[r]->iterate(p, y[r], 1);
+  });
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    EXPECT_EQ(counts[r], 0u) << "rank " << r << " allocated in steady state";
+  }
+}
+
+TEST(ExecAlloc, EdgeSweepSteadyStateIsAllocationFree) {
+  Rng rng(13);
+  const graph::Csr g = graph::random_delaunay(1200, 13);
+  const auto part = test::random_partition(g.num_vertices(), 3, rng);
+  const auto results = test::build_all_schedules(g, part);
+
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  std::vector<std::unique_ptr<exec::EdgeSweep>> sweeps(3);
+  std::vector<std::vector<double>> y(3), acc(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    sweeps[r] = std::make_unique<exec::EdgeSweep>(results[r].lgraph,
+                                                  results[r].schedule);
+    const auto n = static_cast<std::size_t>(results[r].schedule.nlocal);
+    y[r] = test::seeded_values(n, 13 + r);
+    acc[r].assign(n, 0.0);
+  }
+
+  const auto counts = measure_steady_state(cluster, [&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    sweeps[r]->sweep(p, y[r], acc[r]);
+  });
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    EXPECT_EQ(counts[r], 0u) << "rank " << r << " allocated in steady state";
+  }
+}
+
+}  // namespace
+}  // namespace stance

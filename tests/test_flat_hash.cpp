@@ -1,0 +1,141 @@
+// Property tests for the shared open-addressing FlatHash: behaviour must
+// match std::unordered_map over randomized workloads (100 seeds), through
+// growth, and under adversarial probe clustering (degenerate hash policies
+// that funnel every key into one chain).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/flat_hash.hpp"
+#include "support/rng.hpp"
+
+namespace stance::support {
+namespace {
+
+using Key = std::int32_t;
+
+TEST(FlatHash, MatchesUnorderedMapOver100Seeds) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(seed);
+    FlatHash<Key, Key> flat;
+    std::unordered_map<Key, Key> ref;
+    // Mixed key ranges: dense, sparse, and stride-heavy (the stride
+    // multiplies away low-bit entropy, which a weak hash would alias).
+    const auto range = static_cast<std::uint64_t>(1) << (4 + seed % 16);
+    const auto stride = static_cast<Key>(1 + (seed % 7) * (seed % 7));
+    const int ops = 2000;
+    for (int i = 0; i < ops; ++i) {
+      const Key key = static_cast<Key>(rng.below(range)) * stride;
+      if (rng.below(4) == 0) {
+        // Lookup of a (maybe absent) key.
+        const Key* got = flat.find(key);
+        const auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(got, nullptr) << "seed " << seed;
+        } else {
+          ASSERT_NE(got, nullptr) << "seed " << seed;
+          EXPECT_EQ(*got, it->second) << "seed " << seed;
+        }
+      } else {
+        const Key value = static_cast<Key>(i);
+        const auto [got, inserted] = flat.try_emplace(key, value);
+        const auto [it, ref_inserted] = ref.try_emplace(key, value);
+        EXPECT_EQ(inserted, ref_inserted) << "seed " << seed;
+        EXPECT_EQ(got, it->second) << "seed " << seed;
+      }
+    }
+    EXPECT_EQ(flat.size(), ref.size()) << "seed " << seed;
+    for (const auto& [key, value] : ref) {
+      const Key* got = flat.find(key);
+      ASSERT_NE(got, nullptr) << "seed " << seed << " key " << key;
+      EXPECT_EQ(*got, value) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FlatHash, GrowthPreservesEveryEntry) {
+  FlatHash<Key, Key> flat;  // no reserve: force the full rehash cascade
+  const Key n = 100000;
+  for (Key k = 0; k < n; ++k) flat.try_emplace(k * 3, k);
+  EXPECT_EQ(flat.size(), static_cast<std::size_t>(n));
+  // Power-of-two capacity with headroom (tombstone-free load factor).
+  EXPECT_EQ(flat.capacity() & (flat.capacity() - 1), 0u);
+  EXPECT_GT(flat.capacity(), flat.size());
+  for (Key k = 0; k < n; ++k) {
+    const Key* got = flat.find(k * 3);
+    ASSERT_NE(got, nullptr) << k;
+    EXPECT_EQ(*got, k);
+  }
+  EXPECT_EQ(flat.find(1), nullptr);  // between strides
+}
+
+/// Degenerate policy: every key hashes identically — the entire table is
+/// one probe cluster, the linear-probing worst case.
+struct ConstantHash {
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t) const noexcept { return 0; }
+};
+
+TEST(FlatHash, SurvivesWorstCaseProbeCluster) {
+  FlatHash<Key, Key, ConstantHash> flat;
+  const Key n = 3000;
+  for (Key k = 0; k < n; ++k) {
+    const auto [value, inserted] = flat.try_emplace(k, k + 1);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(value, k + 1);
+  }
+  EXPECT_EQ(flat.size(), static_cast<std::size_t>(n));
+  // One contiguous chain: the longest probe walks the whole cluster.
+  EXPECT_EQ(flat.max_probe_length(), static_cast<std::size_t>(n));
+  for (Key k = 0; k < n; ++k) {
+    const Key* got = flat.find(k);
+    ASSERT_NE(got, nullptr) << k;
+    EXPECT_EQ(*got, k + 1);
+  }
+  EXPECT_EQ(flat.find(n), nullptr);
+  EXPECT_EQ(flat.find(-1), nullptr);
+}
+
+/// Near-degenerate policy: keys collapse into a handful of dense clusters
+/// that must slide past each other across rehashes.
+struct BucketedHash {
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t key) const noexcept {
+    return (key % 5) << 61;  // five homes spread across the table
+  }
+};
+
+TEST(FlatHash, ClusteredHomesStayConsistentWithReference) {
+  FlatHash<Key, Key, BucketedHash> flat;
+  std::unordered_map<Key, Key> ref;
+  Rng rng(424242);
+  for (int i = 0; i < 20000; ++i) {
+    const Key key = static_cast<Key>(rng.below(1 << 14));
+    flat.try_emplace(key, key * 2);
+    ref.try_emplace(key, key * 2);
+  }
+  EXPECT_EQ(flat.size(), ref.size());
+  for (const auto& [key, value] : ref) {
+    const Key* got = flat.find(key);
+    ASSERT_NE(got, nullptr) << key;
+    EXPECT_EQ(*got, value);
+  }
+}
+
+TEST(FlatHash, ReserveAndClearReuseCapacity) {
+  FlatHash<Key, Key> flat(1000);
+  const std::size_t cap = flat.capacity();
+  EXPECT_GE(cap * 7 / 8, 1000u);
+  for (Key k = 0; k < 1000; ++k) flat.try_emplace(k, k);
+  EXPECT_EQ(flat.capacity(), cap);  // reserve prevented rehash
+  flat.clear();
+  EXPECT_EQ(flat.size(), 0u);
+  EXPECT_EQ(flat.capacity(), cap);  // storage retained
+  EXPECT_EQ(flat.find(5), nullptr);
+  flat.try_emplace(5, 7);
+  ASSERT_NE(flat.find(5), nullptr);
+  EXPECT_EQ(*flat.find(5), 7);
+}
+
+}  // namespace
+}  // namespace stance::support

@@ -1,0 +1,106 @@
+// From-scratch equivalence oracle for the incremental schedule rebuild:
+// after any interval remap, the patched schedule and localized graph must
+// be byte-identical to what the full inspector produces on the new
+// partition (the canonical layout makes the comparison exact).
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "mp/cluster.hpp"
+#include "partition/mcr.hpp"
+#include "sched/incremental.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace stance::sched {
+namespace {
+
+using graph::Csr;
+using partition::IntervalPartition;
+using test::build_all_schedules;
+
+std::vector<InspectorResult> rebuild_all(const Csr& g, const IntervalPartition& from,
+                                         const IntervalPartition& to,
+                                         const std::vector<InspectorResult>& old) {
+  mp::Cluster cluster(
+      sim::MachineSpec::uniform(static_cast<std::size_t>(from.nparts())));
+  std::vector<InspectorResult> out(static_cast<std::size_t>(from.nparts()));
+  cluster.run([&](mp::Process& p) {
+    out[static_cast<std::size_t>(p.rank())] = rebuild_incremental(
+        p, g, from, to, old[static_cast<std::size_t>(p.rank())],
+        sim::CpuCostModel::free());
+  });
+  return out;
+}
+
+void expect_identical(const InspectorResult& patched, const InspectorResult& scratch,
+                      int rank) {
+  const CommSchedule& a = patched.schedule;
+  const CommSchedule& b = scratch.schedule;
+  EXPECT_EQ(a.nlocal, b.nlocal) << "rank " << rank;
+  EXPECT_EQ(a.nghost, b.nghost) << "rank " << rank;
+  EXPECT_EQ(a.send_procs, b.send_procs) << "rank " << rank;
+  EXPECT_EQ(a.send_items, b.send_items) << "rank " << rank;
+  EXPECT_EQ(a.recv_procs, b.recv_procs) << "rank " << rank;
+  EXPECT_EQ(a.recv_slots, b.recv_slots) << "rank " << rank;
+  EXPECT_EQ(a.ghost_globals, b.ghost_globals) << "rank " << rank;
+  EXPECT_EQ(patched.lgraph.nlocal, scratch.lgraph.nlocal) << "rank " << rank;
+  EXPECT_EQ(patched.lgraph.nghost, scratch.lgraph.nghost) << "rank " << rank;
+  EXPECT_EQ(patched.lgraph.offsets, scratch.lgraph.offsets) << "rank " << rank;
+  EXPECT_EQ(patched.lgraph.refs, scratch.lgraph.refs) << "rank " << rank;
+}
+
+void check_remap(const Csr& g, const IntervalPartition& from,
+                 const IntervalPartition& to) {
+  const auto old = build_all_schedules(g, from);
+  const auto patched = rebuild_all(g, from, to, old);
+  const auto scratch = build_all_schedules(g, to);
+  for (int r = 0; r < from.nparts(); ++r) {
+    expect_identical(patched[static_cast<std::size_t>(r)],
+                     scratch[static_cast<std::size_t>(r)], r);
+  }
+}
+
+TEST(IncrementalRebuild, IdentityRemapReproducesSchedule) {
+  Rng rng(3);
+  const Csr g = graph::random_delaunay(600, 17);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  check_remap(g, part, part);
+}
+
+TEST(IncrementalRebuild, MatchesScratchAcrossRandomDeltas) {
+  const Csr g = graph::random_delaunay(800, 23);
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(1000 + seed);
+    const std::size_t p = 2 + seed % 5;  // 2..6 ranks
+    const auto from = test::random_partition(g.num_vertices(), p, rng);
+    const auto to = test::random_partition(g.num_vertices(), p, rng);
+    check_remap(g, from, to);
+  }
+}
+
+TEST(IncrementalRebuild, MatchesScratchAfterMcrRearrangement) {
+  // MCR remaps change the processor *arrangement*, so intervals can move
+  // wholesale — the hardest delta for the patcher.
+  const Csr g = graph::random_delaunay(800, 29);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(2000 + seed);
+    const std::size_t p = 3 + seed % 3;
+    const auto from = test::random_partition(g.num_vertices(), p, rng);
+    const auto new_w = random_weights(p, rng);
+    const auto to = partition::repartition_mcr(from, new_w);
+    check_remap(g, from, to);
+  }
+}
+
+TEST(IncrementalRebuild, DisjointIntervalsFallBackToFullScan) {
+  // Extreme redistribution: swap the halves so no rank keeps anything.
+  const Csr g = graph::random_delaunay(500, 31);
+  const auto n = g.num_vertices();
+  const auto from = IntervalPartition::from_sizes(std::vector<Vertex>{n / 2, n - n / 2});
+  const auto to = IntervalPartition::from_sizes_arranged(
+      std::vector<Vertex>{n - n / 2, n / 2}, partition::Arrangement{1, 0});
+  check_remap(g, from, to);
+}
+
+}  // namespace
+}  // namespace stance::sched

@@ -20,12 +20,16 @@ TEST(IntervalTable, LookupMatchesPartition) {
 }
 
 TEST(IntervalTable, MemoryIsProportionalToP) {
+  // O(p) regardless of the element count: intervals plus the owner() page
+  // index, both a small constant number of words per processor.
   const auto small = IntervalTranslationTable(
       IntervalPartition::from_sizes(std::vector<Vertex>{1000000, 1000000}));
   const auto big = IntervalTranslationTable(IntervalPartition::from_sizes(
       std::vector<Vertex>(16, 125000)));
-  EXPECT_EQ(small.memory_bytes(), 2u * 2 * sizeof(Vertex));
-  EXPECT_EQ(big.memory_bytes(), 16u * 2 * sizeof(Vertex));
+  EXPECT_GE(small.memory_bytes(), 2u * 2 * sizeof(Vertex));
+  EXPECT_LE(small.memory_bytes(), 2u * 32 * sizeof(Vertex));
+  EXPECT_GE(big.memory_bytes(), 16u * 2 * sizeof(Vertex));
+  EXPECT_LE(big.memory_bytes(), 16u * 32 * sizeof(Vertex));
 }
 
 TEST(ReplicatedTable, FromPartitionMatches) {
