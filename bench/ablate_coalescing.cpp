@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "exec/gather_scatter.hpp"
 #include "mp/cluster.hpp"
+#include "sched/coalesce.hpp"
 #include "sched/inspector.hpp"
 
 namespace {
@@ -107,6 +108,61 @@ GatherCosts measure(const graph::Csr& mesh, std::size_t nprocs) {
   return out;
 }
 
+struct NodeCosts {
+  double plain = 0.0;
+  double coalesced = 0.0;
+  std::size_t plain_inter = 0;
+  std::size_t coalesced_inter = 0;
+};
+
+/// Gather + scatter round on a node-mapped cluster, per-peer messages vs
+/// node-pair frames (sched::coalesce).
+NodeCosts measure_nodes(const graph::Csr& mesh, std::size_t nprocs,
+                        int ranks_per_node) {
+  const auto part = partition::IntervalPartition::from_weights(
+      mesh.num_vertices(), std::vector<double>(nprocs, 1.0));
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs),
+                      mp::NodeMap::contiguous(static_cast<int>(nprocs), ranks_per_node));
+  std::vector<sched::InspectorResult> irs(nprocs);
+  std::vector<sched::CoalescePlan> plans(nprocs);
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    irs[r] = sched::build_schedule(p, mesh, part, sched::BuildMethod::kSort2,
+                                   sim::CpuCostModel::free());
+    plans[r] = sched::coalesce(p, irs[r].schedule, sim::CpuCostModel::free());
+  });
+
+  std::vector<std::vector<double>> local(nprocs), ghost(nprocs);
+  std::vector<exec::ExecWorkspace> ws(nprocs);
+  for (std::size_t r = 0; r < nprocs; ++r) {
+    local[r].assign(static_cast<std::size_t>(irs[r].schedule.nlocal), 1.0);
+    ghost[r].assign(static_cast<std::size_t>(irs[r].schedule.nghost), 0.0);
+  }
+  NodeCosts out;
+  cluster.reset_clocks();
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    const auto& s = irs[r].schedule;
+    exec::gather<double>(p, s, local[r], std::span<double>(ghost[r]), ws[r]);
+    exec::scatter_add<double>(p, s, ghost[r], std::span<double>(local[r]), ws[r]);
+  });
+  out.plain = cluster.makespan();
+  out.plain_inter = cluster.total_stats().inter_node_sent;
+
+  cluster.reset_clocks();
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    const auto& s = irs[r].schedule;
+    exec::gather_coalesced<double>(p, s, plans[r], local[r],
+                                   std::span<double>(ghost[r]), ws[r]);
+    exec::scatter_add_coalesced<double>(p, s, plans[r], ghost[r],
+                                        std::span<double>(local[r]), ws[r]);
+  });
+  out.coalesced = cluster.makespan();
+  out.coalesced_inter = cluster.total_stats().inter_node_sent;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,5 +193,33 @@ int main(int argc, char** argv) {
   std::cout << "\nEach schedule message replaces hundreds of per-element messages;\n"
                "on a latency-bound network that is 2-3 orders of magnitude. This is\n"
                "the inspector's raison d'être (and why CHAOS/PARTI existed).\n";
+
+  // Node-aware framing (sched/coalesce.hpp): ranks packed onto physical
+  // nodes funnel all node-to-node traffic into one framed wire message per
+  // phase. The unordered mesh gives every rank a near-complete peer set —
+  // the dense pattern where per-message setup dominates.
+  const graph::Csr unordered = args.get_bool("small", false)
+                                   ? graph::random_delaunay(2000, 1996)
+                                   : graph::random_delaunay(8000, 1996);
+  TextTable nodes_table("Node-aware frames — gather+scatter round, 8 ranks (virtual s)");
+  nodes_table.set_header({"ranks/node", "per-peer msgs", "node frames", "inter msgs",
+                          "framed inter msgs", "reduction"});
+  for (const int rpn : {1, 2, 4}) {
+    const auto c = measure_nodes(unordered, 8, rpn);
+    nodes_table.row()
+        .cell(static_cast<long long>(rpn))
+        .cell(c.plain, 4)
+        .cell(c.coalesced, 4)
+        .cell(c.plain_inter)
+        .cell(c.coalesced_inter)
+        .cell(static_cast<double>(c.plain_inter) /
+                  static_cast<double>(c.coalesced_inter),
+              1);
+  }
+  nodes_table.print(std::cout);
+  std::cout << "\nWith g ranks per node the wire carries one setup per node pair per\n"
+               "phase instead of one per rank pair (a ~g^2 message-count cut); the\n"
+               "time win tracks how setup-bound the traffic is, reaching the paper's\n"
+               "multicast-style amortization on small payloads.\n";
   return 0;
 }

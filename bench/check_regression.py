@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare fresh BENCH_*.json against the committed
+baselines and fail on a virtual-cost regression.
+
+Virtual-cost fields (any numeric field whose name contains "virtual") are
+outputs of the simulated cluster, bit-deterministic for a given code version
+on any machine, so CI can hold them to a tight budget. Host-time fields are
+wall-clock on whatever runner picked up the job and are ignored.
+
+"Worse" depends on the field: *speedup* fields regress downward, every
+other virtual field (they are all costs in seconds) regresses upward. The
+gate fails when a field is worse than baseline by more than --tolerance
+(default 0.25 = 25%). Improvements and new entries/fields never fail; a
+baseline entry missing from the fresh run does.
+
+Usage:
+  check_regression.py --baseline-dir . --fresh-dir build \\
+      BENCH_schedule.json BENCH_remap.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {e["name"]: e for e in doc["entries"]}
+
+
+def is_virtual_cost(key, value):
+    return "virtual" in key and isinstance(value, (int, float))
+
+
+def check_file(name, baseline_dir, fresh_dir, tolerance):
+    """Returns a list of human-readable violations for one bench file."""
+    baseline = load_entries(os.path.join(baseline_dir, name))
+    fresh_path = os.path.join(fresh_dir, name)
+    if not os.path.exists(fresh_path):
+        return [f"{name}: fresh results missing ({fresh_path})"]
+    fresh = load_entries(fresh_path)
+
+    violations = []
+    for entry_name, base_entry in baseline.items():
+        fresh_entry = fresh.get(entry_name)
+        if fresh_entry is None:
+            violations.append(f"{name}:{entry_name}: entry missing from fresh run")
+            continue
+        for key, base_value in base_entry.items():
+            if not is_virtual_cost(key, base_value):
+                continue
+            if key not in fresh_entry:
+                violations.append(f"{name}:{entry_name}.{key}: field missing")
+                continue
+            fresh_value = fresh_entry[key]
+            if base_value == 0:
+                continue
+            if "speedup" in key:  # bigger is better
+                ratio = base_value / fresh_value if fresh_value else float("inf")
+            else:  # cost in seconds: smaller is better
+                ratio = fresh_value / base_value
+            if ratio > 1.0 + tolerance:
+                violations.append(
+                    f"{name}:{entry_name}.{key}: {base_value:g} -> {fresh_value:g} "
+                    f"({(ratio - 1.0) * 100.0:.1f}% worse, budget "
+                    f"{tolerance * 100.0:.0f}%)"
+                )
+    return violations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default=".")
+    parser.add_argument("--fresh-dir", default="build")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args()
+
+    all_violations = []
+    checked = 0
+    for name in args.files:
+        all_violations += check_file(name, args.baseline_dir, args.fresh_dir,
+                                     args.tolerance)
+        checked += 1
+
+    if all_violations:
+        print(f"bench regression gate: {len(all_violations)} violation(s):")
+        for v in all_violations:
+            print(f"  FAIL {v}")
+        return 1
+    print(f"bench regression gate: {checked} file(s) within the "
+          f"{args.tolerance * 100.0:.0f}% virtual-cost budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,10 @@
 #include <atomic>
 
 #include "bench_common.hpp"
+#include "exec/gather_scatter.hpp"
 #include "mp/cluster.hpp"
 #include "partition/mcr.hpp"
+#include "sched/coalesce.hpp"
 #include "sched/incremental.hpp"
 #include "sched/localize.hpp"
 #include "seed_baseline.hpp"
@@ -189,6 +191,129 @@ void bench_remap_mode(bench::JsonReporter& report, const graph::Csr& mesh,
             << "x (virtual " << full_virtual / incr_virtual << "x)\n";
 }
 
+/// All-pairs schedule with `elems` elements per rank pair — the
+/// setup-dominated regime node coalescing targets (peers ~ p, payloads ~
+/// surface/p² as adaptive problems strong-scale).
+sched::CommSchedule all_pairs_schedule(int nprocs, int me, graph::Vertex elems) {
+  sched::CommSchedule s;
+  s.nlocal = elems;
+  s.nghost = elems * static_cast<graph::Vertex>(nprocs - 1);
+  graph::Vertex slot = 0;
+  for (int r = 0; r < nprocs; ++r) {
+    if (r == me) continue;
+    std::vector<graph::Vertex> items(static_cast<std::size_t>(elems));
+    std::vector<graph::Vertex> slots(static_cast<std::size_t>(elems));
+    for (graph::Vertex k = 0; k < elems; ++k) {
+      items[static_cast<std::size_t>(k)] = k;
+      slots[static_cast<std::size_t>(k)] = slot++;
+      s.ghost_globals.push_back(static_cast<graph::Vertex>(r) * elems + k);
+    }
+    s.send_procs.push_back(r);
+    s.send_items.push_back(std::move(items));
+    s.recv_procs.push_back(r);
+    s.recv_slots.push_back(std::move(slots));
+  }
+  return s;
+}
+
+/// One coalescing measurement: gather + scatter_add rounds over the given
+/// per-rank schedules, plain vs node-pair frames. Everything reported is
+/// virtual (simulation output), hence bit-deterministic across machines —
+/// exactly what the CI regression gate wants to compare.
+void bench_one_coalescing(bench::JsonReporter& report, const std::string& name,
+                          std::vector<sched::CommSchedule> schedules,
+                          std::size_t ranks_per_node, int rounds) {
+  const std::size_t nprocs = schedules.size();
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs),
+                      mp::NodeMap::contiguous(static_cast<int>(nprocs),
+                                              static_cast<int>(ranks_per_node)));
+  std::vector<sched::CoalescePlan> plans(nprocs);
+  cluster.run([&](mp::Process& p) {
+    plans[static_cast<std::size_t>(p.rank())] = sched::coalesce(
+        p, schedules[static_cast<std::size_t>(p.rank())], sim::CpuCostModel::sun4());
+  });
+
+  std::vector<std::vector<double>> local(nprocs), ghost(nprocs);
+  std::vector<exec::ExecWorkspace> ws(nprocs);
+  for (std::size_t r = 0; r < nprocs; ++r) {
+    local[r].assign(static_cast<std::size_t>(schedules[r].nlocal), 1.0);
+    ghost[r].assign(static_cast<std::size_t>(schedules[r].nghost), 0.0);
+  }
+  auto run_rounds = [&](bool coalesced) {
+    cluster.reset_clocks();
+    cluster.run([&](mp::Process& p) {
+      const auto r = static_cast<std::size_t>(p.rank());
+      const auto& s = schedules[r];
+      for (int it = 0; it < rounds; ++it) {
+        if (coalesced) {
+          exec::gather_coalesced<double>(p, s, plans[r], local[r],
+                                         std::span<double>(ghost[r]), ws[r]);
+          exec::scatter_add_coalesced<double>(p, s, plans[r], ghost[r],
+                                              std::span<double>(local[r]), ws[r]);
+        } else {
+          exec::gather<double>(p, s, local[r], std::span<double>(ghost[r]), ws[r]);
+          exec::scatter_add<double>(p, s, ghost[r], std::span<double>(local[r]), ws[r]);
+        }
+      }
+    });
+  };
+
+  run_rounds(false);
+  const double plain_virtual = cluster.makespan();
+  const auto plain_stats = cluster.total_stats();
+  run_rounds(true);
+  const double coal_virtual = cluster.makespan();
+  const auto coal_stats = cluster.total_stats();
+
+  report.entry(name)
+      .field("ranks", nprocs)
+      .field("ranks_per_node", ranks_per_node)
+      .field("rounds", static_cast<long long>(rounds))
+      .field("plain_virtual_seconds", plain_virtual)
+      .field("coalesced_virtual_seconds", coal_virtual)
+      .field("virtual_speedup", plain_virtual / coal_virtual)
+      .field("plain_inter_node_msgs", plain_stats.inter_node_sent)
+      .field("coalesced_inter_node_msgs", coal_stats.inter_node_sent)
+      .field("msg_reduction",
+             static_cast<double>(plain_stats.inter_node_sent) /
+                 static_cast<double>(coal_stats.inter_node_sent));
+  std::cout << name << ": plain " << plain_virtual << " s, coalesced " << coal_virtual
+            << " s (" << plain_virtual / coal_virtual << "x), inter-node msgs "
+            << plain_stats.inter_node_sent << " -> " << coal_stats.inter_node_sent
+            << "\n";
+}
+
+void bench_node_coalescing(bench::JsonReporter& report, bool small) {
+  // Setup-dominated regime: every rank exchanges a few elements with every
+  // other rank (12 ranks, 6 per node).
+  {
+    const int nprocs = 12;
+    std::vector<sched::CommSchedule> schedules;
+    schedules.reserve(nprocs);
+    for (int r = 0; r < nprocs; ++r) schedules.push_back(all_pairs_schedule(nprocs, r, 4));
+    bench_one_coalescing(report, "node_coalescing_all_pairs", std::move(schedules), 6,
+                         small ? 4 : 10);
+  }
+  // Byte-heavy regime: randomly labelled mesh, 8 ranks on 2 nodes — frames
+  // still collapse the message count, while per-byte wire time bounds the
+  // makespan win.
+  {
+    const graph::Csr mesh = graph::random_delaunay(small ? 2000 : 8000, 1996);
+    const auto part = partition::IntervalPartition::from_weights(
+        mesh.num_vertices(), std::vector<double>(8, 1.0));
+    mp::Cluster build_cluster(sim::MachineSpec::uniform(8));
+    std::vector<sched::CommSchedule> schedules(8);
+    build_cluster.run([&](mp::Process& p) {
+      schedules[static_cast<std::size_t>(p.rank())] =
+          sched::build_schedule(p, mesh, part, sched::BuildMethod::kSort2,
+                                sim::CpuCostModel::free())
+              .schedule;
+    });
+    bench_one_coalescing(report, "node_coalescing_mesh", std::move(schedules), 4,
+                         small ? 2 : 5);
+  }
+}
+
 void bench_remap(bench::JsonReporter& report, const graph::Csr& mesh, int deltas) {
   const std::size_t nprocs = 5;
 
@@ -233,6 +358,7 @@ int main(int argc, char** argv) {
   bench::JsonReporter schedule_report;
   bench_schedule_build(schedule_report, mesh, repeats);
   bench_translation(schedule_report, small, repeats);
+  bench_node_coalescing(schedule_report, small);
   schedule_report.write(out_dir + "/BENCH_schedule.json");
 
   bench::JsonReporter remap_report;

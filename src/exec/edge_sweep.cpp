@@ -31,7 +31,12 @@ void EdgeSweep::sweep(mp::Process& p, std::span<const double> y,
   STANCE_REQUIRE(y.size() == nlocal && acc.size() == nlocal,
                  "EdgeSweep: vector size mismatch");
 
-  gather<double>(p, sched_, y, ghost_values_, ws_, cpu_costs_, kSweepGatherTag);
+  if (plan_ != nullptr) {
+    gather_coalesced<double>(p, sched_, *plan_, y, ghost_values_, ws_, cpu_costs_,
+                             kSweepGatherTag);
+  } else {
+    gather<double>(p, sched_, y, ghost_values_, ws_, cpu_costs_, kSweepGatherTag);
+  }
 
   std::fill(acc.begin(), acc.end(), 0.0);
   std::fill(ghost_contrib_.begin(), ghost_contrib_.end(), 0.0);
@@ -60,7 +65,13 @@ void EdgeSweep::sweep(mp::Process& p, std::span<const double> y,
   p.compute(work_per_sweep_);
 
   // Push the ghost contributions back to their owners.
-  scatter_add<double>(p, sched_, ghost_contrib_, acc, ws_, cpu_costs_, kSweepScatterTag);
+  if (plan_ != nullptr) {
+    scatter_add_coalesced<double>(p, sched_, *plan_, ghost_contrib_, acc, ws_,
+                                  cpu_costs_, kSweepScatterTag);
+  } else {
+    scatter_add<double>(p, sched_, ghost_contrib_, acc, ws_, cpu_costs_,
+                        kSweepScatterTag);
+  }
 }
 
 void EdgeSweep::reference_sweep(const graph::Csr& g, std::span<const double> y,

@@ -42,6 +42,16 @@ class EdgeSweep {
   static void reference_sweep(const graph::Csr& g, std::span<const double> y,
                               std::span<double> acc);
 
+  /// Route both the gather and the scatter through node-aware coalesced
+  /// frames; nullptr returns to per-peer messages. Byte-identical results.
+  void set_coalesce_plan(const sched::CoalescePlan* plan) noexcept { plan_ = plan; }
+
+  /// Pack/unpack the exchanges on `threads` threads (1 = serial).
+  void set_pack_threads(unsigned threads,
+                        std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
+    ws_.set_pack_threads(threads, serial_cutoff);
+  }
+
  private:
   const sched::LocalizedGraph& lgraph_;
   const sched::CommSchedule& sched_;
@@ -52,6 +62,7 @@ class EdgeSweep {
   std::vector<double> ghost_values_;
   std::vector<double> ghost_contrib_;
   ExecWorkspace ws_;  ///< persistent pack/unpack buffers (zero-alloc sweep)
+  const sched::CoalescePlan* plan_ = nullptr;  ///< optional node-aware framing
 };
 
 }  // namespace stance::exec

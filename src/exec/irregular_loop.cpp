@@ -46,7 +46,12 @@ void IrregularLoop::iterate(mp::Process& p, std::span<double> y, int iterations)
   STANCE_REQUIRE(iterations >= 0, "IrregularLoop: negative iteration count");
   const auto nlocal = static_cast<std::size_t>(lgraph_.nlocal);
   for (int it = 0; it < iterations; ++it) {
-    gather<double>(p, sched_, y, ghost_, ws_, cpu_costs_, kLoopGatherTag);
+    if (plan_ != nullptr) {
+      gather_coalesced<double>(p, sched_, *plan_, y, ghost_, ws_, cpu_costs_,
+                               kLoopGatherTag);
+    } else {
+      gather<double>(p, sched_, y, ghost_, ws_, cpu_costs_, kLoopGatherTag);
+    }
     for (std::size_t i = 0; i < nlocal; ++i) {
       double acc = 0.0;
       for (const sched::Vertex r : lgraph_.refs_of(static_cast<sched::Vertex>(i))) {

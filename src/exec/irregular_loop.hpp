@@ -55,6 +55,18 @@ class IrregularLoop {
   /// monitor: compute seconds = work / effective speed).
   [[nodiscard]] double work_per_iteration() const noexcept { return work_per_iter_; }
 
+  /// Route the gather through node-aware coalesced frames (sched/coalesce.hpp).
+  /// `plan` must outlive this executor and belong to the same schedule; pass
+  /// nullptr to return to per-peer messages. Results are byte-identical
+  /// either way.
+  void set_coalesce_plan(const sched::CoalescePlan* plan) noexcept { plan_ = plan; }
+
+  /// Pack/unpack the ghost exchange on `threads` threads (1 = serial).
+  void set_pack_threads(unsigned threads,
+                        std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
+    ws_.set_pack_threads(threads, serial_cutoff);
+  }
+
   [[nodiscard]] const sched::LocalizedGraph& lgraph() const noexcept { return lgraph_; }
   [[nodiscard]] const sched::CommSchedule& schedule() const noexcept { return sched_; }
 
@@ -73,6 +85,7 @@ class IrregularLoop {
   std::vector<double> ghost_;
   std::vector<double> t_;
   ExecWorkspace ws_;  ///< persistent pack/unpack buffers (zero-alloc iterate)
+  const sched::CoalescePlan* plan_ = nullptr;  ///< optional node-aware framing
 
   void recompute_work();
 };

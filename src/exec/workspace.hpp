@@ -7,15 +7,24 @@
 // steady-state high-water mark once and are then reused for every
 // subsequent call, so gather/scatter perform zero heap allocations in
 // steady state (verified by tests/test_exec_alloc.cpp).
+//
+// At large ghost counts the pack/unpack copy loops themselves become the
+// bottleneck; set_pack_threads(k) attaches a fixed fork/join pool
+// (support/thread_pool.hpp) that splits them into disjoint chunks. Chunking
+// is static, so results are byte-identical for every pool size, and the
+// steady state stays allocation-free.
 #pragma once
 
 #include <algorithm>
 #include <bit>
 #include <cstddef>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "mp/process.hpp"
+#include "support/thread_pool.hpp"
 
 namespace stance::exec {
 
@@ -59,6 +68,36 @@ class ExecWorkspace {
     return send_arena_.size() + recv_arena_.size();
   }
 
+  /// Pack/unpack parallelism, total threads including the caller. 1 (the
+  /// default) runs serially with no pool at all. (Re)creating the pool
+  /// allocates and spawns threads, so set it once before the steady state.
+  void set_pack_threads(unsigned threads,
+                        std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
+    if (threads <= 1) {
+      pool_.reset();
+      return;
+    }
+    if (pool_ && pool_->threads() == threads && pool_->serial_cutoff() == serial_cutoff) {
+      return;
+    }
+    pool_ = std::make_unique<support::ThreadPool>(threads, serial_cutoff);
+  }
+  [[nodiscard]] unsigned pack_threads() const noexcept {
+    return pool_ ? pool_->threads() : 1;
+  }
+
+  /// Run f(begin, end) over disjoint chunks of [0, n) — on the pool when one
+  /// is attached, inline otherwise. Byte-identical results either way for
+  /// kernels that write each index at most once.
+  template <typename F>
+  void parallel_chunks(std::size_t n, F&& f) {
+    if (pool_) {
+      pool_->parallel_for(n, std::forward<F>(f));
+    } else if (n != 0) {
+      f(std::size_t{0}, n);
+    }
+  }
+
  private:
   template <typename T>
   static std::span<T> carve(std::vector<std::byte>& arena, std::size_t n) {
@@ -73,6 +112,7 @@ class ExecWorkspace {
 
   std::vector<std::byte> send_arena_;
   std::vector<std::byte> recv_arena_;
+  std::unique_ptr<support::ThreadPool> pool_;
   std::size_t prewarm_count_ = 0;
   std::size_t prewarm_bytes_ = 0;
 };

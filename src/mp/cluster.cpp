@@ -10,11 +10,20 @@
 namespace stance::mp {
 
 Cluster::Cluster(sim::MachineSpec spec)
+    : Cluster(std::move(spec), NodeMap{}) {}
+
+Cluster::Cluster(sim::MachineSpec spec, NodeMap node_map)
     : spec_(std::move(spec)),
+      node_map_(std::move(node_map)),
       boxes_(spec_.size()),
       rendezvous_(spec_.size()),
       last_stats_(spec_.size()) {
   STANCE_REQUIRE(!spec_.nodes.empty(), "cluster must have at least one node");
+  if (node_map_.nprocs() == 0) {
+    node_map_ = NodeMap::one_rank_per_node(static_cast<int>(spec_.size()));
+  }
+  STANCE_REQUIRE(node_map_.nprocs() == nprocs(),
+                 "cluster: node map does not cover every rank");
   clocks_.reserve(spec_.size());
   for (const auto& node : spec_.nodes) {
     clocks_.emplace_back(node.speed, node.profile);
@@ -31,7 +40,8 @@ void Cluster::run(const std::function<void(Process&)>& body) {
   std::vector<std::unique_ptr<Process>> procs(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     procs[static_cast<std::size_t>(r)] = std::make_unique<Process>(
-        r, p, clocks_[static_cast<std::size_t>(r)], boxes_, rendezvous_, spec_.net);
+        r, p, clocks_[static_cast<std::size_t>(r)], boxes_, rendezvous_, spec_.net,
+        node_map_);
   }
 
   for (int r = 0; r < p; ++r) {

@@ -20,6 +20,7 @@
 
 #include "mp/comm_stats.hpp"
 #include "mp/mailbox.hpp"
+#include "mp/node_map.hpp"
 #include "mp/process.hpp"
 #include "mp/rendezvous.hpp"
 #include "sim/machine.hpp"
@@ -29,10 +30,17 @@ namespace stance::mp {
 
 class Cluster {
  public:
+  /// One rank per physical node — the paper's testbed shape.
   explicit Cluster(sim::MachineSpec spec);
+
+  /// Ranks grouped onto physical nodes: co-resident ranks exchange through
+  /// shared memory (NetworkModel's intra_* terms) and their wire traffic can
+  /// be coalesced per node (sched/coalesce.hpp).
+  Cluster(sim::MachineSpec spec, NodeMap node_map);
 
   [[nodiscard]] const sim::MachineSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] int nprocs() const noexcept { return static_cast<int>(spec_.size()); }
+  [[nodiscard]] const NodeMap& node_map() const noexcept { return node_map_; }
 
   /// Run `body` as an SPMD program: one thread per node, each handed its
   /// Process. Returns when every rank finished; rethrows the first failure.
@@ -61,6 +69,7 @@ class Cluster {
 
  private:
   sim::MachineSpec spec_;
+  NodeMap node_map_;
   std::vector<sim::VirtualClock> clocks_;
   std::vector<Mailbox> boxes_;
   Rendezvous rendezvous_;

@@ -14,6 +14,20 @@ struct CommStats {
   std::uint64_t collectives = 0;
   std::uint64_t multicasts = 0;
 
+  /// Point-to-point traffic split by physical-node topology (mp/node_map.hpp):
+  /// inter-node messages cross the wire, intra-node ones move through shared
+  /// memory between co-resident ranks. Sent and received counts both split,
+  /// so messages_sent == intra_node_sent + inter_node_sent (multicasts count
+  /// as inter-node — they are wire transmissions by definition).
+  std::uint64_t intra_node_sent = 0;
+  std::uint64_t inter_node_sent = 0;
+  std::uint64_t intra_node_bytes_sent = 0;
+  std::uint64_t inter_node_bytes_sent = 0;
+
+  /// Coalesced frames shipped on behalf of co-resident ranks (a subset of
+  /// inter_node_sent; see sched/coalesce.hpp).
+  std::uint64_t frames_sent = 0;
+
   /// Virtual-time breakdown: seconds spent computing vs. communicating
   /// (sends, receives, waits in collectives).
   double compute_seconds = 0.0;
@@ -28,6 +42,11 @@ struct CommStats {
     bytes_recv += o.bytes_recv;
     collectives += o.collectives;
     multicasts += o.multicasts;
+    intra_node_sent += o.intra_node_sent;
+    inter_node_sent += o.inter_node_sent;
+    intra_node_bytes_sent += o.intra_node_bytes_sent;
+    inter_node_bytes_sent += o.inter_node_bytes_sent;
+    frames_sent += o.frames_sent;
     compute_seconds += o.compute_seconds;
     comm_seconds += o.comm_seconds;
     return *this;

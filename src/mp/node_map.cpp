@@ -1,0 +1,48 @@
+#include "mp/node_map.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace stance::mp {
+
+NodeMap::NodeMap(std::vector<int> node_of_rank) : node_of_(std::move(node_of_rank)) {
+  STANCE_REQUIRE(!node_of_.empty(), "NodeMap: need at least one rank");
+  const int nnodes = 1 + *std::max_element(node_of_.begin(), node_of_.end());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(nnodes), 0);
+  for (const int node : node_of_) {
+    STANCE_REQUIRE(node >= 0, "NodeMap: negative node id");
+    ++counts[static_cast<std::size_t>(node)];
+  }
+  for (const std::size_t c : counts) {
+    STANCE_REQUIRE(c > 0, "NodeMap: node ids must be contiguous (empty node)");
+  }
+  offsets_.assign(static_cast<std::size_t>(nnodes) + 1, 0);
+  for (int node = 0; node < nnodes; ++node) {
+    offsets_[static_cast<std::size_t>(node) + 1] =
+        offsets_[static_cast<std::size_t>(node)] + counts[static_cast<std::size_t>(node)];
+  }
+  ranks_.resize(node_of_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  // Ranks ascend within each node because we scan them in ascending order.
+  for (Rank r = 0; r < nprocs(); ++r) {
+    ranks_[cursor[static_cast<std::size_t>(node_of(r))]++] = r;
+  }
+}
+
+NodeMap NodeMap::one_rank_per_node(int nprocs) {
+  STANCE_REQUIRE(nprocs > 0, "NodeMap: need at least one rank");
+  std::vector<int> node_of(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) node_of[static_cast<std::size_t>(r)] = r;
+  return NodeMap(std::move(node_of));
+}
+
+NodeMap NodeMap::contiguous(int nprocs, int ranks_per_node) {
+  STANCE_REQUIRE(nprocs > 0, "NodeMap: need at least one rank");
+  STANCE_REQUIRE(ranks_per_node > 0, "NodeMap: ranks_per_node must be positive");
+  std::vector<int> node_of(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) node_of[static_cast<std::size_t>(r)] = r / ranks_per_node;
+  return NodeMap(std::move(node_of));
+}
+
+}  // namespace stance::mp

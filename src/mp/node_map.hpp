@@ -1,0 +1,73 @@
+// Physical-node topology of the virtual cluster (paper §3.6, extended).
+//
+// The paper's testbed maps one process per workstation; modern clusters
+// co-locate several ranks on each physical node, where peers reach each
+// other through shared memory instead of the wire. A NodeMap assigns every
+// rank to a physical node so that (a) the message layer can charge
+// intra-node transfers at memory speed and account them separately, and
+// (b) the coalescing pass (sched/coalesce.hpp) can merge all payloads bound
+// for one node into a single framed wire message, amortizing per-message
+// setup exactly the way the paper's multicast amortizes broadcasts.
+//
+// Each node's lowest rank is its *delegate*: the endpoint that sends and
+// receives coalesced frames on behalf of its co-resident ranks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mp/message.hpp"
+
+namespace stance::mp {
+
+class NodeMap {
+ public:
+  /// Empty map (no ranks); Cluster substitutes one_rank_per_node.
+  NodeMap() = default;
+
+  /// Explicit assignment: node_of_rank[r] is rank r's physical node. Node
+  /// ids must be exactly 0..max contiguously (every node nonempty).
+  explicit NodeMap(std::vector<int> node_of_rank);
+
+  /// The paper's testbed shape: every rank is alone on its node.
+  static NodeMap one_rank_per_node(int nprocs);
+
+  /// Ranks [0,g) on node 0, [g,2g) on node 1, ... The last node takes the
+  /// remainder when g does not divide nprocs.
+  static NodeMap contiguous(int nprocs, int ranks_per_node);
+
+  [[nodiscard]] int nprocs() const noexcept { return static_cast<int>(node_of_.size()); }
+  [[nodiscard]] int nnodes() const noexcept {
+    return static_cast<int>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  [[nodiscard]] int node_of(Rank r) const noexcept {
+    return node_of_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] bool same_node(Rank a, Rank b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+  /// Ranks resident on `node`, ascending.
+  [[nodiscard]] std::span<const Rank> ranks_on(int node) const noexcept {
+    const auto b = offsets_[static_cast<std::size_t>(node)];
+    const auto e = offsets_[static_cast<std::size_t>(node) + 1];
+    return {ranks_.data() + b, e - b};
+  }
+
+  /// Lowest rank on `node` — the frame endpoint for coalesced traffic.
+  [[nodiscard]] Rank delegate_of(int node) const noexcept { return ranks_on(node).front(); }
+  [[nodiscard]] Rank delegate_of_rank(Rank r) const noexcept {
+    return delegate_of(node_of(r));
+  }
+
+  /// True when every rank is alone on its node (coalescing is a no-op).
+  [[nodiscard]] bool trivial() const noexcept { return nnodes() == nprocs(); }
+
+ private:
+  std::vector<int> node_of_;          ///< rank -> node
+  std::vector<std::size_t> offsets_;  ///< CSR offsets into ranks_, size nnodes+1
+  std::vector<Rank> ranks_;           ///< ranks grouped by node, ascending
+};
+
+}  // namespace stance::mp

@@ -17,11 +17,12 @@ int ceil_log2(int n) {
 
 Process::Process(Rank rank, int nprocs, sim::VirtualClock& clock,
                  std::vector<Mailbox>& boxes, Rendezvous& rendezvous,
-                 const sim::NetworkModel& net)
+                 const sim::NetworkModel& net, const NodeMap& nodes)
     : rank_(rank), nprocs_(nprocs), clock_(clock), boxes_(boxes), rendezvous_(rendezvous),
-      net_(net) {
+      net_(net), nodes_(nodes) {
   STANCE_ASSERT(rank >= 0 && rank < nprocs);
   STANCE_ASSERT(boxes_.size() == static_cast<std::size_t>(nprocs));
+  STANCE_ASSERT(nodes_.nprocs() == nprocs);
 }
 
 void Process::compute(double work) {
@@ -34,16 +35,27 @@ void Process::compute(double work) {
 void Process::send_bytes(Rank dest, Tag tag, std::span<const std::byte> data) {
   STANCE_REQUIRE(dest >= 0 && dest < nprocs_, "send: destination out of range");
   STANCE_REQUIRE(dest != rank_, "send: cannot send to self");
+  const bool intra = nodes_.same_node(rank_, dest);
   const double before = clock_.now();
-  clock_.advance_work(net_.sender_busy(data.size()));  // protocol work runs on the
-                                                       // (possibly loaded) CPU
-  const double arrival = clock_.now() + net_.transfer_time(data.size());
+  // Protocol work runs on the (possibly loaded) CPU; a co-resident peer is
+  // reached through shared memory instead of the wire.
+  clock_.advance_work(intra ? net_.intra_sender_busy(data.size())
+                            : net_.sender_busy(data.size()));
+  const double arrival = clock_.now() + (intra ? net_.intra_transfer_time(data.size())
+                                               : net_.transfer_time(data.size()));
   Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
   std::vector<std::byte> payload = box.acquire(data.size());
   std::copy(data.begin(), data.end(), payload.begin());
   box.deposit(RawMessage{rank_, tag, std::move(payload), arrival});
   ++stats_.messages_sent;
   stats_.bytes_sent += data.size();
+  if (intra) {
+    ++stats_.intra_node_sent;
+    stats_.intra_node_bytes_sent += data.size();
+  } else {
+    ++stats_.inter_node_sent;
+    stats_.inter_node_bytes_sent += data.size();
+  }
   stats_.comm_seconds += clock_.now() - before;
 }
 
@@ -53,7 +65,8 @@ RawMessage Process::recv_raw(Rank source, Tag tag) {
   const double before = clock_.now();
   RawMessage msg = boxes_[static_cast<std::size_t>(rank_)].take(source, tag);
   clock_.merge(msg.arrival);
-  clock_.advance_work(net_.recv_overhead);
+  clock_.advance_work(nodes_.same_node(rank_, source) ? net_.intra_overhead
+                                                      : net_.recv_overhead);
   ++stats_.messages_recv;
   stats_.bytes_recv += msg.payload.size();
   stats_.comm_seconds += clock_.now() - before;
@@ -84,7 +97,9 @@ void Process::multicast_bytes(std::span<const Rank> dests, Tag tag,
   }
   ++stats_.messages_sent;
   ++stats_.multicasts;
+  ++stats_.inter_node_sent;  // a multicast is one wire transmission
   stats_.bytes_sent += data.size();
+  stats_.inter_node_bytes_sent += data.size();
   stats_.comm_seconds += clock_.now() - before;
 }
 

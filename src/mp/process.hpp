@@ -22,6 +22,7 @@
 #include "mp/comm_stats.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/message.hpp"
+#include "mp/node_map.hpp"
 #include "mp/rendezvous.hpp"
 #include "sim/network_model.hpp"
 #include "sim/virtual_clock.hpp"
@@ -34,7 +35,7 @@ class Cluster;
 class Process {
  public:
   Process(Rank rank, int nprocs, sim::VirtualClock& clock, std::vector<Mailbox>& boxes,
-          Rendezvous& rendezvous, const sim::NetworkModel& net);
+          Rendezvous& rendezvous, const sim::NetworkModel& net, const NodeMap& nodes);
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
@@ -48,6 +49,7 @@ class Process {
   [[nodiscard]] double now() const noexcept { return clock_.now(); }
 
   [[nodiscard]] const sim::NetworkModel& net() const noexcept { return net_; }
+  [[nodiscard]] const NodeMap& nodes() const noexcept { return nodes_; }
   [[nodiscard]] CommStats& stats() noexcept { return stats_; }
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
 
@@ -277,6 +279,7 @@ class Process {
   std::vector<Mailbox>& boxes_;
   Rendezvous& rendezvous_;
   const sim::NetworkModel& net_;
+  const NodeMap& nodes_;
   CommStats stats_;
 };
 

@@ -1,0 +1,158 @@
+// Node-aware message coalescing (paper §3.6, applied to unicast traffic).
+//
+// The paper's multicast argument — one transmission amortizes per-message
+// setup across many receivers — applies to the unicast side of the executor
+// too: when several ranks share a physical node (mp/node_map.hpp), ALL
+// payloads one node sends to another can travel as a *single framed wire
+// message* per phase. Each rank hands its off-node payloads to its node's
+// delegate (the lowest co-resident rank) as cheap shared-memory bundles;
+// the delegate concatenates them into one frame per destination node; the
+// receiving delegate splits the frame and hands each co-resident rank its
+// pieces through shared memory. The wire then carries one message setup
+// per node pair per phase instead of one per rank pair — with g ranks per
+// node, a g²-fold cut in wire messages on dense patterns, exactly the
+// amortization the paper's multicast buys broadcasts.
+//
+// Like everything else in this library the framing is inspector/executor
+// split: coalesce() is a collective inspector pass that precomputes, per
+// rank, which peers stay direct (co-resident), how its bundles and frames
+// are laid out, and — on the delegate — how each inbound frame demuxes
+// into per-target pieces. The executors (exec::gather_coalesced /
+// exec::scatter_coalesced) are then driven entirely by the plan, with no
+// in-band headers and no per-call allocation or lookup.
+//
+// Correctness contract (tests/test_coalesce.cpp): executing a coalesced
+// plan yields byte-identical ghost regions (gather) and accumulators
+// (scatter) to the uncoalesced schedule. For scatter this requires the
+// combine order per element to be preserved; the receiving delegate
+// therefore buffers every inbound frame first and demuxes in ascending
+// (source rank, target rank) order, and each rank merges direct receives,
+// frame pieces, and forwards in ascending source-rank order — the same
+// order the uncoalesced path uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mp/node_map.hpp"
+#include "mp/process.hpp"
+#include "sched/schedule.hpp"
+#include "sim/cpu_costs.hpp"
+
+namespace stance::sched {
+
+/// One direction of node-aware communication. For gather, data flows along
+/// the schedule's send lists (peers = send_procs, sources = recv_procs);
+/// for scatter it flows along its receive lists with the roles swapped.
+struct DirectionPlan {
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
+  /// How a base source's payload reaches this rank: a direct message
+  /// (co-resident source, or a demoted singleton frame), a piece of a frame
+  /// this rank receives as delegate, or a forward from this rank's delegate
+  /// after demuxing.
+  enum class Via : std::uint8_t { kDirect, kFrame, kForward };
+
+  /// Indices into the base peer list whose payloads stay direct messages
+  /// (co-resident peers, plus demoted delegate-to-delegate singletons),
+  /// ascending.
+  std::vector<std::uint32_t> direct_peers;
+
+  /// Non-delegates: one shared-memory bundle per destination node, handed
+  /// to this rank's delegate for frame assembly; ascending by dest_node.
+  /// peer_idx lists the packed base peers in ascending rank order.
+  struct Bundle {
+    int dest_node = -1;
+    std::vector<std::uint32_t> peer_idx;
+    std::size_t elems = 0;
+  };
+  std::vector<Bundle> bundles;
+
+  /// Delegates: one wire frame per destination node, ascending by
+  /// dest_node. Parts are ordered by ascending source rank; a part is
+  /// either this rank's own payload (peer_idx nonempty) or a bundle to be
+  /// received from the co-resident `source`.
+  struct FramePart {
+    mp::Rank source = -1;
+    std::size_t elems = 0;
+    std::vector<std::uint32_t> peer_idx;  ///< only when source is this rank
+  };
+  struct SendFrame {
+    int dest_node = -1;
+    mp::Rank wire_dest = -1;  ///< delegate rank of dest_node
+    std::vector<FramePart> parts;
+    std::size_t elems = 0;
+  };
+  std::vector<SendFrame> send_frames;
+
+  /// Transport of each base source, parallel to the base source list.
+  std::vector<Via> source_via;
+
+  /// Delegates: one inbound frame per source node, ascending by src_node.
+  /// Frames are received into the workspace arena back to back (at
+  /// arena_offset) before any demuxing, so pieces can be replayed in
+  /// global source order.
+  struct RecvFrame {
+    int src_node = -1;
+    mp::Rank wire_source = -1;  ///< delegate rank of src_node
+    std::size_t elems = 0;
+    std::size_t arena_offset = 0;  ///< element offset in the frame arena
+  };
+  std::vector<RecvFrame> recv_frames;
+
+  /// Delegates: demux table over the buffered frames, ascending by
+  /// (source, target) — the order that preserves the uncoalesced combine
+  /// order on every target. src_index is the base-source index when the
+  /// piece is for this rank itself, kNoIndex when it is forwarded.
+  struct Demux {
+    mp::Rank source = -1;
+    mp::Rank target = -1;
+    std::uint32_t count = 0;
+    std::uint32_t src_index = kNoIndex;
+    std::size_t arena_offset = 0;  ///< element offset of this piece
+  };
+  std::vector<Demux> demux;
+
+  /// Workspace sizing (elements): largest single outbound message, total
+  /// inbound frame arena, largest non-frame inbound message, largest single
+  /// inbound message of any kind, and the number of inbound messages per
+  /// executor call (bundles + frames + directs + forwards).
+  std::size_t max_outbound_elems = 0;
+  std::size_t frame_arena_elems = 0;
+  std::size_t max_nonframe_inbound_elems = 0;
+  std::size_t max_inbound_elems = 0;
+  std::size_t inbound_msgs = 0;
+
+  /// Messages this rank posts on the wire per executor call; the
+  /// uncoalesced executor posts one per off-node base peer.
+  [[nodiscard]] std::size_t outbound_msgs() const noexcept {
+    return direct_peers.size() + bundles.size() + send_frames.size();
+  }
+};
+
+/// The per-rank coalescing plan for one CommSchedule on one node topology.
+struct CoalescePlan {
+  mp::Rank my_delegate = -1;  ///< delegate of this rank's node (may be self)
+  DirectionPlan gather;
+  DirectionPlan scatter;
+};
+
+/// Collective (like the inspector): every rank calls this with its own
+/// schedule. Co-resident ranks exchange their outbound and inbound lists so
+/// each node's delegate learns the frame layouts it will assemble and
+/// demux; the exchange is intra-node traffic and its cost is charged to p's
+/// clock, as are the list-processing costs via `costs`. With a trivial node
+/// map (one rank per node) every frame demotes to a direct message and the
+/// coalesced executors behave exactly like the plain ones.
+[[nodiscard]] CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
+                                    const sim::CpuCostModel& costs);
+
+/// Tag transforms giving frames, bundles, and delegate forwards their own
+/// matching space, so a coalesced phase can never cross-match a direct
+/// message of the same executor tag.
+inline constexpr mp::Tag frame_tag(mp::Tag t) { return t ^ 0x00100000; }
+inline constexpr mp::Tag forward_tag(mp::Tag t) { return t ^ 0x00200000; }
+inline constexpr mp::Tag bundle_tag(mp::Tag t) { return t ^ 0x00400000; }
+
+}  // namespace stance::sched

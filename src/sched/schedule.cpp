@@ -24,6 +24,18 @@ std::size_t CommSchedule::total_received() const {
   return n;
 }
 
+std::size_t CommSchedule::max_send_elems() const {
+  std::size_t n = 0;
+  for (const auto& items : send_items) n = std::max(n, items.size());
+  return n;
+}
+
+std::size_t CommSchedule::max_recv_elems() const {
+  std::size_t n = 0;
+  for (const auto& slots : recv_slots) n = std::max(n, slots.size());
+  return n;
+}
+
 bool CommSchedule::valid() const {
   if (send_procs.size() != send_items.size()) return false;
   if (recv_procs.size() != recv_slots.size()) return false;

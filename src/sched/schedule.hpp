@@ -50,6 +50,11 @@ struct CommSchedule {
     return send_procs.size() + recv_procs.size();
   }
 
+  /// Largest single send list / receive permutation, in elements — the
+  /// executors' packing-buffer requirement.
+  [[nodiscard]] std::size_t max_send_elems() const;
+  [[nodiscard]] std::size_t max_recv_elems() const;
+
   /// Structural invariants: sorted unique peers, slots in range & unique,
   /// local send indices in [0, nlocal), ghost_globals consistent with
   /// nghost. Cheap enough to assert in tests on every build.

@@ -19,6 +19,11 @@ NetworkModel NetworkModel::ethernet_10mbps(bool multicast_enabled) {
   m.contention = 1.0;
   m.multicast = multicast_enabled;
   m.shared_medium = true;
+  // Shared-memory transport between co-resident ranks: ~25 µs handoff,
+  // ~40 MB/s copy — two orders of magnitude below the wire's setup cost.
+  m.intra_latency = 25.0e-6;
+  m.intra_bandwidth = 40.0e6;
+  m.intra_overhead = 15.0e-6;
   return m;
 }
 
@@ -31,6 +36,9 @@ NetworkModel NetworkModel::atm_155mbps() {
   m.recv_overhead = 0.15e-3;
   m.contention = 1.0;
   m.multicast = true;
+  m.intra_latency = 10.0e-6;
+  m.intra_bandwidth = 80.0e6;
+  m.intra_overhead = 8.0e-6;
   return m;
 }
 

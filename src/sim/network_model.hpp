@@ -32,6 +32,14 @@ struct NetworkModel {
   bool multicast = false;      ///< hardware multicast available
   bool shared_medium = false;  ///< one transmission at a time (classic Ethernet)
 
+  /// Intra-node transfers (ranks co-resident on one physical node, see
+  /// mp/node_map.hpp) bypass the wire: a memcpy through shared memory plus a
+  /// small software handoff. They never touch the shared medium, so no
+  /// contention factor applies.
+  double intra_latency = 0.0;    ///< seconds of handoff per intra-node message
+  double intra_bandwidth = 1e12; ///< bytes per second through shared memory
+  double intra_overhead = 0.0;   ///< endpoint CPU seconds per intra-node message
+
   /// Wire time for one b-byte transmission.
   [[nodiscard]] double wire_time(std::size_t bytes) const noexcept {
     return contention * (latency + static_cast<double>(bytes) / bandwidth);
@@ -54,6 +62,17 @@ struct NetworkModel {
   /// Sender-side cost of issuing one multicast (or the first of k unicasts).
   [[nodiscard]] double multicast_sends(std::size_t k) const noexcept {
     return multicast ? 1.0 : static_cast<double>(k);
+  }
+
+  /// Sender CPU time for one b-byte intra-node message (the copy runs on
+  /// the sending CPU, like the synchronous-stack wire path).
+  [[nodiscard]] double intra_sender_busy(std::size_t bytes) const noexcept {
+    return intra_overhead + static_cast<double>(bytes) / intra_bandwidth;
+  }
+
+  /// Arrival delay of an intra-node message after the sender's busy period.
+  [[nodiscard]] double intra_transfer_time(std::size_t) const noexcept {
+    return intra_latency;
   }
 
   /// Instantaneous (zero-cost) network for unit tests of algorithms.

@@ -1,0 +1,139 @@
+// Fixed-size fork/join pool for data-parallel copy loops.
+//
+// parallel_for(n, f) splits [0, n) into one contiguous chunk per thread
+// (the workers plus the calling thread) and blocks until every chunk ran.
+// Chunk boundaries depend only on n and the thread count, and chunks are
+// disjoint, so any kernel that writes each index at most once produces
+// results byte-identical to the serial loop for every pool size — the
+// property the executor's threaded pack/unpack relies on (verified by
+// tests/test_thread_pool.cpp).
+//
+// Steady-state calls perform no heap allocation: the kernel is passed by
+// reference (type-erased into a function pointer + context that outlive the
+// blocking call), and synchronization is a mutex/condvar generation scheme
+// whose state lives in fixed members. Constructing the pool (spawning
+// workers) is the only allocating operation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace stance::support {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the caller: a pool of k
+  /// spawns k-1 workers; a pool of 1 spawns none and runs kernels inline.
+  /// Below `serial_cutoff` items the fork/join handshake costs more than it
+  /// saves, so the kernel runs inline (results are identical either way;
+  /// tests lower it to force the threaded path on small inputs).
+  explicit ThreadPool(unsigned threads = 1, std::size_t serial_cutoff = kDefaultCutoff)
+      : nthreads_(threads == 0 ? 1 : threads), cutoff_(serial_cutoff) {
+    workers_.reserve(nthreads_ - 1);
+    for (unsigned i = 1; i < nthreads_; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept { return nthreads_; }
+  [[nodiscard]] std::size_t serial_cutoff() const noexcept { return cutoff_; }
+
+  static constexpr std::size_t kDefaultCutoff = 2048;
+
+  /// Run f(begin, end) over disjoint chunks covering [0, n); returns when
+  /// all chunks finished. f is invoked concurrently from pool threads and
+  /// the caller; everything it wrote happens-before the return.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    run(n,
+        [](void* ctx, std::size_t b, std::size_t e) { (*static_cast<Fn*>(ctx))(b, e); },
+        const_cast<void*>(static_cast<const void*>(&f)));
+  }
+
+ private:
+  using Kernel = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+  /// Chunk i of t equal chunks over [0, n).
+  static constexpr std::size_t chunk_bound(std::size_t n, unsigned t, unsigned i) {
+    return n * i / t;
+  }
+
+  void run(std::size_t n, Kernel kernel, void* ctx) {
+    if (n == 0) return;
+    if (nthreads_ == 1 || n < cutoff_) {
+      kernel(ctx, 0, n);
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      kernel_ = kernel;
+      ctx_ = ctx;
+      n_ = n;
+      pending_ = nthreads_ - 1;
+      ++epoch_;
+    }
+    start_cv_.notify_all();
+    kernel(ctx, chunk_bound(n, nthreads_, 0), chunk_bound(n, nthreads_, 1));
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  void worker_loop(unsigned index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Kernel kernel = nullptr;
+      void* ctx = nullptr;
+      std::size_t n = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        kernel = kernel_;
+        ctx = ctx_;
+        n = n_;
+      }
+      kernel(ctx, chunk_bound(n, nthreads_, index), chunk_bound(n, nthreads_, index + 1));
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  const unsigned nthreads_;
+  const std::size_t cutoff_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  Kernel kernel_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t n_ = 0;
+  unsigned pending_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace stance::support

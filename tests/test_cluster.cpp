@@ -276,6 +276,55 @@ TEST(Cluster, MulticastArrivalIsSimultaneous) {
   EXPECT_DOUBLE_EQ(arrivals[1], arrivals[2]);
 }
 
+TEST(Cluster, DefaultNodeMapIsOneRankPerNode) {
+  Cluster cluster(MachineSpec::uniform(3));
+  EXPECT_TRUE(cluster.node_map().trivial());
+  EXPECT_EQ(cluster.node_map().nnodes(), 3);
+}
+
+TEST(Cluster, StatsSplitIntraAndInterNodeTraffic) {
+  // Ranks 0,1 share node 0; rank 2 is alone on node 1. One message along
+  // each kind of edge.
+  Cluster cluster(MachineSpec::uniform(3), NodeMap::contiguous(3, 2));
+  cluster.run([](Process& p) {
+    std::vector<int> v{p.rank()};
+    if (p.rank() == 0) {
+      p.send(1, 1, v);  // intra-node
+      p.send(2, 2, v);  // inter-node
+    } else if (p.rank() == 1) {
+      (void)p.recv<int>(0, 1);
+    } else {
+      (void)p.recv<int>(0, 2);
+    }
+  });
+  const auto total = cluster.total_stats();
+  EXPECT_EQ(total.messages_sent, 2u);
+  EXPECT_EQ(total.intra_node_sent, 1u);
+  EXPECT_EQ(total.inter_node_sent, 1u);
+  EXPECT_EQ(total.intra_node_bytes_sent, sizeof(int));
+  EXPECT_EQ(total.inter_node_bytes_sent, sizeof(int));
+}
+
+TEST(Cluster, IntraNodeMessagesBypassTheWireCostModel) {
+  MachineSpec spec = MachineSpec::uniform(3);
+  spec.net.latency = 0.1;           // wire: 100 ms per message
+  spec.net.intra_latency = 1.0e-6;  // shared memory: 1 µs handoff
+  Cluster cluster(spec, NodeMap::contiguous(3, 2));
+  std::vector<double> arrival(3, 0.0);
+  cluster.run([&](Process& p) {
+    std::vector<int> v{1};
+    if (p.rank() == 0) {
+      p.send(1, 1, v);
+      p.send(2, 2, v);
+    } else {
+      (void)p.recv<int>(0, p.rank());
+      arrival[static_cast<std::size_t>(p.rank())] = p.now();
+    }
+  });
+  EXPECT_NEAR(arrival[1], 1.0e-6, 1e-9);  // co-resident: microseconds
+  EXPECT_NEAR(arrival[2], 0.1, 1e-9);      // off-node: wire latency
+}
+
 TEST(Cluster, StatsCountMessagesAndBytes) {
   Cluster cluster(MachineSpec::uniform(2));
   cluster.run([](Process& p) {

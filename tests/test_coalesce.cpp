@@ -1,0 +1,382 @@
+// Node-aware message coalescing (sched/coalesce.hpp + the coalesced
+// executors): plan structure, the ISSUE 3 round-trip oracle — coalesce →
+// execute → demux must be byte-identical to the uncoalesced schedule across
+// random, MCR, and paper-testbed partitions — and the message-count
+// reduction the frames buy.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/edge_sweep.hpp"
+#include "exec/gather_scatter.hpp"
+#include "exec/irregular_loop.hpp"
+#include "graph/builders.hpp"
+#include "mp/cluster.hpp"
+#include "partition/mcr.hpp"
+#include "test_util.hpp"
+
+namespace stance {
+namespace {
+
+using mp::NodeMap;
+using partition::IntervalPartition;
+using sched::CoalescePlan;
+using sched::DirectionPlan;
+
+std::vector<CoalescePlan> build_all_plans(mp::Cluster& cluster,
+                                          const std::vector<sched::InspectorResult>& irs) {
+  std::vector<CoalescePlan> plans(irs.size());
+  cluster.run([&](mp::Process& p) {
+    plans[static_cast<std::size_t>(p.rank())] = sched::coalesce(
+        p, irs[static_cast<std::size_t>(p.rank())].schedule, sim::CpuCostModel::free());
+  });
+  return plans;
+}
+
+/// One gather + scatter_add round on every rank, optionally coalesced.
+/// Returns (ghost, local) per rank for bitwise comparison.
+std::pair<std::vector<std::vector<double>>, std::vector<std::vector<double>>>
+run_exchange(mp::Cluster& cluster, const std::vector<sched::InspectorResult>& irs,
+             const std::vector<CoalescePlan>* plans) {
+  const std::size_t nprocs = irs.size();
+  std::vector<std::vector<double>> ghost(nprocs), local(nprocs);
+  std::vector<exec::ExecWorkspace> ws(nprocs);
+  for (std::size_t r = 0; r < nprocs; ++r) {
+    const auto& s = irs[r].schedule;
+    local[r] = test::seeded_values(static_cast<std::size_t>(s.nlocal), 500 + r);
+    ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
+  }
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    const auto& s = irs[r].schedule;
+    if (plans != nullptr) {
+      exec::gather_coalesced<double>(p, s, (*plans)[r], local[r],
+                                     std::span<double>(ghost[r]), ws[r]);
+      exec::scatter_add_coalesced<double>(p, s, (*plans)[r], ghost[r],
+                                          std::span<double>(local[r]), ws[r]);
+    } else {
+      exec::gather<double>(p, s, local[r], std::span<double>(ghost[r]), ws[r]);
+      exec::scatter_add<double>(p, s, ghost[r], std::span<double>(local[r]), ws[r]);
+    }
+  });
+  return {ghost, local};
+}
+
+void expect_roundtrip_oracle(const graph::Csr& g, const IntervalPartition& part,
+                             NodeMap node_map) {
+  const auto irs = test::build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(part.nparts())),
+                      std::move(node_map));
+  const auto plans = build_all_plans(cluster, irs);
+  const auto plain = run_exchange(cluster, irs, nullptr);
+  const auto coalesced = run_exchange(cluster, irs, &plans);
+  for (std::size_t r = 0; r < irs.size(); ++r) {
+    test::expect_vectors_eq(coalesced.first[r], plain.first[r]);
+    test::expect_vectors_eq(coalesced.second[r], plain.second[r]);
+  }
+}
+
+TEST(NodeMap, ContiguousGrouping) {
+  const auto nm = NodeMap::contiguous(8, 3);
+  EXPECT_EQ(nm.nprocs(), 8);
+  EXPECT_EQ(nm.nnodes(), 3);
+  EXPECT_EQ(nm.node_of(0), 0);
+  EXPECT_EQ(nm.node_of(2), 0);
+  EXPECT_EQ(nm.node_of(3), 1);
+  EXPECT_EQ(nm.node_of(7), 2);
+  EXPECT_TRUE(nm.same_node(4, 5));
+  EXPECT_FALSE(nm.same_node(2, 3));
+  EXPECT_EQ(nm.delegate_of(1), 3);
+  EXPECT_EQ(nm.delegate_of_rank(5), 3);
+  ASSERT_EQ(nm.ranks_on(2).size(), 2u);
+  EXPECT_EQ(nm.ranks_on(2)[0], 6);
+  EXPECT_FALSE(nm.trivial());
+  EXPECT_TRUE(NodeMap::one_rank_per_node(4).trivial());
+}
+
+TEST(NodeMap, ExplicitAssignmentGroupsNonContiguousRanks) {
+  const NodeMap nm(std::vector<int>{0, 1, 0, 2, 1, 0});
+  EXPECT_EQ(nm.nnodes(), 3);
+  ASSERT_EQ(nm.ranks_on(0).size(), 3u);
+  EXPECT_EQ(nm.ranks_on(0)[0], 0);
+  EXPECT_EQ(nm.ranks_on(0)[1], 2);
+  EXPECT_EQ(nm.ranks_on(0)[2], 5);
+  EXPECT_EQ(nm.delegate_of_rank(4), 1);
+}
+
+TEST(Coalesce, TrivialNodeMapPlansEverythingDirect) {
+  Rng rng(11);
+  const graph::Csr g = graph::random_delaunay(800, 11);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto irs = test::build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(4));  // one rank per node
+  const auto plans = build_all_plans(cluster, irs);
+  for (std::size_t r = 0; r < plans.size(); ++r) {
+    const auto& s = irs[r].schedule;
+    for (const auto* d : {&plans[r].gather, &plans[r].scatter}) {
+      EXPECT_TRUE(d->send_frames.empty());
+      EXPECT_TRUE(d->recv_frames.empty());
+      for (const auto via : d->source_via) {
+        EXPECT_EQ(via, DirectionPlan::Via::kDirect);
+      }
+    }
+    EXPECT_EQ(plans[r].gather.direct_peers.size(), s.send_procs.size());
+    EXPECT_EQ(plans[r].my_delegate, static_cast<mp::Rank>(r));
+  }
+}
+
+TEST(Coalesce, PlanStructureOnTwoNodes) {
+  Rng rng(17);
+  const graph::Csr g = graph::random_delaunay(1200, 17);
+  const auto part = test::random_partition(g.num_vertices(), 6, rng);
+  const auto irs = test::build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(6), NodeMap::contiguous(6, 3));
+  const auto plans = build_all_plans(cluster, irs);
+  for (std::size_t r = 0; r < plans.size(); ++r) {
+    const bool is_delegate = static_cast<mp::Rank>(r) == plans[r].my_delegate;
+    const auto& d = plans[r].gather;
+    if (is_delegate) {
+      // Delegates never bundle — they assemble; at most one frame per
+      // foreign node (here: exactly one other node).
+      EXPECT_TRUE(d.bundles.empty());
+      EXPECT_LE(d.send_frames.size(), 1u);
+      for (const auto& f : d.send_frames) {
+        EXPECT_EQ(f.wire_dest, r < 3 ? 3 : 0);
+        std::size_t elems = 0;
+        for (std::size_t k = 0; k < f.parts.size(); ++k) {
+          elems += f.parts[k].elems;
+          if (k > 0) {
+            EXPECT_LT(f.parts[k - 1].source, f.parts[k].source);
+          }
+        }
+        EXPECT_EQ(f.elems, elems);
+      }
+      // Demux replays pieces in global (source, target) order.
+      for (std::size_t k = 1; k < d.demux.size(); ++k) {
+        const auto& a = d.demux[k - 1];
+        const auto& b = d.demux[k];
+        EXPECT_TRUE(a.source < b.source ||
+                    (a.source == b.source && a.target < b.target));
+      }
+    } else {
+      // Non-delegates never touch the wire for off-node traffic: one
+      // shared-memory bundle per destination node, no frames either way.
+      EXPECT_TRUE(d.send_frames.empty());
+      EXPECT_TRUE(d.recv_frames.empty());
+      EXPECT_TRUE(d.demux.empty());
+      EXPECT_LE(d.bundles.size(), 1u);
+    }
+  }
+}
+
+TEST(Coalesce, RoundTripOracleRandomPartition) {
+  Rng rng(23);
+  const graph::Csr g = graph::random_delaunay(2500, 23);
+  expect_roundtrip_oracle(g, test::random_partition(g.num_vertices(), 8, rng),
+                          NodeMap::contiguous(8, 4));
+  expect_roundtrip_oracle(g, test::random_partition(g.num_vertices(), 6, rng),
+                          NodeMap::contiguous(6, 2));
+}
+
+TEST(Coalesce, RoundTripOracleMcrPartition) {
+  Rng rng(29);
+  const graph::Csr g = graph::random_delaunay(2000, 29);
+  const auto from = IntervalPartition::from_weights(g.num_vertices(),
+                                                    random_weights(6, rng));
+  const auto to = partition::repartition_mcr(from, random_weights(6, rng));
+  expect_roundtrip_oracle(g, to, NodeMap::contiguous(6, 3));
+}
+
+TEST(Coalesce, RoundTripOraclePaperTestbedPartition) {
+  // The paper's testbed shape: speed-share partition of the (stand-in)
+  // experimental mesh over 5 near-equal SUN4s — here packed 2-3 ranks per
+  // physical node, plus an irregular assignment.
+  const graph::Csr g = graph::random_delaunay(4000, 1996);
+  const auto shares = sim::MachineSpec::sun4_ethernet(5).speed_shares();
+  const auto part = IntervalPartition::from_weights(g.num_vertices(), shares);
+  expect_roundtrip_oracle(g, part, NodeMap::contiguous(5, 2));
+  expect_roundtrip_oracle(g, part, NodeMap(std::vector<int>{0, 1, 0, 1, 0}));
+}
+
+TEST(Coalesce, InterNodeMessageReductionAtLeastRanksPerNode) {
+  // Acceptance: on the paper-style mesh, coalescing cuts inter-node message
+  // counts by at least the ranks-per-node factor. Random vertex labels give
+  // every rank a near-complete peer set, the worst case for setup costs.
+  const int ranks_per_node = 4;
+  const graph::Csr g = graph::random_delaunay(4000, 1996);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>(8, 1.0));
+  const auto irs = test::build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(8),
+                      NodeMap::contiguous(8, ranks_per_node));
+  const auto plans = build_all_plans(cluster, irs);
+
+  (void)run_exchange(cluster, irs, nullptr);
+  const auto plain = cluster.total_stats();
+  (void)run_exchange(cluster, irs, &plans);
+  const auto coalesced = cluster.total_stats();
+
+  EXPECT_GT(plain.inter_node_sent, 0u);
+  EXPECT_EQ(coalesced.frames_sent, coalesced.inter_node_sent);
+  EXPECT_GE(plain.inter_node_sent,
+            static_cast<std::uint64_t>(ranks_per_node) * coalesced.inter_node_sent);
+  // Total payload moved over the wire is unchanged — frames only merge it.
+  EXPECT_EQ(plain.inter_node_bytes_sent, coalesced.inter_node_bytes_sent);
+}
+
+// All-pairs schedule with `elems` elements per rank pair — the
+// setup-dominated regime (many peers, small payloads) the §3.6 amortization
+// argument targets.
+sched::CommSchedule all_pairs_schedule(int nprocs, int me, graph::Vertex elems) {
+  sched::CommSchedule s;
+  s.nlocal = elems;
+  s.nghost = elems * static_cast<graph::Vertex>(nprocs - 1);
+  graph::Vertex slot = 0;
+  for (int r = 0; r < nprocs; ++r) {
+    if (r == me) continue;
+    std::vector<graph::Vertex> items(static_cast<std::size_t>(elems));
+    std::vector<graph::Vertex> slots(static_cast<std::size_t>(elems));
+    for (graph::Vertex k = 0; k < elems; ++k) {
+      items[static_cast<std::size_t>(k)] = k;
+      slots[static_cast<std::size_t>(k)] = slot;
+      s.ghost_globals.push_back(static_cast<graph::Vertex>(r) * elems + k);
+      ++slot;
+    }
+    s.send_procs.push_back(r);
+    s.send_items.push_back(std::move(items));
+    s.recv_procs.push_back(r);
+    s.recv_slots.push_back(std::move(slots));
+  }
+  return s;
+}
+
+TEST(Coalesce, FrameSetupAmortizationLowersVirtualCost) {
+  // One wire setup per node pair instead of per rank pair must show up in
+  // the virtual clock when traffic is setup-dominated: every rank exchanges
+  // a small payload with every other rank (the §3.6 argument).
+  const int nprocs = 12;
+  std::vector<sched::InspectorResult> irs(nprocs);
+  for (int r = 0; r < nprocs; ++r) {
+    irs[static_cast<std::size_t>(r)].schedule = all_pairs_schedule(nprocs, r, 4);
+    ASSERT_TRUE(irs[static_cast<std::size_t>(r)].schedule.valid());
+  }
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs),
+                      NodeMap::contiguous(nprocs, 6));
+  const auto plans = build_all_plans(cluster, irs);
+
+  cluster.reset_clocks();
+  const auto plain_data = run_exchange(cluster, irs, nullptr);
+  const double plain = cluster.makespan();
+  cluster.reset_clocks();
+  const auto coalesced_data = run_exchange(cluster, irs, &plans);
+  const double coalesced = cluster.makespan();
+  // The frames must pay off clearly (each wire message replaces 36) and
+  // must not change a single byte.
+  EXPECT_LT(coalesced, 0.75 * plain) << "plain=" << plain << " coalesced=" << coalesced;
+  for (std::size_t r = 0; r < irs.size(); ++r) {
+    test::expect_vectors_eq(coalesced_data.first[r], plain_data.first[r]);
+    test::expect_vectors_eq(coalesced_data.second[r], plain_data.second[r]);
+  }
+}
+
+TEST(Coalesce, IrregularLoopByteIdenticalWithPlan) {
+  Rng rng(41);
+  const graph::Csr g = graph::random_delaunay(1800, 41);
+  const auto part = test::random_partition(g.num_vertices(), 6, rng);
+  const auto irs = test::build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(6), NodeMap::contiguous(6, 2));
+  const auto plans = build_all_plans(cluster, irs);
+
+  auto run_loop = [&](bool coalesce) {
+    std::vector<std::vector<double>> y(6);
+    std::vector<std::unique_ptr<exec::IrregularLoop>> loops(6);
+    for (std::size_t r = 0; r < 6; ++r) {
+      const auto& s = irs[r].schedule;
+      y[r] = test::seeded_values(static_cast<std::size_t>(s.nlocal), 70 + r);
+      loops[r] = std::make_unique<exec::IrregularLoop>(irs[r].lgraph, s);
+      if (coalesce) loops[r]->set_coalesce_plan(&plans[r]);
+    }
+    cluster.run([&](mp::Process& p) {
+      const auto r = static_cast<std::size_t>(p.rank());
+      loops[r]->iterate(p, y[r], 5);
+    });
+    return y;
+  };
+  const auto plain = run_loop(false);
+  const auto coalesced = run_loop(true);
+  for (std::size_t r = 0; r < 6; ++r) test::expect_vectors_eq(coalesced[r], plain[r]);
+}
+
+TEST(Coalesce, EdgeSweepByteIdenticalWithPlan) {
+  Rng rng(43);
+  const graph::Csr g = graph::random_delaunay(1500, 43);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto irs = test::build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(4), NodeMap::contiguous(4, 2));
+  const auto plans = build_all_plans(cluster, irs);
+
+  auto run_sweep = [&](bool coalesce) {
+    std::vector<std::vector<double>> y(4), acc(4);
+    std::vector<std::unique_ptr<exec::EdgeSweep>> sweeps(4);
+    for (std::size_t r = 0; r < 4; ++r) {
+      const auto& s = irs[r].schedule;
+      const auto n = static_cast<std::size_t>(s.nlocal);
+      y[r] = test::seeded_values(n, 90 + r);
+      acc[r].assign(n, 0.0);
+      sweeps[r] = std::make_unique<exec::EdgeSweep>(irs[r].lgraph, s);
+      if (coalesce) sweeps[r]->set_coalesce_plan(&plans[r]);
+    }
+    cluster.run([&](mp::Process& p) {
+      const auto r = static_cast<std::size_t>(p.rank());
+      sweeps[r]->sweep(p, y[r], acc[r]);
+    });
+    return acc;
+  };
+  const auto plain = run_sweep(false);
+  const auto coalesced = run_sweep(true);
+  for (std::size_t r = 0; r < 4; ++r) test::expect_vectors_eq(coalesced[r], plain[r]);
+}
+
+TEST(Coalesce, CoalescedPathByteIdenticalUnderThreadedPacking) {
+  // Coalescing and the pack/unpack pool compose: same bytes for pool sizes
+  // 1, 2, and 8 with the frame path forced.
+  Rng rng(47);
+  const graph::Csr g = graph::random_delaunay(2200, 47);
+  const auto part = test::random_partition(g.num_vertices(), 6, rng);
+  const auto irs = test::build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(6), NodeMap::contiguous(6, 3));
+  const auto plans = build_all_plans(cluster, irs);
+
+  auto run_threaded = [&](unsigned threads) {
+    std::vector<std::vector<double>> ghost(6), local(6);
+    std::vector<exec::ExecWorkspace> ws(6);
+    for (std::size_t r = 0; r < 6; ++r) {
+      const auto& s = irs[r].schedule;
+      local[r] = test::seeded_values(static_cast<std::size_t>(s.nlocal), 300 + r);
+      ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
+      ws[r].set_pack_threads(threads, /*serial_cutoff=*/1);
+    }
+    cluster.run([&](mp::Process& p) {
+      const auto r = static_cast<std::size_t>(p.rank());
+      const auto& s = irs[r].schedule;
+      exec::gather_coalesced<double>(p, s, plans[r], local[r],
+                                     std::span<double>(ghost[r]), ws[r]);
+      exec::scatter_add_coalesced<double>(p, s, plans[r], ghost[r],
+                                          std::span<double>(local[r]), ws[r]);
+    });
+    return std::make_pair(ghost, local);
+  };
+  const auto serial = run_threaded(1);
+  for (const unsigned threads : {2u, 8u}) {
+    const auto pooled = run_threaded(threads);
+    for (std::size_t r = 0; r < 6; ++r) {
+      test::expect_vectors_eq(pooled.first[r], serial.first[r]);
+      test::expect_vectors_eq(pooled.second[r], serial.second[r]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stance

@@ -19,6 +19,14 @@
 #include "mp/cluster.hpp"
 #include "test_util.hpp"
 
+// The replacement operators below deliberately pair malloc with free; once
+// call sites inline (e.g. make_unique of a header-only type at -O2), GCC's
+// -Wmismatched-new-delete heuristic flags that pairing even though the
+// replacement makes it correct.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 namespace {
 
 // Plain zero-initialized TLS: safe to touch from any allocation context.
@@ -91,6 +99,74 @@ TEST(ExecAlloc, GatherScatterSteadyStateIsAllocationFree) {
   });
   for (std::size_t r = 0; r < counts.size(); ++r) {
     EXPECT_EQ(counts[r], 0u) << "rank " << r << " allocated in steady state";
+  }
+}
+
+TEST(ExecAlloc, ThreadedPackUnpackSteadyStateIsAllocationFree) {
+  // ISSUE 3 acceptance: the steady state stays allocation-free with the
+  // pack/unpack thread pool enabled. Cutoff 1 forces every copy loop onto
+  // the pool; worker threads are spawned during setup, and the fork/join
+  // handshake itself must not allocate on the rank thread.
+  Rng rng(77);
+  const graph::Csr g = graph::random_delaunay(1500, 77);
+  const auto part = test::random_partition(g.num_vertices(), 3, rng);
+  const auto results = test::build_all_schedules(g, part);
+
+  mp::Cluster cluster(sim::MachineSpec::uniform(3));
+  std::vector<ExecWorkspace> ws(3);
+  std::vector<std::vector<double>> local(3), ghost(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto& s = results[r].schedule;
+    local[r].assign(static_cast<std::size_t>(s.nlocal), 1.0 + static_cast<double>(r));
+    ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
+    ws[r].set_pack_threads(2, /*serial_cutoff=*/1);
+  }
+
+  const auto counts = measure_steady_state(cluster, [&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    const auto& s = results[r].schedule;
+    exec::gather<double>(p, s, local[r], std::span<double>(ghost[r]), ws[r]);
+    exec::scatter_add<double>(p, s, ghost[r], std::span<double>(local[r]), ws[r]);
+  });
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    EXPECT_EQ(counts[r], 0u) << "rank " << r << " allocated in threaded steady state";
+  }
+}
+
+TEST(ExecAlloc, CoalescedExchangeSteadyStateIsAllocationFree) {
+  // The framed path reuses the same arenas and mailbox pool, so it is
+  // allocation-free once the plan exists and the pool is prewarmed.
+  Rng rng(78);
+  const graph::Csr g = graph::random_delaunay(1500, 78);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto results = test::build_all_schedules(g, part);
+
+  mp::Cluster cluster(sim::MachineSpec::uniform(4), mp::NodeMap::contiguous(4, 2));
+  std::vector<sched::CoalescePlan> plans(4);
+  cluster.run([&](mp::Process& p) {
+    plans[static_cast<std::size_t>(p.rank())] = sched::coalesce(
+        p, results[static_cast<std::size_t>(p.rank())].schedule,
+        sim::CpuCostModel::free());
+  });
+
+  std::vector<ExecWorkspace> ws(4);
+  std::vector<std::vector<double>> local(4), ghost(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    const auto& s = results[r].schedule;
+    local[r].assign(static_cast<std::size_t>(s.nlocal), 1.0 + static_cast<double>(r));
+    ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
+  }
+
+  const auto counts = measure_steady_state(cluster, [&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    const auto& s = results[r].schedule;
+    exec::gather_coalesced<double>(p, s, plans[r], local[r],
+                                   std::span<double>(ghost[r]), ws[r]);
+    exec::scatter_add_coalesced<double>(p, s, plans[r], ghost[r],
+                                        std::span<double>(local[r]), ws[r]);
+  });
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    EXPECT_EQ(counts[r], 0u) << "rank " << r << " allocated in coalesced steady state";
   }
 }
 
