@@ -1,0 +1,161 @@
+"""Tests for the bench-regression gate itself (bench/check_regression.py).
+
+The gate guards every virtual-cost baseline in CI, so its own edge cases —
+tolerance boundaries, missing entries/fields, malformed JSON — need the same
+protection. unittest.TestCase style so it runs under `python3 -m pytest`
+(the CI step) and `python3 -m unittest` (no pytest installed) alike.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_regression  # noqa: E402  (path bootstrap above)
+
+
+def entry(name, **fields):
+    return dict({"name": name}, **fields)
+
+
+class CheckRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.baseline_dir = os.path.join(self._tmp.name, "baseline")
+        self.fresh_dir = os.path.join(self._tmp.name, "fresh")
+        os.mkdir(self.baseline_dir)
+        os.mkdir(self.fresh_dir)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, dirname, name, entries):
+        with open(os.path.join(dirname, name), "w") as f:
+            json.dump({"entries": entries}, f)
+
+    def check(self, name="BENCH.json", tolerance=0.25):
+        return check_regression.check_file(name, self.baseline_dir,
+                                           self.fresh_dir, tolerance)
+
+    def test_within_tolerance_passes(self):
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", plain_virtual_seconds=1.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", plain_virtual_seconds=1.2)])
+        self.assertEqual(self.check(), [])
+
+    def test_cost_exactly_at_tolerance_passes_and_just_over_fails(self):
+        # ratio == 1 + tolerance must pass (budget is inclusive), an epsilon
+        # above must fail: the gate compares ratio > 1 + tolerance.
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", cost_virtual_seconds=1.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", cost_virtual_seconds=1.25)])
+        self.assertEqual(self.check(tolerance=0.25), [])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", cost_virtual_seconds=1.2500001)])
+        violations = self.check(tolerance=0.25)
+        self.assertEqual(len(violations), 1)
+        self.assertIn("cost_virtual_seconds", violations[0])
+
+    def test_speedup_fields_regress_downward(self):
+        # Speedups are better-bigger: a drop beyond tolerance fails, a rise
+        # never does.
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", virtual_speedup=2.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", virtual_speedup=1.5)])
+        self.assertEqual(len(self.check(tolerance=0.25)), 1)
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", virtual_speedup=10.0)])
+        self.assertEqual(self.check(tolerance=0.25), [])
+
+    def test_zero_fresh_speedup_is_infinite_regression(self):
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", virtual_speedup=2.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", virtual_speedup=0.0)])
+        self.assertEqual(len(self.check()), 1)
+
+    def test_host_fields_are_ignored(self):
+        # Host seconds are runner wall-clock: a 100x regression must not fail.
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", current_host_seconds=0.01)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", current_host_seconds=1.0)])
+        self.assertEqual(self.check(), [])
+
+    def test_missing_entry_and_missing_field_fail(self):
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", plain_virtual_seconds=1.0),
+                    entry("b", plain_virtual_seconds=1.0)])
+        self.write(self.fresh_dir, "BENCH.json", [entry("a")])
+        violations = self.check()
+        self.assertEqual(len(violations), 2)
+        self.assertTrue(any("entry missing" in v for v in violations))
+        self.assertTrue(any("field missing" in v for v in violations))
+
+    def test_new_fresh_entries_and_fields_never_fail(self):
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", plain_virtual_seconds=1.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", plain_virtual_seconds=1.0,
+                          extra_virtual_seconds=99.0),
+                    entry("brand_new", anything_virtual=1.0)])
+        self.assertEqual(self.check(), [])
+
+    def test_missing_fresh_file_fails(self):
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", plain_virtual_seconds=1.0)])
+        violations = self.check()
+        self.assertEqual(len(violations), 1)
+        self.assertIn("fresh results missing", violations[0])
+
+    def test_zero_baseline_is_skipped(self):
+        # A zero-cost baseline cannot express a ratio; the gate skips it
+        # instead of dividing by zero.
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", cost_virtual_seconds=0.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", cost_virtual_seconds=5.0)])
+        self.assertEqual(self.check(), [])
+
+    def test_malformed_fresh_json_raises(self):
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", plain_virtual_seconds=1.0)])
+        with open(os.path.join(self.fresh_dir, "BENCH.json"), "w") as f:
+            f.write("{ not json")
+        with self.assertRaises(json.JSONDecodeError):
+            self.check()
+
+    def test_main_exit_codes_and_report(self):
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", cost_virtual_seconds=1.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", cost_virtual_seconds=2.0)])
+        argv = ["check_regression.py", "--baseline-dir", self.baseline_dir,
+                "--fresh-dir", self.fresh_dir, "BENCH.json"]
+        old_argv = sys.argv
+        sys.argv = argv
+        try:
+            self.assertEqual(check_regression.main(), 1)
+            self.write(self.fresh_dir, "BENCH.json",
+                       [entry("a", cost_virtual_seconds=1.0)])
+            self.assertEqual(check_regression.main(), 0)
+        finally:
+            sys.argv = old_argv
+
+    def test_committed_baselines_pass_against_themselves(self):
+        # The repo's own committed baselines must be self-consistent: the
+        # gate with baseline == fresh reports nothing.
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        for name in ("BENCH_schedule.json", "BENCH_remap.json"):
+            self.assertTrue(os.path.exists(os.path.join(repo_root, name)))
+            self.assertEqual(
+                check_regression.check_file(name, repo_root, repo_root, 0.0),
+                [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -228,9 +228,12 @@ void coalesced_exchange(mp::Process& p, const sched::DirectionPlan& d,
       }
     }
     // One wire setup for the whole node-to-node frame — the coalescing
-    // payoff.
+    // payoff. The frame byte count feeds the frame-aware balancer
+    // (lb/delegate_balancer.hpp): these bytes serialized on this rank's CPU
+    // on behalf of the whole node.
     p.send(f.wire_dest, sched::frame_tag(tag), std::span<const T>(payload.data(), off));
     ++p.stats().frames_sent;
+    p.stats().frame_bytes_sent += off * sizeof(T);
   }
   // Receive phase. Buffer all frames back to back in the arena, then walk
   // base sources and demux pieces merged by ascending source rank.

@@ -1,0 +1,48 @@
+#include "lb/delegate_balancer.hpp"
+
+#include "support/assert.hpp"
+
+namespace stance::lb {
+
+double frame_seconds(const mp::CommStats& stats, const sim::NetworkModel& net) {
+  // Sender-CPU price of the recorded frames: one setup each plus the bytes
+  // serialized through the synchronous stack — the same terms the virtual
+  // clock charged when the delegate shipped them.
+  return static_cast<double>(stats.frames_sent) * net.send_overhead +
+         net.serialization_cost(static_cast<std::size_t>(stats.frame_bytes_sent));
+}
+
+double frame_aware_time_per_item(double time_per_item, const mp::CommStats& stats,
+                                 const sim::NetworkModel& net, std::int64_t items) {
+  if (items <= 0 || stats.frames_sent == 0) return time_per_item;
+  return time_per_item + frame_seconds(stats, net) / static_cast<double>(items);
+}
+
+std::vector<mp::Rank> choose_delegates(const mp::NodeMap& nodes,
+                                       std::span<const double> rank_load) {
+  STANCE_REQUIRE(rank_load.size() == static_cast<std::size_t>(nodes.nprocs()),
+                 "choose_delegates: one load per rank required");
+  std::vector<mp::Rank> out(static_cast<std::size_t>(nodes.nnodes()));
+  for (int node = 0; node < nodes.nnodes(); ++node) {
+    mp::Rank best = -1;
+    double best_load = 0.0;
+    for (const mp::Rank r : nodes.ranks_on(node)) {
+      const double load = rank_load[static_cast<std::size_t>(r)];
+      if (best < 0 || load < best_load) {
+        best = r;
+        best_load = load;
+      }
+    }
+    out[static_cast<std::size_t>(node)] = best;
+  }
+  return out;
+}
+
+std::vector<mp::Rank> rotate_delegates(mp::Process& p, double my_load,
+                                       const sim::CpuCostModel& costs) {
+  const auto loads = p.allgather(my_load);
+  p.compute(costs.per_list_op * static_cast<double>(loads.size()));
+  return choose_delegates(p.nodes(), loads);
+}
+
+}  // namespace stance::lb

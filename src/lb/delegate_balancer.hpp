@@ -1,0 +1,67 @@
+// Frame-aware delegate balancing (ROADMAP "Frame-aware load balancing").
+//
+// The coalescing delegate (mp/node_map.hpp) pays the whole node's wire
+// costs: every framed byte serializes on its CPU and every bundle/forward
+// hop lands on its clock — the byte-bound funneling `bench_ablate_coalescing`
+// exposes. That cost is measured, not modeled: CommStats::frames_sent /
+// frame_bytes_sent record exactly what the rank shipped on behalf of its
+// co-residents, and frame_seconds() prices it with the NetworkModel the
+// same way the virtual clock charged it.
+//
+// Two remedies, composable:
+//
+//  * Rotate the role (choose_delegates / rotate_delegates): per node, hand
+//    the frame endpoint to the rank whose measured load is lowest — on a
+//    heterogeneous or partially loaded node the funneling then runs on the
+//    fastest co-resident CPU. The decision is collective and its message
+//    cost is charged in virtual time, like every other balancing decision.
+//
+//  * Leave delegates lighter intervals (frame_aware_time_per_item): fold the
+//    frame cost into the per-item load the controller (lb/controller.hpp)
+//    feeds MCR, so the partitioner hands the delegate proportionally fewer
+//    vertices and the funneling overlaps its co-residents' compute.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mp/comm_stats.hpp"
+#include "mp/node_map.hpp"
+#include "mp/process.hpp"
+#include "sim/cpu_costs.hpp"
+#include "sim/network_model.hpp"
+
+namespace stance::lb {
+
+/// Sender-side virtual seconds `stats`' coalesced frames cost their rank:
+/// one wire setup plus the serialized frame bytes, priced with the same
+/// NetworkModel terms the clock charged when they were sent.
+[[nodiscard]] double frame_seconds(const mp::CommStats& stats,
+                                   const sim::NetworkModel& net);
+
+/// Fold a rank's frame funneling cost into its measured time-per-item so
+/// lb::decide hands delegates proportionally fewer vertices ("lighter
+/// intervals"). `items` is the measurement window's item count (see
+/// LoadMonitor); ranks that shipped no frames are returned unchanged.
+[[nodiscard]] double frame_aware_time_per_item(double time_per_item,
+                                               const mp::CommStats& stats,
+                                               const sim::NetworkModel& net,
+                                               std::int64_t items);
+
+/// Pure decision (unit-testable without a cluster): per node, pick the rank
+/// with the lowest `rank_load` (virtual seconds of measured load, e.g.
+/// busy time plus frame_seconds) as the next delegate. Ties break to the
+/// lowest rank, so uniform loads reproduce the default assignment.
+[[nodiscard]] std::vector<mp::Rank> choose_delegates(
+    const mp::NodeMap& nodes, std::span<const double> rank_load);
+
+/// Collective: allgather every rank's load (charged to the clocks like any
+/// balancing round), then run the deterministic choice — every rank returns
+/// the identical per-node delegate vector, ready for
+/// mp::Cluster::set_delegates + a sched::coalesce rebuild.
+[[nodiscard]] std::vector<mp::Rank> rotate_delegates(
+    mp::Process& p, double my_load,
+    const sim::CpuCostModel& costs = sim::CpuCostModel::free());
+
+}  // namespace stance::lb

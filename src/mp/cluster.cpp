@@ -115,6 +115,10 @@ void Cluster::reset_clocks() {
   for (auto& c : clocks_) c.reset();
 }
 
+void Cluster::set_delegates(std::span<const Rank> per_node) {
+  node_map_.set_delegates(per_node);
+}
+
 void Cluster::set_profile(int rank, sim::LoadProfile profile) {
   STANCE_REQUIRE(rank >= 0 && rank < nprocs(), "set_profile: rank out of range");
   clocks_[static_cast<std::size_t>(rank)].set_profile(std::move(profile));

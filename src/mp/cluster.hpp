@@ -16,6 +16,7 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "mp/comm_stats.hpp"
@@ -64,6 +65,12 @@ class Cluster {
 
   /// Swap a node's availability profile (adaptive-environment experiments).
   void set_profile(int rank, sim::LoadProfile profile);
+
+  /// Install a frame-aware delegate assignment (one rank per physical node,
+  /// e.g. from lb::rotate_delegates). Only between run() calls — Processes
+  /// read the node map concurrently during a run. Coalesce plans built for
+  /// the previous delegates must be rebuilt.
+  void set_delegates(std::span<const Rank> per_node);
 
   [[nodiscard]] const sim::VirtualClock& clock_of(int rank) const;
 

@@ -25,8 +25,12 @@ struct CommStats {
   std::uint64_t inter_node_bytes_sent = 0;
 
   /// Coalesced frames shipped on behalf of co-resident ranks (a subset of
-  /// inter_node_sent; see sched/coalesce.hpp).
+  /// inter_node_sent; see sched/coalesce.hpp), and the payload bytes they
+  /// carried. frame_bytes_sent is what the frame-aware load balancer
+  /// (lb/delegate_balancer.hpp) reads to price the delegate role: those
+  /// bytes serialize on this rank's CPU on behalf of the whole node.
   std::uint64_t frames_sent = 0;
+  std::uint64_t frame_bytes_sent = 0;
 
   /// Virtual-time breakdown: seconds spent computing vs. communicating
   /// (sends, receives, waits in collectives).
@@ -47,6 +51,7 @@ struct CommStats {
     intra_node_bytes_sent += o.intra_node_bytes_sent;
     inter_node_bytes_sent += o.inter_node_bytes_sent;
     frames_sent += o.frames_sent;
+    frame_bytes_sent += o.frame_bytes_sent;
     compute_seconds += o.compute_seconds;
     comm_seconds += o.comm_seconds;
     return *this;

@@ -28,6 +28,32 @@ NodeMap::NodeMap(std::vector<int> node_of_rank) : node_of_(std::move(node_of_ran
   for (Rank r = 0; r < nprocs(); ++r) {
     ranks_[cursor[static_cast<std::size_t>(node_of(r))]++] = r;
   }
+  delegate_idx_.assign(static_cast<std::size_t>(nnodes), 0);
+}
+
+void NodeMap::set_delegate(int node, Rank r) {
+  STANCE_REQUIRE(node >= 0 && node < nnodes(), "set_delegate: node out of range");
+  const auto residents = ranks_on(node);
+  const auto it = std::find(residents.begin(), residents.end(), r);
+  STANCE_REQUIRE(it != residents.end(), "set_delegate: rank not resident on node");
+  delegate_idx_[static_cast<std::size_t>(node)] =
+      static_cast<std::uint32_t>(it - residents.begin());
+}
+
+void NodeMap::set_delegates(std::span<const Rank> per_node) {
+  STANCE_REQUIRE(per_node.size() == static_cast<std::size_t>(nnodes()),
+                 "set_delegates: need one delegate per node");
+  for (int node = 0; node < nnodes(); ++node) {
+    set_delegate(node, per_node[static_cast<std::size_t>(node)]);
+  }
+}
+
+std::vector<Rank> NodeMap::delegates() const {
+  std::vector<Rank> out(static_cast<std::size_t>(nnodes()));
+  for (int node = 0; node < nnodes(); ++node) {
+    out[static_cast<std::size_t>(node)] = delegate_of(node);
+  }
+  return out;
 }
 
 NodeMap NodeMap::one_rank_per_node(int nprocs) {

@@ -9,10 +9,15 @@
 // for one node into a single framed wire message, amortizing per-message
 // setup exactly the way the paper's multicast amortizes broadcasts.
 //
-// Each node's lowest rank is its *delegate*: the endpoint that sends and
-// receives coalesced frames on behalf of its co-resident ranks.
+// Each node has one *delegate*: the endpoint that sends and receives
+// coalesced frames on behalf of its co-resident ranks. By default it is the
+// node's lowest rank, but the role is reassignable (set_delegate /
+// set_delegates): the delegate pays the whole node's frame serialization on
+// its own CPU, so the frame-aware balancer (lb/delegate_balancer.hpp) moves
+// the role onto the fastest or least-loaded co-resident rank.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -55,11 +60,27 @@ class NodeMap {
     return {ranks_.data() + b, e - b};
   }
 
-  /// Lowest rank on `node` — the frame endpoint for coalesced traffic.
-  [[nodiscard]] Rank delegate_of(int node) const noexcept { return ranks_on(node).front(); }
+  /// Frame endpoint for `node`'s coalesced traffic (the lowest co-resident
+  /// rank until reassigned).
+  [[nodiscard]] Rank delegate_of(int node) const noexcept {
+    return ranks_on(node)[delegate_idx_[static_cast<std::size_t>(node)]];
+  }
   [[nodiscard]] Rank delegate_of_rank(Rank r) const noexcept {
     return delegate_of(node_of(r));
   }
+
+  /// Reassign one node's delegate; `r` must reside on `node`. Coalesce plans
+  /// built against the old assignment keep working (they captured concrete
+  /// ranks) — rebuild them to route frames through the new delegate.
+  void set_delegate(int node, Rank r);
+
+  /// Reassign every node's delegate at once; `per_node[n]` must reside on
+  /// node n. This is how a frame-aware balancing decision
+  /// (lb::choose_delegates) is installed.
+  void set_delegates(std::span<const Rank> per_node);
+
+  /// Current delegate of every node, indexed by node id.
+  [[nodiscard]] std::vector<Rank> delegates() const;
 
   /// True when every rank is alone on its node (coalescing is a no-op).
   [[nodiscard]] bool trivial() const noexcept { return nnodes() == nprocs(); }
@@ -68,6 +89,7 @@ class NodeMap {
   std::vector<int> node_of_;          ///< rank -> node
   std::vector<std::size_t> offsets_;  ///< CSR offsets into ranks_, size nnodes+1
   std::vector<Rank> ranks_;           ///< ranks grouped by node, ascending
+  std::vector<std::uint32_t> delegate_idx_;  ///< node -> index into ranks_on(node)
 };
 
 }  // namespace stance::mp

@@ -27,6 +27,46 @@ constexpr mp::Tag kPlanGatherInTag = 0x7d000002;
 constexpr mp::Tag kPlanScatterOutTag = 0x7d000003;
 constexpr mp::Tag kPlanScatterInTag = 0x7d000004;
 
+/// Delegate -> co-resident replies carrying the adaptive framing verdicts
+/// (the framed node ids); reports and replies share a phase but flow in
+/// opposite directions, so a derived tag keeps the matching unambiguous.
+constexpr mp::Tag verdict_tag(mp::Tag report_tag) { return report_tag ^ 0x00000010; }
+
+/// Aggregate one node pair's (source, target, count) entries into the
+/// symmetric traffic summary frame_profitable prices. `src_delegate` /
+/// `dst_delegate` are the pair's endpoints; entries may arrive in any order
+/// and sources/targets may repeat.
+struct PairEntry {
+  Rank source = -1;
+  Rank target = -1;
+  std::uint32_t count = 0;
+};
+
+PairTraffic summarize_pair(const std::vector<PairEntry>& entries, Rank src_delegate,
+                           Rank dst_delegate) {
+  PairTraffic t;
+  std::vector<Rank> bundle_srcs;
+  for (const auto& e : entries) {
+    ++t.messages;
+    t.elems += e.count;
+    if (e.source == src_delegate) {
+      ++t.src_delegate_msgs;
+    } else {
+      t.src_off_delegate_elems += e.count;
+      bundle_srcs.push_back(e.source);
+    }
+    if (e.target == dst_delegate) {
+      ++t.dst_delegate_msgs;
+    } else {
+      t.dst_off_delegate_elems += e.count;
+    }
+  }
+  std::sort(bundle_srcs.begin(), bundle_srcs.end());
+  t.bundle_sends = static_cast<std::size_t>(
+      std::unique(bundle_srcs.begin(), bundle_srcs.end()) - bundle_srcs.begin());
+  return t;
+}
+
 /// True when the S→D frame described by `parts` would carry exactly one
 /// piece, sent by S's delegate to D's delegate — nothing to demux on either
 /// side, so both endpoints independently demote it to a direct message.
@@ -40,18 +80,29 @@ bool demotes(const std::vector<DirectionPlan::FramePart>& parts, Rank src_delega
 /// Build one direction of the plan. `peers`/`out_counts` describe this
 /// rank's outbound messages in the base schedule, `sources`/`in_counts` its
 /// inbound ones. Collective across the rank's node: everyone reports its
-/// off-node traffic to the delegate, which derives the frame layouts.
+/// off-node traffic to the delegate, which derives the frame layouts (and,
+/// under the adaptive policy, prices each node pair and replies the framed
+/// node ids to its co-residents).
 DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
                               const std::vector<Rank>& peers,
                               const std::vector<std::size_t>& out_counts,
                               const std::vector<Rank>& sources,
                               const std::vector<std::size_t>& in_counts,
                               mp::Tag out_tag, mp::Tag in_tag,
-                              const sim::CpuCostModel& costs) {
+                              const sim::CpuCostModel& costs,
+                              const CoalesceOptions& opts) {
   const Rank me = p.rank();
   const int my_node = nodes.node_of(me);
   const Rank delegate = nodes.delegate_of(my_node);
+  const bool adaptive = opts.policy == CoalescePolicy::kAdaptive;
   DirectionPlan d;
+
+  // Demote base peer `i` to a direct message, keeping direct_peers ascending.
+  auto demote_to_direct = [&](std::uint32_t i) {
+    d.direct_peers.insert(
+        std::upper_bound(d.direct_peers.begin(), d.direct_peers.end(), i), i);
+    d.max_outbound_elems = std::max(d.max_outbound_elems, out_counts[i]);
+  };
 
   // --- outbound: direct for co-residents; everything off-node is grouped
   // by destination node, as bundles (non-delegate) or frame parts.
@@ -70,7 +121,16 @@ DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
 
   if (me != delegate) {
     p.send(delegate, out_tag, std::span<const PlanEntry>(out_report));
+    // Adaptive: the delegate replies which destination nodes stay framed;
+    // traffic to the demoted ones reverts to direct wire messages.
+    std::vector<std::int32_t> framed;  // ascending node ids
+    if (adaptive) framed = p.recv<std::int32_t>(delegate, verdict_tag(out_tag));
     for (const auto& [dest_node, idx] : off_node) {
+      if (adaptive &&
+          !std::binary_search(framed.begin(), framed.end(), dest_node)) {
+        for (const auto i : idx) demote_to_direct(i);
+        continue;
+      }
       DirectionPlan::Bundle b;
       b.dest_node = dest_node;
       b.peer_idx = idx;
@@ -79,21 +139,60 @@ DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
       d.bundles.push_back(std::move(b));
     }
   } else {
+    // Collect every co-resident's report first (the framing decision needs
+    // the whole node pair's traffic), price each destination node, reply the
+    // verdicts, then assemble the surviving frame recipes.
+    std::vector<std::pair<Rank, std::vector<PlanEntry>>> reports;  // rank-ascending
+    for (const Rank q : nodes.ranks_on(my_node)) {
+      if (q == me) {
+        reports.emplace_back(me, out_report);
+      } else {
+        reports.emplace_back(q, p.recv<PlanEntry>(q, out_tag));
+      }
+    }
+    std::map<int, std::vector<PairEntry>> pair_entries;  // dest node -> traffic
+    for (const auto& [q, entries] : reports) {
+      for (const auto& e : entries) {
+        pair_entries[nodes.node_of(e.rank)].push_back(
+            PairEntry{q, e.rank, e.count});
+      }
+    }
+    std::vector<std::int32_t> framed;  // ascending (map iterates in key order)
+    for (const auto& [dest_node, entries] : pair_entries) {
+      if (!adaptive ||
+          frame_profitable(summarize_pair(entries, me, nodes.delegate_of(dest_node)),
+                           p.net(), opts.bytes_per_elem)) {
+        framed.push_back(dest_node);
+      }
+    }
+    if (adaptive) {
+      for (const Rank q : nodes.ranks_on(my_node)) {
+        if (q != me) p.send(q, verdict_tag(out_tag), framed);
+      }
+    }
+    auto is_framed = [&](int node) {
+      return std::binary_search(framed.begin(), framed.end(), node);
+    };
+
     // Assemble the frame recipes: my own parts plus one bundle part per
     // co-resident rank with traffic to that node, ascending by source.
     std::map<int, DirectionPlan::SendFrame> frames;  // keyed by dest node
     auto add_part = [&](Rank source, std::span<const PlanEntry> entries,
                         const std::map<int, std::vector<std::uint32_t>>* own_idx) {
-      // One part per destination node touched by `source`, preserving the
-      // sender's ascending-target packing order.
+      // One part per framed destination node touched by `source`, preserving
+      // the sender's ascending-target packing order.
       std::map<int, DirectionPlan::FramePart> parts;
       for (const auto& e : entries) {
-        auto& part = parts[nodes.node_of(e.rank)];
+        const int dest_node = nodes.node_of(e.rank);
+        if (!is_framed(dest_node)) continue;
+        auto& part = parts[dest_node];
         part.source = source;
         part.elems += e.count;
       }
       if (own_idx != nullptr) {
-        for (const auto& [dest_node, idx] : *own_idx) parts[dest_node].peer_idx = idx;
+        for (const auto& [dest_node, idx] : *own_idx) {
+          if (is_framed(dest_node)) parts[dest_node].peer_idx = idx;
+        }
       }
       for (auto& [dest_node, part] : parts) {
         auto& f = frames[dest_node];
@@ -103,21 +202,19 @@ DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
         f.parts.push_back(std::move(part));
       }
     };
-    for (const Rank q : nodes.ranks_on(my_node)) {
-      if (q == me) {
-        add_part(me, out_report, &off_node);
-      } else {
-        const auto entries = p.recv<PlanEntry>(q, out_tag);
-        add_part(q, entries, nullptr);
+    for (const auto& [q, entries] : reports) {
+      add_part(q, entries, q == me ? &off_node : nullptr);
+    }
+    // The delegate's own traffic to demoted nodes reverts to direct sends.
+    for (const auto& [dest_node, idx] : off_node) {
+      if (!is_framed(dest_node)) {
+        for (const auto i : idx) demote_to_direct(i);
       }
     }
     for (auto& [dest_node, frame] : frames) {
       if (demotes(frame.parts, me, peers, frame.wire_dest)) {
-        // Re-insert as a direct peer, keeping direct_peers ascending.
-        const std::uint32_t i = frame.parts[0].peer_idx[0];
-        d.direct_peers.insert(
-            std::upper_bound(d.direct_peers.begin(), d.direct_peers.end(), i), i);
-        d.max_outbound_elems = std::max(d.max_outbound_elems, out_counts[i]);
+        // Singleton delegate-to-delegate frame: re-insert as a direct peer.
+        demote_to_direct(frame.parts[0].peer_idx[0]);
         continue;
       }
       d.max_outbound_elems = std::max(d.max_outbound_elems, frame.elems);
@@ -141,6 +238,16 @@ DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
 
   if (me != delegate) {
     p.send(delegate, in_tag, std::span<const PlanEntry>(in_report));
+    // Adaptive: sources on demoted nodes arrive direct, not forwarded.
+    if (adaptive) {
+      const auto framed = p.recv<std::int32_t>(delegate, verdict_tag(in_tag));
+      for (std::size_t k = 0; k < in_report.size(); ++k) {
+        const int src_node = nodes.node_of(in_report[k].rank);
+        if (!std::binary_search(framed.begin(), framed.end(), src_node)) {
+          d.source_via[in_report_idx[k]] = DirectionPlan::Via::kDirect;
+        }
+      }
+    }
   } else {
     // Collect the node's inbound pieces as (source, target, count, src_index).
     struct Piece {
@@ -174,8 +281,42 @@ DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
     for (const auto& piece : pieces) {
       by_node[nodes.node_of(piece.source)].push_back(piece);
     }
+    // Price each source node with the same summary the sending delegate
+    // computed from its own reports — identical multiset, identical verdict —
+    // and tell the co-residents which source nodes still forward.
+    std::vector<std::int32_t> framed;  // ascending
+    for (const auto& [src_node, node_pieces] : by_node) {
+      if (!adaptive) {
+        framed.push_back(src_node);
+        continue;
+      }
+      std::vector<PairEntry> entries;
+      entries.reserve(node_pieces.size());
+      for (const auto& piece : node_pieces) {
+        entries.push_back(PairEntry{piece.source, piece.target, piece.count});
+      }
+      if (frame_profitable(summarize_pair(entries, nodes.delegate_of(src_node), me),
+                           p.net(), opts.bytes_per_elem)) {
+        framed.push_back(src_node);
+      }
+    }
+    if (adaptive) {
+      for (const Rank q : nodes.ranks_on(my_node)) {
+        if (q != me) p.send(q, verdict_tag(in_tag), framed);
+      }
+    }
     for (const auto& [src_node, node_pieces] : by_node) {
       const Rank src_delegate = nodes.delegate_of(src_node);
+      if (!std::binary_search(framed.begin(), framed.end(), src_node)) {
+        // Demoted pair: my own pieces arrive as direct messages (the
+        // co-residents flip theirs from the verdict reply).
+        for (const auto& piece : node_pieces) {
+          if (piece.src_index != DirectionPlan::kNoIndex) {
+            d.source_via[piece.src_index] = DirectionPlan::Via::kDirect;
+          }
+        }
+        continue;
+      }
       if (node_pieces.size() == 1 && node_pieces[0].source == src_delegate &&
           node_pieces[0].target == me) {
         // Mirror of the sender-side demotion: this frame arrives direct.
@@ -237,8 +378,36 @@ std::vector<std::size_t> list_sizes(const std::vector<std::vector<Vertex>>& list
 
 }  // namespace
 
+bool frame_profitable(const PairTraffic& t, const sim::NetworkModel& net,
+                      double bytes_per_elem) {
+  auto bytes = [&](std::size_t elems) {
+    return static_cast<std::size_t>(static_cast<double>(elems) * bytes_per_elem);
+  };
+  // Direct messages cost each rank only its own traffic — their setups run
+  // in parallel across the node. The frame runs on the delegates' clocks, so
+  // only the setups the delegates THEMSELVES shed count as saving: the
+  // source delegate sends one frame instead of src_delegate_msgs messages,
+  // the dest delegate receives one instead of dst_delegate_msgs. (A pair the
+  // delegates barely touch can make the saving negative — framing would add
+  // wire work to both.)
+  const double saving =
+      (static_cast<double>(t.src_delegate_msgs) - 1.0) * net.send_overhead +
+      (static_cast<double>(t.dst_delegate_msgs) - 1.0) * net.recv_overhead;
+  // What framing loads onto the delegates instead: the co-residents' bytes
+  // now serialize on the source delegate's CPU (they were parallel before),
+  // which also absorbs one bundle handoff per co-resident sender; the dest
+  // delegate pushes every non-delegate piece through shared memory.
+  const double src_penalty =
+      net.serialization_cost(bytes(t.src_off_delegate_elems)) +
+      static_cast<double>(t.bundle_sends) * net.intra_overhead;
+  const double dst_penalty =
+      static_cast<double>(t.messages - t.dst_delegate_msgs) * net.intra_overhead +
+      static_cast<double>(bytes(t.dst_off_delegate_elems)) / net.intra_bandwidth;
+  return saving >= src_penalty + dst_penalty;
+}
+
 CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
-                      const sim::CpuCostModel& costs) {
+                      const sim::CpuCostModel& costs, const CoalesceOptions& opts) {
   const NodeMap& nodes = p.nodes();
   STANCE_REQUIRE(nodes.nprocs() == p.nprocs(),
                  "coalesce: node map does not cover every rank");
@@ -249,11 +418,17 @@ CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
   // Gather: data flows along the send lists; scatter: along the receive
   // lists with roles swapped.
   plan.gather = build_direction(p, nodes, s.send_procs, send_sizes, s.recv_procs,
-                                recv_sizes, kPlanGatherOutTag, kPlanGatherInTag, costs);
+                                recv_sizes, kPlanGatherOutTag, kPlanGatherInTag, costs,
+                                opts);
   plan.scatter = build_direction(p, nodes, s.recv_procs, recv_sizes, s.send_procs,
                                  send_sizes, kPlanScatterOutTag, kPlanScatterInTag,
-                                 costs);
+                                 costs, opts);
   return plan;
+}
+
+CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
+                      const sim::CpuCostModel& costs) {
+  return coalesce(p, s, costs, CoalesceOptions{});
 }
 
 }  // namespace stance::sched

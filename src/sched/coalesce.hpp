@@ -5,13 +5,25 @@
 // too: when several ranks share a physical node (mp/node_map.hpp), ALL
 // payloads one node sends to another can travel as a *single framed wire
 // message* per phase. Each rank hands its off-node payloads to its node's
-// delegate (the lowest co-resident rank) as cheap shared-memory bundles;
+// delegate (mp::NodeMap's per-node frame endpoint — the lowest co-resident
+// rank unless the frame-aware balancer reassigned it) as cheap shared-memory
+// bundles;
 // the delegate concatenates them into one frame per destination node; the
 // receiving delegate splits the frame and hands each co-resident rank its
 // pieces through shared memory. The wire then carries one message setup
 // per node pair per phase instead of one per rank pair — with g ranks per
 // node, a g²-fold cut in wire messages on dense patterns, exactly the
 // amortization the paper's multicast buys broadcasts.
+//
+// Framing is not always a win: the delegate serializes the whole node's
+// payload on its own CPU and every payload pays two shared-memory hops, so
+// byte-bound pairs lose what setup-bound pairs gain (the honest regression
+// the node_coalescing_mesh bench documents). Coalescing is therefore a
+// per-node-pair *decision*, not a mode: under CoalescePolicy::kAdaptive the
+// plan prices each pair from the NetworkModel's setup/funnel/serialization
+// terms (frame_profitable) and demotes the losing pairs to the base
+// schedule's direct per-peer messages — the paper's cost-model-driven
+// scheduling philosophy applied to message strategy selection.
 //
 // Like everything else in this library the framing is inspector/executor
 // split: coalesce() is a collective inspector pass that precomputes, per
@@ -39,6 +51,7 @@
 #include "mp/process.hpp"
 #include "sched/schedule.hpp"
 #include "sim/cpu_costs.hpp"
+#include "sim/network_model.hpp"
 
 namespace stance::sched {
 
@@ -138,6 +151,54 @@ struct CoalescePlan {
   DirectionPlan scatter;
 };
 
+/// Whether a node pair's traffic travels as one frame or as direct per-peer
+/// messages. kAlwaysFrame is the original all-or-nothing mode; kAdaptive
+/// prices each node pair with frame_profitable() and demotes the pairs where
+/// the frame's funnel costs outweigh the setups it saves — mixed plans (some
+/// pairs framed, some direct) stay byte-identical to the uncoalesced
+/// schedule.
+enum class CoalescePolicy : std::uint8_t {
+  kAlwaysFrame,
+  kAdaptive,
+};
+
+struct CoalesceOptions {
+  CoalescePolicy policy = CoalescePolicy::kAlwaysFrame;
+  /// Payload element width assumed by the crossover estimate. The plan is
+  /// built from element counts before the executor picks its wire type; the
+  /// default prices the library's double-valued executors.
+  double bytes_per_elem = 8.0;
+};
+
+/// One node pair's traffic in one direction, aggregated from the plan
+/// exchange. Both endpoint delegates can derive the identical summary from
+/// their own side's reports (sender reports name targets, receiver reports
+/// name sources — the same (source, target, count) multiset), so the framing
+/// decision is computed independently yet consistently on both nodes.
+struct PairTraffic {
+  std::size_t messages = 0;           ///< rank-pair messages the frame would merge
+  std::size_t elems = 0;              ///< total payload elements
+  std::size_t src_delegate_msgs = 0;  ///< messages the source delegate sends itself
+  std::size_t dst_delegate_msgs = 0;  ///< messages addressed to the dest delegate
+  std::size_t bundle_sends = 0;       ///< non-delegate source ranks (bundles in)
+  std::size_t src_off_delegate_elems = 0;  ///< elements funneled into the frame
+  std::size_t dst_off_delegate_elems = 0;  ///< elements forwarded after demux
+};
+
+/// The per-node-pair crossover (the `node_coalescing_*` benches expose it).
+/// Direct messages spread their costs across the node's ranks in parallel;
+/// a frame concentrates the pair's whole cost on the two delegates — the
+/// likely clock bottlenecks — so the decision compares the *delegates'*
+/// critical paths, not wire totals. Framing saves the delegates their own
+/// per-message setups but costs them the funnel: every co-resident's bytes
+/// serialize on the source delegate's CPU (NetworkModel::serialization_cost),
+/// which also absorbs one bundle handoff per co-resident sender, while the
+/// dest delegate forwards every non-delegate piece through shared memory.
+/// True when the saving covers the cost — ties frame, so a zero-cost
+/// network reproduces kAlwaysFrame exactly.
+[[nodiscard]] bool frame_profitable(const PairTraffic& t, const sim::NetworkModel& net,
+                                    double bytes_per_elem);
+
 /// Collective (like the inspector): every rank calls this with its own
 /// schedule. Co-resident ranks exchange their outbound and inbound lists so
 /// each node's delegate learns the frame layouts it will assemble and
@@ -145,6 +206,16 @@ struct CoalescePlan {
 /// clock, as are the list-processing costs via `costs`. With a trivial node
 /// map (one rank per node) every frame demotes to a direct message and the
 /// coalesced executors behave exactly like the plain ones.
+///
+/// Under CoalescePolicy::kAdaptive the delegates additionally price every
+/// node pair against p.net() and reply the per-pair verdicts to their
+/// co-residents; demoted pairs keep the base schedule's direct per-peer
+/// messages.
+[[nodiscard]] CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
+                                    const sim::CpuCostModel& costs,
+                                    const CoalesceOptions& opts);
+
+/// Original all-or-nothing coalescing (CoalescePolicy::kAlwaysFrame).
 [[nodiscard]] CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
                                     const sim::CpuCostModel& costs);
 

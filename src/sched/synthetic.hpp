@@ -1,0 +1,79 @@
+// Synthetic CommSchedule builders shared by the test suites and the bench
+// drivers, so both stage exactly the same traffic patterns when probing the
+// coalescing crossover.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace stance::sched {
+
+/// All-pairs schedule with `elems` elements per rank pair — the
+/// setup-dominated regime (many peers, small payloads) the paper's §3.6
+/// amortization argument targets.
+inline CommSchedule all_pairs_schedule(int nprocs, int me, Vertex elems) {
+  CommSchedule s;
+  s.nlocal = elems;
+  s.nghost = elems * static_cast<Vertex>(nprocs - 1);
+  Vertex slot = 0;
+  for (int r = 0; r < nprocs; ++r) {
+    if (r == me) continue;
+    std::vector<Vertex> items(static_cast<std::size_t>(elems));
+    std::vector<Vertex> slots(static_cast<std::size_t>(elems));
+    for (Vertex k = 0; k < elems; ++k) {
+      items[static_cast<std::size_t>(k)] = k;
+      slots[static_cast<std::size_t>(k)] = slot;
+      s.ghost_globals.push_back(static_cast<Vertex>(r) * elems + k);
+      ++slot;
+    }
+    s.send_procs.push_back(r);
+    s.send_items.push_back(std::move(items));
+    s.recv_procs.push_back(r);
+    s.recv_slots.push_back(std::move(slots));
+  }
+  return s;
+}
+
+/// Schedule from a per-rank-pair element-count matrix (counts[s][t] =
+/// elements s sends to t) — stages patterns whose node pairs sit on
+/// opposite sides of the framing crossover (one setup-bound, one
+/// byte-bound) within a single plan.
+inline CommSchedule matrix_schedule(const std::vector<std::vector<Vertex>>& counts,
+                                    int me) {
+  const int nprocs = static_cast<int>(counts.size());
+  CommSchedule s;
+  Vertex max_out = 0;
+  for (int t = 0; t < nprocs; ++t) {
+    max_out = std::max(max_out,
+                       counts[static_cast<std::size_t>(me)][static_cast<std::size_t>(t)]);
+  }
+  s.nlocal = std::max<Vertex>(max_out, 1);
+  Vertex slot = 0;
+  for (int r = 0; r < nprocs; ++r) {
+    if (r == me) continue;
+    const Vertex out = counts[static_cast<std::size_t>(me)][static_cast<std::size_t>(r)];
+    if (out > 0) {
+      std::vector<Vertex> items(static_cast<std::size_t>(out));
+      for (Vertex k = 0; k < out; ++k) items[static_cast<std::size_t>(k)] = k;
+      s.send_procs.push_back(r);
+      s.send_items.push_back(std::move(items));
+    }
+    const Vertex in = counts[static_cast<std::size_t>(r)][static_cast<std::size_t>(me)];
+    if (in > 0) {
+      std::vector<Vertex> slots(static_cast<std::size_t>(in));
+      for (Vertex k = 0; k < in; ++k) {
+        slots[static_cast<std::size_t>(k)] = slot;
+        s.ghost_globals.push_back(slot);
+        ++slot;
+      }
+      s.recv_procs.push_back(r);
+      s.recv_slots.push_back(std::move(slots));
+    }
+  }
+  s.nghost = slot;
+  return s;
+}
+
+}  // namespace stance::sched

@@ -14,14 +14,20 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 
 namespace stance::sim {
 
 struct NetworkModel {
+  /// Truly free transport for the ideal default: byte terms divide to an
+  /// exact 0.0, so cost comparisons (e.g. sched::frame_profitable) tie
+  /// instead of being nudged by sub-nanosecond residues.
+  static constexpr double kInfiniteBandwidth = std::numeric_limits<double>::infinity();
+
   std::string name = "ideal";
-  double latency = 0.0;        ///< seconds per message on the wire
-  double bandwidth = 1e12;     ///< bytes per second
+  double latency = 0.0;  ///< seconds per message on the wire
+  double bandwidth = kInfiniteBandwidth;  ///< bytes per second
   double send_overhead = 0.0;  ///< sender CPU seconds per message
   double recv_overhead = 0.0;  ///< receiver CPU seconds per message
   double send_per_byte = 0.0;  ///< sender CPU seconds per byte: > 0 models a
@@ -36,9 +42,9 @@ struct NetworkModel {
   /// mp/node_map.hpp) bypass the wire: a memcpy through shared memory plus a
   /// small software handoff. They never touch the shared medium, so no
   /// contention factor applies.
-  double intra_latency = 0.0;    ///< seconds of handoff per intra-node message
-  double intra_bandwidth = 1e12; ///< bytes per second through shared memory
-  double intra_overhead = 0.0;   ///< endpoint CPU seconds per intra-node message
+  double intra_latency = 0.0;  ///< seconds of handoff per intra-node message
+  double intra_bandwidth = kInfiniteBandwidth;  ///< bytes/s through shared memory
+  double intra_overhead = 0.0;  ///< endpoint CPU seconds per intra-node message
 
   /// Wire time for one b-byte transmission.
   [[nodiscard]] double wire_time(std::size_t bytes) const noexcept {
@@ -48,7 +54,7 @@ struct NetworkModel {
   /// Sender CPU time for one b-byte message (protocol work; with a
   /// synchronous stack this includes pushing every byte onto the wire).
   [[nodiscard]] double sender_busy(std::size_t bytes) const noexcept {
-    return send_overhead + contention * static_cast<double>(bytes) * send_per_byte;
+    return send_overhead + serialization_cost(bytes);
   }
 
   /// End-to-end arrival delay after the sender finished its busy period.
@@ -73,6 +79,15 @@ struct NetworkModel {
   /// Arrival delay of an intra-node message after the sender's busy period.
   [[nodiscard]] double intra_transfer_time(std::size_t) const noexcept {
     return intra_latency;
+  }
+
+  /// Sender-CPU seconds of pushing `bytes` through a synchronous stack.
+  /// Framing concentrates this on the delegate's clock: bytes that direct
+  /// messages would serialize on their own source ranks in parallel all
+  /// serialize on one CPU — the byte-bound funneling penalty the adaptive
+  /// coalescing policy (sched::frame_profitable) prices.
+  [[nodiscard]] double serialization_cost(std::size_t bytes) const noexcept {
+    return contention * static_cast<double>(bytes) * send_per_byte;
   }
 
   /// Instantaneous (zero-cost) network for unit tests of algorithms.

@@ -15,6 +15,7 @@
 #include "graph/builders.hpp"
 #include "mp/cluster.hpp"
 #include "partition/mcr.hpp"
+#include "sched/synthetic.hpp"
 #include "test_util.hpp"
 
 namespace stance {
@@ -26,14 +27,18 @@ using sched::CoalescePlan;
 using sched::DirectionPlan;
 
 std::vector<CoalescePlan> build_all_plans(mp::Cluster& cluster,
-                                          const std::vector<sched::InspectorResult>& irs) {
+                                          const std::vector<sched::InspectorResult>& irs,
+                                          const sched::CoalesceOptions& opts = {}) {
   std::vector<CoalescePlan> plans(irs.size());
   cluster.run([&](mp::Process& p) {
-    plans[static_cast<std::size_t>(p.rank())] = sched::coalesce(
-        p, irs[static_cast<std::size_t>(p.rank())].schedule, sim::CpuCostModel::free());
+    plans[static_cast<std::size_t>(p.rank())] =
+        sched::coalesce(p, irs[static_cast<std::size_t>(p.rank())].schedule,
+                        sim::CpuCostModel::free(), opts);
   });
   return plans;
 }
+
+constexpr sched::CoalesceOptions kAdaptive{sched::CoalescePolicy::kAdaptive, 8.0};
 
 /// One gather + scatter_add round on every rank, optionally coalesced.
 /// Returns (ghost, local) per rank for bitwise comparison.
@@ -65,11 +70,15 @@ run_exchange(mp::Cluster& cluster, const std::vector<sched::InspectorResult>& ir
 }
 
 void expect_roundtrip_oracle(const graph::Csr& g, const IntervalPartition& part,
-                             NodeMap node_map) {
+                             NodeMap node_map,
+                             const sched::CoalesceOptions& opts = {},
+                             bool ethernet = false) {
+  const auto nprocs = static_cast<std::size_t>(part.nparts());
   const auto irs = test::build_all_schedules(g, part);
-  mp::Cluster cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(part.nparts())),
+  mp::Cluster cluster(ethernet ? sim::MachineSpec::uniform_ethernet(nprocs)
+                               : sim::MachineSpec::uniform(nprocs),
                       std::move(node_map));
-  const auto plans = build_all_plans(cluster, irs);
+  const auto plans = build_all_plans(cluster, irs, opts);
   const auto plain = run_exchange(cluster, irs, nullptr);
   const auto coalesced = run_exchange(cluster, irs, &plans);
   for (std::size_t r = 0; r < irs.size(); ++r) {
@@ -226,31 +235,7 @@ TEST(Coalesce, InterNodeMessageReductionAtLeastRanksPerNode) {
   EXPECT_EQ(plain.inter_node_bytes_sent, coalesced.inter_node_bytes_sent);
 }
 
-// All-pairs schedule with `elems` elements per rank pair — the
-// setup-dominated regime (many peers, small payloads) the §3.6 amortization
-// argument targets.
-sched::CommSchedule all_pairs_schedule(int nprocs, int me, graph::Vertex elems) {
-  sched::CommSchedule s;
-  s.nlocal = elems;
-  s.nghost = elems * static_cast<graph::Vertex>(nprocs - 1);
-  graph::Vertex slot = 0;
-  for (int r = 0; r < nprocs; ++r) {
-    if (r == me) continue;
-    std::vector<graph::Vertex> items(static_cast<std::size_t>(elems));
-    std::vector<graph::Vertex> slots(static_cast<std::size_t>(elems));
-    for (graph::Vertex k = 0; k < elems; ++k) {
-      items[static_cast<std::size_t>(k)] = k;
-      slots[static_cast<std::size_t>(k)] = slot;
-      s.ghost_globals.push_back(static_cast<graph::Vertex>(r) * elems + k);
-      ++slot;
-    }
-    s.send_procs.push_back(r);
-    s.send_items.push_back(std::move(items));
-    s.recv_procs.push_back(r);
-    s.recv_slots.push_back(std::move(slots));
-  }
-  return s;
-}
+using sched::all_pairs_schedule;
 
 TEST(Coalesce, FrameSetupAmortizationLowersVirtualCost) {
   // One wire setup per node pair instead of per rank pair must show up in
@@ -337,6 +322,180 @@ TEST(Coalesce, EdgeSweepByteIdenticalWithPlan) {
   const auto plain = run_sweep(false);
   const auto coalesced = run_sweep(true);
   for (std::size_t r = 0; r < 4; ++r) test::expect_vectors_eq(coalesced[r], plain[r]);
+}
+
+using sched::matrix_schedule;
+
+TEST(AdaptiveCoalesce, FrameProfitableCrossover) {
+  const auto net = sim::NetworkModel::ethernet_10mbps();
+  // Setup-dominated (the all-pairs bench shape, 6 ranks per node): the
+  // delegates each shed 5 of their own setups; the funnel moves ~1KB.
+  sched::PairTraffic dense;
+  dense.messages = 36;
+  dense.elems = 144;
+  dense.src_delegate_msgs = 6;
+  dense.dst_delegate_msgs = 6;
+  dense.bundle_sends = 5;
+  dense.src_off_delegate_elems = 120;
+  dense.dst_off_delegate_elems = 120;
+  EXPECT_TRUE(sched::frame_profitable(dense, net, 8.0));
+
+  // Byte-bound: the same message pattern carrying 40k elements. The
+  // co-residents' bytes serializing on the delegate's CPU cost far more
+  // than the handful of setups it sheds.
+  sched::PairTraffic heavy = dense;
+  heavy.elems = 40000;
+  heavy.src_off_delegate_elems = 33000;
+  heavy.dst_off_delegate_elems = 33000;
+  EXPECT_FALSE(sched::frame_profitable(heavy, net, 8.0));
+
+  // A single message between non-delegates saves neither delegate anything
+  // and adds wire work to both: always demoted.
+  sched::PairTraffic lone;
+  lone.messages = 1;
+  lone.elems = 10;
+  lone.bundle_sends = 1;
+  lone.src_off_delegate_elems = 10;
+  lone.dst_off_delegate_elems = 10;
+  EXPECT_FALSE(sched::frame_profitable(lone, net, 8.0));
+
+  // Zero-cost network: every pair ties and stays framed — adaptive
+  // reproduces kAlwaysFrame exactly.
+  EXPECT_TRUE(sched::frame_profitable(heavy, sim::NetworkModel::ideal(), 8.0));
+  EXPECT_TRUE(sched::frame_profitable(lone, sim::NetworkModel::ideal(), 8.0));
+}
+
+TEST(AdaptiveCoalesce, MixedPlanFramesSetupBoundDemotesByteBoundPairs) {
+  // 6 ranks on 3 nodes. Node pair 0<->1 exchanges tiny payloads between all
+  // rank pairs (setup-bound: framed); node pair 0<->2 exchanges bulk
+  // payloads (byte-bound: demoted); 1<->2 is quiet.
+  const int nprocs = 6;
+  std::vector<std::vector<graph::Vertex>> counts(
+      nprocs, std::vector<graph::Vertex>(nprocs, 0));
+  auto node_of = [](int r) { return r / 2; };
+  for (int s = 0; s < nprocs; ++s) {
+    for (int t = 0; t < nprocs; ++t) {
+      if (s == t) continue;
+      const int sn = node_of(s);
+      const int tn = node_of(t);
+      if ((sn == 0 && tn == 1) || (sn == 1 && tn == 0)) counts[s][t] = 3;
+      if ((sn == 0 && tn == 2) || (sn == 2 && tn == 0)) counts[s][t] = 20000;
+    }
+  }
+  std::vector<sched::InspectorResult> irs(nprocs);
+  for (int r = 0; r < nprocs; ++r) {
+    irs[static_cast<std::size_t>(r)].schedule = matrix_schedule(counts, r);
+    ASSERT_TRUE(irs[static_cast<std::size_t>(r)].schedule.valid());
+  }
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs),
+                      NodeMap::contiguous(nprocs, 2));
+  const auto plans = build_all_plans(cluster, irs, kAdaptive);
+
+  // Rank 0 (delegate of node 0) frames toward node 1 only; its node-2
+  // traffic reverts to direct wire messages.
+  const auto& d0 = plans[0].gather;
+  ASSERT_EQ(d0.send_frames.size(), 1u);
+  EXPECT_EQ(d0.send_frames[0].dest_node, 1);
+  const auto& peers0 = irs[0].schedule.send_procs;
+  bool direct_to_node2 = false;
+  for (const auto i : d0.direct_peers) {
+    EXPECT_NE(node_of(peers0[i]), 1) << "framed pair leaked a direct message";
+    if (node_of(peers0[i]) == 2) direct_to_node2 = true;
+  }
+  EXPECT_TRUE(direct_to_node2);
+  // Rank 1 (non-delegate on node 0) bundles toward node 1 only.
+  ASSERT_EQ(plans[1].gather.bundles.size(), 1u);
+  EXPECT_EQ(plans[1].gather.bundles[0].dest_node, 1);
+
+  // The mixed plan stays byte-identical to the uncoalesced schedule.
+  const auto plain = run_exchange(cluster, irs, nullptr);
+  const auto mixed = run_exchange(cluster, irs, &plans);
+  for (std::size_t r = 0; r < irs.size(); ++r) {
+    test::expect_vectors_eq(mixed.first[r], plain.first[r]);
+    test::expect_vectors_eq(mixed.second[r], plain.second[r]);
+  }
+}
+
+TEST(AdaptiveCoalesce, RoundTripOracleRandomPartition) {
+  Rng rng(53);
+  const graph::Csr g = graph::random_delaunay(2500, 53);
+  expect_roundtrip_oracle(g, test::random_partition(g.num_vertices(), 8, rng),
+                          NodeMap::contiguous(8, 4), kAdaptive, /*ethernet=*/true);
+  expect_roundtrip_oracle(g, test::random_partition(g.num_vertices(), 6, rng),
+                          NodeMap::contiguous(6, 2), kAdaptive, /*ethernet=*/true);
+}
+
+TEST(AdaptiveCoalesce, RoundTripOracleMcrPartition) {
+  Rng rng(59);
+  const graph::Csr g = graph::random_delaunay(2000, 59);
+  const auto from = IntervalPartition::from_weights(g.num_vertices(),
+                                                    random_weights(6, rng));
+  const auto to = partition::repartition_mcr(from, random_weights(6, rng));
+  expect_roundtrip_oracle(g, to, NodeMap::contiguous(6, 3), kAdaptive,
+                          /*ethernet=*/true);
+}
+
+TEST(AdaptiveCoalesce, RoundTripOraclePaperTestbedPartition) {
+  const graph::Csr g = graph::random_delaunay(4000, 1996);
+  const auto shares = sim::MachineSpec::sun4_ethernet(5).speed_shares();
+  const auto part = IntervalPartition::from_weights(g.num_vertices(), shares);
+  expect_roundtrip_oracle(g, part, NodeMap::contiguous(5, 2), kAdaptive,
+                          /*ethernet=*/true);
+  expect_roundtrip_oracle(g, part, NodeMap(std::vector<int>{0, 1, 0, 1, 0}), kAdaptive,
+                          /*ethernet=*/true);
+}
+
+TEST(AdaptiveCoalesce, BeatsBothFixedPoliciesOnByteBoundMesh) {
+  // The PR 3 regression pattern: a byte-bound mesh where all-frames funneling
+  // loses to plain messages. The adaptive policy must match or beat BOTH
+  // fixed strategies — that is the whole point of making it a per-pair
+  // decision.
+  const graph::Csr g = graph::random_delaunay(2000, 1996);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>(8, 1.0));
+  const auto irs = test::build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(8),
+                      NodeMap::contiguous(8, 4));
+  const auto frames_plans = build_all_plans(cluster, irs);
+  const auto adaptive_plans = build_all_plans(cluster, irs, kAdaptive);
+
+  cluster.reset_clocks();
+  (void)run_exchange(cluster, irs, nullptr);
+  const double plain = cluster.makespan();
+  cluster.reset_clocks();
+  (void)run_exchange(cluster, irs, &frames_plans);
+  const double all_frames = cluster.makespan();
+  cluster.reset_clocks();
+  (void)run_exchange(cluster, irs, &adaptive_plans);
+  const double adaptive = cluster.makespan();
+
+  EXPECT_LE(adaptive, plain * (1.0 + 1e-9))
+      << "plain=" << plain << " all_frames=" << all_frames << " adaptive=" << adaptive;
+  EXPECT_LE(adaptive, all_frames * (1.0 + 1e-9))
+      << "plain=" << plain << " all_frames=" << all_frames << " adaptive=" << adaptive;
+}
+
+TEST(AdaptiveCoalesce, KeepsFramesOnSetupBoundAllPairs) {
+  // The §3.6 amortization case must survive the adaptive policy: tiny
+  // payloads, dense peers — every pair stays framed and the plan matches
+  // kAlwaysFrame structurally.
+  const int nprocs = 12;
+  std::vector<sched::InspectorResult> irs(nprocs);
+  for (int r = 0; r < nprocs; ++r) {
+    irs[static_cast<std::size_t>(r)].schedule = all_pairs_schedule(nprocs, r, 4);
+  }
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs),
+                      NodeMap::contiguous(nprocs, 6));
+  const auto frames_plans = build_all_plans(cluster, irs);
+  const auto adaptive_plans = build_all_plans(cluster, irs, kAdaptive);
+  for (int r = 0; r < nprocs; ++r) {
+    const auto& a = adaptive_plans[static_cast<std::size_t>(r)];
+    const auto& f = frames_plans[static_cast<std::size_t>(r)];
+    EXPECT_EQ(a.gather.send_frames.size(), f.gather.send_frames.size());
+    EXPECT_EQ(a.gather.bundles.size(), f.gather.bundles.size());
+    EXPECT_EQ(a.gather.direct_peers, f.gather.direct_peers);
+    EXPECT_EQ(a.scatter.send_frames.size(), f.scatter.send_frames.size());
+  }
 }
 
 TEST(Coalesce, CoalescedPathByteIdenticalUnderThreadedPacking) {
