@@ -11,6 +11,8 @@
 
 #include "bench_common.hpp"
 #include "exec/gather_scatter.hpp"
+#include "graph/builders.hpp"
+#include "lb/adaptive_executor.hpp"
 #include "lb/delegate_balancer.hpp"
 #include "mp/cluster.hpp"
 #include "partition/mcr.hpp"
@@ -427,6 +429,123 @@ void bench_delegate_rotation(bench::JsonReporter& report, bool small) {
             << "x, decision+rebuild charged)\n";
 }
 
+/// The full Phase B/C/D re-decision cycle (lb::AdaptiveExecutor with
+/// node-aware options): a drifting workload on a cluster whose default
+/// frame delegates sit on quarter-speed CPUs. The control run keeps the
+/// partition-only controller (coalesced, a-priori adaptive framing, no
+/// rotation, no measured feedback); the full run closes the loop — each
+/// check re-prices the delegate role from the interval's measured frame
+/// cost, rotates it when the gain covers the plan rebuild, and feeds the
+/// measured per-pair costs into the next coalesce(). Every decision
+/// collective and rebuild is charged. Both runs must end byte-identical to
+/// the sequential reference — the re-decided plans change routing, never
+/// results.
+void bench_adaptive_full_loop(bench::JsonReporter& report, bool small) {
+  const int nprocs = 8;
+  const int ranks_per_node = 4;
+  const int iters = small ? 60 : 120;
+  const int block = small ? 100 : 200;
+  const graph::Csr g = graph::port_coupled(nprocs, block, 12);
+  const auto part = IntervalPartition::from_weights(
+      g.num_vertices(), std::vector<double>(static_cast<std::size_t>(nprocs), 1.0));
+
+  auto initial_y = [&](const IntervalPartition& pt, int rank) {
+    std::vector<double> y(static_cast<std::size_t>(pt.size(rank)));
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] = 1.0 + static_cast<double>(
+                       pt.to_global(rank, static_cast<graph::Vertex>(i)) % 11);
+    }
+    return y;
+  };
+
+  struct ModeResult {
+    double makespan = 0.0;
+    std::vector<std::vector<double>> finals;
+    IntervalPartition final_part;
+    lb::AdaptiveReport report;
+  };
+  auto run_mode = [&](bool close_loop) {
+    auto spec = sim::MachineSpec::uniform_ethernet(static_cast<std::size_t>(nprocs));
+    spec.nodes[0].speed = 0.25;  // default delegates pay the frame funnel
+    spec.nodes[4].speed = 0.25;  // at quarter speed until rotated away
+    // Drift: a competing job lands on rank 6 partway through, shifting the
+    // load picture the controller (and the measured feedback) see.
+    spec.nodes[6].profile = sim::LoadProfile::step(0.2, 1.0, 0.4);
+    mp::Cluster cluster(std::move(spec),
+                        mp::NodeMap::contiguous(nprocs, ranks_per_node));
+    ModeResult r;
+    r.finals.resize(static_cast<std::size_t>(nprocs));
+    std::vector<lb::AdaptiveReport> reports(static_cast<std::size_t>(nprocs));
+    cluster.run([&](mp::Process& p) {
+      lb::AdaptiveOptions opts;
+      opts.lb.check_interval = 10;
+      opts.lb.profitability_factor = 0.25;
+      opts.lb.objective = partition::ArrangementObjective::from_network(
+          sim::NetworkModel::ethernet_10mbps(), sizeof(double));
+      opts.cpu = sim::CpuCostModel::sun4();
+      opts.loop = exec::LoopCostModel::sun4();
+      opts.coalesce = true;
+      opts.coalesce_opts.policy = sched::CoalescePolicy::kAdaptive;
+      opts.coalesce_opts.bytes_per_elem = sizeof(double);
+      opts.rotate_delegates = close_loop;
+      opts.measured_feedback = close_loop;
+      lb::AdaptiveExecutor ax(p, g, part, opts);
+      auto y = initial_y(ax.partition(), p.rank());
+      const auto rep = ax.run(p, y, iters);
+      const auto rank = static_cast<std::size_t>(p.rank());
+      reports[rank] = rep;
+      r.finals[rank] = std::move(y);
+      if (p.is_root()) r.final_part = ax.partition();
+    });
+    r.makespan = cluster.makespan();
+    r.report = reports[0];
+    return r;
+  };
+
+  const ModeResult control = run_mode(false);
+  const ModeResult full = run_mode(true);
+
+  // Byte-equivalence oracle: the re-decided plans (rotated delegates,
+  // measured verdicts, post-remap rebuilds) must not change a single bit of
+  // the computation.
+  std::vector<double> reference(static_cast<std::size_t>(g.num_vertices()));
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    reference[static_cast<std::size_t>(v)] = 1.0 + static_cast<double>(v % 11);
+  }
+  exec::IrregularLoop::reference_iterate(g, reference, iters);
+  for (const ModeResult* mode : {&control, &full}) {
+    for (int rank = 0; rank < nprocs; ++rank) {
+      const auto& fin = mode->finals[static_cast<std::size_t>(rank)];
+      for (graph::Vertex i = 0; i < mode->final_part.size(rank); ++i) {
+        const auto global = mode->final_part.to_global(rank, i);
+        if (fin[static_cast<std::size_t>(i)] !=
+            reference[static_cast<std::size_t>(global)]) {
+          std::cerr << "adaptive_full_loop: byte-equivalence oracle FAILED at "
+                    << "vertex " << global << "\n";
+          std::exit(1);
+        }
+      }
+    }
+  }
+
+  report.entry("adaptive_full_loop")
+      .field("ranks", static_cast<long long>(nprocs))
+      .field("ranks_per_node", static_cast<long long>(ranks_per_node))
+      .field("iterations", static_cast<long long>(iters))
+      .field("control_virtual_seconds", control.makespan)
+      .field("full_virtual_seconds", full.makespan)
+      .field("virtual_speedup", control.makespan / full.makespan)
+      .field("control_remaps", static_cast<long long>(control.report.remaps))
+      .field("full_remaps", static_cast<long long>(full.report.remaps))
+      .field("full_rotations", static_cast<long long>(full.report.rotations))
+      .field("full_replans", static_cast<long long>(full.report.replans));
+  std::cout << "adaptive_full_loop: control " << control.makespan << " s, full "
+            << full.makespan << " s (" << control.makespan / full.makespan
+            << "x; rotations " << full.report.rotations << ", replans "
+            << full.report.replans << ", remaps " << full.report.remaps
+            << ", oracle ok)\n";
+}
+
 void bench_remap(bench::JsonReporter& report, const graph::Csr& mesh, int deltas) {
   const std::size_t nprocs = 5;
 
@@ -473,6 +592,7 @@ int main(int argc, char** argv) {
   bench_translation(schedule_report, small, repeats);
   bench_node_coalescing(schedule_report, small);
   bench_delegate_rotation(schedule_report, small);
+  bench_adaptive_full_loop(schedule_report, small);
   schedule_report.write(out_dir + "/BENCH_schedule.json");
 
   bench::JsonReporter remap_report;

@@ -146,6 +146,26 @@ class CheckRegressionTest(unittest.TestCase):
         finally:
             sys.argv = old_argv
 
+    def test_mixed_cost_and_speedup_fields_gate_in_both_directions(self):
+        # The adaptive_full_loop entry carries both cost fields (the two
+        # runs' makespans) and a speedup; one regressing either way must be
+        # the only violation reported.
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("adaptive_full_loop",
+                          control_virtual_seconds=2.0,
+                          full_virtual_seconds=1.0,
+                          virtual_speedup=2.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("adaptive_full_loop",
+                          control_virtual_seconds=2.0,
+                          full_virtual_seconds=1.6,
+                          virtual_speedup=1.25)])
+        violations = self.check(tolerance=0.25)
+        self.assertEqual(len(violations), 2)
+        self.assertTrue(any("full_virtual_seconds" in v for v in violations))
+        self.assertTrue(any("virtual_speedup" in v for v in violations))
+        self.assertFalse(any("control_virtual_seconds" in v for v in violations))
+
     def test_committed_baselines_pass_against_themselves(self):
         # The repo's own committed baselines must be self-consistent: the
         # gate with baseline == fresh reports nothing.
@@ -155,6 +175,20 @@ class CheckRegressionTest(unittest.TestCase):
             self.assertEqual(
                 check_regression.check_file(name, repo_root, repo_root, 0.0),
                 [])
+
+    def test_committed_baseline_carries_the_closed_loop_entry(self):
+        # The closed-loop bench is gate-enforced: its entry and the fields
+        # the gate watches must exist in the committed baseline, and the
+        # committed speedup must actually show the loop winning.
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        entries = check_regression.load_entries(
+            os.path.join(repo_root, "BENCH_schedule.json"))
+        self.assertIn("adaptive_full_loop", entries)
+        loop = entries["adaptive_full_loop"]
+        for field in ("control_virtual_seconds", "full_virtual_seconds",
+                      "virtual_speedup"):
+            self.assertIn(field, loop)
+        self.assertGreater(loop["virtual_speedup"], 1.0)
 
 
 if __name__ == "__main__":

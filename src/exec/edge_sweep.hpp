@@ -44,7 +44,14 @@ class EdgeSweep {
 
   /// Route both the gather and the scatter through node-aware coalesced
   /// frames; nullptr returns to per-peer messages. Byte-identical results.
-  void set_coalesce_plan(const sched::CoalescePlan* plan) noexcept { plan_ = plan; }
+  /// The plan must have been built for this sweep's schedule (a plan kept
+  /// across a remap is the stale-routing bug the fingerprint catches here).
+  void set_coalesce_plan(const sched::CoalescePlan* plan) {
+    STANCE_REQUIRE(plan == nullptr ||
+                       plan->schedule_fingerprint == sched::coalesce_fingerprint(sched_),
+                   "set_coalesce_plan: plan was built for a different schedule");
+    plan_ = plan;
+  }
 
   /// Pack/unpack the exchanges on `threads` threads (1 = serial).
   void set_pack_threads(unsigned threads,

@@ -228,12 +228,13 @@ void coalesced_exchange(mp::Process& p, const sched::DirectionPlan& d,
       }
     }
     // One wire setup for the whole node-to-node frame — the coalescing
-    // payoff. The frame byte count feeds the frame-aware balancer
-    // (lb/delegate_balancer.hpp): these bytes serialized on this rank's CPU
-    // on behalf of the whole node.
+    // payoff. The frame count/bytes and the *measured* clock seconds of the
+    // send (setup + serialization at this CPU's actual speed) feed the
+    // frame-aware balancer and the measured-cost coalescing feedback
+    // (lb/delegate_balancer.hpp, sched::MeasuredPairCosts).
+    const double frame_start = p.now();
     p.send(f.wire_dest, sched::frame_tag(tag), std::span<const T>(payload.data(), off));
-    ++p.stats().frames_sent;
-    p.stats().frame_bytes_sent += off * sizeof(T);
+    p.stats().record_frame(f.dest_node, off * sizeof(T), p.now() - frame_start);
   }
   // Receive phase. Buffer all frames back to back in the arena, then walk
   // base sources and demux pieces merged by ascending source rank.
@@ -307,6 +308,9 @@ void gather_coalesced(mp::Process& p, const CommSchedule& s,
                  "gather_coalesced: local buffer size mismatch");
   STANCE_REQUIRE(ghost.size() == static_cast<std::size_t>(s.nghost),
                  "gather_coalesced: ghost buffer size mismatch");
+  STANCE_ASSERT_MSG(plan.matches(s, p.nodes()),
+                    "gather_coalesced: stale coalesce plan (schedule rebuilt or "
+                    "delegates rotated) — rebuild it with sched::coalesce");
   detail::prewarm_coalesced<T>(p, plan, ws);
   detail::coalesced_exchange<T>(
       p, plan.gather, plan.my_delegate, s.send_procs, s.send_items, s.recv_procs,
@@ -340,6 +344,9 @@ void scatter_coalesced(mp::Process& p, const CommSchedule& s,
                  "scatter_coalesced: local buffer size mismatch");
   STANCE_REQUIRE(ghost.size() == static_cast<std::size_t>(s.nghost),
                  "scatter_coalesced: ghost buffer size mismatch");
+  STANCE_ASSERT_MSG(plan.matches(s, p.nodes()),
+                    "scatter_coalesced: stale coalesce plan (schedule rebuilt or "
+                    "delegates rotated) — rebuild it with sched::coalesce");
   detail::prewarm_coalesced<T>(p, plan, ws);
   detail::coalesced_exchange<T>(
       p, plan.scatter, plan.my_delegate, s.recv_procs, s.recv_slots, s.send_procs,

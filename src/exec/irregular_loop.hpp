@@ -56,10 +56,16 @@ class IrregularLoop {
   [[nodiscard]] double work_per_iteration() const noexcept { return work_per_iter_; }
 
   /// Route the gather through node-aware coalesced frames (sched/coalesce.hpp).
-  /// `plan` must outlive this executor and belong to the same schedule; pass
-  /// nullptr to return to per-peer messages. Results are byte-identical
-  /// either way.
-  void set_coalesce_plan(const sched::CoalescePlan* plan) noexcept { plan_ = plan; }
+  /// `plan` must outlive this executor and belong to the same schedule
+  /// (enforced via the plan's fingerprint — installing a pre-remap plan on a
+  /// post-remap loop is the stale-routing bug); pass nullptr to return to
+  /// per-peer messages. Results are byte-identical either way.
+  void set_coalesce_plan(const sched::CoalescePlan* plan) {
+    STANCE_REQUIRE(plan == nullptr ||
+                       plan->schedule_fingerprint == sched::coalesce_fingerprint(sched_),
+                   "set_coalesce_plan: plan was built for a different schedule");
+    plan_ = plan;
+  }
 
   /// Pack/unpack the ghost exchange on `threads` threads (1 = serial).
   void set_pack_threads(unsigned threads,

@@ -128,6 +128,26 @@ Csr random_geometric(Vertex n, double radius, std::uint64_t seed) {
   return g;
 }
 
+Csr port_coupled(int blocks, Vertex block, int ports) {
+  std::vector<Edge> edges;
+  for (int b = 0; b < blocks; ++b) {
+    for (Vertex v = 0; v + 1 < block; ++v) {
+      edges.emplace_back(b * block + v, b * block + v + 1);
+    }
+  }
+  // Ports spread deterministically through each block; the (13, 17) strides
+  // keep the per-pair port sets distinct without clustering.
+  for (int a = 0; a < blocks; ++a) {
+    for (int b = a + 1; b < blocks; ++b) {
+      for (int i = 0; i < ports; ++i) {
+        edges.emplace_back(a * block + (b * 13 + i * 17) % block,
+                           b * block + (a * 13 + i * 17) % block);
+      }
+    }
+  }
+  return Csr::from_edges(static_cast<Vertex>(blocks * block), edges);
+}
+
 Csr paper_mesh(std::uint64_t seed) { return random_delaunay(30269, seed); }
 
 Csr tiny_mesh() {

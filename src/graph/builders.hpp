@@ -36,6 +36,15 @@ Csr clustered_delaunay(Vertex n, int k, std::uint64_t seed);
 /// <= radius. Not planar; used to stress higher-degree graphs.
 Csr random_geometric(Vertex n, double radius, std::uint64_t seed);
 
+/// "Port-coupled" blocks: `blocks` chains of `block` vertices, every block
+/// pair stitched by `ports` cross edges between spread-out port vertices.
+/// Under a block-aligned contiguous partition each rank pair exchanges at
+/// most `ports` distinct ghosts — the small, setup-bound exchanges where
+/// node-pair framing (sched/coalesce.hpp) is profitable and the delegate's
+/// CPU speed governs the frame cost. Used by the closed-loop adaptive
+/// tests and the `adaptive_full_loop` bench.
+Csr port_coupled(int blocks, Vertex block, int ports);
+
 /// The default paper-scale mesh: Delaunay on 30,269 uniform points
 /// (matching the paper's vertex count; edge count differs — see DESIGN.md).
 Csr paper_mesh(std::uint64_t seed = 1996);

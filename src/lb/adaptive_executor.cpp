@@ -1,7 +1,9 @@
 #include "lb/adaptive_executor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "lb/delegate_balancer.hpp"
 #include "partition/redistribute.hpp"
 #include "support/assert.hpp"
 
@@ -16,6 +18,9 @@ AdaptiveExecutor::AdaptiveExecutor(mp::Process& p, const graph::Csr& g,
                  "AdaptiveExecutor: partition size must match the cluster");
   STANCE_REQUIRE(part_.total() == g.num_vertices(),
                  "AdaptiveExecutor: partition must cover the graph");
+  STANCE_REQUIRE(opts_.coalesce || (!opts_.rotate_delegates && !opts_.measured_feedback),
+                 "AdaptiveExecutor: rotation and measured feedback require coalesce");
+  coalescing_ = opts_.coalesce && !p.nodes().trivial();
   const double t0 = p.now();
   rebuild(p);
   first_build_seconds_ = p.now() - t0;
@@ -28,6 +33,80 @@ void AdaptiveExecutor::rebuild(mp::Process& p) {
   ir_ = sched::build_schedule(p, g_, part_, opts_.build, opts_.cpu);
   loop_ = std::make_unique<exec::IrregularLoop>(ir_.lgraph, ir_.schedule, opts_.loop,
                                                 opts_.cpu);
+  if (coalescing_) build_plan(p);
+}
+
+void AdaptiveExecutor::build_plan(mp::Process& p) {
+  const double t0 = p.now();
+  sched::CoalesceOptions co = opts_.coalesce_opts;
+  co.measured =
+      opts_.measured_feedback && !measured_.empty() ? &measured_ : nullptr;
+  plan_ = sched::coalesce(p, ir_.schedule, opts_.cpu, co);
+  loop_->set_coalesce_plan(&plan_);
+  // Remember the slowdowns the plan was priced under, so a later check can
+  // tell whether the measured picture drifted enough to re-decide.
+  plan_slowdowns_.assign(static_cast<std::size_t>(p.nodes().nnodes()), 1.0);
+  if (co.measured != nullptr) {
+    for (int n = 0; n < p.nodes().nnodes(); ++n) {
+      plan_slowdowns_[static_cast<std::size_t>(n)] =
+          measured_.node_slowdown(n, p.net());
+    }
+  }
+  // Rank-consistent rebuild-cost estimate for the rotation profitability
+  // test (per-rank clocks differ; the collective pays for the slowest).
+  plan_build_estimate_ = p.allreduce_max(p.now() - t0);
+}
+
+void AdaptiveExecutor::update_measured(mp::Process& p,
+                                       const mp::CommStats::FrameWindow& window) {
+  const int my_node = p.nodes().node_of(p.rank());
+  std::vector<sched::MeasuredPairCost> local;
+  local.reserve(window.pair_frames.size());
+  for (const auto& pf : window.pair_frames) {
+    local.push_back(sched::MeasuredPairCost{my_node, pf.dest_node, pf.frames,
+                                            pf.bytes, pf.seconds});
+  }
+  // The table must be identical on every rank (both endpoint delegates of a
+  // pair derive framing verdicts from it), so it is allgathered — a charged
+  // collective, like the controller's load exchange.
+  const auto all = p.allgatherv(std::span<const sched::MeasuredPairCost>(local));
+  // Merge per pair rather than replacing the table: a demoted pair ships no
+  // frames, so it measures nothing this interval — but the slowdown it
+  // established is a property of the nodes' CPUs, not of whether frames
+  // happened to ship. Dropping silent pairs would reset their slowdown to
+  // 1.0, re-frame them from the blind estimate next replan, measure the
+  // slowdown again, demote again — an oscillation paying a plan rebuild
+  // every check. Retained entries keep the verdict stable until the pair is
+  // observed again. (Identical inputs in identical order on every rank, so
+  // the merged table stays rank-consistent.)
+  for (const auto& contribution : all) {
+    for (const auto& fresh : contribution) {
+      auto it = measured_.pairs.begin();
+      while (it != measured_.pairs.end() &&
+             (it->src_node != fresh.src_node || it->dst_node != fresh.dst_node)) {
+        ++it;
+      }
+      if (it == measured_.pairs.end()) {
+        measured_.pairs.push_back(fresh);
+      } else {
+        *it = fresh;
+      }
+    }
+  }
+  p.compute(opts_.cpu.per_list_op * static_cast<double>(measured_.pairs.size()));
+}
+
+bool AdaptiveExecutor::slowdown_drifted(const mp::Process& p) const {
+  if (measured_.empty() || plan_slowdowns_.empty()) return false;
+  for (int n = 0; n < p.nodes().nnodes(); ++n) {
+    const double before = plan_slowdowns_[static_cast<std::size_t>(n)];
+    const double now = measured_.node_slowdown(n, p.net());
+    if (std::abs(now - before) > opts_.feedback_replan_threshold *
+                                     std::max(before, 1e-12)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 AdaptiveReport AdaptiveExecutor::run(mp::Process& p, std::vector<double>& y,
@@ -57,6 +136,9 @@ AdaptiveReport AdaptiveExecutor::run(mp::Process& p, std::vector<double>& y,
     const CheckOutcome outcome = check_now(p, y);
     ++report.checks;
     report.check_seconds += outcome.check_seconds;
+    report.retune_seconds += outcome.retune_seconds;
+    if (outcome.rotated) ++report.rotations;
+    if (outcome.replanned) ++report.replans;
     if (outcome.decision.remap) {
       ++report.remaps;
       report.remap_seconds += outcome.remap_seconds;
@@ -79,6 +161,7 @@ void AdaptiveExecutor::repartition(mp::Process& p,
   part_ = next;
   rebuild(p);
   monitor_.reset();
+  (void)p.stats().take_frame_window();  // re-arm the frame interval too
 }
 
 AdaptiveExecutor::CheckOutcome AdaptiveExecutor::check_now(mp::Process& p,
@@ -90,22 +173,79 @@ AdaptiveExecutor::CheckOutcome AdaptiveExecutor::check_now(mp::Process& p,
   // barrier, and without it the fast ranks' wait for the loaded rank would
   // be misattributed to the check protocol.
   p.barrier();
+
+  // --- frame-strategy re-decision, from this interval's measurements ------
+  bool want_replan = false;
+  if (coalescing_) {
+    const double retune_start = p.now();
+    const auto window = p.stats().take_frame_window();
+    if (opts_.measured_feedback) {
+      update_measured(p, window);
+      want_replan = slowdown_drifted(p);
+    }
+    if (opts_.rotate_delegates) {
+      // Project what hosting the node's frame role would cost each resident:
+      // the node's measured frame work (reference price, lb::frame_seconds)
+      // on that rank's currently delivered speed. Feeding projections — not
+      // current per-rank frame load — keeps the choice stable: once the role
+      // sits on the cheapest resident, re-deciding picks the same rank
+      // instead of ping-ponging between idle ones.
+      const auto frame_ref = p.allgather(lb::frame_seconds(window, p.net()));
+      const auto& nodes = p.nodes();
+      double node_work = 0.0;
+      for (const mp::Rank r : nodes.ranks_on(nodes.node_of(p.rank()))) {
+        node_work += frame_ref[static_cast<std::size_t>(r)];
+      }
+      const double speed = std::max(p.clock().effective_speed(), 1e-12);
+      std::vector<double> projected;
+      const auto chosen =
+          lb::rotate_delegates(p, node_work / speed, opts_.cpu, &projected);
+      const auto current = nodes.delegates();
+      if (chosen != current) {
+        double gain = 0.0;
+        for (std::size_t n = 0; n < current.size(); ++n) {
+          gain += projected[static_cast<std::size_t>(current[n])] -
+                  projected[static_cast<std::size_t>(chosen[n])];
+        }
+        // Rotation pays for itself when one interval's projected saving
+        // covers the plan rebuild (all inputs are allgathered or
+        // allreduced, so every rank takes the same branch).
+        if (gain > opts_.rotation_profitability_factor * plan_build_estimate_) {
+          p.set_delegates(chosen);
+          outcome.rotated = true;
+          want_replan = true;
+        }
+      }
+    }
+    outcome.retune_seconds = p.now() - retune_start;
+  }
+
+  // --- the paper's load-balance protocol ----------------------------------
   const double check_start = p.now();
   const double tpi =
       predictor_.observations() > 0 ? predictor_.predict() : monitor_.time_per_item();
   outcome.decision = load_balance_check(p, part_, tpi, opts_.lb);
   outcome.check_seconds = p.now() - check_start;
   monitor_.reset();
-  if (!outcome.decision.remap) return outcome;
-
-  const double remap_start = p.now();
-  y = partition::redistribute<double>(p, y, part_, outcome.decision.new_partition);
-  part_ = outcome.decision.new_partition;
-  rebuild(p);
-  outcome.remap_seconds = p.now() - remap_start;
-  // The per-item rate is a property of the *processor*, not the partition,
-  // so history stays valid across remaps — that is the point of predicting
-  // from multiple phases.
+  if (outcome.decision.remap) {
+    const double remap_start = p.now();
+    y = partition::redistribute<double>(p, y, part_, outcome.decision.new_partition);
+    part_ = outcome.decision.new_partition;
+    rebuild(p);  // schedule + loop + (when coalescing) a fresh plan
+    outcome.remap_seconds = p.now() - remap_start;
+    // The per-item rate is a property of the *processor*, not the partition,
+    // so history stays valid across remaps — that is the point of predicting
+    // from multiple phases.
+    return outcome;
+  }
+  if (want_replan) {
+    // Delegates rotated or the measured verdicts drifted: re-coalesce the
+    // surviving schedule so the executors never run on a stale plan.
+    const double replan_start = p.now();
+    build_plan(p);
+    outcome.replanned = true;
+    outcome.retune_seconds += p.now() - replan_start;
+  }
   return outcome;
 }
 

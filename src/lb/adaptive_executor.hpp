@@ -4,6 +4,21 @@
 // each chunk every processor reports its measured time-per-item to the
 // controller, which may order a remap: redistribute the data (Phase D),
 // rebuild the communication schedule (Phase B again), continue (Phase C).
+//
+// With the node-aware options enabled the cycle re-decides the whole
+// communication strategy, not just the partition. Each check measures the
+// interval's coalesced-frame traffic (mp::CommStats::take_frame_window) and
+//   * re-prices the delegate role from it (lb::frame_seconds), rotating the
+//     frame endpoint to the cheapest co-resident when the projected gain
+//     covers the plan rebuild (lb::rotate_delegates +
+//     mp::Process::set_delegates), and
+//   * feeds the measured per-node-pair frame costs into the next
+//     sched::coalesce() (sched::MeasuredPairCosts), so kAdaptive framing
+//     verdicts come from observation instead of the a-priori
+//     frame_profitable estimate — the same closed loop the controller runs
+//     by feeding measured time-per-item into MCR.
+// Every decision collective and every plan rebuild is charged to the
+// virtual clocks; results stay byte-identical to the uncoalesced loop.
 #pragma once
 
 #include <memory>
@@ -15,6 +30,7 @@
 #include "lb/load_monitor.hpp"
 #include "lb/predictor.hpp"
 #include "mp/process.hpp"
+#include "sched/coalesce.hpp"
 #include "sched/inspector.hpp"
 
 namespace stance::lb {
@@ -31,6 +47,27 @@ struct AdaptiveOptions {
   PredictorKind predictor = PredictorKind::kLast;
   double ema_alpha = 0.5;
   int trend_window = 4;
+
+  /// --- node-aware communication re-decision ------------------------------
+  /// Route the loop's ghost exchange through node-aware coalesced frames
+  /// (sched::coalesce). The plan is rebuilt with every schedule rebuild and
+  /// whenever the delegate assignment or the measured verdicts change — an
+  /// executor never runs on a stale plan. No effect on a trivial node map.
+  bool coalesce = false;
+  sched::CoalesceOptions coalesce_opts{};
+  /// Re-choose each node's frame delegate every check from the interval's
+  /// measured frame cost; install the rotation only when the projected
+  /// per-interval gain exceeds rotation_profitability_factor times the
+  /// (measured) plan rebuild cost. Requires `coalesce`.
+  bool rotate_delegates = false;
+  double rotation_profitability_factor = 1.0;
+  /// Allgather the measured per-node-pair frame costs every check and feed
+  /// them into the next sched::coalesce() (kAdaptive verdicts from
+  /// observation). Replans without waiting for a remap when a node's
+  /// measured slowdown drifts by more than feedback_replan_threshold
+  /// (relative). Requires `coalesce`.
+  bool measured_feedback = false;
+  double feedback_replan_threshold = 0.25;
 };
 
 /// Per-rank accounting of one run() (virtual seconds).
@@ -38,9 +75,14 @@ struct AdaptiveReport {
   int iterations = 0;
   int checks = 0;
   int remaps = 0;
+  int rotations = 0;  ///< delegate rotations installed
+  int replans = 0;    ///< coalesce-plan rebuilds outside remaps
   double total_seconds = 0.0;        ///< elapsed clock across run()
   double check_seconds = 0.0;        ///< load-balance checks (excl. remaps)
   double remap_seconds = 0.0;        ///< redistribution + schedule rebuild
+  double retune_seconds = 0.0;       ///< frame re-decision: measurement
+                                     ///< exchange, rotation decision + install,
+                                     ///< plan rebuilds outside remaps
   double first_build_seconds = 0.0;  ///< initial Phase-B cost (constructor)
 };
 
@@ -62,12 +104,17 @@ class AdaptiveExecutor {
     LbDecision decision;
     double check_seconds = 0.0;  ///< protocol cost (virtual)
     double remap_seconds = 0.0;  ///< redistribution + rebuild, 0 if no remap
+    bool rotated = false;        ///< a delegate rotation was installed
+    bool replanned = false;      ///< the coalesce plan was rebuilt (no remap)
+    double retune_seconds = 0.0;  ///< frame re-decision cost incl. replan
   };
 
   /// Collective. Run one load-balance check immediately — what run() does
-  /// every check_interval iterations. Uses the loads recorded since the last
-  /// check, redistributes `y` and rebuilds the schedule on a remap, and
-  /// resets the measurement window.
+  /// every check_interval iterations: re-decide the framing strategy from
+  /// the interval's measured frame traffic (rotation + measured feedback,
+  /// when enabled), then the paper's load-balance protocol. Redistributes
+  /// `y` and rebuilds schedule + plan on a remap; resets the measurement
+  /// window either way.
   CheckOutcome check_now(mp::Process& p, std::vector<double>& y);
 
   /// Per-vertex work multipliers for adaptive applications (see
@@ -95,8 +142,26 @@ class AdaptiveExecutor {
   [[nodiscard]] const LoadMonitor& monitor() const noexcept { return monitor_; }
   [[nodiscard]] const LoadPredictor& predictor() const noexcept { return predictor_; }
 
+  /// Whether the loop currently runs through coalesced frames (node-aware
+  /// options on a nontrivial node map), and the installed plan.
+  [[nodiscard]] bool coalescing() const noexcept { return coalescing_; }
+  [[nodiscard]] const sched::CoalescePlan& coalesce_plan() const noexcept {
+    return plan_;
+  }
+  /// The measured table fed into the last plan build (empty until the first
+  /// check with measured_feedback).
+  [[nodiscard]] const sched::MeasuredPairCosts& measured_costs() const noexcept {
+    return measured_;
+  }
+
  private:
   void rebuild(mp::Process& p);
+  void build_plan(mp::Process& p);
+  /// Allgather the interval's per-pair frame measurements into measured_.
+  void update_measured(mp::Process& p, const mp::CommStats::FrameWindow& window);
+  /// True when a node's measured slowdown moved more than the threshold
+  /// since the current plan was priced.
+  [[nodiscard]] bool slowdown_drifted(const mp::Process& p) const;
 
   const graph::Csr& g_;
   partition::IntervalPartition part_;
@@ -106,6 +171,12 @@ class AdaptiveExecutor {
   LoadMonitor monitor_;
   LoadPredictor predictor_;
   double first_build_seconds_ = 0.0;
+
+  bool coalescing_ = false;
+  sched::CoalescePlan plan_;
+  sched::MeasuredPairCosts measured_;
+  std::vector<double> plan_slowdowns_;    ///< per node, at last plan build
+  double plan_build_estimate_ = 0.0;      ///< rank-consistent (allreduce_max)
 };
 
 }  // namespace stance::lb

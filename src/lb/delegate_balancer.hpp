@@ -34,10 +34,22 @@
 
 namespace stance::lb {
 
-/// Sender-side virtual seconds `stats`' coalesced frames cost their rank:
-/// one wire setup plus the serialized frame bytes, priced with the same
-/// NetworkModel terms the clock charged when they were sent.
+/// Sender-side virtual seconds `frames`/`bytes` of coalesced traffic cost
+/// their rank: one wire setup per frame plus the serialized bytes, priced
+/// with the same NetworkModel terms the clock charged when they were sent.
+[[nodiscard]] double frame_seconds(std::uint64_t frames, std::uint64_t bytes,
+                                   const sim::NetworkModel& net);
+
+/// Price a rank's cumulative frame counters. Inside a multi-interval
+/// controller loop prefer the FrameWindow overload: the cumulative counters
+/// keep growing across intervals, so pricing them biases the decision
+/// toward historical load instead of the load just measured.
 [[nodiscard]] double frame_seconds(const mp::CommStats& stats,
+                                   const sim::NetworkModel& net);
+
+/// Price one measurement interval (mp::CommStats::take_frame_window) — the
+/// form the adaptive executor's per-check rotation decision uses.
+[[nodiscard]] double frame_seconds(const mp::CommStats::FrameWindow& window,
                                    const sim::NetworkModel& net);
 
 /// Fold a rank's frame funneling cost into its measured time-per-item so
@@ -56,12 +68,28 @@ namespace stance::lb {
 [[nodiscard]] std::vector<mp::Rank> choose_delegates(
     const mp::NodeMap& nodes, std::span<const double> rank_load);
 
+/// Incumbent-keeping variant: a node whose ranks measured no load at all
+/// (the delegate shipped zero frames this interval) keeps `current[node]`
+/// instead of resetting to its lowest rank — there is nothing to decide on
+/// an idle node, and a deliberate earlier rotation must not be undone by a
+/// quiet interval.
+[[nodiscard]] std::vector<mp::Rank> choose_delegates(const mp::NodeMap& nodes,
+                                                     std::span<const double> rank_load,
+                                                     std::span<const mp::Rank> current);
+
 /// Collective: allgather every rank's load (charged to the clocks like any
-/// balancing round), then run the deterministic choice — every rank returns
-/// the identical per-node delegate vector, ready for
-/// mp::Cluster::set_delegates + a sched::coalesce rebuild.
+/// balancing round), then run the deterministic incumbent-keeping choice —
+/// every rank returns the identical per-node delegate vector, ready for
+/// mp::Cluster::set_delegates / mp::Process::set_delegates + a
+/// sched::coalesce rebuild. Nodes with zero measured load are skipped with
+/// a single list-op charge instead of one per resident rank
+/// (skip-and-charge-once: an idle node pays for noticing it is idle, not
+/// for a decision it does not make). `loads_out`, when non-null, receives
+/// the allgathered per-rank loads — callers price rotation profitability
+/// from them without a second collective.
 [[nodiscard]] std::vector<mp::Rank> rotate_delegates(
     mp::Process& p, double my_load,
-    const sim::CpuCostModel& costs = sim::CpuCostModel::free());
+    const sim::CpuCostModel& costs = sim::CpuCostModel::free(),
+    std::vector<double>* loads_out = nullptr);
 
 }  // namespace stance::lb

@@ -68,8 +68,10 @@ class Cluster {
 
   /// Install a frame-aware delegate assignment (one rank per physical node,
   /// e.g. from lb::rotate_delegates). Only between run() calls — Processes
-  /// read the node map concurrently during a run. Coalesce plans built for
-  /// the previous delegates must be rebuilt.
+  /// read the node map concurrently during a run; *inside* a run use the
+  /// collective Process::set_delegates, which fences the write with
+  /// barriers. Coalesce plans built for the previous delegates must be
+  /// rebuilt (sched::CoalescePlan::matches flags them stale).
   void set_delegates(std::span<const Rank> per_node);
 
   [[nodiscard]] const sim::VirtualClock& clock_of(int rank) const;

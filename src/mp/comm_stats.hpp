@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace stance::mp {
 
@@ -32,6 +33,68 @@ struct CommStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frame_bytes_sent = 0;
 
+  /// One destination node's share of this rank's coalesced frames: count,
+  /// payload bytes, and the virtual seconds this rank's clock spent sending
+  /// them (setup + serialization at the delegate's *actual* speed and
+  /// availability — what the a-priori frame_profitable estimate cannot
+  /// know). The measured-cost feedback path (sched::MeasuredPairCosts)
+  /// reads these to re-price node pairs from observation.
+  struct PairFrames {
+    int dest_node = -1;
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    double seconds = 0.0;
+  };
+
+  /// Per-destination-node frame traffic (delegates only; a handful of
+  /// entries, kept ascending by dest_node).
+  std::vector<PairFrames> pair_frames;
+
+  /// Record one coalesced frame to `dest_node` (updates frames_sent /
+  /// frame_bytes_sent and the per-pair entry).
+  void record_frame(int dest_node, std::uint64_t bytes, double seconds) {
+    ++frames_sent;
+    frame_bytes_sent += bytes;
+    auto& entry = pair_entry(dest_node);
+    ++entry.frames;
+    entry.bytes += bytes;
+    entry.seconds += seconds;
+  }
+
+  /// Frame counters of one measurement interval. Controllers that re-decide
+  /// per interval (lb::AdaptiveExecutor) price from windows, not from the
+  /// cumulative totals — cumulative counters accumulate across intervals and
+  /// would bias lb::frame_seconds toward historical load.
+  struct FrameWindow {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frame_bytes_sent = 0;
+    std::vector<PairFrames> pair_frames;
+  };
+
+  /// Frame traffic recorded since the previous take_frame_window() call (or
+  /// since construction/reset), then re-arm the window. Cumulative totals
+  /// are unaffected.
+  FrameWindow take_frame_window() {
+    FrameWindow w;
+    w.frames_sent = frames_sent - frames_sent_mark_;
+    w.frame_bytes_sent = frame_bytes_sent - frame_bytes_mark_;
+    for (const auto& pf : pair_frames) {
+      PairFrames delta = pf;
+      for (const auto& mark : pair_frames_mark_) {
+        if (mark.dest_node != pf.dest_node) continue;
+        delta.frames -= mark.frames;
+        delta.bytes -= mark.bytes;
+        delta.seconds -= mark.seconds;
+        break;
+      }
+      if (delta.frames > 0) w.pair_frames.push_back(delta);
+    }
+    frames_sent_mark_ = frames_sent;
+    frame_bytes_mark_ = frame_bytes_sent;
+    pair_frames_mark_ = pair_frames;
+    return w;
+  }
+
   /// Virtual-time breakdown: seconds spent computing vs. communicating
   /// (sends, receives, waits in collectives).
   double compute_seconds = 0.0;
@@ -52,10 +115,34 @@ struct CommStats {
     inter_node_bytes_sent += o.inter_node_bytes_sent;
     frames_sent += o.frames_sent;
     frame_bytes_sent += o.frame_bytes_sent;
+    for (const auto& pf : o.pair_frames) {
+      auto& entry = pair_entry(pf.dest_node);
+      entry.frames += pf.frames;
+      entry.bytes += pf.bytes;
+      entry.seconds += pf.seconds;
+    }
     compute_seconds += o.compute_seconds;
     comm_seconds += o.comm_seconds;
     return *this;
   }
+
+ private:
+  /// The pair_frames entry for `dest_node`, inserted zeroed if absent
+  /// (ascending dest_node order preserved).
+  PairFrames& pair_entry(int dest_node) {
+    auto it = pair_frames.begin();
+    while (it != pair_frames.end() && it->dest_node < dest_node) ++it;
+    if (it == pair_frames.end() || it->dest_node != dest_node) {
+      it = pair_frames.insert(it, PairFrames{dest_node, 0, 0, 0.0});
+    }
+    return *it;
+  }
+
+  /// Window marks of take_frame_window(): cumulative values at the last
+  /// snapshot.
+  std::uint64_t frames_sent_mark_ = 0;
+  std::uint64_t frame_bytes_mark_ = 0;
+  std::vector<PairFrames> pair_frames_mark_;
 };
 
 }  // namespace stance::mp

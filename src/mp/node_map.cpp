@@ -38,6 +38,7 @@ void NodeMap::set_delegate(int node, Rank r) {
   STANCE_REQUIRE(it != residents.end(), "set_delegate: rank not resident on node");
   delegate_idx_[static_cast<std::size_t>(node)] =
       static_cast<std::uint32_t>(it - residents.begin());
+  ++generation_;
 }
 
 void NodeMap::set_delegates(std::span<const Rank> per_node) {

@@ -82,6 +82,12 @@ class NodeMap {
   /// Current delegate of every node, indexed by node id.
   [[nodiscard]] std::vector<Rank> delegates() const;
 
+  /// Bumped by every set_delegate/set_delegates call. Coalesce plans record
+  /// the generation they were built against (sched::CoalescePlan), so the
+  /// executors can detect a plan that still routes frames through rotated-
+  /// away delegates.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
   /// True when every rank is alone on its node (coalescing is a no-op).
   [[nodiscard]] bool trivial() const noexcept { return nnodes() == nprocs(); }
 
@@ -90,6 +96,7 @@ class NodeMap {
   std::vector<std::size_t> offsets_;  ///< CSR offsets into ranks_, size nnodes+1
   std::vector<Rank> ranks_;           ///< ranks grouped by node, ascending
   std::vector<std::uint32_t> delegate_idx_;  ///< node -> index into ranks_on(node)
+  std::uint64_t generation_ = 0;      ///< delegate-assignment version
 };
 
 }  // namespace stance::mp

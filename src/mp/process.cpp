@@ -17,7 +17,7 @@ int ceil_log2(int n) {
 
 Process::Process(Rank rank, int nprocs, sim::VirtualClock& clock,
                  std::vector<Mailbox>& boxes, Rendezvous& rendezvous,
-                 const sim::NetworkModel& net, const NodeMap& nodes)
+                 const sim::NetworkModel& net, NodeMap& nodes)
     : rank_(rank), nprocs_(nprocs), clock_(clock), boxes_(boxes), rendezvous_(rendezvous),
       net_(net), nodes_(nodes) {
   STANCE_ASSERT(rank >= 0 && rank < nprocs);
@@ -106,6 +106,18 @@ void Process::multicast_bytes(std::span<const Rank> dests, Tag tag,
 void Process::barrier() {
   auto round = collective({});
   finish_collective(round.max_time, 0);
+}
+
+void Process::set_delegates(std::span<const Rank> per_node) {
+  STANCE_REQUIRE(per_node.size() == static_cast<std::size_t>(nodes_.nnodes()),
+                 "set_delegates: need one delegate per node");
+  // Entry barrier: every rank has stopped reading the map. Between the two
+  // barriers the only NodeMap access in the cluster is rank 0's write (the
+  // other ranks go straight into the exit barrier), and the rendezvous'
+  // internal synchronization publishes the write to all threads.
+  barrier();
+  if (rank_ == 0) nodes_.set_delegates(per_node);
+  barrier();
 }
 
 Rendezvous::Round Process::collective(std::vector<std::byte> blob) {

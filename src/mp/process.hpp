@@ -35,7 +35,7 @@ class Cluster;
 class Process {
  public:
   Process(Rank rank, int nprocs, sim::VirtualClock& clock, std::vector<Mailbox>& boxes,
-          Rendezvous& rendezvous, const sim::NetworkModel& net, const NodeMap& nodes);
+          Rendezvous& rendezvous, const sim::NetworkModel& net, NodeMap& nodes);
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
@@ -139,6 +139,16 @@ class Process {
 
   /// Synchronize all ranks; clocks advance to the common post-barrier time.
   void barrier();
+
+  /// Collective: install a new per-node delegate assignment *mid-run* (the
+  /// in-cycle form of mp::Cluster::set_delegates, for adaptive executors
+  /// that rotate the frame endpoint between phases). Every rank must pass
+  /// the identical `per_node` vector — e.g. the result of
+  /// lb::rotate_delegates. Barriers fence the write on both sides so no
+  /// rank reads the shared node map concurrently. Coalesce plans built for
+  /// the previous assignment are stale afterwards
+  /// (sched::CoalescePlan::matches) and must be rebuilt.
+  void set_delegates(std::span<const Rank> per_node);
 
   /// Root's `data` is distributed to every rank (in place).
   template <WireType T>
@@ -279,7 +289,7 @@ class Process {
   std::vector<Mailbox>& boxes_;
   Rendezvous& rendezvous_;
   const sim::NetworkModel& net_;
-  const NodeMap& nodes_;
+  NodeMap& nodes_;  ///< shared with all ranks; written only inside set_delegates
   CommStats stats_;
 };
 

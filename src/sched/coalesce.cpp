@@ -77,6 +77,20 @@ bool demotes(const std::vector<DirectionPlan::FramePart>& parts, Rank src_delega
          peers[parts[0].peer_idx[0]] == dst_delegate;
 }
 
+/// Frame or demote one node pair, from measurement when a table is
+/// supplied. Both endpoint delegates call this with identical inputs
+/// (the summary is the same multiset, the table is allgathered), so the
+/// verdict stays consistent across the pair.
+bool pair_framed(const PairTraffic& t, const sim::NetworkModel& net,
+                 const CoalesceOptions& opts, int src_node, int dst_node) {
+  if (opts.measured != nullptr && !opts.measured->empty()) {
+    return frame_profitable(t, net, opts.bytes_per_elem,
+                            opts.measured->node_slowdown(src_node, net),
+                            opts.measured->node_slowdown(dst_node, net));
+  }
+  return frame_profitable(t, net, opts.bytes_per_elem);
+}
+
 /// Build one direction of the plan. `peers`/`out_counts` describe this
 /// rank's outbound messages in the base schedule, `sources`/`in_counts` its
 /// inbound ones. Collective across the rank's node: everyone reports its
@@ -160,8 +174,8 @@ DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
     std::vector<std::int32_t> framed;  // ascending (map iterates in key order)
     for (const auto& [dest_node, entries] : pair_entries) {
       if (!adaptive ||
-          frame_profitable(summarize_pair(entries, me, nodes.delegate_of(dest_node)),
-                           p.net(), opts.bytes_per_elem)) {
+          pair_framed(summarize_pair(entries, me, nodes.delegate_of(dest_node)),
+                      p.net(), opts, my_node, dest_node)) {
         framed.push_back(dest_node);
       }
     }
@@ -295,8 +309,8 @@ DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
       for (const auto& piece : node_pieces) {
         entries.push_back(PairEntry{piece.source, piece.target, piece.count});
       }
-      if (frame_profitable(summarize_pair(entries, nodes.delegate_of(src_node), me),
-                           p.net(), opts.bytes_per_elem)) {
+      if (pair_framed(summarize_pair(entries, nodes.delegate_of(src_node), me),
+                      p.net(), opts, src_node, my_node)) {
         framed.push_back(src_node);
       }
     }
@@ -378,6 +392,42 @@ std::vector<std::size_t> list_sizes(const std::vector<std::vector<Vertex>>& list
 
 }  // namespace
 
+std::uint64_t coalesce_fingerprint(const CommSchedule& s) {
+  // FNV-1a over exactly the inputs build_direction consumes: sizes, peer
+  // ranks, and per-peer element counts. O(peers) — cheap enough for the
+  // executors to assert on every call.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<std::uint64_t>(s.nlocal));
+  mix(static_cast<std::uint64_t>(s.nghost));
+  for (std::size_t i = 0; i < s.send_procs.size(); ++i) {
+    mix(static_cast<std::uint64_t>(s.send_procs[i]));
+    mix(s.send_items[i].size());
+  }
+  mix(0xfeedu);  // separate the directions
+  for (std::size_t i = 0; i < s.recv_procs.size(); ++i) {
+    mix(static_cast<std::uint64_t>(s.recv_procs[i]));
+    mix(s.recv_slots[i].size());
+  }
+  return h;
+}
+
+double MeasuredPairCosts::node_slowdown(int node, const sim::NetworkModel& net) const {
+  double measured = 0.0;
+  double modeled = 0.0;
+  for (const auto& e : pairs) {
+    if (e.src_node != node) continue;
+    measured += e.seconds;
+    modeled += static_cast<double>(e.frames) * net.send_overhead +
+               net.serialization_cost(static_cast<std::size_t>(e.bytes));
+  }
+  if (modeled <= 0.0 || measured <= 0.0) return 1.0;
+  return measured / modeled;
+}
+
 bool frame_profitable(const PairTraffic& t, const sim::NetworkModel& net,
                       double bytes_per_elem) {
   auto bytes = [&](std::size_t elems) {
@@ -406,6 +456,33 @@ bool frame_profitable(const PairTraffic& t, const sim::NetworkModel& net,
   return saving >= src_penalty + dst_penalty;
 }
 
+bool frame_profitable(const PairTraffic& t, const sim::NetworkModel& net,
+                      double bytes_per_elem, double src_slowdown,
+                      double dst_slowdown) {
+  auto bytes = [&](std::size_t elems) {
+    return static_cast<std::size_t>(static_cast<double>(elems) * bytes_per_elem);
+  };
+  // Same delegate-critical-path comparison as the a-priori form, but every
+  // term is charged at the endpoint's *measured* rate. A uniform slowdown
+  // scales both sides equally and leaves the verdict unchanged (a slow pair
+  // of delegates is slow either way); an asymmetric one shifts it — e.g. a
+  // loaded source delegate makes the funnel serialization outweigh setups
+  // it saves a fast destination.
+  const double saving =
+      src_slowdown * (static_cast<double>(t.src_delegate_msgs) - 1.0) *
+          net.send_overhead +
+      dst_slowdown * (static_cast<double>(t.dst_delegate_msgs) - 1.0) *
+          net.recv_overhead;
+  const double src_penalty =
+      src_slowdown * (net.serialization_cost(bytes(t.src_off_delegate_elems)) +
+                      static_cast<double>(t.bundle_sends) * net.intra_overhead);
+  const double dst_penalty =
+      dst_slowdown *
+      (static_cast<double>(t.messages - t.dst_delegate_msgs) * net.intra_overhead +
+       static_cast<double>(bytes(t.dst_off_delegate_elems)) / net.intra_bandwidth);
+  return saving >= src_penalty + dst_penalty;
+}
+
 CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
                       const sim::CpuCostModel& costs, const CoalesceOptions& opts) {
   const NodeMap& nodes = p.nodes();
@@ -413,6 +490,8 @@ CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
                  "coalesce: node map does not cover every rank");
   CoalescePlan plan;
   plan.my_delegate = nodes.delegate_of_rank(p.rank());
+  plan.schedule_fingerprint = coalesce_fingerprint(s);
+  plan.map_generation = nodes.generation();
   const auto send_sizes = list_sizes(s.send_items);
   const auto recv_sizes = list_sizes(s.recv_slots);
   // Gather: data flows along the send lists; scatter: along the receive

@@ -144,11 +144,34 @@ struct DirectionPlan {
   }
 };
 
+/// Fingerprint of exactly the schedule inputs a coalesce plan consumes:
+/// nlocal/nghost, the peer lists, and the per-peer message sizes. A plan is
+/// valid for any schedule with the same fingerprint (frames carry the same
+/// element counts between the same endpoints); a remap that changes the
+/// communication pattern changes the fingerprint, which is how stale plans
+/// are detected.
+[[nodiscard]] std::uint64_t coalesce_fingerprint(const CommSchedule& s);
+
 /// The per-rank coalescing plan for one CommSchedule on one node topology.
 struct CoalescePlan {
   mp::Rank my_delegate = -1;  ///< delegate of this rank's node (may be self)
   DirectionPlan gather;
   DirectionPlan scatter;
+
+  /// Staleness stamps, filled by coalesce(): the schedule fingerprint and
+  /// the NodeMap delegate generation the plan was built against.
+  std::uint64_t schedule_fingerprint = 0;
+  std::uint64_t map_generation = 0;
+
+  /// True when this plan still routes correctly for `s` under `nodes`:
+  /// same communication pattern (fingerprint) and same delegate
+  /// assignment (generation). The coalesced executors assert this — a
+  /// remap or a delegate rotation without a plan rebuild is the classic
+  /// stale-plan bug: frames silently keep pre-remap routing.
+  [[nodiscard]] bool matches(const CommSchedule& s, const mp::NodeMap& nodes) const {
+    return schedule_fingerprint == coalesce_fingerprint(s) &&
+           map_generation == nodes.generation();
+  }
 };
 
 /// Whether a node pair's traffic travels as one frame or as direct per-peer
@@ -162,12 +185,47 @@ enum class CoalescePolicy : std::uint8_t {
   kAdaptive,
 };
 
+/// Measured cost of the coalesced frames one delegate shipped to one
+/// destination node over an observation interval (from
+/// mp::CommStats::PairFrames): what the frames *actually* cost on that
+/// delegate's clock, speed and availability included.
+struct MeasuredPairCost {
+  std::int32_t src_node = -1;
+  std::int32_t dst_node = -1;
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;  ///< virtual seconds on the source delegate's clock
+};
+
+/// The cluster-wide measured table fed back into coalesce() (the
+/// inspector/executor loop's analogue of the LB controller feeding measured
+/// time-per-item into MCR). Every rank must hold the identical table — the
+/// caller allgathers the per-rank windows — so both endpoint delegates of a
+/// pair derive the same verdict from it.
+struct MeasuredPairCosts {
+  std::vector<MeasuredPairCost> pairs;
+
+  [[nodiscard]] bool empty() const noexcept { return pairs.empty(); }
+
+  /// Observed slowdown of `node`'s delegate on frame work: measured seconds
+  /// over what the NetworkModel predicts for the same frames at reference
+  /// speed. 1.0 when the node shipped nothing (or the model predicts zero
+  /// cost) — the a-priori estimate then stands.
+  [[nodiscard]] double node_slowdown(int node, const sim::NetworkModel& net) const;
+};
+
 struct CoalesceOptions {
   CoalescePolicy policy = CoalescePolicy::kAlwaysFrame;
   /// Payload element width assumed by the crossover estimate. The plan is
   /// built from element counts before the executor picks its wire type; the
   /// default prices the library's double-valued executors.
   double bytes_per_elem = 8.0;
+  /// When set (kAdaptive only), per-pair verdicts come from observation:
+  /// frame_profitable's delegate terms are scaled by each endpoint's
+  /// measured slowdown instead of assuming reference speed. Must point at
+  /// an identical table on every rank (see MeasuredPairCosts); pairs and
+  /// nodes without measurements fall back to the a-priori estimate.
+  const MeasuredPairCosts* measured = nullptr;
 };
 
 /// One node pair's traffic in one direction, aggregated from the plan
@@ -198,6 +256,17 @@ struct PairTraffic {
 /// network reproduces kAlwaysFrame exactly.
 [[nodiscard]] bool frame_profitable(const PairTraffic& t, const sim::NetworkModel& net,
                                     double bytes_per_elem);
+
+/// Measured-feedback variant: every term that runs on a delegate's clock is
+/// scaled by that endpoint's observed slowdown (src_slowdown for the source
+/// delegate's setups/serialization/bundle handoffs, dst_slowdown for the
+/// destination's receive setups and forwards). With both factors 1.0 this
+/// is exactly the a-priori verdict; an asymmetric slowdown (one endpoint's
+/// delegate on a slow or loaded CPU) can flip it — which is the point:
+/// the verdict then comes from observation, not the reference-speed model.
+[[nodiscard]] bool frame_profitable(const PairTraffic& t, const sim::NetworkModel& net,
+                                    double bytes_per_elem, double src_slowdown,
+                                    double dst_slowdown);
 
 /// Collective (like the inspector): every rank calls this with its own
 /// schedule. Co-resident ranks exchange their outbound and inbound lists so

@@ -537,5 +537,148 @@ TEST(Coalesce, CoalescedPathByteIdenticalUnderThreadedPacking) {
   }
 }
 
+TEST(CoalesceStaleness, FingerprintTracksCommunicationPattern) {
+  const auto s1 = sched::all_pairs_schedule(4, 0, 8);
+  auto s2 = sched::all_pairs_schedule(4, 0, 8);
+  EXPECT_EQ(sched::coalesce_fingerprint(s1), sched::coalesce_fingerprint(s2));
+  // A remap that changes any message size changes the fingerprint.
+  s2.send_items[0].push_back(0);
+  EXPECT_NE(sched::coalesce_fingerprint(s1), sched::coalesce_fingerprint(s2));
+  // ...as does a different peer set with the same totals.
+  const auto other = sched::all_pairs_schedule(4, 1, 8);
+  EXPECT_NE(sched::coalesce_fingerprint(s1), sched::coalesce_fingerprint(other));
+}
+
+TEST(CoalesceStaleness, PlanMatchesUntilRemapOrRotation) {
+  // The stale-plan bug: a plan kept across a remap or a delegate rotation
+  // silently routes frames the old way. matches() is the executors' guard.
+  Rng rng(83);
+  const graph::Csr g = graph::random_delaunay(900, 83);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto irs = test::build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform(4), NodeMap::contiguous(4, 2));
+  const auto plans = build_all_plans(cluster, irs);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_TRUE(plans[static_cast<std::size_t>(r)].matches(
+        irs[static_cast<std::size_t>(r)].schedule, cluster.node_map()));
+  }
+  // A remap produces a different schedule: the old plan no longer matches.
+  const auto moved = test::random_partition(g.num_vertices(), 4, rng);
+  const auto moved_irs = test::build_all_schedules(g, moved);
+  EXPECT_FALSE(plans[0].matches(moved_irs[0].schedule, cluster.node_map()));
+  // A delegate rotation invalidates every plan without touching schedules.
+  cluster.set_delegates(std::vector<mp::Rank>{1, 3});
+  EXPECT_FALSE(plans[0].matches(irs[0].schedule, cluster.node_map()));
+  const auto rebuilt = build_all_plans(cluster, irs);
+  EXPECT_TRUE(rebuilt[0].matches(irs[0].schedule, cluster.node_map()));
+}
+
+TEST(CoalesceStaleness, InstallingMismatchedPlanThrows) {
+  // set_coalesce_plan refuses a plan built for a different schedule — the
+  // exact footgun of keeping an executor's plan across a remap.
+  Rng rng(29);
+  const graph::Csr g = graph::random_delaunay(700, 29);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto moved = test::random_partition(g.num_vertices(), 4, rng);
+  const auto irs = test::build_all_schedules(g, part);
+  const auto moved_irs = test::build_all_schedules(g, moved);
+  mp::Cluster cluster(sim::MachineSpec::uniform(4), NodeMap::contiguous(4, 2));
+  const auto plans = build_all_plans(cluster, irs);
+
+  exec::IrregularLoop stale(moved_irs[0].lgraph, moved_irs[0].schedule);
+  EXPECT_THROW(stale.set_coalesce_plan(&plans[0]), std::invalid_argument);
+  exec::IrregularLoop fresh(irs[0].lgraph, irs[0].schedule);
+  fresh.set_coalesce_plan(&plans[0]);  // matching schedule installs fine
+  fresh.set_coalesce_plan(nullptr);    // and nullptr always resets
+
+  exec::EdgeSweep stale_sweep(moved_irs[0].lgraph, moved_irs[0].schedule);
+  EXPECT_THROW(stale_sweep.set_coalesce_plan(&plans[0]), std::invalid_argument);
+}
+
+TEST(MeasuredCoalesce, SlowdownScalesVerdictAsymmetrically) {
+  const auto net = sim::NetworkModel::ethernet_10mbps();
+  // A pair near the a-priori crossover: framed at reference speed.
+  sched::PairTraffic t;
+  t.messages = 16;
+  t.elems = 256;
+  t.src_delegate_msgs = 4;
+  t.dst_delegate_msgs = 4;
+  t.bundle_sends = 3;
+  t.src_off_delegate_elems = 192;
+  t.dst_off_delegate_elems = 192;
+  ASSERT_TRUE(sched::frame_profitable(t, net, 8.0));
+  // Uniform slowdown cancels: a slow pair of delegates is slow either way.
+  EXPECT_TRUE(sched::frame_profitable(t, net, 8.0, 4.0, 4.0));
+  EXPECT_EQ(sched::frame_profitable(t, net, 8.0, 1.0, 1.0),
+            sched::frame_profitable(t, net, 8.0));
+  // An asymmetric slowdown does not: a 4x-slow source delegate makes the
+  // funnel serialization outweigh the setups a fast destination sheds.
+  EXPECT_FALSE(sched::frame_profitable(t, net, 8.0, 4.0, 1.0));
+}
+
+TEST(MeasuredCoalesce, NodeSlowdownFromMeasuredPairs) {
+  const auto net = sim::NetworkModel::ethernet_10mbps();
+  sched::MeasuredPairCosts m;
+  EXPECT_DOUBLE_EQ(m.node_slowdown(0, net), 1.0);  // nothing measured
+  const std::uint64_t frames = 10;
+  const std::uint64_t bytes = 20000;
+  const double modeled = static_cast<double>(frames) * net.send_overhead +
+                         net.serialization_cost(bytes);
+  m.pairs.push_back(sched::MeasuredPairCost{0, 1, frames, bytes, 4.0 * modeled});
+  EXPECT_DOUBLE_EQ(m.node_slowdown(0, net), 4.0);
+  EXPECT_DOUBLE_EQ(m.node_slowdown(1, net), 1.0);  // dst side: not its sends
+  // Several pairs from one node aggregate into one ratio.
+  m.pairs.push_back(sched::MeasuredPairCost{0, 2, frames, bytes, 2.0 * modeled});
+  EXPECT_DOUBLE_EQ(m.node_slowdown(0, net), 3.0);
+}
+
+TEST(MeasuredCoalesce, MeasuredTableDemotesSlowNodesFramesByteIdentically) {
+  // Feed coalesce() a table that marks node 0's delegate 4x slow: the
+  // verdict flips to direct for node 0's outbound frames (both endpoints
+  // agree from the same table), and the demoted plan still produces the
+  // exact bytes of the uncoalesced exchange.
+  const int nprocs = 8;
+  std::vector<sched::InspectorResult> irs(nprocs);
+  for (int r = 0; r < nprocs; ++r) {
+    irs[static_cast<std::size_t>(r)].schedule = sched::all_pairs_schedule(nprocs, r, 16);
+  }
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs),
+                      NodeMap::contiguous(nprocs, 4));
+
+  sched::MeasuredPairCosts measured;
+  {
+    const auto net = sim::NetworkModel::ethernet_10mbps();
+    // One frame of the 0->1 pair: 16 messages x 16 elems x 8 bytes.
+    const std::uint64_t bytes = 16 * 16 * 8;
+    const double modeled = net.send_overhead + net.serialization_cost(bytes);
+    measured.pairs.push_back(sched::MeasuredPairCost{0, 1, 1, bytes, 4.0 * modeled});
+    measured.pairs.push_back(sched::MeasuredPairCost{1, 0, 1, bytes, 1.0 * modeled});
+  }
+  sched::CoalesceOptions opts;
+  opts.policy = sched::CoalescePolicy::kAdaptive;
+  opts.bytes_per_elem = 8.0;
+  opts.measured = &measured;
+  const auto plans = build_all_plans(cluster, irs, kAdaptive);  // a-priori: framed
+  std::vector<CoalescePlan> fed(static_cast<std::size_t>(nprocs));
+  cluster.run([&](mp::Process& p) {
+    fed[static_cast<std::size_t>(p.rank())] =
+        sched::coalesce(p, irs[static_cast<std::size_t>(p.rank())].schedule,
+                        sim::CpuCostModel::free(), opts);
+  });
+  // A-priori both node pairs frame; measured demotes 0->1 but keeps 1->0.
+  EXPECT_EQ(plans[0].gather.send_frames.size(), 1u);
+  EXPECT_EQ(fed[0].gather.send_frames.size(), 0u);
+  EXPECT_EQ(fed[4].gather.send_frames.size(), 1u);
+
+  const auto plain = run_exchange(cluster, irs, nullptr);
+  const auto demoted = run_exchange(cluster, irs, &fed);
+  for (int r = 0; r < nprocs; ++r) {
+    test::expect_vectors_eq(demoted.first[static_cast<std::size_t>(r)],
+                            plain.first[static_cast<std::size_t>(r)]);
+    test::expect_vectors_eq(demoted.second[static_cast<std::size_t>(r)],
+                            plain.second[static_cast<std::size_t>(r)]);
+  }
+}
+
 }  // namespace
 }  // namespace stance

@@ -61,6 +61,89 @@ TEST(DelegateBalancer, FrameAwareTimePerItemInflatesOnlyDelegates) {
   EXPECT_DOUBLE_EQ(lb::frame_aware_time_per_item(2e-4, busy, net, 0), 2e-4);
 }
 
+TEST(DelegateBalancer, FrameWindowPricesIntervalsIndependently) {
+  // The stale-stats bug: cumulative frame counters grow across controller
+  // intervals, so pricing them biases frame_seconds toward historical load.
+  // take_frame_window must hand each interval its own traffic — two
+  // identical intervals price identically.
+  const auto net = sim::NetworkModel::ethernet_10mbps();
+  mp::CommStats stats;
+  auto one_interval = [&] {
+    stats.record_frame(1, 4000, 0.004);
+    stats.record_frame(1, 4000, 0.004);
+    stats.record_frame(2, 1000, 0.001);
+  };
+  one_interval();
+  const auto w1 = stats.take_frame_window();
+  one_interval();
+  const auto w2 = stats.take_frame_window();
+
+  EXPECT_EQ(w1.frames_sent, 3u);
+  EXPECT_EQ(w2.frames_sent, 3u);
+  EXPECT_EQ(w1.frame_bytes_sent, w2.frame_bytes_sent);
+  EXPECT_DOUBLE_EQ(lb::frame_seconds(w1, net), lb::frame_seconds(w2, net));
+  ASSERT_EQ(w2.pair_frames.size(), 2u);
+  EXPECT_EQ(w2.pair_frames[0].dest_node, 1);
+  EXPECT_EQ(w2.pair_frames[0].frames, 2u);
+  EXPECT_DOUBLE_EQ(w2.pair_frames[0].seconds, 0.008);
+  // The cumulative totals keep the full history (and price double).
+  EXPECT_EQ(stats.frames_sent, 6u);
+  EXPECT_DOUBLE_EQ(lb::frame_seconds(stats, net), 2.0 * lb::frame_seconds(w1, net));
+  // An idle interval prices to zero.
+  const auto w3 = stats.take_frame_window();
+  EXPECT_EQ(w3.frames_sent, 0u);
+  EXPECT_TRUE(w3.pair_frames.empty());
+  EXPECT_DOUBLE_EQ(lb::frame_seconds(w3, net), 0.0);
+}
+
+TEST(DelegateBalancer, ChooseDelegatesKeepsIncumbentOnIdleNodes) {
+  // A node that measured no load has nothing to decide: a deliberate
+  // earlier rotation must survive a quiet interval instead of resetting to
+  // the lowest rank.
+  NodeMap nm = NodeMap::contiguous(6, 3);
+  nm.set_delegate(1, 4);  // deliberate non-default assignment
+  const std::vector<double> idle_node1{0.9, 0.2, 0.5, 0.0, 0.0, 0.0};
+  const auto kept = lb::choose_delegates(nm, idle_node1, nm.delegates());
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 1);  // loaded node: lightest rank wins
+  EXPECT_EQ(kept[1], 4);  // idle node: incumbent kept
+  // Once the node measures load again, the choice is live again.
+  const std::vector<double> busy{0.9, 0.2, 0.5, 0.1, 0.3, 0.2};
+  EXPECT_EQ(lb::choose_delegates(nm, busy, nm.delegates())[1], 3);
+}
+
+TEST(DelegateBalancer, RotateDelegatesSkipsAndChargesIdleNodesOnce) {
+  // Skip-and-charge-once: a node whose delegate shipped nothing keeps its
+  // delegate and pays one list op for the idleness check, not a per-rank
+  // decision scan. Comparing two otherwise identical rotations, the one
+  // with an idle node must finish strictly earlier (the collectives move
+  // the same bytes either way).
+  const std::size_t nprocs = 8;
+  auto run_rotation = [&](const std::vector<double>& load) {
+    mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs),
+                        NodeMap::contiguous(8, 4));
+    std::vector<mp::Rank> chosen;
+    cluster.run([&](mp::Process& p) {
+      const auto mine = lb::rotate_delegates(
+          p, load[static_cast<std::size_t>(p.rank())], sim::CpuCostModel::sun4());
+      if (p.is_root()) chosen = mine;
+    });
+    return std::make_pair(cluster.makespan(), chosen);
+  };
+
+  const std::vector<double> node1_idle{0.4, 0.1, 0.2, 0.3, 0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> both_busy{0.4, 0.1, 0.2, 0.3, 0.4, 0.1, 0.2, 0.3};
+  const auto [idle_makespan, idle_chosen] = run_rotation(node1_idle);
+  const auto [busy_makespan, busy_chosen] = run_rotation(both_busy);
+  EXPECT_EQ(idle_chosen, (std::vector<mp::Rank>{1, 4}));  // node 1 keeps rank 4
+  EXPECT_EQ(busy_chosen, (std::vector<mp::Rank>{1, 5}));
+  EXPECT_LT(idle_makespan, busy_makespan);
+  // The difference is exactly the skipped scan: 4 ranks' ops replaced by
+  // one idleness check on every rank's clock.
+  EXPECT_NEAR(busy_makespan - idle_makespan,
+              3.0 * sim::CpuCostModel::sun4().per_list_op, 1e-12);
+}
+
 TEST(DelegateBalancer, ChooseDelegatesPicksLightestRankPerNode) {
   const NodeMap nm = NodeMap::contiguous(6, 3);
   const std::vector<double> load{0.9, 0.2, 0.5, 0.0, 0.0, 0.7};

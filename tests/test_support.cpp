@@ -1,4 +1,5 @@
-// Unit tests for the support module: RNG, statistics, table printer, CLI.
+// Unit tests for the support module: RNG, statistics, table printer, CLI,
+// and the leveled logger (level parsing, filtering, line formatting).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -6,12 +7,70 @@
 #include <sstream>
 
 #include "support/cli.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
 namespace stance {
 namespace {
+
+// --- leveled logger --------------------------------------------------------
+
+/// RAII guard: run a log test at a chosen level, restore the prior level.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(log::Level lv) : prior_(log::level()) { log::set_level(lv); }
+  ~ScopedLogLevel() { log::set_level(prior_); }
+
+ private:
+  log::Level prior_;
+};
+
+TEST(Log, ParseLevelAcceptsKnownNamesCaseInsensitively) {
+  EXPECT_EQ(log::parse_level("error"), log::Level::kError);
+  EXPECT_EQ(log::parse_level("WARN"), log::Level::kWarn);
+  EXPECT_EQ(log::parse_level("Warning"), log::Level::kWarn);
+  EXPECT_EQ(log::parse_level("info"), log::Level::kInfo);
+  EXPECT_EQ(log::parse_level("DeBuG"), log::Level::kDebug);
+  EXPECT_EQ(log::parse_level("trace"), log::Level::kTrace);
+  // Unknown strings fall back to info rather than silencing everything.
+  EXPECT_EQ(log::parse_level("verbose"), log::Level::kInfo);
+  EXPECT_EQ(log::parse_level(""), log::Level::kInfo);
+}
+
+TEST(Log, WriteFormatsLevelTagAndMessage) {
+  testing::internal::CaptureStderr();
+  log::write(log::Level::kError, "coalesce", "stale plan detected");
+  const std::string line = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(line, "[ERROR] coalesce: stale plan detected\n");
+}
+
+TEST(Log, HelpersConcatenateMixedArguments) {
+  ScopedLogLevel scoped(log::Level::kInfo);
+  testing::internal::CaptureStderr();
+  log::info("lb", "rotated ", 2, " delegates in ", 1.5, " s");
+  const std::string line = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(line, "[INFO] lb: rotated 2 delegates in 1.5 s\n");
+}
+
+TEST(Log, LevelFiltersMessagesAboveIt) {
+  ScopedLogLevel scoped(log::Level::kWarn);
+  testing::internal::CaptureStderr();
+  log::debug("noisy", "dropped");
+  log::trace("noisy", "dropped too");
+  log::info("noisy", "dropped as well");
+  log::warn("kept", "this survives");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "[WARN] kept: this survives\n");
+}
+
+TEST(Log, SetLevelRoundTrips) {
+  ScopedLogLevel scoped(log::Level::kTrace);
+  EXPECT_EQ(log::level(), log::Level::kTrace);
+  log::set_level(log::Level::kError);
+  EXPECT_EQ(log::level(), log::Level::kError);
+}
 
 // --- SplitMix64 / Rng ------------------------------------------------------
 
