@@ -8,6 +8,7 @@
 //   --repeats=N    best-of-N timing (default 5)
 //   --out-dir=DIR  where the JSON lands (default .)
 #include <atomic>
+#include <limits>
 
 #include "bench_common.hpp"
 #include "exec/gather_scatter.hpp"
@@ -123,10 +124,14 @@ void bench_translation(bench::JsonReporter& report, bool small, int repeats) {
 }
 
 /// One remap benchmark mode: `next_pair` yields (from, to) partitions.
+/// Host times are best-of-`repeats` per delta: one timed sample per delta
+/// proved noisy enough (5 concurrent rank threads, ±7% run-to-run) to once
+/// baseline a phantom 0.945x "regression" on a path that is actually
+/// break-even — see check_regression.py's docstring and README "Remap".
 template <typename NextPair>
 void bench_remap_mode(bench::JsonReporter& report, const graph::Csr& mesh,
                       const std::string& name, std::size_t nprocs, int deltas,
-                      NextPair&& next_pair) {
+                      int repeats, NextPair&& next_pair) {
   mp::Cluster cluster(sim::MachineSpec::uniform(nprocs));
 
   double full_host = 0.0, incr_host = 0.0;
@@ -143,39 +148,44 @@ void bench_remap_mode(bench::JsonReporter& report, const graph::Csr& mesh,
           p, mesh, from, sched::BuildMethod::kSort2, sim::CpuCostModel::sun4());
     });
 
-    // From-scratch rebuild on `to`: per-rank host seconds, summed.
+    // One timed pass: per-rank host seconds, summed across ranks.
     std::atomic<double> host_sum{0.0};
-    cluster.reset_clocks();
-    cluster.run([&](mp::Process& p) {
-      bench::HostTimer timer;
-      const auto r = sched::build_schedule(p, mesh, to, sched::BuildMethod::kSort2,
-                                           sim::CpuCostModel::sun4());
-      const double t = timer.seconds();
-      volatile std::size_t sink = r.schedule.nghost;
-      (void)sink;
-      double cur = host_sum.load();
-      while (!host_sum.compare_exchange_weak(cur, cur + t)) {
-      }
+    const auto timed_sum = [&](const auto& build) {
+      host_sum.store(0.0);
+      cluster.reset_clocks();
+      cluster.run([&](mp::Process& p) {
+        bench::HostTimer timer;
+        const auto r = build(p);
+        const double t = timer.seconds();
+        volatile std::size_t sink = r.schedule.nghost;
+        (void)sink;
+        double cur = host_sum.load();
+        while (!host_sum.compare_exchange_weak(cur, cur + t)) {
+        }
+      });
+      return host_sum.load();
+    };
+    // Best-of-`repeats` host seconds; the virtual makespan is deterministic
+    // (identical every repeat), so the last repeat's clock serves for it.
+    const auto best_sum = [&](const auto& build) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < repeats; ++rep) best = std::min(best, timed_sum(build));
+      return best;
+    };
+
+    // From-scratch rebuild on `to`.
+    full_host += best_sum([&](mp::Process& p) {
+      return sched::build_schedule(p, mesh, to, sched::BuildMethod::kSort2,
+                                   sim::CpuCostModel::sun4());
     });
-    full_host += host_sum.load();
     full_virtual += cluster.makespan();
 
     // Incremental patch from `old`.
-    host_sum.store(0.0);
-    cluster.reset_clocks();
-    cluster.run([&](mp::Process& p) {
-      bench::HostTimer timer;
-      const auto r = sched::rebuild_incremental(
+    incr_host += best_sum([&](mp::Process& p) {
+      return sched::rebuild_incremental(
           p, mesh, from, to, old[static_cast<std::size_t>(p.rank())],
           sim::CpuCostModel::sun4());
-      const double t = timer.seconds();
-      volatile std::size_t sink = r.schedule.nghost;
-      (void)sink;
-      double cur = host_sum.load();
-      while (!host_sum.compare_exchange_weak(cur, cur + t)) {
-      }
     });
-    incr_host += host_sum.load();
     incr_virtual += cluster.makespan();
   }
 
@@ -546,13 +556,15 @@ void bench_adaptive_full_loop(bench::JsonReporter& report, bool small) {
             << ", oracle ok)\n";
 }
 
-void bench_remap(bench::JsonReporter& report, const graph::Csr& mesh, int deltas) {
+void bench_remap(bench::JsonReporter& report, const graph::Csr& mesh, int deltas,
+                 int repeats) {
   const std::size_t nprocs = 5;
 
   // Worst case for patching: MCR remaps after full random capability
   // redraws — typically half the line moves.
   Rng redraw_rng(1234);
-  bench_remap_mode(report, mesh, "table2_incremental_rebuild", nprocs, deltas, [&] {
+  bench_remap_mode(report, mesh, "table2_incremental_rebuild", nprocs, deltas,
+                   repeats, [&] {
     const auto from = IntervalPartition::from_weights(mesh.num_vertices(),
                                                       random_weights(nprocs, redraw_rng));
     const auto to = partition::repartition_mcr(from, random_weights(nprocs, redraw_rng));
@@ -564,6 +576,7 @@ void bench_remap(bench::JsonReporter& report, const graph::Csr& mesh, int deltas
   Rng drift_rng(5678);
   auto weights = random_weights(nprocs, drift_rng);
   bench_remap_mode(report, mesh, "table2_incremental_rebuild_drift", nprocs, deltas,
+                   repeats,
                    [&] {
                      const auto from = IntervalPartition::from_weights(
                          mesh.num_vertices(), weights);
@@ -596,7 +609,7 @@ int main(int argc, char** argv) {
   schedule_report.write(out_dir + "/BENCH_schedule.json");
 
   bench::JsonReporter remap_report;
-  bench_remap(remap_report, mesh, small ? 5 : 20);
+  bench_remap(remap_report, mesh, small ? 5 : 20, repeats);
   remap_report.write(out_dir + "/BENCH_remap.json");
   return 0;
 }

@@ -34,9 +34,10 @@ class CheckRegressionTest(unittest.TestCase):
         with open(os.path.join(dirname, name), "w") as f:
             json.dump({"entries": entries}, f)
 
-    def check(self, name="BENCH.json", tolerance=0.25):
+    def check(self, name="BENCH.json", tolerance=0.25, host_tolerance=0.40):
         return check_regression.check_file(name, self.baseline_dir,
-                                           self.fresh_dir, tolerance)
+                                           self.fresh_dir, tolerance,
+                                           host_tolerance)
 
     def test_within_tolerance_passes(self):
         self.write(self.baseline_dir, "BENCH.json",
@@ -78,12 +79,57 @@ class CheckRegressionTest(unittest.TestCase):
                    [entry("a", virtual_speedup=0.0)])
         self.assertEqual(len(self.check()), 1)
 
-    def test_host_fields_are_ignored(self):
-        # Host seconds are runner wall-clock: a 100x regression must not fail.
+    def test_host_seconds_gated_at_wide_tolerance(self):
+        # Host seconds are runner wall-clock, so they get the wide
+        # --host-tolerance budget rather than the tight virtual one: +30%
+        # is noise (passes at 40%), a 100x blow-up is a real regression.
         self.write(self.baseline_dir, "BENCH.json",
                    [entry("a", current_host_seconds=0.01)])
         self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", current_host_seconds=0.013)])
+        self.assertEqual(self.check(), [])
+        self.write(self.fresh_dir, "BENCH.json",
                    [entry("a", current_host_seconds=1.0)])
+        violations = self.check()
+        self.assertEqual(len(violations), 1)
+        self.assertIn("current_host_seconds", violations[0])
+        self.assertIn("budget 40%", violations[0])
+
+    def test_host_speedup_regresses_downward_at_host_tolerance(self):
+        # The field that carried the invisible 0.945x incremental-rebuild
+        # regression: host_speedup is better-bigger and must be gated.
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", host_speedup=2.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", host_speedup=1.6)])
+        self.assertEqual(self.check(), [])  # -20%: inside the 40% budget
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", host_speedup=1.0)])
+        violations = self.check()
+        self.assertEqual(len(violations), 1)
+        self.assertIn("host_speedup", violations[0])
+
+    def test_host_and_virtual_budgets_are_independent(self):
+        # A +30% drift passes the 40% host budget but must still fail the
+        # 25% virtual budget on virtual fields — the budgets never bleed
+        # into each other's field class.
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", cost_virtual_seconds=1.0,
+                          cost_host_seconds=1.0)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", cost_virtual_seconds=1.3,
+                          cost_host_seconds=1.3)])
+        violations = self.check(tolerance=0.25, host_tolerance=0.40)
+        self.assertEqual(len(violations), 1)
+        self.assertIn("cost_virtual_seconds", violations[0])
+
+    def test_unclassified_host_like_fields_stay_ignored(self):
+        # Only *_host_seconds / host_speedup are host-gated; other
+        # non-virtual diagnostics (counts, fractions) stay ungated.
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("a", avg_moved_fraction=0.01, deltas=20)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("a", avg_moved_fraction=0.9, deltas=1)])
         self.assertEqual(self.check(), [])
 
     def test_missing_entry_and_missing_field_fail(self):

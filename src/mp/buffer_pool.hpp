@@ -1,0 +1,67 @@
+// Bounded pool of payload buffers shared by the message delivery
+// structures (Mailbox, ShmRing). Senders acquire their payload storage from
+// the *receiver's* pool and the receiver recycles it after consuming the
+// message, so steady-state exchanges perform no heap allocations.
+//
+// The pool is NOT internally synchronized: each owner guards it with its own
+// mutex (the same one protecting its queue), which keeps acquire/deposit a
+// single lock acquisition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stance::mp {
+
+class BufferPool {
+ public:
+  /// A buffer of exactly `size` bytes, reusing a pooled buffer's capacity
+  /// when one fits. If none fits, the newest pooled buffer is grown — each
+  /// circulating buffer converges to the largest payload it services, after
+  /// which acquires stop allocating. Caller must hold the owner's lock.
+  [[nodiscard]] std::vector<std::byte> acquire(std::size_t size) {
+    for (auto it = buffers_.rbegin(); it != buffers_.rend(); ++it) {
+      if (it->capacity() < size) continue;
+      std::vector<std::byte> buffer = std::move(*it);
+      *it = std::move(buffers_.back());
+      buffers_.pop_back();
+      buffer.resize(size);
+      return buffer;
+    }
+    if (!buffers_.empty()) {
+      std::vector<std::byte> buffer = std::move(buffers_.back());
+      buffers_.pop_back();
+      buffer.resize(size);
+      return buffer;
+    }
+    return std::vector<std::byte>(size);
+  }
+
+  /// Return a consumed buffer (bounded; excess buffers are simply freed).
+  void recycle(std::vector<std::byte> buffer) {
+    if (buffers_.size() < kMaxPooled) buffers_.push_back(std::move(buffer));
+  }
+
+  /// Ensure the pool holds at least `count` buffers of capacity >= `bytes`.
+  /// Returns false when the kMaxPooled cap truncated the request — the
+  /// zero-alloc guarantee then degrades to best-effort and callers must not
+  /// memoize the requirement as satisfied.
+  [[nodiscard]] bool prefill(std::size_t count, std::size_t bytes) {
+    std::size_t fitting = 0;
+    for (const auto& b : buffers_) fitting += b.capacity() >= bytes ? 1 : 0;
+    while (fitting < count && buffers_.size() < kMaxPooled) {
+      buffers_.emplace_back(bytes);
+      ++fitting;
+    }
+    return fitting >= count;
+  }
+
+  void reserve() { buffers_.reserve(kMaxPooled); }
+
+  static constexpr std::size_t kMaxPooled = 256;
+
+ private:
+  std::vector<std::vector<std::byte>> buffers_;
+};
+
+}  // namespace stance::mp

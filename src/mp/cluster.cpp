@@ -9,14 +9,12 @@
 
 namespace stance::mp {
 
-Cluster::Cluster(sim::MachineSpec spec)
-    : Cluster(std::move(spec), NodeMap{}) {}
+Cluster::Cluster(sim::MachineSpec spec, TransportKind transport)
+    : Cluster(std::move(spec), NodeMap{}, transport) {}
 
-Cluster::Cluster(sim::MachineSpec spec, NodeMap node_map)
+Cluster::Cluster(sim::MachineSpec spec, NodeMap node_map, TransportKind transport)
     : spec_(std::move(spec)),
       node_map_(std::move(node_map)),
-      boxes_(spec_.size()),
-      rendezvous_(spec_.size()),
       last_stats_(spec_.size()) {
   STANCE_REQUIRE(!spec_.nodes.empty(), "cluster must have at least one node");
   if (node_map_.nprocs() == 0) {
@@ -24,6 +22,7 @@ Cluster::Cluster(sim::MachineSpec spec, NodeMap node_map)
   }
   STANCE_REQUIRE(node_map_.nprocs() == nprocs(),
                  "cluster: node map does not cover every rank");
+  transport_ = make_transport(resolve_transport_kind(transport), nprocs(), node_map_);
   clocks_.reserve(spec_.size());
   for (const auto& node : spec_.nodes) {
     clocks_.emplace_back(node.speed, node.profile);
@@ -40,8 +39,7 @@ void Cluster::run(const std::function<void(Process&)>& body) {
   std::vector<std::unique_ptr<Process>> procs(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     procs[static_cast<std::size_t>(r)] = std::make_unique<Process>(
-        r, p, clocks_[static_cast<std::size_t>(r)], boxes_, rendezvous_, spec_.net,
-        node_map_);
+        r, p, clocks_[static_cast<std::size_t>(r)], *transport_, spec_.net, node_map_);
   }
 
   for (int r = 0; r < p; ++r) {
@@ -52,8 +50,7 @@ void Cluster::run(const std::function<void(Process&)>& body) {
         failures[static_cast<std::size_t>(r)] = std::current_exception();
         // Release everyone blocked in recv/collectives so the cluster can
         // shut down instead of deadlocking.
-        for (auto& box : boxes_) box.shutdown();
-        rendezvous_.shutdown();
+        transport_->shutdown();
       }
     });
   }
@@ -81,13 +78,16 @@ void Cluster::run(const std::function<void(Process&)>& body) {
     }
   }
   if (original || any) {
-    for (auto& box : boxes_) box.clear();
-    rendezvous_.clear();
+    // Shutdown is sticky at the transport level; the cluster's contract is
+    // that it stays usable after a failed run, so the abort path performs
+    // the explicit reset (dropping the dead run's queued and in-flight
+    // messages) before rethrowing.
+    transport_->reset();
     std::rethrow_exception(original ? original : any);
   }
 
-  for (std::size_t r = 0; r < boxes_.size(); ++r) {
-    STANCE_ASSERT_MSG(boxes_[r].pending() == 0,
+  for (int r = 0; r < p; ++r) {
+    STANCE_ASSERT_MSG(transport_->pending(r) == 0,
                       "message left in a mailbox at end of SPMD run (missing recv)");
   }
 }

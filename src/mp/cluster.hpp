@@ -6,6 +6,15 @@
 //   cluster.run([&](mp::Process& p) { ... SPMD program ... });
 //   double t = cluster.makespan();   // virtual seconds of the slowest rank
 //
+// The transport backend (mp/transport.hpp) is chosen at construction:
+// kVirtual (the default) is the deterministic in-process oracle; kShm and
+// kTcp move the same bytes through real shared-memory rings and loopback
+// TCP sockets. Virtual clock charging lives in Process, so virtual times
+// are bit-identical across backends — the selector changes how the bytes
+// travel, never what the experiment measures. kDefault defers to the
+// STANCE_TRANSPORT environment variable, letting the same binaries run on
+// any backend.
+//
 // Clocks persist across run() calls (multi-stage experiments accumulate
 // time); reset_clocks() starts a fresh experiment on the same cluster.
 // If any rank throws, the remaining ranks are released (their blocking
@@ -20,10 +29,9 @@
 #include <vector>
 
 #include "mp/comm_stats.hpp"
-#include "mp/mailbox.hpp"
 #include "mp/node_map.hpp"
 #include "mp/process.hpp"
-#include "mp/rendezvous.hpp"
+#include "mp/transport.hpp"
 #include "sim/machine.hpp"
 #include "sim/virtual_clock.hpp"
 
@@ -32,16 +40,25 @@ namespace stance::mp {
 class Cluster {
  public:
   /// One rank per physical node — the paper's testbed shape.
-  explicit Cluster(sim::MachineSpec spec);
+  explicit Cluster(sim::MachineSpec spec,
+                   TransportKind transport = TransportKind::kDefault);
 
   /// Ranks grouped onto physical nodes: co-resident ranks exchange through
   /// shared memory (NetworkModel's intra_* terms) and their wire traffic can
   /// be coalesced per node (sched/coalesce.hpp).
-  Cluster(sim::MachineSpec spec, NodeMap node_map);
+  Cluster(sim::MachineSpec spec, NodeMap node_map,
+          TransportKind transport = TransportKind::kDefault);
 
   [[nodiscard]] const sim::MachineSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] int nprocs() const noexcept { return static_cast<int>(spec_.size()); }
   [[nodiscard]] const NodeMap& node_map() const noexcept { return node_map_; }
+
+  /// The backend moving this cluster's bytes.
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+  [[nodiscard]] const Transport& transport() const noexcept { return *transport_; }
+  [[nodiscard]] TransportKind transport_kind() const noexcept {
+    return transport_->kind();
+  }
 
   /// Run `body` as an SPMD program: one thread per node, each handed its
   /// Process. Returns when every rank finished; rethrows the first failure.
@@ -80,8 +97,7 @@ class Cluster {
   sim::MachineSpec spec_;
   NodeMap node_map_;
   std::vector<sim::VirtualClock> clocks_;
-  std::vector<Mailbox> boxes_;
-  Rendezvous rendezvous_;
+  std::unique_ptr<Transport> transport_;
   std::vector<CommStats> last_stats_;
 };
 

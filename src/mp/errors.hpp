@@ -2,6 +2,7 @@
 #pragma once
 
 #include <stdexcept>
+#include <string>
 
 namespace stance::mp {
 
@@ -12,6 +13,16 @@ namespace stance::mp {
 class ClusterAborted : public std::runtime_error {
  public:
   ClusterAborted() : std::runtime_error("cluster aborted: a peer process failed") {}
+};
+
+/// Recoverable transport failure: a malformed frame from a peer, a broken
+/// socket, or a size mismatch on an untrusted backend. Trusted in-process
+/// backends treat the same conditions as internal invariants (assertions) —
+/// only data that crossed a real wire may be wrong without the program
+/// being wrong.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error(what) {}
 };
 
 }  // namespace stance::mp

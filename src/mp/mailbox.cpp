@@ -44,43 +44,18 @@ std::optional<RawMessage> Mailbox::try_take(Rank source, Tag tag) {
 }
 
 std::vector<std::byte> Mailbox::acquire(std::size_t size) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    // Prefer a pooled buffer that already fits: its resize is free. If none
-    // fits, grow the newest one — each circulating buffer converges to the
-    // largest payload it services, after which acquires stop allocating.
-    for (auto it = pool_.rbegin(); it != pool_.rend(); ++it) {
-      if (it->capacity() < size) continue;
-      std::vector<std::byte> buffer = std::move(*it);
-      *it = std::move(pool_.back());
-      pool_.pop_back();
-      buffer.resize(size);
-      return buffer;
-    }
-    if (!pool_.empty()) {
-      std::vector<std::byte> buffer = std::move(pool_.back());
-      pool_.pop_back();
-      buffer.resize(size);
-      return buffer;
-    }
-  }
-  return std::vector<std::byte>(size);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.acquire(size);
 }
 
 void Mailbox::recycle(std::vector<std::byte> buffer) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (pool_.size() < kMaxPooled) pool_.push_back(std::move(buffer));
+  pool_.recycle(std::move(buffer));
 }
 
 bool Mailbox::prefill(std::size_t count, std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t fitting = 0;
-  for (const auto& b : pool_) fitting += b.capacity() >= bytes ? 1 : 0;
-  while (fitting < count && pool_.size() < kMaxPooled) {
-    pool_.emplace_back(bytes);
-    ++fitting;
-  }
-  return fitting >= count;
+  return pool_.prefill(count, bytes);
 }
 
 std::size_t Mailbox::pending() const {
@@ -99,9 +74,12 @@ void Mailbox::shutdown() {
 void Mailbox::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   queue_.clear();
-  // The buffer pool survives: it is an optimization cache, not run state,
-  // and dropping it would silently void prior prefill() guarantees (an
-  // executor's prewarm memo is not invalidated by a cluster reset).
+  // down_ deliberately survives: shutdown is sticky until reset().
+}
+
+void Mailbox::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.clear();
   down_ = false;
 }
 

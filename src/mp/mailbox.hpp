@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "mp/buffer_pool.hpp"
 #include "mp/message.hpp"
 
 namespace stance::mp {
@@ -26,8 +27,8 @@ class Mailbox {
  public:
   Mailbox() {
     // Pre-size the queue and pool so steady-state deposits never grow them.
-    queue_.reserve(kMaxPooled);
-    pool_.reserve(kMaxPooled);
+    queue_.reserve(BufferPool::kMaxPooled);
+    pool_.reserve();
   }
 
   /// Enqueue a message; never blocks. Safe from any thread.
@@ -65,19 +66,25 @@ class Mailbox {
   /// immediately. deposit() becomes a no-op.
   void shutdown();
 
-  /// Drop queued messages and clear the shutdown flag (cluster reuse after
-  /// an aborted run).
+  /// Drop queued messages. Shutdown is *sticky*: a mailbox that released
+  /// blocked takers stays down across clear() so late deposits from a
+  /// still-unwinding peer cannot be observed by the next run. Only reset()
+  /// revives it.
   void clear();
 
- private:
-  static constexpr std::size_t kMaxPooled = 256;
+  /// Drop queued messages and clear the shutdown flag (cluster reuse after
+  /// an aborted run). The buffer pool survives: it is an optimization
+  /// cache, not run state, and dropping it would silently void prior
+  /// prefill() guarantees.
+  void reset();
 
+ private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   // FIFO bag: matching scans oldest-first, erase preserves order, and the
   // vector's capacity is retained across steady-state push/pop cycles.
   std::vector<RawMessage> queue_;
-  std::vector<std::vector<std::byte>> pool_;
+  BufferPool pool_;
   bool down_ = false;
 };
 

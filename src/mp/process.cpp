@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "mp/errors.hpp"
+
 namespace stance::mp {
 namespace {
 
@@ -15,13 +17,11 @@ int ceil_log2(int n) {
 
 }  // namespace
 
-Process::Process(Rank rank, int nprocs, sim::VirtualClock& clock,
-                 std::vector<Mailbox>& boxes, Rendezvous& rendezvous,
+Process::Process(Rank rank, int nprocs, sim::VirtualClock& clock, Transport& transport,
                  const sim::NetworkModel& net, NodeMap& nodes)
-    : rank_(rank), nprocs_(nprocs), clock_(clock), boxes_(boxes), rendezvous_(rendezvous),
-      net_(net), nodes_(nodes) {
+    : rank_(rank), nprocs_(nprocs), clock_(clock), transport_(transport), net_(net),
+      nodes_(nodes) {
   STANCE_ASSERT(rank >= 0 && rank < nprocs);
-  STANCE_ASSERT(boxes_.size() == static_cast<std::size_t>(nprocs));
   STANCE_ASSERT(nodes_.nprocs() == nprocs);
 }
 
@@ -38,15 +38,15 @@ void Process::send_bytes(Rank dest, Tag tag, std::span<const std::byte> data) {
   const bool intra = nodes_.same_node(rank_, dest);
   const double before = clock_.now();
   // Protocol work runs on the (possibly loaded) CPU; a co-resident peer is
-  // reached through shared memory instead of the wire.
+  // reached through shared memory instead of the wire. The clock charges and
+  // the arrival stamp are computed here, identically on every backend — the
+  // transport only moves the bytes, so virtual times never depend on which
+  // backend carried them.
   clock_.advance_work(intra ? net_.intra_sender_busy(data.size())
                             : net_.sender_busy(data.size()));
   const double arrival = clock_.now() + (intra ? net_.intra_transfer_time(data.size())
                                                : net_.transfer_time(data.size()));
-  Mailbox& box = boxes_[static_cast<std::size_t>(dest)];
-  std::vector<std::byte> payload = box.acquire(data.size());
-  std::copy(data.begin(), data.end(), payload.begin());
-  box.deposit(RawMessage{rank_, tag, std::move(payload), arrival});
+  transport_.send(rank_, dest, tag, data, arrival);
   ++stats_.messages_sent;
   stats_.bytes_sent += data.size();
   if (intra) {
@@ -63,7 +63,7 @@ RawMessage Process::recv_raw(Rank source, Tag tag) {
   STANCE_REQUIRE(source >= 0 && source < nprocs_, "recv: source out of range");
   STANCE_REQUIRE(source != rank_, "recv: cannot receive from self");
   const double before = clock_.now();
-  RawMessage msg = boxes_[static_cast<std::size_t>(rank_)].take(source, tag);
+  RawMessage msg = transport_.recv(rank_, source, tag);
   clock_.merge(msg.arrival);
   clock_.advance_work(nodes_.same_node(rank_, source) ? net_.intra_overhead
                                                       : net_.recv_overhead);
@@ -74,7 +74,7 @@ RawMessage Process::recv_raw(Rank source, Tag tag) {
 }
 
 void Process::recycle(RawMessage&& msg) {
-  boxes_[static_cast<std::size_t>(rank_)].recycle(std::move(msg.payload));
+  transport_.recycle(rank_, std::move(msg.payload));
 }
 
 void Process::multicast_bytes(std::span<const Rank> dests, Tag tag,
@@ -90,10 +90,7 @@ void Process::multicast_bytes(std::span<const Rank> dests, Tag tag,
   for (const Rank d : dests) {
     STANCE_REQUIRE(d >= 0 && d < nprocs_, "multicast: destination out of range");
     STANCE_REQUIRE(d != rank_, "multicast: cannot send to self");
-    Mailbox& box = boxes_[static_cast<std::size_t>(d)];
-    std::vector<std::byte> payload = box.acquire(data.size());
-    std::copy(data.begin(), data.end(), payload.begin());
-    box.deposit(RawMessage{rank_, tag, std::move(payload), arrival});
+    transport_.send(rank_, d, tag, data, arrival);
   }
   ++stats_.messages_sent;
   ++stats_.multicasts;
@@ -122,7 +119,7 @@ void Process::set_delegates(std::span<const Rank> per_node) {
 
 Rendezvous::Round Process::collective(std::vector<std::byte> blob) {
   ++stats_.collectives;
-  return rendezvous_.enter(rank_, clock_.now(), std::move(blob));
+  return transport_.collective(rank_, clock_.now(), std::move(blob));
 }
 
 void Process::finish_collective(double max_time, std::size_t bytes) {
@@ -135,6 +132,14 @@ void Process::finish_collective(double max_time, std::size_t bytes) {
   clock_.merge(max_time);
   clock_.advance_delay(cost);
   stats_.comm_seconds += clock_.now() - before;
+}
+
+void Process::check_payload(bool ok, const char* what) const {
+  if (ok) return;
+  if (transport_.trusted()) {
+    STANCE_ASSERT_MSG(false, what);
+  }
+  throw TransportError(std::string(what) + " (malformed peer frame?)");
 }
 
 }  // namespace stance::mp

@@ -20,10 +20,10 @@
 #include <vector>
 
 #include "mp/comm_stats.hpp"
-#include "mp/mailbox.hpp"
 #include "mp/message.hpp"
 #include "mp/node_map.hpp"
 #include "mp/rendezvous.hpp"
+#include "mp/transport.hpp"
 #include "sim/network_model.hpp"
 #include "sim/virtual_clock.hpp"
 #include "support/assert.hpp"
@@ -34,8 +34,8 @@ class Cluster;
 
 class Process {
  public:
-  Process(Rank rank, int nprocs, sim::VirtualClock& clock, std::vector<Mailbox>& boxes,
-          Rendezvous& rendezvous, const sim::NetworkModel& net, NodeMap& nodes);
+  Process(Rank rank, int nprocs, sim::VirtualClock& clock, Transport& transport,
+          const sim::NetworkModel& net, NodeMap& nodes);
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
@@ -88,7 +88,7 @@ class Process {
   template <WireType T>
   [[nodiscard]] T recv_value(Rank source, Tag tag) {
     auto v = recv<T>(source, tag);
-    STANCE_ASSERT_MSG(v.size() == 1, "recv_value expected exactly one element");
+    check_payload(v.size() == 1, "recv_value expected exactly one element");
     return v[0];
   }
 
@@ -99,8 +99,8 @@ class Process {
   template <WireType T>
   void recv_into(Rank source, Tag tag, std::span<T> out) {
     RawMessage m = recv_raw(source, tag);
-    STANCE_ASSERT_MSG(m.payload.size() == out.size_bytes(),
-                      "recv_into: message size mismatch");
+    check_payload(m.payload.size() == out.size_bytes(),
+                  "recv_into: message size mismatch");
     if (!out.empty()) std::memcpy(out.data(), m.payload.data(), out.size_bytes());
     recycle(std::move(m));
   }
@@ -114,7 +114,7 @@ class Process {
   /// this rank then never allocate in steady state. False when the pool cap
   /// truncated the request (guarantee degrades to best-effort).
   [[nodiscard]] bool prefill_recv_buffers(std::size_t count, std::size_t bytes) {
-    return boxes_[static_cast<std::size_t>(rank_)].prefill(count, bytes);
+    return transport_.prefill(rank_, count, bytes);
   }
 
   // --- multicast (§3.6) ----------------------------------------------------
@@ -283,11 +283,16 @@ class Process {
   /// (latency + overheads) plus the serialized byte time.
   void finish_collective(double max_time, std::size_t bytes);
 
+  /// Validate a received payload's shape. On a trusted transport a failure
+  /// is an internal invariant (assert/abort); on an untrusted one (TCP) the
+  /// bytes came off a real wire, so it surfaces as recoverable
+  /// mp::TransportError.
+  void check_payload(bool ok, const char* what) const;
+
   const Rank rank_;
   const int nprocs_;
   sim::VirtualClock& clock_;
-  std::vector<Mailbox>& boxes_;
-  Rendezvous& rendezvous_;
+  Transport& transport_;
   const sim::NetworkModel& net_;
   NodeMap& nodes_;  ///< shared with all ranks; written only inside set_delegates
   CommStats stats_;

@@ -48,6 +48,15 @@ void Rendezvous::clear() {
   arrived_ = 0;
   max_time_ = 0.0;
   published_ = Round{};
+  // down_ deliberately survives: shutdown is sticky until reset().
+}
+
+void Rendezvous::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_.assign(nprocs_, {});
+  arrived_ = 0;
+  max_time_ = 0.0;
+  published_ = Round{};
   down_ = false;
 }
 

@@ -37,8 +37,14 @@ class Rendezvous {
   /// Release all waiters with ClusterAborted.
   void shutdown();
 
-  /// Reset for reuse after an aborted run.
+  /// Drop round state. Shutdown is *sticky*: a rendezvous that released
+  /// waiters stays down across clear() — only reset() revives it (same
+  /// lifecycle as Mailbox).
   void clear();
+
+  /// Drop round state and clear the shutdown flag (cluster reuse after an
+  /// aborted run).
+  void reset();
 
  private:
   const std::size_t nprocs_;

@@ -1,0 +1,99 @@
+#include "mp/shm_ring.hpp"
+
+#include <algorithm>
+
+#include "mp/errors.hpp"
+#include "support/assert.hpp"
+
+namespace stance::mp {
+
+ShmRing::ShmRing(int nprocs) : lanes_(static_cast<std::size_t>(nprocs)) {
+  STANCE_REQUIRE(nprocs > 0, "shm ring needs at least one source");
+  pool_.reserve();
+}
+
+void ShmRing::deposit(RawMessage msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (down_ || !poison_.empty()) return;
+    STANCE_ASSERT(msg.source >= 0 &&
+                  static_cast<std::size_t>(msg.source) < lanes_.size());
+    lanes_[static_cast<std::size_t>(msg.source)].push_back(std::move(msg));
+    ++pending_;
+  }
+  cv_.notify_all();
+}
+
+RawMessage ShmRing::take(Rank source, Tag tag) {
+  STANCE_REQUIRE(source >= 0 && static_cast<std::size_t>(source) < lanes_.size(),
+                 "ring take: source out of range");
+  auto& lane = lanes_[static_cast<std::size_t>(source)];
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!poison_.empty()) throw TransportError(poison_);
+    if (down_) throw ClusterAborted();
+    const auto it = std::find_if(lane.begin(), lane.end(), [&](const RawMessage& m) {
+      return m.tag == tag;
+    });
+    if (it != lane.end()) {
+      RawMessage msg = std::move(*it);
+      lane.erase(it);
+      --pending_;
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::vector<std::byte> ShmRing::acquire(std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.acquire(size);
+}
+
+void ShmRing::recycle(std::vector<std::byte> buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pool_.recycle(std::move(buffer));
+}
+
+bool ShmRing::prefill(std::size_t count, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.prefill(count, bytes);
+}
+
+std::size_t ShmRing::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+void ShmRing::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    down_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ShmRing::poison(const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (poison_.empty()) poison_ = why;
+  }
+  cv_.notify_all();
+}
+
+void ShmRing::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& lane : lanes_) lane.clear();
+  pending_ = 0;
+  // down_/poison_ deliberately survive: failure state is sticky until reset().
+}
+
+void ShmRing::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& lane : lanes_) lane.clear();
+  pending_ = 0;
+  down_ = false;
+  poison_.clear();
+}
+
+}  // namespace stance::mp

@@ -1,0 +1,74 @@
+// Per-rank delivery ring for the real transport backends.
+//
+// One ShmRing per receiving rank, with one FIFO lane per source rank:
+// deposits append to the sender's lane, takes scan only that lane — per
+// (source, tag) FIFO order is structural, not a property of a matching
+// scan over a shared bag (the virtual Mailbox's approach). Co-resident
+// ranks deposit directly; the TCP backend's reader threads deposit frames
+// received from remote nodes.
+//
+// Lifecycle mirrors Mailbox with one addition: poison() marks the ring
+// failed with a diagnostic (a malformed wire frame, a dead socket) and
+// releases blocked takers with mp::TransportError instead of
+// ClusterAborted. Both shutdown and poison are sticky until reset().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mp/buffer_pool.hpp"
+#include "mp/message.hpp"
+
+namespace stance::mp {
+
+class ShmRing {
+ public:
+  /// A ring receiving from `nprocs` possible sources.
+  explicit ShmRing(int nprocs);
+
+  /// Enqueue a message on its source's lane; never blocks (buffered send).
+  /// Dropped silently after shutdown(); dropped after poison() too — the
+  /// taker side reports the failure.
+  void deposit(RawMessage msg);
+
+  /// Block until a message with this (source, tag) is available and return
+  /// it. Throws ClusterAborted after shutdown(), TransportError after
+  /// poison().
+  RawMessage take(Rank source, Tag tag);
+
+  /// Payload buffer management — same pooling contract as Mailbox.
+  [[nodiscard]] std::vector<std::byte> acquire(std::size_t size);
+  void recycle(std::vector<std::byte> buffer);
+  [[nodiscard]] bool prefill(std::size_t count, std::size_t bytes);
+
+  /// Number of queued messages across all lanes (diagnostics only).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Release blocked takers with ClusterAborted; sticky until reset().
+  void shutdown();
+
+  /// Mark the ring failed: blocked and future takers throw
+  /// TransportError(why). Sticky until reset(); the first poison wins.
+  void poison(const std::string& why);
+
+  /// Drop queued messages; shutdown/poison state survives (sticky).
+  void clear();
+
+  /// Drop queued messages and revive the ring (pool survives).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::deque<RawMessage>> lanes_;  ///< indexed by source rank
+  std::size_t pending_ = 0;
+  BufferPool pool_;
+  bool down_ = false;
+  std::string poison_;  ///< non-empty => failed
+};
+
+}  // namespace stance::mp

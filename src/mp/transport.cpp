@@ -1,0 +1,41 @@
+#include "mp/transport.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "mp/node_map.hpp"
+#include "mp/transport_inproc.hpp"
+#include "mp/transport_tcp.hpp"
+#include "support/assert.hpp"
+
+namespace stance::mp {
+
+TransportKind resolve_transport_kind(TransportKind requested) {
+  if (requested != TransportKind::kDefault) return requested;
+  const char* env = std::getenv("STANCE_TRANSPORT");
+  if (env == nullptr || *env == '\0') return TransportKind::kVirtual;
+  const std::string value(env);
+  if (value == "virtual" || value == "inproc") return TransportKind::kVirtual;
+  if (value == "shm") return TransportKind::kShm;
+  if (value == "tcp") return TransportKind::kTcp;
+  STANCE_REQUIRE(false, "STANCE_TRANSPORT must be one of: virtual, inproc, shm, tcp");
+  return TransportKind::kVirtual;  // unreachable
+}
+
+std::unique_ptr<Transport> make_transport(TransportKind kind, int nprocs,
+                                          const NodeMap& nodes) {
+  switch (kind) {
+    case TransportKind::kVirtual:
+      return std::make_unique<VirtualTransport>(nprocs);
+    case TransportKind::kShm:
+      return std::make_unique<ShmTransport>(nprocs);
+    case TransportKind::kTcp:
+      return std::make_unique<TcpTransport>(nprocs, nodes);
+    case TransportKind::kDefault:
+      break;
+  }
+  STANCE_REQUIRE(false, "make_transport: kind must be concrete");
+  return nullptr;  // unreachable
+}
+
+}  // namespace stance::mp

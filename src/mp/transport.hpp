@@ -1,0 +1,112 @@
+// Transport: the data plane under mp::Process.
+//
+// The simulator's programming surface (Process) owns ALL timing: it charges
+// VirtualClocks with the NetworkModel's cost terms and stamps each message
+// with its virtual arrival time before handing the bytes to the transport.
+// A transport only moves bytes and preserves per-(source, tag) FIFO order —
+// which is why the same SPMD program produces bit-identical virtual times
+// on every backend, and why the whole virtual-cluster test suite doubles as
+// a conformance suite for the real backends.
+//
+// Backends:
+//   kVirtual — threads + per-rank Mailboxes + a shared Rendezvous. The
+//              deterministic oracle; trusted (peers are this process).
+//   kShm     — per-rank ShmRing lanes for ALL rank pairs: the co-resident
+//              ("shared-memory mailbox ring") path of the real transport,
+//              run standalone. Trusted.
+//   kTcp     — ShmRing lanes between co-resident ranks plus framed TCP
+//              sockets between NodeMap nodes. Frames carry
+//              (source, tag, size) headers so coalesced frames travel
+//              unchanged. Untrusted: malformed peer frames surface as
+//              mp::TransportError, not assertions.
+//
+// Collectives ride a shared in-process Rendezvous on every backend: they
+// are control-plane synchronization whose cost Process models explicitly
+// (finish_collective), so distributing them buys no fidelity for this
+// simulator's experiments.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "mp/message.hpp"
+#include "mp/rendezvous.hpp"
+
+namespace stance::mp {
+
+class NodeMap;
+
+enum class TransportKind {
+  kDefault,  ///< resolve from $STANCE_TRANSPORT (virtual|shm|tcp); virtual if unset
+  kVirtual,
+  kShm,
+  kTcp,
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual TransportKind kind() const noexcept = 0;
+
+  /// True when every frame this transport delivers was produced inside this
+  /// process: size mismatches on receive are then internal invariants
+  /// (assertions). Untrusted backends (TCP) must instead surface them as
+  /// recoverable mp::TransportError.
+  [[nodiscard]] virtual bool trusted() const noexcept = 0;
+
+  /// Deliver `data` from rank `from` to rank `to` under `tag`, stamped with
+  /// the virtual `arrival` time Process computed. Buffered: never blocks on
+  /// the receiver. Preserves FIFO order per (from, tag).
+  virtual void send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
+                    double arrival) = 0;
+
+  /// Block until a message from `from` with `tag` is available for `self`.
+  /// Throws ClusterAborted after shutdown(), TransportError on failure.
+  [[nodiscard]] virtual RawMessage recv(Rank self, Rank from, Tag tag) = 0;
+
+  /// Return a consumed payload buffer to `self`'s receive pool.
+  virtual void recycle(Rank self, std::vector<std::byte> buffer) = 0;
+
+  /// Pre-provision `self`'s receive pool: `count` buffers of `bytes` each.
+  /// False when the pool cap truncated the request.
+  [[nodiscard]] virtual bool prefill(Rank self, std::size_t count,
+                                     std::size_t bytes) = 0;
+
+  /// Messages queued for `self` (diagnostics; in-flight wire frames of the
+  /// TCP backend are not counted until their reader deposits them).
+  [[nodiscard]] virtual std::size_t pending(Rank self) const = 0;
+
+  /// All-to-all rendezvous implementing the collectives.
+  [[nodiscard]] virtual Rendezvous::Round collective(Rank self, double time,
+                                                     std::vector<std::byte> blob) = 0;
+
+  /// Release every blocked receive/collective with ClusterAborted. Sticky:
+  /// the transport stays down until reset().
+  virtual void shutdown() = 0;
+
+  /// Drop queued messages and revive after an aborted run (receive pools
+  /// survive; the TCP backend also fences out stale in-flight frames).
+  virtual void reset() = 0;
+
+ protected:
+  Transport() = default;
+};
+
+/// Resolve kDefault to a concrete backend via $STANCE_TRANSPORT
+/// ("virtual"/"inproc", "shm", "tcp"; unset or empty means virtual).
+/// Throws std::invalid_argument on an unknown value. Concrete kinds pass
+/// through unchanged.
+[[nodiscard]] TransportKind resolve_transport_kind(TransportKind requested);
+
+/// Construct a backend for `nprocs` ranks laid out by `nodes`. `kind` must
+/// be concrete (call resolve_transport_kind first).
+[[nodiscard]] std::unique_ptr<Transport> make_transport(TransportKind kind, int nprocs,
+                                                        const NodeMap& nodes);
+
+}  // namespace stance::mp

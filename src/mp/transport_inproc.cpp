@@ -1,0 +1,102 @@
+#include "mp/transport_inproc.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace stance::mp {
+
+// --- VirtualTransport -------------------------------------------------------
+
+VirtualTransport::VirtualTransport(int nprocs)
+    : boxes_(static_cast<std::size_t>(nprocs)),
+      rendezvous_(static_cast<std::size_t>(nprocs)) {
+  STANCE_REQUIRE(nprocs > 0, "transport needs at least one rank");
+}
+
+void VirtualTransport::send(Rank from, Rank to, Tag tag,
+                            std::span<const std::byte> data, double arrival) {
+  Mailbox& box = boxes_[static_cast<std::size_t>(to)];
+  std::vector<std::byte> payload = box.acquire(data.size());
+  std::copy(data.begin(), data.end(), payload.begin());
+  box.deposit(RawMessage{from, tag, std::move(payload), arrival});
+}
+
+RawMessage VirtualTransport::recv(Rank self, Rank from, Tag tag) {
+  return boxes_[static_cast<std::size_t>(self)].take(from, tag);
+}
+
+void VirtualTransport::recycle(Rank self, std::vector<std::byte> buffer) {
+  boxes_[static_cast<std::size_t>(self)].recycle(std::move(buffer));
+}
+
+bool VirtualTransport::prefill(Rank self, std::size_t count, std::size_t bytes) {
+  return boxes_[static_cast<std::size_t>(self)].prefill(count, bytes);
+}
+
+std::size_t VirtualTransport::pending(Rank self) const {
+  return boxes_[static_cast<std::size_t>(self)].pending();
+}
+
+Rendezvous::Round VirtualTransport::collective(Rank self, double time,
+                                               std::vector<std::byte> blob) {
+  return rendezvous_.enter(self, time, std::move(blob));
+}
+
+void VirtualTransport::shutdown() {
+  for (auto& box : boxes_) box.shutdown();
+  rendezvous_.shutdown();
+}
+
+void VirtualTransport::reset() {
+  for (auto& box : boxes_) box.reset();
+  rendezvous_.reset();
+}
+
+// --- ShmTransport -----------------------------------------------------------
+
+ShmTransport::ShmTransport(int nprocs) : rendezvous_(static_cast<std::size_t>(nprocs)) {
+  STANCE_REQUIRE(nprocs > 0, "transport needs at least one rank");
+  for (int r = 0; r < nprocs; ++r) rings_.emplace_back(nprocs);
+}
+
+void ShmTransport::send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
+                        double arrival) {
+  ShmRing& ring = rings_[static_cast<std::size_t>(to)];
+  std::vector<std::byte> payload = ring.acquire(data.size());
+  std::copy(data.begin(), data.end(), payload.begin());
+  ring.deposit(RawMessage{from, tag, std::move(payload), arrival});
+}
+
+RawMessage ShmTransport::recv(Rank self, Rank from, Tag tag) {
+  return rings_[static_cast<std::size_t>(self)].take(from, tag);
+}
+
+void ShmTransport::recycle(Rank self, std::vector<std::byte> buffer) {
+  rings_[static_cast<std::size_t>(self)].recycle(std::move(buffer));
+}
+
+bool ShmTransport::prefill(Rank self, std::size_t count, std::size_t bytes) {
+  return rings_[static_cast<std::size_t>(self)].prefill(count, bytes);
+}
+
+std::size_t ShmTransport::pending(Rank self) const {
+  return rings_[static_cast<std::size_t>(self)].pending();
+}
+
+Rendezvous::Round ShmTransport::collective(Rank self, double time,
+                                           std::vector<std::byte> blob) {
+  return rendezvous_.enter(self, time, std::move(blob));
+}
+
+void ShmTransport::shutdown() {
+  for (auto& ring : rings_) ring.shutdown();
+  rendezvous_.shutdown();
+}
+
+void ShmTransport::reset() {
+  for (auto& ring : rings_) ring.reset();
+  rendezvous_.reset();
+}
+
+}  // namespace stance::mp

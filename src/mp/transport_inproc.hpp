@@ -1,0 +1,72 @@
+// In-process transport backends.
+//
+// VirtualTransport is the original simulator plumbing — per-rank Mailboxes
+// plus a shared Rendezvous — kept bit-identical as the deterministic
+// oracle. ShmTransport is the co-resident half of the real transport run
+// standalone: per-rank ShmRing lanes for every rank pair, exercising the
+// exact deposit/take structures the TCP backend uses for intra-node
+// traffic, without any sockets.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "mp/mailbox.hpp"
+#include "mp/shm_ring.hpp"
+#include "mp/transport.hpp"
+
+namespace stance::mp {
+
+class VirtualTransport final : public Transport {
+ public:
+  explicit VirtualTransport(int nprocs);
+
+  [[nodiscard]] const char* name() const noexcept override { return "virtual"; }
+  [[nodiscard]] TransportKind kind() const noexcept override {
+    return TransportKind::kVirtual;
+  }
+  [[nodiscard]] bool trusted() const noexcept override { return true; }
+
+  void send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
+            double arrival) override;
+  [[nodiscard]] RawMessage recv(Rank self, Rank from, Tag tag) override;
+  void recycle(Rank self, std::vector<std::byte> buffer) override;
+  [[nodiscard]] bool prefill(Rank self, std::size_t count, std::size_t bytes) override;
+  [[nodiscard]] std::size_t pending(Rank self) const override;
+  [[nodiscard]] Rendezvous::Round collective(Rank self, double time,
+                                             std::vector<std::byte> blob) override;
+  void shutdown() override;
+  void reset() override;
+
+ private:
+  std::vector<Mailbox> boxes_;
+  Rendezvous rendezvous_;
+};
+
+class ShmTransport final : public Transport {
+ public:
+  explicit ShmTransport(int nprocs);
+
+  [[nodiscard]] const char* name() const noexcept override { return "shm"; }
+  [[nodiscard]] TransportKind kind() const noexcept override {
+    return TransportKind::kShm;
+  }
+  [[nodiscard]] bool trusted() const noexcept override { return true; }
+
+  void send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
+            double arrival) override;
+  [[nodiscard]] RawMessage recv(Rank self, Rank from, Tag tag) override;
+  void recycle(Rank self, std::vector<std::byte> buffer) override;
+  [[nodiscard]] bool prefill(Rank self, std::size_t count, std::size_t bytes) override;
+  [[nodiscard]] std::size_t pending(Rank self) const override;
+  [[nodiscard]] Rendezvous::Round collective(Rank self, double time,
+                                             std::vector<std::byte> blob) override;
+  void shutdown() override;
+  void reset() override;
+
+ private:
+  std::deque<ShmRing> rings_;  ///< deque: ShmRing is pinned (mutex/cv members)
+  Rendezvous rendezvous_;
+};
+
+}  // namespace stance::mp

@@ -1,0 +1,241 @@
+#include "mp/transport_tcp.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "mp/errors.hpp"
+#include "mp/node_map.hpp"
+#include "support/assert.hpp"
+
+namespace stance::mp {
+namespace {
+
+/// Read exactly `len` bytes; false on EOF or unrecoverable error.
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer closed or socket failed
+  }
+  return true;
+}
+
+/// Write exactly `len` bytes; throws TransportError on failure. MSG_NOSIGNAL
+/// turns a write to a closed peer into EPIPE instead of killing the process.
+void write_exact(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw TransportError(std::string("tcp transport: wire write failed: ") +
+                         std::strerror(errno));
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int nprocs, const NodeMap& nodes)
+    : nprocs_(nprocs),
+      nnodes_(nodes.nnodes()),
+      rendezvous_(static_cast<std::size_t>(nprocs)),
+      links_(static_cast<std::size_t>(nnodes_) * static_cast<std::size_t>(nnodes_)) {
+  STANCE_REQUIRE(nprocs > 0, "transport needs at least one rank");
+  STANCE_REQUIRE(nodes.nprocs() == nprocs, "tcp transport: node map mismatch");
+  node_of_.reserve(static_cast<std::size_t>(nprocs));
+  for (Rank r = 0; r < nprocs; ++r) node_of_.push_back(nodes.node_of(r));
+  for (int r = 0; r < nprocs; ++r) rings_.emplace_back(nprocs);
+  if (nnodes_ < 2) return;  // single node: pure shared-memory, no sockets
+
+  // Loopback listener on an ephemeral port; one connection per node pair,
+  // established sequentially (we are the only connector, so accept order
+  // matches connect order).
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  STANCE_REQUIRE(listener >= 0, "tcp transport: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  bool ok = ::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+  socklen_t addr_len = sizeof(addr);
+  ok = ok && ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0;
+  ok = ok && ::listen(listener, nnodes_ * nnodes_) == 0;
+  if (!ok) {
+    close_quietly(listener);
+    STANCE_REQUIRE(false, "tcp transport: failed to set up loopback listener");
+  }
+
+  for (int i = 0; i < nnodes_; ++i) {
+    for (int j = i + 1; j < nnodes_; ++j) {
+      const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+      bool pair_ok = client >= 0 &&
+                     ::connect(client, reinterpret_cast<const sockaddr*>(&addr),
+                               sizeof(addr)) == 0;
+      const int accepted = pair_ok ? ::accept(listener, nullptr, nullptr) : -1;
+      if (!pair_ok || accepted < 0) {
+        close_quietly(client);
+        close_quietly(listener);
+        for (auto& l : links_) close_quietly(l.fd);
+        STANCE_REQUIRE(false, "tcp transport: failed to connect node pair");
+      }
+      set_nodelay(client);
+      set_nodelay(accepted);
+      link(i, j).fd = client;    // node i's endpoint toward node j
+      link(j, i).fd = accepted;  // node j's endpoint toward node i
+    }
+  }
+  close_quietly(listener);
+
+  readers_.reserve(static_cast<std::size_t>(nnodes_) *
+                   static_cast<std::size_t>(nnodes_ - 1));
+  for (int n = 0; n < nnodes_; ++n) {
+    for (int m = 0; m < nnodes_; ++m) {
+      if (n == m) continue;
+      readers_.emplace_back([this, n, m, fd = link(n, m).fd] { reader_loop(n, m, fd); });
+    }
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  // Half-close every connection so blocked readers see EOF and exit.
+  for (auto& l : links_) {
+    if (l.fd >= 0) ::shutdown(l.fd, SHUT_RDWR);
+  }
+  for (auto& t : readers_) t.join();
+  for (auto& l : links_) close_quietly(l.fd);
+}
+
+void TcpTransport::send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
+                        double arrival) {
+  const int from_node = node_of_[static_cast<std::size_t>(from)];
+  const int to_node = node_of_[static_cast<std::size_t>(to)];
+  if (from_node == to_node) {
+    ShmRing& ring = rings_[static_cast<std::size_t>(to)];
+    std::vector<std::byte> payload = ring.acquire(data.size());
+    std::copy(data.begin(), data.end(), payload.begin());
+    ring.deposit(RawMessage{from, tag, std::move(payload), arrival});
+    return;
+  }
+  STANCE_REQUIRE(data.size() <= kMaxFrameBytes, "tcp transport: frame too large");
+  const WireHeader header{kMagic,
+                          epoch_.load(std::memory_order_relaxed),
+                          from,
+                          to,
+                          tag,
+                          static_cast<std::uint32_t>(data.size()),
+                          arrival};
+  Link& l = link(from_node, to_node);
+  // One atomic frame per lock acquisition: co-resident senders interleave
+  // frames, never bytes, so in-order TCP delivery keeps per-sender FIFO.
+  std::lock_guard<std::mutex> lock(l.write_mutex);
+  write_exact(l.fd, &header, sizeof(header));
+  if (!data.empty()) write_exact(l.fd, data.data(), data.size());
+}
+
+RawMessage TcpTransport::recv(Rank self, Rank from, Tag tag) {
+  return rings_[static_cast<std::size_t>(self)].take(from, tag);
+}
+
+void TcpTransport::recycle(Rank self, std::vector<std::byte> buffer) {
+  rings_[static_cast<std::size_t>(self)].recycle(std::move(buffer));
+}
+
+bool TcpTransport::prefill(Rank self, std::size_t count, std::size_t bytes) {
+  return rings_[static_cast<std::size_t>(self)].prefill(count, bytes);
+}
+
+std::size_t TcpTransport::pending(Rank self) const {
+  return rings_[static_cast<std::size_t>(self)].pending();
+}
+
+Rendezvous::Round TcpTransport::collective(Rank self, double time,
+                                           std::vector<std::byte> blob) {
+  return rendezvous_.enter(self, time, std::move(blob));
+}
+
+void TcpTransport::shutdown() {
+  for (auto& ring : rings_) ring.shutdown();
+  rendezvous_.shutdown();
+}
+
+void TcpTransport::reset() {
+  // Fence out in-flight traffic of the aborted run: frames stamped with the
+  // old epoch are dropped by the readers as they drain the sockets.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& ring : rings_) ring.reset();
+  rendezvous_.reset();
+  if (wire_dead_.load()) {
+    // A desynced byte stream cannot be re-framed; stay failed.
+    poison_all("tcp transport: wire permanently failed (malformed frame seen)");
+  }
+}
+
+void TcpTransport::corrupt_wire(int from_node, int to_node,
+                                std::span<const std::byte> junk) {
+  STANCE_REQUIRE(from_node >= 0 && from_node < nnodes_ && to_node >= 0 &&
+                     to_node < nnodes_ && from_node != to_node,
+                 "corrupt_wire: bad node pair");
+  Link& l = link(from_node, to_node);
+  std::lock_guard<std::mutex> lock(l.write_mutex);
+  write_exact(l.fd, junk.data(), junk.size());
+}
+
+void TcpTransport::poison_all(const std::string& why) {
+  for (auto& ring : rings_) ring.poison(why);
+}
+
+void TcpTransport::reader_loop(int node, int peer, int fd) {
+  for (;;) {
+    WireHeader header;
+    if (!read_exact(fd, &header, sizeof(header))) return;  // EOF: shutting down
+    const bool header_ok =
+        header.magic == kMagic && header.size <= kMaxFrameBytes &&
+        header.source >= 0 && header.source < nprocs_ && header.dest >= 0 &&
+        header.dest < nprocs_ &&
+        node_of_[static_cast<std::size_t>(header.source)] == peer &&
+        node_of_[static_cast<std::size_t>(header.dest)] == node;
+    if (!header_ok) {
+      wire_dead_.store(true);
+      poison_all("tcp transport: malformed frame from node " + std::to_string(peer) +
+                 " (bad header)");
+      return;  // stream is desynced; stop reading this wire
+    }
+    ShmRing& ring = rings_[static_cast<std::size_t>(header.dest)];
+    std::vector<std::byte> payload = ring.acquire(header.size);
+    if (!read_exact(fd, payload.data(), header.size)) return;
+    if (header.epoch != epoch_.load(std::memory_order_relaxed)) {
+      ring.recycle(std::move(payload));  // stale frame from before a reset
+      continue;
+    }
+    ring.deposit(RawMessage{header.source, header.tag, std::move(payload),
+                            header.arrival});
+  }
+}
+
+}  // namespace stance::mp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <utility>
 
 #include "sched/localize.hpp"
@@ -99,9 +100,18 @@ InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
 
   // Old local references keep their old value plus a constant shift while
   // they stay in the new interval: r maps to global f0 + r, owned under
-  // `to` iff r lies in [f1 - f0, e1 - f0).
+  // `to` iff r lies in [f1 - f0, e1 - f0). The replay loop below folds the
+  // "old-local and still owned" test — the hot case — into one unsigned
+  // range check over [sl_lo, sl_hi) = [f1, e1) ∩ [f0, e0) shifted by -f0,
+  // so the common ref costs a single predictable branch, like the fused
+  // builder's locality test.
   const Vertex lo_r = f1 - f0;
   const Vertex hi_r = e1 - f0;
+  const Vertex sl_lo = std::max<Vertex>(0, lo_r);
+  const Vertex sl_span = std::max<Vertex>(0, std::min(nlocal_old, hi_r) - sl_lo);
+  const auto stays_local = [&](Vertex r) {
+    return static_cast<std::uint32_t>(r - sl_lo) < static_cast<std::uint32_t>(sl_span);
+  };
   // Lazily-computed new reference value per surviving old ghost slot.
   constexpr Vertex kUnset = -1;
   std::vector<Vertex> slot_val(old_ghosts.size(), kUnset);
@@ -111,14 +121,12 @@ InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
     if (v >= keep_lo && v < keep_hi) {
       for (const Vertex r : old.lgraph.refs_of(v - f0)) {
         ++replayed;
-        if (r < nlocal_old) {
-          if (r >= lo_r && r < hi_r) {
-            lg.refs.push_back(r - lo_r);  // still local: constant shift
-          } else {
-            const Vertex nv = ghost_ref(f0 + r);  // lost from our interval
-            lg.refs.push_back(nv);
-            vertex_dests.push_back(home_of[static_cast<std::size_t>(nv - nlocal_new)]);
-          }
+        if (stays_local(r)) {
+          lg.refs.push_back(r - lo_r);  // still local: constant shift
+        } else if (r < nlocal_old) {
+          const Vertex nv = ghost_ref(f0 + r);  // lost from our interval
+          lg.refs.push_back(nv);
+          vertex_dests.push_back(home_of[static_cast<std::size_t>(nv - nlocal_new)]);
         } else {
           auto& nv = slot_val[static_cast<std::size_t>(r - nlocal_old)];
           if (nv == kUnset) {

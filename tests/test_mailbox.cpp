@@ -98,10 +98,22 @@ TEST(Mailbox, DepositAfterShutdownIsDropped) {
   EXPECT_EQ(box.pending(), 0u);
 }
 
-TEST(Mailbox, ClearReenablesAfterShutdown) {
+TEST(Mailbox, ClearKeepsShutdownSticky) {
+  // A mailbox that released blocked takers must not be silently revived by
+  // clear(): a still-unwinding peer's late deposit would leak into the next
+  // run. Only the explicit reset() re-opens it.
   Mailbox box;
   box.shutdown();
   box.clear();
+  box.deposit(make_msg(1, 1, {1}, 0.0));
+  EXPECT_EQ(box.pending(), 0u);
+  EXPECT_THROW((void)box.try_take(1, 1), ClusterAborted);
+}
+
+TEST(Mailbox, ResetReenablesAfterShutdown) {
+  Mailbox box;
+  box.shutdown();
+  box.reset();
   box.deposit(make_msg(1, 1, {1}, 0.0));
   EXPECT_EQ(box.pending(), 1u);
   EXPECT_TRUE(box.try_take(1, 1).has_value());

@@ -1,0 +1,357 @@
+// Transport conformance suite (ISSUE 6): every backend must deliver the
+// same bytes in the same per-(source, tag) order and — because Process owns
+// all clock charging — produce bit-identical virtual times. The suite runs
+// each behavioral contract against the virtual oracle, the shared-memory
+// ring backend, and the TCP backend, plus TCP-only failure-injection tests
+// (malformed wire frames must surface as recoverable mp::TransportError)
+// and ShmRing lifecycle unit tests (sticky shutdown/poison until reset).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/gather_scatter.hpp"
+#include "graph/builders.hpp"
+#include "mp/cluster.hpp"
+#include "mp/errors.hpp"
+#include "mp/shm_ring.hpp"
+#include "mp/transport_tcp.hpp"
+#include "sched/coalesce.hpp"
+#include "test_util.hpp"
+
+namespace stance {
+namespace {
+
+using mp::TransportKind;
+
+std::string kind_name(const ::testing::TestParamInfo<TransportKind>& info) {
+  switch (info.param) {
+    case TransportKind::kVirtual: return "virtual";
+    case TransportKind::kShm: return "shm";
+    case TransportKind::kTcp: return "tcp";
+    default: return "default";
+  }
+}
+
+/// 4 ranks on 2 nodes: ranks 0,1 co-resident, ranks 2,3 co-resident —
+/// every test exercises both the intra-node and the inter-node path.
+mp::Cluster make_cluster(TransportKind kind, int nprocs = 4, int per_node = 2) {
+  return mp::Cluster(sim::MachineSpec::uniform(static_cast<std::size_t>(nprocs)),
+                     mp::NodeMap::contiguous(nprocs, per_node), kind);
+}
+
+class TransportConformance : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(TransportConformance, PointToPointFifoPerSourceAndTag) {
+  // Ranks 0 and 1 both stream interleaved tag-1/tag-2 sequences at rank 2
+  // (inter-node for both on the 2x2 layout); rank 2 drains them in an order
+  // that only works if matching is exact per (source, tag) and FIFO within
+  // each pair.
+  constexpr int kMsgs = 32;
+  auto cluster = make_cluster(GetParam());
+  cluster.run([&](mp::Process& p) {
+    if (p.rank() == 0 || p.rank() == 1) {
+      for (int i = 0; i < kMsgs; ++i) {
+        p.send_value(2, /*tag=*/1 + (i % 2), p.rank() * 1000 + i);
+      }
+    }
+    if (p.rank() == 2) {
+      for (const mp::Rank src : {0, 1}) {
+        // Drain tag 2 first even though tag 1 arrived first: matching must
+        // not be confused by older non-matching messages in the lane.
+        for (int i = 1; i < kMsgs; i += 2) {
+          EXPECT_EQ(p.recv_value<int>(src, 2), src * 1000 + i) << "src " << src;
+        }
+        for (int i = 0; i < kMsgs; i += 2) {
+          EXPECT_EQ(p.recv_value<int>(src, 1), src * 1000 + i) << "src " << src;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(TransportConformance, IntraNodePairObeysFifoToo) {
+  auto cluster = make_cluster(GetParam());
+  cluster.run([&](mp::Process& p) {
+    if (p.rank() == 0) {
+      for (int i = 0; i < 16; ++i) p.send_value(1, 7, i);
+    }
+    if (p.rank() == 1) {
+      for (int i = 0; i < 16; ++i) EXPECT_EQ(p.recv_value<int>(0, 7), i);
+    }
+  });
+}
+
+TEST_P(TransportConformance, CollectivesDeliverEveryContribution) {
+  auto cluster = make_cluster(GetParam());
+  cluster.run([&](mp::Process& p) {
+    p.barrier();
+    std::vector<int> data{p.is_root() ? 77 : 0};
+    p.bcast(0, data);
+    EXPECT_EQ(data[0], 77);
+    const auto all = p.allgather(p.rank());
+    for (int r = 0; r < p.nprocs(); ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r);
+    EXPECT_DOUBLE_EQ(p.allreduce_sum(1.0), 4.0);
+    const auto sizes = p.allgatherv(std::span<const int>(all.data(),
+                                                         static_cast<std::size_t>(
+                                                             p.rank() + 1)));
+    for (int r = 0; r < p.nprocs(); ++r) {
+      EXPECT_EQ(sizes[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r + 1));
+    }
+  });
+}
+
+TEST_P(TransportConformance, MulticastReachesEveryDestination) {
+  auto cluster = make_cluster(GetParam());
+  cluster.run([&](mp::Process& p) {
+    const std::vector<mp::Rank> dests{1, 2, 3};
+    const std::vector<int> payload{5, 6, 7};
+    if (p.rank() == 0) {
+      p.multicast(dests, /*tag=*/9, payload);
+    } else {
+      EXPECT_EQ(p.recv<int>(0, 9), payload);
+    }
+  });
+}
+
+TEST_P(TransportConformance, AlltoallvMatchesAcrossBackends) {
+  auto cluster = make_cluster(GetParam());
+  cluster.run([&](mp::Process& p) {
+    std::vector<std::vector<int>> outgoing(4);
+    for (int r = 0; r < 4; ++r) {
+      outgoing[static_cast<std::size_t>(r)] = {p.rank() * 10 + r};
+    }
+    const auto incoming = p.alltoallv(outgoing);
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(incoming[static_cast<std::size_t>(r)].size(), 1u);
+      EXPECT_EQ(incoming[static_cast<std::size_t>(r)][0], r * 10 + p.rank());
+    }
+  });
+}
+
+TEST_P(TransportConformance, ShutdownWhileBlockedReleasesAndClusterStaysUsable) {
+  auto cluster = make_cluster(GetParam());
+  EXPECT_THROW(
+      cluster.run([](mp::Process& p) {
+        if (p.rank() == 0) throw std::invalid_argument("injected failure");
+        (void)p.recv_raw(0, /*tag=*/99);  // would block forever
+      }),
+      std::invalid_argument);
+  // The abort path resets the transport: the same cluster must run again.
+  cluster.run([](mp::Process& p) {
+    if (p.rank() == 0) p.send_value(3, 5, 123);
+    if (p.rank() == 3) EXPECT_EQ(p.recv_value<int>(0, 5), 123);
+  });
+}
+
+// --- the oracle: byte- and virtual-time-equivalence vs the virtual backend --
+
+struct ExchangeResult {
+  std::vector<std::vector<double>> ghost;
+  std::vector<std::vector<double>> local;
+  std::vector<double> finish_times;
+};
+
+/// The coalesced gather/scatter exchange from the executor suite, run on
+/// `kind`. Coalesced frames are the transport's hardest traffic: tag-
+/// transformed, delegate-routed, mixing intra-node forwards with inter-node
+/// frames.
+ExchangeResult run_coalesced_exchange(TransportKind kind,
+                                      const std::vector<sched::InspectorResult>& results) {
+  constexpr int kRanks = 4;
+  mp::Cluster cluster(sim::MachineSpec::uniform(kRanks),
+                      mp::NodeMap::contiguous(kRanks, 2), kind);
+  std::vector<sched::CoalescePlan> plans(kRanks);
+  cluster.run([&](mp::Process& p) {
+    plans[static_cast<std::size_t>(p.rank())] = sched::coalesce(
+        p, results[static_cast<std::size_t>(p.rank())].schedule,
+        sim::CpuCostModel::free());
+  });
+
+  ExchangeResult out;
+  out.ghost.resize(kRanks);
+  out.local.resize(kRanks);
+  std::vector<exec::ExecWorkspace> ws(kRanks);
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    const auto& s = results[r].schedule;
+    out.local[r] = test::seeded_values(static_cast<std::size_t>(s.nlocal), 42 + r);
+    out.ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
+  }
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    const auto& s = results[r].schedule;
+    for (int it = 0; it < 3; ++it) {
+      exec::gather_coalesced<double>(p, s, plans[r], out.local[r],
+                                     std::span<double>(out.ghost[r]), ws[r]);
+      exec::scatter_add_coalesced<double>(p, s, plans[r], out.ghost[r],
+                                          std::span<double>(out.local[r]), ws[r]);
+    }
+  });
+  out.finish_times = cluster.finish_times();
+  return out;
+}
+
+TEST_P(TransportConformance, CoalescedExchangeIsByteIdenticalToVirtualOracle) {
+  Rng rng(2026);
+  const graph::Csr g = graph::random_delaunay(900, 2026);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto results = test::build_all_schedules(g, part);
+
+  const ExchangeResult oracle = run_coalesced_exchange(TransportKind::kVirtual, results);
+  const ExchangeResult mine = run_coalesced_exchange(GetParam(), results);
+
+  for (std::size_t r = 0; r < 4; ++r) {
+    test::expect_vectors_eq(mine.ghost[r], oracle.ghost[r]);
+    test::expect_vectors_eq(mine.local[r], oracle.local[r]);
+    // Virtual times are charged by Process, not the transport: they must be
+    // bit-identical, not merely close.
+    EXPECT_EQ(mine.finish_times[r], oracle.finish_times[r]) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TransportConformance,
+                         ::testing::Values(TransportKind::kVirtual,
+                                           TransportKind::kShm,
+                                           TransportKind::kTcp),
+                         kind_name);
+
+// --- TCP-only: untrusted-wire failure paths ---------------------------------
+
+TEST(TcpTransport, MalformedWireFrameSurfacesAsTransportError) {
+  // A peer that writes garbage on the wire must produce a recoverable
+  // mp::TransportError in the blocked receiver — never a process abort.
+  auto cluster = make_cluster(TransportKind::kTcp);
+  auto* tcp = dynamic_cast<mp::TcpTransport*>(&cluster.transport());
+  ASSERT_NE(tcp, nullptr);
+  EXPECT_THROW(
+      cluster.run([&](mp::Process& p) {
+        if (p.rank() == 0) {
+          std::vector<std::byte> junk(64, std::byte{0xA5});
+          tcp->corrupt_wire(/*from_node=*/0, /*to_node=*/1, junk);
+        }
+        if (p.rank() == 2) {
+          (void)p.recv_raw(0, /*tag=*/1);  // blocked on the poisoned wire
+        }
+      }),
+      mp::TransportError);
+}
+
+TEST(TcpTransport, SizeMismatchedFrameIsRecoverableOnUntrustedWire) {
+  // recv_into's shape check is an assertion on trusted backends; on TCP the
+  // bytes crossed a real wire, so the same mismatch must throw.
+  auto cluster = make_cluster(TransportKind::kTcp);
+  EXPECT_THROW(
+      cluster.run([](mp::Process& p) {
+        if (p.rank() == 0) {
+          const std::vector<int> three{1, 2, 3};
+          p.send(2, /*tag=*/4, three);
+        }
+        if (p.rank() == 2) {
+          std::vector<int> two(2);
+          p.recv_into(0, /*tag=*/4, std::span<int>(two));
+        }
+      }),
+      mp::TransportError);
+}
+
+TEST(TcpTransport, SingleNodeMapNeedsNoSockets) {
+  // All ranks co-resident: the TCP backend degrades to pure shared-memory
+  // rings and must work without opening a single socket.
+  mp::Cluster cluster(sim::MachineSpec::uniform(3),
+                      mp::NodeMap::contiguous(3, 3), TransportKind::kTcp);
+  cluster.run([](mp::Process& p) {
+    if (p.rank() == 0) p.send_value(2, 1, 11);
+    if (p.rank() == 2) EXPECT_EQ(p.recv_value<int>(0, 1), 11);
+    p.barrier();
+  });
+}
+
+TEST(TransportFactory, EnvSelectionAndValidation) {
+  // Concrete kinds pass through resolve unchanged.
+  EXPECT_EQ(mp::resolve_transport_kind(TransportKind::kTcp), TransportKind::kTcp);
+  EXPECT_EQ(mp::resolve_transport_kind(TransportKind::kShm), TransportKind::kShm);
+  // kDefault honors STANCE_TRANSPORT (and falls back to virtual when unset).
+  const char* old = std::getenv("STANCE_TRANSPORT");
+  const std::string saved = old ? old : "";
+  ::setenv("STANCE_TRANSPORT", "shm", 1);
+  EXPECT_EQ(mp::resolve_transport_kind(TransportKind::kDefault), TransportKind::kShm);
+  ::setenv("STANCE_TRANSPORT", "bogus", 1);
+  EXPECT_THROW((void)mp::resolve_transport_kind(TransportKind::kDefault),
+               std::invalid_argument);
+  ::unsetenv("STANCE_TRANSPORT");
+  EXPECT_EQ(mp::resolve_transport_kind(TransportKind::kDefault),
+            TransportKind::kVirtual);
+  if (old) ::setenv("STANCE_TRANSPORT", saved.c_str(), 1);
+}
+
+// --- ShmRing lifecycle unit tests -------------------------------------------
+
+mp::RawMessage ring_msg(mp::Rank src, mp::Tag tag, int value) {
+  std::vector<int> v{value};
+  return mp::RawMessage{src, tag, mp::to_bytes(std::span<const int>(v)), 0.0};
+}
+
+TEST(ShmRing, PerSourceFifoWithInterleavedTags) {
+  mp::ShmRing ring(3);
+  ring.deposit(ring_msg(1, 5, 10));
+  ring.deposit(ring_msg(2, 5, 20));
+  ring.deposit(ring_msg(1, 6, 11));
+  ring.deposit(ring_msg(1, 5, 12));
+  EXPECT_EQ(mp::from_bytes<int>(ring.take(1, 6).payload)[0], 11);
+  EXPECT_EQ(mp::from_bytes<int>(ring.take(1, 5).payload)[0], 10);
+  EXPECT_EQ(mp::from_bytes<int>(ring.take(1, 5).payload)[0], 12);
+  EXPECT_EQ(mp::from_bytes<int>(ring.take(2, 5).payload)[0], 20);
+  EXPECT_EQ(ring.pending(), 0u);
+}
+
+TEST(ShmRing, ShutdownIsStickyAcrossClearUntilReset) {
+  mp::ShmRing ring(2);
+  ring.shutdown();
+  ring.clear();
+  ring.deposit(ring_msg(1, 1, 1));  // dropped: still down
+  EXPECT_EQ(ring.pending(), 0u);
+  EXPECT_THROW((void)ring.take(1, 1), mp::ClusterAborted);
+  ring.reset();
+  ring.deposit(ring_msg(1, 1, 2));
+  EXPECT_EQ(mp::from_bytes<int>(ring.take(1, 1).payload)[0], 2);
+}
+
+TEST(ShmRing, PoisonReleasesBlockedTakerWithTransportError) {
+  mp::ShmRing ring(2);
+  std::atomic<bool> got_error{false};
+  std::thread taker([&] {
+    try {
+      (void)ring.take(0, 1);
+    } catch (const mp::TransportError& e) {
+      got_error = std::string(e.what()).find("bad wire") != std::string::npos;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.poison("bad wire");
+  taker.join();
+  EXPECT_TRUE(got_error.load());
+  // Sticky across clear, revived by reset — and the first poison wins.
+  ring.poison("second reason");
+  ring.clear();
+  EXPECT_THROW((void)ring.take(0, 1), mp::TransportError);
+  ring.reset();
+  ring.deposit(ring_msg(0, 1, 3));
+  EXPECT_EQ(mp::from_bytes<int>(ring.take(0, 1).payload)[0], 3);
+}
+
+TEST(ShmRing, PoolPrefillAndRecycleRoundTrip) {
+  mp::ShmRing ring(2);
+  EXPECT_TRUE(ring.prefill(4, 64));
+  auto buffer = ring.acquire(64);
+  EXPECT_EQ(buffer.size(), 64u);
+  ring.recycle(std::move(buffer));
+  EXPECT_FALSE(ring.prefill(100000, 8));  // cap reported, not silently granted
+}
+
+}  // namespace
+}  // namespace stance
