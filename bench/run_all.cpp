@@ -1,8 +1,9 @@
 // Machine-readable perf trajectory: times the overhauled inspector/executor
-// hot paths against the frozen seed baseline (seed_baseline.hpp) and the
-// incremental rebuild against a from-scratch build, writing
-// BENCH_schedule.json and BENCH_remap.json. CI runs this with --small and
-// uploads the artifacts; developers run it bare for the paper-scale mesh.
+// hot paths against the frozen seed baseline (seed_baseline.hpp), the
+// incremental rebuild against a from-scratch build, and the kill-and-recover
+// cost breakdown, writing BENCH_schedule.json, BENCH_remap.json and
+// BENCH_recovery.json. CI runs this with --small and uploads the artifacts;
+// developers run it bare for the paper-scale mesh.
 //
 //   --small        4k mesh / reduced query counts (CI smoke)
 //   --repeats=N    best-of-N timing (default 5)
@@ -16,12 +17,15 @@
 #include "lb/adaptive_executor.hpp"
 #include "lb/delegate_balancer.hpp"
 #include "mp/cluster.hpp"
+#include "mp/fault.hpp"
 #include "partition/mcr.hpp"
 #include "sched/coalesce.hpp"
 #include "sched/incremental.hpp"
 #include "sched/localize.hpp"
 #include "sched/synthetic.hpp"
 #include "seed_baseline.hpp"
+#include "stance/recovery.hpp"
+#include "stance/session.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -556,6 +560,76 @@ void bench_adaptive_full_loop(bench::JsonReporter& report, bool small) {
             << ", oracle ok)\n";
 }
 
+/// Kill-one-rank-mid-run recovery (ISSUE 7): rank 2 dies two sweeps after a
+/// checkpoint, survivors detect, agree, shrink, rebuild, restore, and finish
+/// the job. Every reported cost is virtual (simulation output), so the
+/// detection / consensus / repartition / restore breakdown is
+/// bit-deterministic and sits under check_regression.py's tight gate. The
+/// byte-equivalence oracle from tests/test_recovery.cpp re-runs in-bench:
+/// the recovered answer must match a failure-free run on the survivor
+/// machine started from the restored checkpoint, or the bench exits 1.
+void bench_recovery(bench::JsonReporter& report, bool small) {
+  const std::size_t nprocs = 4;
+  const graph::Csr mesh = graph::random_delaunay(small ? 240 : 2000, 7);
+  const sim::MachineSpec machine = sim::MachineSpec::uniform(nprocs);
+
+  ResilientOptions opts;
+  opts.iterations = small ? 10 : 24;
+  opts.checkpoint_every = 4;
+  opts.detect_cost_seconds = 5e-4;
+  opts.cpu = sim::CpuCostModel::sun4();
+  opts.loop = exec::LoopCostModel::sun4();
+
+  // Deterministic kill point (same argument as the test oracle): after seven
+  // sweeps' worth of sends every rank has passed its iteration-4 save and
+  // none can commit iteration 8, so the run always resumes from 4.
+  const mp::Rank victim = 2;
+  const auto part = IntervalPartition::from_weights(
+      mesh.num_vertices(), std::vector<double>(nprocs, 1.0));
+  const auto fused = sched::inspect_fused(mesh, part, victim);
+  const std::size_t per_sweep = fused.sched.send_procs.size();
+  opts.faults.kills = {mp::KillRule{
+      .rank = victim, .after_sends = static_cast<std::int64_t>(7 * per_sweep)}};
+
+  const ResilientResult result = run_resilient(mesh, machine, opts);
+
+  // In-bench oracle.
+  std::vector<double> y0(static_cast<std::size_t>(mesh.num_vertices()));
+  for (graph::Vertex v = 0; v < mesh.num_vertices(); ++v) {
+    y0[static_cast<std::size_t>(v)] = Session::initial_value(v);
+  }
+  const auto at_checkpoint =
+      run_reference_from(mesh, machine, std::move(y0), result.resume_iteration, opts);
+  const auto expected =
+      run_reference_from(mesh, machine.subset(result.survivors), at_checkpoint,
+                         opts.iterations - result.resume_iteration, opts);
+  if (result.y != expected) {
+    std::cerr << "recovery: byte-equivalence oracle FAILED (recovered run "
+                 "diverged from the failure-free survivor run)\n";
+    std::exit(1);
+  }
+
+  report.entry("recovery_kill_midrun")
+      .field("mesh_vertices", static_cast<long long>(mesh.num_vertices()))
+      .field("ranks", nprocs)
+      .field("iterations", static_cast<long long>(opts.iterations))
+      .field("checkpoint_every", static_cast<long long>(opts.checkpoint_every))
+      .field("resume_iteration", static_cast<long long>(result.resume_iteration))
+      .field("checkpoints_committed",
+             static_cast<long long>(result.checkpoints_committed))
+      .field("detect_virtual_seconds", result.costs.detect_virtual_seconds)
+      .field("agree_virtual_seconds", result.costs.agree_virtual_seconds)
+      .field("rebuild_virtual_seconds", result.costs.rebuild_virtual_seconds)
+      .field("restore_virtual_seconds", result.costs.restore_virtual_seconds)
+      .field("checkpoint_virtual_seconds", result.costs.checkpoint_virtual_seconds)
+      .field("loop_virtual_seconds", result.loop_virtual_seconds);
+  std::cout << "recovery_kill_midrun: resumed from " << result.resume_iteration
+            << ", detect " << result.costs.detect_virtual_seconds << " s, agree "
+            << result.costs.agree_virtual_seconds << " s, rebuild "
+            << result.costs.rebuild_virtual_seconds << " s, restore "
+            << result.costs.restore_virtual_seconds << " s (oracle ok)\n";
+}
+
 void bench_remap(bench::JsonReporter& report, const graph::Csr& mesh, int deltas,
                  int repeats) {
   const std::size_t nprocs = 5;
@@ -611,5 +685,9 @@ int main(int argc, char** argv) {
   bench::JsonReporter remap_report;
   bench_remap(remap_report, mesh, small ? 5 : 20, repeats);
   remap_report.write(out_dir + "/BENCH_remap.json");
+
+  bench::JsonReporter recovery_report;
+  bench_recovery(recovery_report, small);
+  recovery_report.write(out_dir + "/BENCH_recovery.json");
   return 0;
 }

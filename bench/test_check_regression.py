@@ -212,11 +212,45 @@ class CheckRegressionTest(unittest.TestCase):
         self.assertTrue(any("virtual_speedup" in v for v in violations))
         self.assertFalse(any("control_virtual_seconds" in v for v in violations))
 
+    def test_recovery_cost_fields_are_virtual_gated(self):
+        # The BENCH_recovery.json cost breakdown (detect / agree / rebuild /
+        # restore / checkpoint) must fall under the tight virtual budget via
+        # the generic "virtual" predicate — no special-casing in the gate.
+        base = entry("recovery_kill_midrun",
+                     detect_virtual_seconds=1e-3,
+                     agree_virtual_seconds=1e-3,
+                     rebuild_virtual_seconds=1e-2,
+                     restore_virtual_seconds=1e-4,
+                     checkpoint_virtual_seconds=1e-4,
+                     loop_virtual_seconds=1e-1,
+                     resume_iteration=4)
+        self.write(self.baseline_dir, "BENCH.json", [base])
+        self.write(self.fresh_dir, "BENCH.json", [base])
+        self.assertEqual(self.check(), [])
+        worse = dict(base, agree_virtual_seconds=2e-3)
+        self.write(self.fresh_dir, "BENCH.json", [worse])
+        violations = self.check(tolerance=0.25)
+        self.assertEqual(len(violations), 1)
+        self.assertIn("agree_virtual_seconds", violations[0])
+
+    def test_recovery_diagnostics_stay_ungated(self):
+        # resume_iteration / checkpoints_committed are correctness
+        # diagnostics, not costs: a different (legitimate) kill point must
+        # not trip the perf gate.
+        self.write(self.baseline_dir, "BENCH.json",
+                   [entry("recovery_kill_midrun", resume_iteration=4,
+                          checkpoints_committed=1)])
+        self.write(self.fresh_dir, "BENCH.json",
+                   [entry("recovery_kill_midrun", resume_iteration=8,
+                          checkpoints_committed=2)])
+        self.assertEqual(self.check(), [])
+
     def test_committed_baselines_pass_against_themselves(self):
         # The repo's own committed baselines must be self-consistent: the
         # gate with baseline == fresh reports nothing.
         repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        for name in ("BENCH_schedule.json", "BENCH_remap.json"):
+        for name in ("BENCH_schedule.json", "BENCH_remap.json",
+                     "BENCH_recovery.json"):
             self.assertTrue(os.path.exists(os.path.join(repo_root, name)))
             self.assertEqual(
                 check_regression.check_file(name, repo_root, repo_root, 0.0),
@@ -235,6 +269,23 @@ class CheckRegressionTest(unittest.TestCase):
                       "virtual_speedup"):
             self.assertIn(field, loop)
         self.assertGreater(loop["virtual_speedup"], 1.0)
+
+    def test_committed_recovery_baseline_carries_the_cost_breakdown(self):
+        # The recovery bench is gate-enforced: the committed baseline must
+        # carry the full detection / consensus / repartition / restore
+        # breakdown, with each phase actually charged (non-zero).
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        entries = check_regression.load_entries(
+            os.path.join(repo_root, "BENCH_recovery.json"))
+        self.assertIn("recovery_kill_midrun", entries)
+        rec = entries["recovery_kill_midrun"]
+        for field in ("detect_virtual_seconds", "agree_virtual_seconds",
+                      "rebuild_virtual_seconds", "restore_virtual_seconds",
+                      "checkpoint_virtual_seconds", "loop_virtual_seconds"):
+            self.assertIn(field, rec)
+            self.assertGreater(rec[field], 0.0)
+        self.assertGreaterEqual(rec["resume_iteration"], 0)
+        self.assertGreaterEqual(rec["checkpoints_committed"], 1)
 
 
 if __name__ == "__main__":

@@ -1,6 +1,13 @@
 #include "mp/cluster.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 
 #include "mp/errors.hpp"
@@ -8,6 +15,16 @@
 #include "support/log.hpp"
 
 namespace stance::mp {
+namespace {
+
+/// Watchdog deadline for a whole run(), in wall milliseconds; <= 0 off.
+int env_run_deadline_ms() {
+  const char* env = std::getenv("STANCE_RUN_DEADLINE_MS");
+  if (env == nullptr || *env == '\0') return 0;
+  return static_cast<int>(std::strtol(env, nullptr, 10));
+}
+
+}  // namespace
 
 Cluster::Cluster(sim::MachineSpec spec, TransportKind transport)
     : Cluster(std::move(spec), NodeMap{}, transport) {}
@@ -32,8 +49,16 @@ Cluster::Cluster(sim::MachineSpec spec, NodeMap node_map, TransportKind transpor
 void Cluster::run(const std::function<void(Process&)>& body) {
   const int p = nprocs();
   std::vector<std::exception_ptr> failures(static_cast<std::size_t>(p));
+  std::vector<char> finished(static_cast<std::size_t>(p), 0);
+  // Per-rank lifecycle, readable from the watchdog thread while ranks run.
+  enum : int { kRunning = 0, kFinished, kKilled, kFailed };
+  std::unique_ptr<std::atomic<int>[]> states(new std::atomic<int>[static_cast<std::size_t>(p)]);
+  for (int r = 0; r < p; ++r) states[static_cast<std::size_t>(r)].store(kRunning);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
+
+  // Fault injection applies per run: install (or clear) before spawning.
+  transport_->set_fault_injector(injector_.get());
 
   // Processes live in a stable vector so threads can reference them.
   std::vector<std::unique_ptr<Process>> procs(static_cast<std::size_t>(p));
@@ -46,18 +71,83 @@ void Cluster::run(const std::function<void(Process&)>& body) {
     threads.emplace_back([&, r] {
       try {
         body(*procs[static_cast<std::size_t>(r)]);
+        finished[static_cast<std::size_t>(r)] = 1;
+        states[static_cast<std::size_t>(r)].store(kFinished);
+      } catch (const RankKilled&) {
+        // A rank death (fault injection or excommunication), not a program
+        // failure: the thread unwinds quietly and the survivors keep
+        // running — their blocked operations already raise PeerFailed.
+        states[static_cast<std::size_t>(r)].store(kKilled);
       } catch (...) {
         failures[static_cast<std::size_t>(r)] = std::current_exception();
+        states[static_cast<std::size_t>(r)].store(kFailed);
         // Release everyone blocked in recv/collectives so the cluster can
         // shut down instead of deadlocking.
         transport_->shutdown();
       }
     });
   }
+
+  // Watchdog: a wedged run (deadlocked test, failure detection disabled) is
+  // aborted after $STANCE_RUN_DEADLINE_MS wall milliseconds instead of
+  // hanging the suite forever.
+  std::mutex wd_mutex;
+  std::condition_variable wd_cv;
+  bool wd_done = false;
+  std::atomic<bool> wd_fired{false};
+  // Rank states captured at the moment of expiry, before shutdown() wakes the
+  // wedged ranks and turns "blocked" into "failed".
+  std::vector<int> wd_snapshot;
+  std::thread watchdog;
+  const int deadline_ms = env_run_deadline_ms();
+  if (deadline_ms > 0) {
+    watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> lock(wd_mutex);
+      if (wd_cv.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                         [&] { return wd_done; })) {
+        return;
+      }
+      wd_snapshot.resize(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        int s = states[static_cast<std::size_t>(r)].load();
+        if (s == kRunning && transport_->is_dead(r)) s = kKilled;
+        wd_snapshot[static_cast<std::size_t>(r)] = s;
+      }
+      wd_fired.store(true);
+      transport_->shutdown();
+    });
+  }
+
   for (auto& t : threads) t.join();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mutex);
+      wd_done = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
+  }
 
   for (int r = 0; r < p; ++r) {
     last_stats_[static_cast<std::size_t>(r)] = procs[static_cast<std::size_t>(r)]->stats();
+  }
+
+  if (wd_fired.load()) {
+    // Per-rank state dump: who finished, who died, who was still wedged when
+    // the deadline expired (not after shutdown released them).
+    std::string dump = "cluster run exceeded STANCE_RUN_DEADLINE_MS (" +
+                       std::to_string(deadline_ms) + " ms); rank states:";
+    for (int r = 0; r < p; ++r) {
+      const int s = wd_snapshot[static_cast<std::size_t>(r)];
+      const char* state = s == kFinished ? "finished"
+                          : s == kKilled ? "dead"
+                          : s == kFailed ? "failed"
+                                         : "blocked";
+      dump += "\n  rank " + std::to_string(r) + ": " + state + ", pending=" +
+              std::to_string(transport_->pending(r));
+    }
+    transport_->reset();
+    throw RunDeadlineExceeded(dump);
   }
 
   // Find the original failure: the lowest rank whose exception is not the
@@ -87,6 +177,9 @@ void Cluster::run(const std::function<void(Process&)>& body) {
   }
 
   for (int r = 0; r < p; ++r) {
+    // A dead rank legitimately leaves unconsumed messages behind (traffic
+    // addressed to it before it died); survivors must not.
+    if (transport_->is_dead(r)) continue;
     STANCE_ASSERT_MSG(transport_->pending(r) == 0,
                       "message left in a mailbox at end of SPMD run (missing recv)");
   }
@@ -117,6 +210,23 @@ void Cluster::reset_clocks() {
 
 void Cluster::set_delegates(std::span<const Rank> per_node) {
   node_map_.set_delegates(per_node);
+}
+
+void Cluster::set_fault_plan(FaultPlan plan) {
+  if (plan.empty()) {
+    injector_.reset();
+  } else {
+    injector_ = std::make_unique<FaultInjector>(std::move(plan));
+  }
+  transport_->set_fault_injector(injector_.get());
+}
+
+std::vector<Rank> Cluster::survivor_ranks() const {
+  std::vector<Rank> out;
+  for (int r = 0; r < nprocs(); ++r) {
+    if (!transport_->is_dead(r)) out.push_back(r);
+  }
+  return out;
 }
 
 void Cluster::set_profile(int rank, sim::LoadProfile profile) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "mp/comm_stats.hpp"
+#include "mp/fault.hpp"
 #include "mp/node_map.hpp"
 #include "mp/process.hpp"
 #include "mp/transport.hpp"
@@ -62,6 +63,12 @@ class Cluster {
 
   /// Run `body` as an SPMD program: one thread per node, each handed its
   /// Process. Returns when every rank finished; rethrows the first failure.
+  /// A rank that dies with RankKilled (fault injection or excommunication
+  /// by a failure detector) is recorded in dead_ranks() without failing the
+  /// run — surviving ranks keep executing (and are expected to recover via
+  /// Process::agree_on_survivors). When $STANCE_RUN_DEADLINE_MS is set, a
+  /// watchdog aborts a wedged run after that many wall milliseconds and
+  /// run() throws RunDeadlineExceeded carrying a per-rank state dump.
   void run(const std::function<void(Process&)>& body);
 
   /// Virtual finish time of each rank after the last run().
@@ -93,12 +100,30 @@ class Cluster {
 
   [[nodiscard]] const sim::VirtualClock& clock_of(int rank) const;
 
+  // --- fault injection & failure state --------------------------------------
+
+  /// Install a deterministic fault plan for subsequent run() calls (kill
+  /// rules fire at Process operations; frame rules act on transport
+  /// frames). An empty plan clears injection. Only between runs.
+  void set_fault_plan(FaultPlan plan);
+  [[nodiscard]] const FaultPlan* fault_plan() const noexcept {
+    return injector_ ? &injector_->plan() : nullptr;
+  }
+
+  /// Ranks declared dead during the last run() (ascending); empty when the
+  /// run was failure-free. Sticky until the next run() or reset.
+  [[nodiscard]] std::vector<Rank> dead_ranks() const { return transport_->dead_ranks(); }
+
+  /// Live complement of dead_ranks(), ascending.
+  [[nodiscard]] std::vector<Rank> survivor_ranks() const;
+
  private:
   sim::MachineSpec spec_;
   NodeMap node_map_;
   std::vector<sim::VirtualClock> clocks_;
   std::unique_ptr<Transport> transport_;
   std::vector<CommStats> last_stats_;
+  std::unique_ptr<FaultInjector> injector_;  ///< null: no injection
 };
 
 }  // namespace stance::mp

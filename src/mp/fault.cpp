@@ -1,0 +1,72 @@
+#include "mp/fault.hpp"
+
+#include "support/assert.hpp"
+
+namespace stance::mp {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      frame_matches_(plan_.frames.size()),
+      kill_fired_(plan_.kills.size()) {
+  for (auto& m : frame_matches_) m.store(0, std::memory_order_relaxed);
+  for (auto& f : kill_fired_) f.store(false, std::memory_order_relaxed);
+  for (const auto& rule : plan_.frames) {
+    STANCE_REQUIRE(rule.count != 0, "fault plan: frame rule with count 0 never fires");
+    if (rule.fault == FrameFault::kTruncate || rule.fault == FrameFault::kCorrupt) {
+      untrusts_ = true;
+    }
+  }
+  for (const auto& rule : plan_.kills) {
+    STANCE_REQUIRE(rule.rank >= 0, "fault plan: kill rule needs a concrete rank");
+    STANCE_REQUIRE(rule.after_sends >= 0 || rule.at_virtual_time >= 0.0,
+                   "fault plan: kill rule needs a send-count or virtual-time trigger");
+  }
+}
+
+bool FaultInjector::should_die(Rank rank, double now, std::uint64_t sends) {
+  for (std::size_t i = 0; i < plan_.kills.size(); ++i) {
+    const KillRule& rule = plan_.kills[i];
+    if (rule.rank != rank) continue;
+    const bool by_sends =
+        rule.after_sends >= 0 &&
+        static_cast<std::int64_t>(sends) >= rule.after_sends;
+    const bool by_time = rule.at_virtual_time >= 0.0 && now >= rule.at_virtual_time;
+    if (!by_sends && !by_time) continue;
+    // Fire exactly once even if the dying rank's unwinding re-enters an op.
+    bool expected = false;
+    if (kill_fired_[i].compare_exchange_strong(expected, true,
+                                               std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FrameAction FaultInjector::on_frame(Rank from, Rank to) {
+  FrameAction action;
+  for (std::size_t i = 0; i < plan_.frames.size(); ++i) {
+    const FrameRule& rule = plan_.frames[i];
+    if (rule.from >= 0 && rule.from != from) continue;
+    if (rule.to >= 0 && rule.to != to) continue;
+    const std::int64_t n = frame_matches_[i].fetch_add(1, std::memory_order_relaxed);
+    if (n < rule.after_nth) continue;
+    if (rule.count >= 0 && n >= rule.after_nth + rule.count) continue;
+    switch (rule.fault) {
+      case FrameFault::kDrop:
+        action.drop = true;
+        break;
+      case FrameFault::kDelay:
+        action.extra_delay += rule.delay_seconds;
+        break;
+      case FrameFault::kTruncate:
+        action.truncate_to = static_cast<std::ptrdiff_t>(rule.truncate_to);
+        break;
+      case FrameFault::kCorrupt:
+        action.corrupt = true;
+        break;
+    }
+  }
+  return action;
+}
+
+}  // namespace stance::mp

@@ -1,0 +1,102 @@
+// Deterministic fault injection for the transport layer.
+//
+// A FaultPlan describes what should go wrong and when; a FaultInjector is
+// the runtime hook the transports and Process consult to apply it. Two rule
+// families:
+//
+//   * KillRule   — a rank dies (fail-stop) when its send count or virtual
+//     clock reaches a threshold. Checked by Process at operation entry, so
+//     the kill point is the same operation index on every backend — the
+//     basis of the cross-transport recovery oracle.
+//   * FrameRule  — an outbound frame is dropped, delayed (extra virtual
+//     arrival latency), truncated, or corrupted in flight. Applied by the
+//     transport send paths; installing any truncate/corrupt rule flips the
+//     backend to untrusted so damaged payloads surface as TransportError
+//     instead of tripping internal assertions (the same promotion PR 6's
+//     TCP garbage-writing tests performed by hand, now on every backend).
+//
+// Determinism: per-rule match counters are per-(from,to) pair when both
+// endpoints are pinned, so a rule like "drop the 3rd frame from 1 to 2" hits
+// the same frame on every run; wildcard rules count matches across sender
+// threads and are only deterministic for single-sender traffic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mp/message.hpp"
+
+namespace stance::mp {
+
+enum class FrameFault : std::uint8_t { kDrop, kDelay, kTruncate, kCorrupt };
+
+/// Kill `rank` when one of the thresholds is reached (first one wins).
+struct KillRule {
+  Rank rank = -1;
+  std::int64_t after_sends = -1;   ///< die entering the op after this many sends (<0: off)
+  double at_virtual_time = -1.0;   ///< die when the rank's clock reaches this (<0: off)
+};
+
+/// Fault frames matching (from, to); -1 matches any rank. Skips the first
+/// `after_nth` matching frames, then faults the next `count` (-1 = all).
+struct FrameRule {
+  Rank from = -1;
+  Rank to = -1;
+  std::int64_t after_nth = 0;
+  std::int64_t count = 1;
+  FrameFault fault = FrameFault::kDrop;
+  double delay_seconds = 0.0;      ///< kDelay: added to the virtual arrival stamp
+  std::size_t truncate_to = 0;     ///< kTruncate: payload cut to this many bytes
+};
+
+struct FaultPlan {
+  std::vector<KillRule> kills;
+  std::vector<FrameRule> frames;
+
+  [[nodiscard]] bool empty() const noexcept { return kills.empty() && frames.empty(); }
+};
+
+/// What a send path must do to one frame.
+struct FrameAction {
+  bool drop = false;
+  bool corrupt = false;
+  double extra_delay = 0.0;
+  std::ptrdiff_t truncate_to = -1;  ///< -1: keep full size
+
+  [[nodiscard]] bool touched() const noexcept {
+    return drop || corrupt || extra_delay != 0.0 || truncate_to >= 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Process-side hook, called at operation entry: true exactly once for a
+  /// rank whose kill rule fired (the rank must then mark itself dead and
+  /// throw RankKilled).
+  [[nodiscard]] bool should_die(Rank rank, double now, std::uint64_t sends);
+
+  /// Transport-side hook: fold every matching frame rule into one action.
+  [[nodiscard]] FrameAction on_frame(Rank from, Rank to);
+
+  /// True when the plan contains payload-damaging rules: the hosting
+  /// transport must report itself untrusted so damage surfaces as
+  /// recoverable TransportError.
+  [[nodiscard]] bool untrusts() const noexcept { return untrusts_; }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<std::atomic<std::int64_t>> frame_matches_;  ///< per FrameRule
+  std::vector<std::atomic<bool>> kill_fired_;             ///< per KillRule
+  bool untrusts_ = false;
+};
+
+}  // namespace stance::mp

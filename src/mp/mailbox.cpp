@@ -6,10 +6,10 @@
 
 namespace stance::mp {
 
-void Mailbox::deposit(RawMessage msg) {
+void Mailbox::deposit(RawMessage msg, std::uint32_t epoch) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (down_) return;
+    if (down_ || poison_ || epoch < epoch_floor_) return;
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
@@ -18,6 +18,7 @@ void Mailbox::deposit(RawMessage msg) {
 RawMessage Mailbox::take(Rank source, Tag tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    if (poison_) poison_->raise();
     if (down_) throw ClusterAborted();
     const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const RawMessage& m) {
       return m.source == source && m.tag == tag;
@@ -33,6 +34,7 @@ RawMessage Mailbox::take(Rank source, Tag tag) {
 
 std::optional<RawMessage> Mailbox::try_take(Rank source, Tag tag) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (poison_) poison_->raise();
   if (down_) throw ClusterAborted();
   const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const RawMessage& m) {
     return m.source == source && m.tag == tag;
@@ -71,16 +73,38 @@ void Mailbox::shutdown() {
   cv_.notify_all();
 }
 
+void Mailbox::poison(FailNotice notice) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!poison_) poison_ = std::move(notice);
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::fence(std::uint32_t floor) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.clear();
+    poison_.reset();
+    epoch_floor_ = std::max(epoch_floor_, floor);
+    // down_ survives: the fence revives a *poisoned* mailbox for recovery,
+    // not a shut-down cluster.
+  }
+  cv_.notify_all();
+}
+
 void Mailbox::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   queue_.clear();
-  // down_ deliberately survives: shutdown is sticky until reset().
+  // down_/poison_ deliberately survive: failure state is sticky until reset().
 }
 
 void Mailbox::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   queue_.clear();
   down_ = false;
+  poison_.reset();
+  epoch_floor_ = 0;
 }
 
 }  // namespace stance::mp

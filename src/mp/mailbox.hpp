@@ -14,11 +14,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "mp/buffer_pool.hpp"
+#include "mp/errors.hpp"
 #include "mp/message.hpp"
 
 namespace stance::mp {
@@ -31,11 +33,14 @@ class Mailbox {
     pool_.reserve();
   }
 
-  /// Enqueue a message; never blocks. Safe from any thread.
-  void deposit(RawMessage msg);
+  /// Enqueue a message; never blocks. Safe from any thread. `epoch` is the
+  /// wire epoch the message was sent in: deposits below the fence() floor
+  /// are stale traffic from before a recovery and are dropped.
+  void deposit(RawMessage msg, std::uint32_t epoch = 0);
 
   /// Block until a message with this (source, tag) is available and return
-  /// it. Throws ClusterAborted after shutdown().
+  /// it. Throws ClusterAborted after shutdown(); raises the stored notice
+  /// after poison().
   RawMessage take(Rank source, Tag tag);
 
   /// Non-blocking variant; empty optional if no match is queued.
@@ -66,6 +71,17 @@ class Mailbox {
   /// immediately. deposit() becomes a no-op.
   void shutdown();
 
+  /// Mark the mailbox failed: blocked and future takers raise `notice`
+  /// (mp::PeerFailed for peer deaths). Sticky until reset() or fence(); the
+  /// first poison wins. Mirrors ShmRing::poison so the virtual backend has
+  /// the same failure surface as the real ones.
+  void poison(FailNotice notice);
+
+  /// Recovery epoch fence: drop every queued message, clear poison, and
+  /// only accept deposits with epoch >= `floor` from now on. Does NOT clear
+  /// shutdown (a down cluster stays down).
+  void fence(std::uint32_t floor);
+
   /// Drop queued messages. Shutdown is *sticky*: a mailbox that released
   /// blocked takers stays down across clear() so late deposits from a
   /// still-unwinding peer cannot be observed by the next run. Only reset()
@@ -86,6 +102,8 @@ class Mailbox {
   std::vector<RawMessage> queue_;
   BufferPool pool_;
   bool down_ = false;
+  std::optional<FailNotice> poison_;
+  std::uint32_t epoch_floor_ = 0;
 };
 
 }  // namespace stance::mp

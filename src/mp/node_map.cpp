@@ -57,6 +57,41 @@ std::vector<Rank> NodeMap::delegates() const {
   return out;
 }
 
+NodeMap NodeMap::shrink_to(std::span<const Rank> survivors) const {
+  STANCE_REQUIRE(!survivors.empty(), "shrink_to: need at least one survivor");
+  // Survivor nodes in ascending old-node order -> compacted new ids.
+  std::vector<int> new_node_of_old(static_cast<std::size_t>(nnodes()), -1);
+  int next_node = 0;
+  Rank prev = -1;
+  for (const Rank r : survivors) {
+    STANCE_REQUIRE(r > prev, "shrink_to: survivors must be ascending and unique");
+    STANCE_REQUIRE(r >= 0 && r < nprocs(), "shrink_to: survivor out of range");
+    prev = r;
+  }
+  std::vector<int> node_of_new;
+  node_of_new.reserve(survivors.size());
+  for (const Rank r : survivors) {
+    const int old_node = node_of(r);
+    if (new_node_of_old[static_cast<std::size_t>(old_node)] < 0) {
+      new_node_of_old[static_cast<std::size_t>(old_node)] = next_node++;
+    }
+    node_of_new.push_back(new_node_of_old[static_cast<std::size_t>(old_node)]);
+  }
+  NodeMap shrunk{std::move(node_of_new)};
+  // Delegate re-election: keep a surviving incumbent, else lowest survivor
+  // on the node (which is what the fresh map already elected).
+  for (int old_node = 0; old_node < nnodes(); ++old_node) {
+    const int new_node = new_node_of_old[static_cast<std::size_t>(old_node)];
+    if (new_node < 0) continue;  // node lost every rank
+    const Rank incumbent = delegate_of(old_node);
+    const auto it = std::find(survivors.begin(), survivors.end(), incumbent);
+    if (it == survivors.end()) continue;  // dead incumbent: default election
+    shrunk.set_delegate(new_node, static_cast<Rank>(it - survivors.begin()));
+  }
+  shrunk.generation_ = 0;  // fresh map: plans must be rebuilt regardless
+  return shrunk;
+}
+
 NodeMap NodeMap::one_rank_per_node(int nprocs) {
   STANCE_REQUIRE(nprocs > 0, "NodeMap: need at least one rank");
   std::vector<int> node_of(static_cast<std::size_t>(nprocs));

@@ -91,6 +91,15 @@ class NodeMap {
   /// True when every rank is alone on its node (coalescing is a no-op).
   [[nodiscard]] bool trivial() const noexcept { return nnodes() == nprocs(); }
 
+  /// Shrink-to-survivors: the map induced on `survivors` (ascending global
+  /// ranks), with ranks renumbered 0..n-1 in survivor order and node ids
+  /// compacted (a node whose every rank died disappears). Delegate
+  /// re-election per node: the incumbent delegate keeps the role when it
+  /// survived; otherwise the node's lowest surviving rank takes over — the
+  /// deterministic choice every survivor computes identically without
+  /// another message round.
+  [[nodiscard]] NodeMap shrink_to(std::span<const Rank> survivors) const;
+
  private:
   std::vector<int> node_of_;          ///< rank -> node
   std::vector<std::size_t> offsets_;  ///< CSR offsets into ranks_, size nnodes+1

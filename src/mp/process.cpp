@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "mp/errors.hpp"
+#include "mp/fault.hpp"
 
 namespace stance::mp {
 namespace {
@@ -25,8 +26,17 @@ Process::Process(Rank rank, int nprocs, sim::VirtualClock& clock, Transport& tra
   STANCE_ASSERT(nodes_.nprocs() == nprocs);
 }
 
+void Process::maybe_die() {
+  FaultInjector* injector = transport_.fault_injector();
+  if (injector == nullptr) return;
+  if (!injector->should_die(rank_, clock_.now(), stats_.messages_sent)) return;
+  transport_.mark_dead(rank_, FailCause::kKilled);
+  throw RankKilled(rank_);
+}
+
 void Process::compute(double work) {
   STANCE_REQUIRE(work >= 0.0, "compute: negative work");
+  maybe_die();
   const double before = clock_.now();
   clock_.advance_work(work);
   stats_.compute_seconds += clock_.now() - before;
@@ -35,6 +45,7 @@ void Process::compute(double work) {
 void Process::send_bytes(Rank dest, Tag tag, std::span<const std::byte> data) {
   STANCE_REQUIRE(dest >= 0 && dest < nprocs_, "send: destination out of range");
   STANCE_REQUIRE(dest != rank_, "send: cannot send to self");
+  maybe_die();
   const bool intra = nodes_.same_node(rank_, dest);
   const double before = clock_.now();
   // Protocol work runs on the (possibly loaded) CPU; a co-resident peer is
@@ -62,6 +73,7 @@ void Process::send_bytes(Rank dest, Tag tag, std::span<const std::byte> data) {
 RawMessage Process::recv_raw(Rank source, Tag tag) {
   STANCE_REQUIRE(source >= 0 && source < nprocs_, "recv: source out of range");
   STANCE_REQUIRE(source != rank_, "recv: cannot receive from self");
+  maybe_die();
   const double before = clock_.now();
   RawMessage msg = transport_.recv(rank_, source, tag);
   clock_.merge(msg.arrival);
@@ -118,8 +130,27 @@ void Process::set_delegates(std::span<const Rank> per_node) {
 }
 
 Rendezvous::Round Process::collective(std::vector<std::byte> blob) {
+  maybe_die();
   ++stats_.collectives;
   return transport_.collective(rank_, clock_.now(), std::move(blob));
+}
+
+Process::SurvivorSet Process::agree_on_survivors(double detect_cost_seconds) {
+  STANCE_REQUIRE(detect_cost_seconds >= 0.0,
+                 "agree_on_survivors: negative detection cost");
+  const double before = clock_.now();
+  clock_.advance_delay(detect_cost_seconds);
+  const auto agreement = transport_.agree_on_survivors(rank_, clock_.now());
+  // The agreement is a synchronization point: like any collective, every
+  // survivor leaves it at the common (latest) time, plus the consensus
+  // round-trips themselves.
+  clock_.merge(agreement.max_time);
+  const int nlive = static_cast<int>(agreement.survivors.size());
+  const int stages = ceil_log2(std::max(1, nlive));
+  clock_.advance_delay(2.0 * static_cast<double>(stages) *
+                       (net_.latency + net_.send_overhead + net_.recv_overhead));
+  stats_.comm_seconds += clock_.now() - before;
+  return SurvivorSet{agreement.survivors, agreement.epoch};
 }
 
 void Process::finish_collective(double max_time, std::size_t bytes) {
@@ -134,12 +165,14 @@ void Process::finish_collective(double max_time, std::size_t bytes) {
   stats_.comm_seconds += clock_.now() - before;
 }
 
-void Process::check_payload(bool ok, const char* what) const {
+void Process::check_payload(bool ok, const char* what, Rank source) const {
   if (ok) return;
   if (transport_.trusted()) {
     STANCE_ASSERT_MSG(false, what);
   }
-  throw TransportError(std::string(what) + " (malformed peer frame?)");
+  const int peer_node = source >= 0 ? nodes_.node_of(source) : -1;
+  throw TransportError(std::string(what) + " (malformed peer frame?)", source,
+                       peer_node, transport_.epoch(), FailCause::kPayloadMismatch);
 }
 
 }  // namespace stance::mp

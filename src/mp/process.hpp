@@ -88,7 +88,7 @@ class Process {
   template <WireType T>
   [[nodiscard]] T recv_value(Rank source, Tag tag) {
     auto v = recv<T>(source, tag);
-    check_payload(v.size() == 1, "recv_value expected exactly one element");
+    check_payload(v.size() == 1, "recv_value expected exactly one element", source);
     return v[0];
   }
 
@@ -100,7 +100,7 @@ class Process {
   void recv_into(Rank source, Tag tag, std::span<T> out) {
     RawMessage m = recv_raw(source, tag);
     check_payload(m.payload.size() == out.size_bytes(),
-                  "recv_into: message size mismatch");
+                  "recv_into: message size mismatch", source);
     if (!out.empty()) std::memcpy(out.data(), m.payload.data(), out.size_bytes());
     recycle(std::move(m));
   }
@@ -268,6 +268,25 @@ class Process {
     return incoming;
   }
 
+  // --- failure & recovery ----------------------------------------------------
+
+  /// Agreed post-failure membership, as seen by one surviving rank.
+  struct SurvivorSet {
+    std::vector<Rank> survivors;  ///< ascending; includes this rank
+    std::uint32_t epoch = 0;      ///< post-recovery wire epoch
+  };
+
+  /// Join the cluster-wide recovery collective after a PeerFailed: charge
+  /// `detect_cost_seconds` of virtual time for the detection itself (the
+  /// deadline the failure detector waited), agree on the survivor set with
+  /// every other live rank, and fence this rank's delivery queue. On return
+  /// ordinary communication works again among the survivors. Throws
+  /// RankKilled when this rank itself was declared dead.
+  [[nodiscard]] SurvivorSet agree_on_survivors(double detect_cost_seconds = 0.0);
+
+  /// Ranks the transport has declared dead so far (ascending).
+  [[nodiscard]] std::vector<Rank> dead_ranks() const { return transport_.dead_ranks(); }
+
  private:
   friend class Cluster;
 
@@ -286,8 +305,15 @@ class Process {
   /// Validate a received payload's shape. On a trusted transport a failure
   /// is an internal invariant (assert/abort); on an untrusted one (TCP) the
   /// bytes came off a real wire, so it surfaces as recoverable
-  /// mp::TransportError.
-  void check_payload(bool ok, const char* what) const;
+  /// mp::TransportError attributing `source` (when known) with
+  /// FailCause::kPayloadMismatch.
+  void check_payload(bool ok, const char* what, Rank source = -1) const;
+
+  /// Deterministic kill hook: every Process operation passes through here;
+  /// when the installed fault plan says this rank dies now (by virtual time
+  /// or send count), it is declared dead cluster-wide and its thread
+  /// unwinds with RankKilled.
+  void maybe_die();
 
   const Rank rank_;
   const int nprocs_;

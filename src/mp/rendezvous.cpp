@@ -2,36 +2,129 @@
 
 #include <algorithm>
 
-#include "mp/errors.hpp"
 #include "support/assert.hpp"
 
 namespace stance::mp {
 
-Rendezvous::Rendezvous(std::size_t nprocs) : nprocs_(nprocs), current_(nprocs) {
+Rendezvous::Rendezvous(std::size_t nprocs)
+    : nprocs_(nprocs),
+      current_(nprocs),
+      deposited_(nprocs, 0),
+      live_(nprocs, 1),
+      nlive_(nprocs) {
   STANCE_REQUIRE(nprocs > 0, "rendezvous needs at least one participant");
+}
+
+void Rendezvous::publish_locked() {
+  published_.blobs = std::move(current_);
+  published_.max_time = max_time_;
+  current_.assign(nprocs_, {});
+  std::fill(deposited_.begin(), deposited_.end(), 0);
+  arrived_ = 0;
+  max_time_ = 0.0;
+  ++generation_;
+  if (recovery_round_) {
+    // The survivors have rendezvoused about the failure; ordinary rounds
+    // resume for the shrunken live set.
+    failure_.reset();
+    recovery_round_ = false;
+  }
+  cv_.notify_all();
 }
 
 Rendezvous::Round Rendezvous::enter(Rank rank, double time, std::vector<std::byte> blob) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (down_) throw ClusterAborted();
   STANCE_ASSERT(rank >= 0 && static_cast<std::size_t>(rank) < nprocs_);
+  if (down_) throw ClusterAborted();
+  if (!live_[static_cast<std::size_t>(rank)]) throw RankKilled(rank);
+  if (failure_) failure_->raise();
   current_[static_cast<std::size_t>(rank)] = std::move(blob);
+  deposited_[static_cast<std::size_t>(rank)] = 1;
   max_time_ = std::max(max_time_, time);
   ++arrived_;
   const std::uint64_t my_generation = generation_;
-  if (arrived_ == nprocs_) {
-    published_.blobs = std::move(current_);
-    published_.max_time = max_time_;
-    current_.assign(nprocs_, {});
-    arrived_ = 0;
-    max_time_ = 0.0;
-    ++generation_;
-    cv_.notify_all();
+  if (arrived_ == nlive_) {
+    publish_locked();
     return published_;  // copy
   }
-  cv_.wait(lock, [&] { return generation_ != my_generation || down_; });
+  cv_.wait(lock, [&] {
+    return generation_ != my_generation || down_ || failure_ ||
+           !live_[static_cast<std::size_t>(rank)];
+  });
   if (down_) throw ClusterAborted();
+  if (!live_[static_cast<std::size_t>(rank)]) throw RankKilled(rank);
+  if (generation_ == my_generation && failure_) failure_->raise();
   return published_;  // copy
+}
+
+Rendezvous::Round Rendezvous::enter_recovery(Rank rank, double time,
+                                             std::vector<std::byte> blob) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  STANCE_ASSERT(rank >= 0 && static_cast<std::size_t>(rank) < nprocs_);
+  if (down_) throw ClusterAborted();
+  if (!live_[static_cast<std::size_t>(rank)]) throw RankKilled(rank);
+  STANCE_ASSERT_MSG(!deposited_[static_cast<std::size_t>(rank)],
+                    "rank entered a recovery round twice");
+  current_[static_cast<std::size_t>(rank)] = std::move(blob);
+  deposited_[static_cast<std::size_t>(rank)] = 1;
+  max_time_ = std::max(max_time_, time);
+  ++arrived_;
+  recovery_round_ = true;
+  const std::uint64_t my_generation = generation_;
+  if (arrived_ == nlive_) {
+    publish_locked();
+    return published_;  // copy
+  }
+  cv_.wait(lock, [&] {
+    return generation_ != my_generation || down_ ||
+           !live_[static_cast<std::size_t>(rank)];
+  });
+  if (down_) throw ClusterAborted();
+  if (!live_[static_cast<std::size_t>(rank)]) throw RankKilled(rank);
+  return published_;  // copy
+}
+
+void Rendezvous::mark_dead(Rank rank, FailNotice notice) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STANCE_ASSERT(rank >= 0 && static_cast<std::size_t>(rank) < nprocs_);
+  if (!live_[static_cast<std::size_t>(rank)]) return;
+  live_[static_cast<std::size_t>(rank)] = 0;
+  STANCE_ASSERT_MSG(nlive_ > 1, "rendezvous: every participant died");
+  --nlive_;
+  if (!failure_) failure_ = std::move(notice);
+  if (!recovery_round_) {
+    // Abandon the ordinary round in flight wholesale: its survivors wake on
+    // the failure notice and re-enter through the recovery protocol, so
+    // their stale deposits must not leak into the first recovery round.
+    current_.assign(nprocs_, {});
+    std::fill(deposited_.begin(), deposited_.end(), 0);
+    arrived_ = 0;
+    max_time_ = 0.0;
+    cv_.notify_all();
+    return;
+  }
+  if (deposited_[static_cast<std::size_t>(rank)]) {
+    deposited_[static_cast<std::size_t>(rank)] = 0;
+    current_[static_cast<std::size_t>(rank)] = {};
+    --arrived_;
+  }
+  if (arrived_ > 0 && arrived_ == nlive_) {
+    // The dead rank was the last straggler of an in-flight recovery round:
+    // close it for the survivors.
+    publish_locked();
+    return;
+  }
+  cv_.notify_all();
+}
+
+std::vector<Rank> Rendezvous::live_ranks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Rank> out;
+  out.reserve(nlive_);
+  for (std::size_t r = 0; r < nprocs_; ++r) {
+    if (live_[r]) out.push_back(static_cast<Rank>(r));
+  }
+  return out;
 }
 
 void Rendezvous::shutdown() {
@@ -45,18 +138,26 @@ void Rendezvous::shutdown() {
 void Rendezvous::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   current_.assign(nprocs_, {});
+  std::fill(deposited_.begin(), deposited_.end(), 0);
   arrived_ = 0;
   max_time_ = 0.0;
   published_ = Round{};
-  // down_ deliberately survives: shutdown is sticky until reset().
+  recovery_round_ = false;
+  // down_/live_/failure_ deliberately survive: shutdown and death are sticky
+  // until reset().
 }
 
 void Rendezvous::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   current_.assign(nprocs_, {});
+  std::fill(deposited_.begin(), deposited_.end(), 0);
+  std::fill(live_.begin(), live_.end(), 1);
+  nlive_ = nprocs_;
   arrived_ = 0;
   max_time_ = 0.0;
   published_ = Round{};
+  failure_.reset();
+  recovery_round_ = false;
   down_ = false;
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "mp/errors.hpp"
 #include "support/assert.hpp"
 
 namespace stance::mp {
@@ -12,10 +11,10 @@ ShmRing::ShmRing(int nprocs) : lanes_(static_cast<std::size_t>(nprocs)) {
   pool_.reserve();
 }
 
-void ShmRing::deposit(RawMessage msg) {
+void ShmRing::deposit(RawMessage msg, std::uint32_t epoch) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (down_ || !poison_.empty()) return;
+    if (down_ || poison_ || epoch < epoch_floor_) return;
     STANCE_ASSERT(msg.source >= 0 &&
                   static_cast<std::size_t>(msg.source) < lanes_.size());
     lanes_[static_cast<std::size_t>(msg.source)].push_back(std::move(msg));
@@ -30,7 +29,7 @@ RawMessage ShmRing::take(Rank source, Tag tag) {
   auto& lane = lanes_[static_cast<std::size_t>(source)];
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    if (!poison_.empty()) throw TransportError(poison_);
+    if (poison_) poison_->raise();
     if (down_) throw ClusterAborted();
     const auto it = std::find_if(lane.begin(), lane.end(), [&](const RawMessage& m) {
       return m.tag == tag;
@@ -42,6 +41,42 @@ RawMessage ShmRing::take(Rank source, Tag tag) {
       return msg;
     }
     cv_.wait(lock);
+  }
+}
+
+std::optional<RawMessage> ShmRing::take_for(Rank source, Tag tag,
+                                            std::chrono::milliseconds timeout) {
+  STANCE_REQUIRE(source >= 0 && static_cast<std::size_t>(source) < lanes_.size(),
+                 "ring take: source out of range");
+  auto& lane = lanes_[static_cast<std::size_t>(source)];
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (poison_) poison_->raise();
+    if (down_) throw ClusterAborted();
+    const auto it = std::find_if(lane.begin(), lane.end(), [&](const RawMessage& m) {
+      return m.tag == tag;
+    });
+    if (it != lane.end()) {
+      RawMessage msg = std::move(*it);
+      lane.erase(it);
+      --pending_;
+      return msg;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Recheck once: the state may have changed while we timed out.
+      if (poison_) poison_->raise();
+      if (down_) throw ClusterAborted();
+      const auto again = std::find_if(lane.begin(), lane.end(),
+                                      [&](const RawMessage& m) { return m.tag == tag; });
+      if (again != lane.end()) {
+        RawMessage msg = std::move(*again);
+        lane.erase(again);
+        --pending_;
+        return msg;
+      }
+      return std::nullopt;
+    }
   }
 }
 
@@ -73,10 +108,23 @@ void ShmRing::shutdown() {
   cv_.notify_all();
 }
 
-void ShmRing::poison(const std::string& why) {
+void ShmRing::poison(FailNotice notice) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (poison_.empty()) poison_ = why;
+    if (!poison_) poison_ = std::move(notice);
+  }
+  cv_.notify_all();
+}
+
+void ShmRing::fence(std::uint32_t floor) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& lane : lanes_) lane.clear();
+    pending_ = 0;
+    poison_.reset();
+    epoch_floor_ = std::max(epoch_floor_, floor);
+    // down_ survives: the fence revives a *poisoned* ring for recovery, not
+    // a shut-down cluster.
   }
   cv_.notify_all();
 }
@@ -93,7 +141,8 @@ void ShmRing::reset() {
   for (auto& lane : lanes_) lane.clear();
   pending_ = 0;
   down_ = false;
-  poison_.clear();
+  poison_.reset();
+  epoch_floor_ = 0;
 }
 
 }  // namespace stance::mp

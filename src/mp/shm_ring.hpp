@@ -7,20 +7,29 @@
 // ranks deposit directly; the TCP backend's reader threads deposit frames
 // received from remote nodes.
 //
-// Lifecycle mirrors Mailbox with one addition: poison() marks the ring
-// failed with a diagnostic (a malformed wire frame, a dead socket) and
-// releases blocked takers with mp::TransportError instead of
-// ClusterAborted. Both shutdown and poison are sticky until reset().
+// Lifecycle mirrors Mailbox with two additions. poison() marks the ring
+// failed with a structured FailNotice (a malformed wire frame, a dead
+// socket, a dead peer) and releases blocked takers with the notice's
+// exception (mp::PeerFailed / mp::TransportError) instead of
+// ClusterAborted; both shutdown and poison are sticky until reset().
+// fence() is the recovery path's epoch fence: it purges queued messages,
+// revives a poisoned ring, and raises the ring's epoch floor so stale
+// deposits racing the fence (a TCP reader draining a dead run's socket)
+// are dropped instead of leaking into the recovered run.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "mp/buffer_pool.hpp"
+#include "mp/errors.hpp"
 #include "mp/message.hpp"
 
 namespace stance::mp {
@@ -32,13 +41,21 @@ class ShmRing {
 
   /// Enqueue a message on its source's lane; never blocks (buffered send).
   /// Dropped silently after shutdown(); dropped after poison() too — the
-  /// taker side reports the failure.
-  void deposit(RawMessage msg);
+  /// taker side reports the failure. `epoch` is the wire epoch the message
+  /// was sent in: deposits below the fence() floor are stale traffic from
+  /// before a recovery and are dropped.
+  void deposit(RawMessage msg, std::uint32_t epoch = 0);
 
   /// Block until a message with this (source, tag) is available and return
-  /// it. Throws ClusterAborted after shutdown(), TransportError after
-  /// poison().
+  /// it. Throws ClusterAborted after shutdown(); raises the stored notice
+  /// after poison().
   RawMessage take(Rank source, Tag tag);
+
+  /// Bounded-wait take: wait at most `timeout` for a match. Empty optional
+  /// on timeout (the caller owns retry/backoff/liveness policy); the same
+  /// exceptions as take() on shutdown/poison.
+  std::optional<RawMessage> take_for(Rank source, Tag tag,
+                                     std::chrono::milliseconds timeout);
 
   /// Payload buffer management — same pooling contract as Mailbox.
   [[nodiscard]] std::vector<std::byte> acquire(std::size_t size);
@@ -51,14 +68,30 @@ class ShmRing {
   /// Release blocked takers with ClusterAborted; sticky until reset().
   void shutdown();
 
-  /// Mark the ring failed: blocked and future takers throw
-  /// TransportError(why). Sticky until reset(); the first poison wins.
-  void poison(const std::string& why);
+  /// Mark the ring failed: blocked and future takers raise `notice`.
+  /// Sticky until reset() or fence(); the first poison wins.
+  void poison(FailNotice notice);
+
+  /// Convenience for unattributed failures (legacy call sites, tests).
+  void poison(const std::string& why) {
+    poison(FailNotice{.what = why,
+                      .peer = -1,
+                      .peer_node = -1,
+                      .epoch = 0,
+                      .cause = FailCause::kUnknown,
+                      .peer_failed = false});
+  }
+
+  /// Recovery epoch fence: drop every queued message, clear poison, and
+  /// only accept deposits with epoch >= `floor` from now on. Does NOT clear
+  /// shutdown (a down cluster stays down).
+  void fence(std::uint32_t floor);
 
   /// Drop queued messages; shutdown/poison state survives (sticky).
   void clear();
 
-  /// Drop queued messages and revive the ring (pool survives).
+  /// Drop queued messages and revive the ring (pool survives; the epoch
+  /// floor resets to accept-everything).
   void reset();
 
  private:
@@ -68,7 +101,8 @@ class ShmRing {
   std::size_t pending_ = 0;
   BufferPool pool_;
   bool down_ = false;
-  std::string poison_;  ///< non-empty => failed
+  std::optional<FailNotice> poison_;
+  std::uint32_t epoch_floor_ = 0;
 };
 
 }  // namespace stance::mp

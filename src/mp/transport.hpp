@@ -24,11 +24,28 @@
 // are control-plane synchronization whose cost Process models explicitly
 // (finish_collective), so distributing them buys no fidelity for this
 // simulator's experiments.
+//
+// Failure model (fail-stop): the base class owns the membership state every
+// backend shares. mark_dead() declares a rank dead — it is excluded from
+// collectives, its queued messages are dropped, and every blocked operation
+// cluster-wide raises mp::PeerFailed naming it. Survivors then run
+// agree_on_survivors(), a two-round epoch-fenced recovery collective:
+// round 1 agrees on the member set, each survivor fences its own delivery
+// queue (purging pre-failure traffic; the epoch floor drops stale frames a
+// TCP reader may still be draining), and round 2 acknowledges the fence so
+// no survivor resumes sending before every queue is clean. Deterministic
+// fault injection (FaultPlan) and real failure detection (receive deadlines
+// with liveness-stamp heartbeats, $STANCE_PEER_TIMEOUT_MS) both funnel into
+// this one mark_dead/agree path.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <vector>
 
 #include "mp/message.hpp"
 #include "mp/rendezvous.hpp"
@@ -36,6 +53,8 @@
 namespace stance::mp {
 
 class NodeMap;
+class FaultInjector;
+class ShmRing;
 
 enum class TransportKind {
   kDefault,  ///< resolve from $STANCE_TRANSPORT (virtual|shm|tcp); virtual if unset
@@ -57,17 +76,22 @@ class Transport {
   /// True when every frame this transport delivers was produced inside this
   /// process: size mismatches on receive are then internal invariants
   /// (assertions). Untrusted backends (TCP) must instead surface them as
-  /// recoverable mp::TransportError.
+  /// recoverable mp::TransportError. A fault injector with payload-damaging
+  /// rules makes ANY backend untrusted (its frames really may be wrong).
   [[nodiscard]] virtual bool trusted() const noexcept = 0;
 
   /// Deliver `data` from rank `from` to rank `to` under `tag`, stamped with
   /// the virtual `arrival` time Process computed. Buffered: never blocks on
-  /// the receiver. Preserves FIFO order per (from, tag).
+  /// the receiver. Preserves FIFO order per (from, tag). Raises the pending
+  /// PeerFailed while a failure is being recovered (a survivor must join
+  /// the recovery before it may keep sending).
   virtual void send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
                     double arrival) = 0;
 
   /// Block until a message from `from` with `tag` is available for `self`.
-  /// Throws ClusterAborted after shutdown(), TransportError on failure.
+  /// Throws ClusterAborted after shutdown(), TransportError/PeerFailed on
+  /// failure. Backends with real waiting (shm/tcp) honor the peer timeout:
+  /// a silent peer is declared dead (mark_dead) and raised as PeerFailed.
   [[nodiscard]] virtual RawMessage recv(Rank self, Rank from, Tag tag) = 0;
 
   /// Return a consumed payload buffer to `self`'s receive pool.
@@ -82,9 +106,10 @@ class Transport {
   /// TCP backend are not counted until their reader deposits them).
   [[nodiscard]] virtual std::size_t pending(Rank self) const = 0;
 
-  /// All-to-all rendezvous implementing the collectives.
+  /// All-to-all rendezvous implementing the collectives. Completes over the
+  /// live member set; raises PeerFailed while a failure is pending.
   [[nodiscard]] virtual Rendezvous::Round collective(Rank self, double time,
-                                                     std::vector<std::byte> blob) = 0;
+                                                     std::vector<std::byte> blob);
 
   /// Release every blocked receive/collective with ClusterAborted. Sticky:
   /// the transport stays down until reset().
@@ -92,10 +117,112 @@ class Transport {
 
   /// Drop queued messages and revive after an aborted run (receive pools
   /// survive; the TCP backend also fences out stale in-flight frames).
+  /// Also revives dead ranks and clears any pending failure.
   virtual void reset() = 0;
 
+  // --- failure detection & recovery ----------------------------------------
+
+  /// Install (or clear, with nullptr) the deterministic fault injector. Not
+  /// owned. Must not be swapped while an SPMD run is in flight.
+  void set_fault_injector(FaultInjector* injector) noexcept { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept { return injector_; }
+
+  /// Declare `rank` dead (fail-stop): drop its queued messages, exclude it
+  /// from collectives, and release every blocked operation cluster-wide
+  /// with PeerFailed{rank, epoch, cause}. Also bumps the wire epoch so
+  /// in-flight frames from before the failure are fenced out. Idempotent.
+  void mark_dead(Rank rank, FailCause cause);
+
+  /// Ranks declared dead since construction/reset, ascending.
+  [[nodiscard]] std::vector<Rank> dead_ranks() const;
+  [[nodiscard]] bool is_dead(Rank rank) const;
+
+  /// Current wire epoch (bumped by mark_dead and reset).
+  [[nodiscard]] std::uint32_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  struct SurvivorAgreement {
+    std::vector<Rank> survivors;  ///< ascending; includes the caller
+    double max_time = 0.0;        ///< latest clock among survivors at entry
+    std::uint32_t epoch = 0;      ///< post-recovery wire epoch
+  };
+
+  /// The recovery collective: blocks until every live rank has called it,
+  /// agrees on the survivor set, epoch-fences every survivor's delivery
+  /// queue, and acknowledges the fence (two rendezvous rounds). After it
+  /// returns the transport is clean: no pre-failure traffic can be
+  /// delivered, and ordinary sends/collectives work again among the
+  /// survivors. Throws RankKilled when the caller itself was declared dead
+  /// (excommunicated by a peer's failure detector).
+  [[nodiscard]] SurvivorAgreement agree_on_survivors(Rank self, double time);
+
+  /// Receive deadline for the real backends, in milliseconds; <= 0 disables
+  /// (block forever). Initialized from $STANCE_PEER_TIMEOUT_MS. A blocked
+  /// receive whose peer's liveness stamp stops advancing for a full
+  /// deadline (checked with bounded exponential-backoff waits) declares the
+  /// peer dead. The virtual backend ignores it (deterministic oracle).
+  void set_peer_timeout_ms(int ms) noexcept { peer_timeout_ms_ = ms; }
+  [[nodiscard]] int peer_timeout_ms() const noexcept { return peer_timeout_ms_; }
+
  protected:
-  Transport() = default;
+  explicit Transport(int nprocs);
+
+  /// Backend hook: poison every delivery queue with `notice` and drop the
+  /// dead rank's queued messages (called by mark_dead, any thread).
+  virtual void fail_local(const FailNotice& notice) = 0;
+
+  /// Backend hook: fence `self`'s delivery queue — purge it, clear poison,
+  /// raise its epoch floor (called from agree_on_survivors).
+  virtual void fence_local(Rank self, std::uint32_t floor) = 0;
+
+  /// Send-path guard, called by every backend send before depositing
+  /// anything: stamps `from`'s liveness, throws RankKilled when `from` was
+  /// declared dead (an excommunicated rank must not pollute survivors'
+  /// queues), and raises the pending PeerFailed while a failure is being
+  /// recovered. Steady-state cost is one relaxed atomic load.
+  void guard_send(Rank from);
+
+  /// Reset the shared failure state (dead set, pending notice, rendezvous
+  /// membership) and bump the wire epoch; backends call this from reset().
+  void reset_base();
+
+  /// True when an installed fault plan contains payload-damaging rules;
+  /// backends fold this into trusted().
+  [[nodiscard]] bool injector_untrusts() const noexcept;
+
+  /// Apply the installed frame-fault rules to one outbound frame. Returns
+  /// false when the frame must be dropped; may redirect `data` to a
+  /// truncated/corrupted copy in `scratch` and add virtual delay to
+  /// `arrival`.
+  bool apply_frame_faults(Rank from, Rank to, std::span<const std::byte>& data,
+                          double& arrival, std::vector<std::byte>& scratch);
+
+  /// Liveness heartbeat: every transport operation stamps its rank.
+  void heartbeat(Rank rank) noexcept {
+    liveness_[static_cast<std::size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Deadline-honoring take for ring-based backends: blocks like
+  /// ShmRing::take when no deadline is set; otherwise waits in bounded
+  /// exponentially-backed-off slices, re-arming whenever `from`'s liveness
+  /// stamp advances, and declares `from` dead when a full deadline passes
+  /// without progress.
+  RawMessage deadline_take(ShmRing& ring, Rank self, Rank from, Tag tag);
+
+  const int nprocs_;
+  Rendezvous rendezvous_;
+
+ private:
+  FaultInjector* injector_ = nullptr;
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<bool> fail_pending_{false};
+  std::atomic<bool> any_dead_{false};
+  mutable std::mutex dead_mutex_;
+  std::vector<char> dead_;
+  FailNotice pending_notice_;  ///< valid while fail_pending_
+  std::unique_ptr<std::atomic<std::uint64_t>[]> liveness_;
+  int peer_timeout_ms_ = 0;
 };
 
 /// Resolve kDefault to a concrete backend via $STANCE_TRANSPORT

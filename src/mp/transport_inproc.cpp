@@ -9,20 +9,25 @@ namespace stance::mp {
 // --- VirtualTransport -------------------------------------------------------
 
 VirtualTransport::VirtualTransport(int nprocs)
-    : boxes_(static_cast<std::size_t>(nprocs)),
-      rendezvous_(static_cast<std::size_t>(nprocs)) {
-  STANCE_REQUIRE(nprocs > 0, "transport needs at least one rank");
-}
+    : Transport(nprocs), boxes_(static_cast<std::size_t>(nprocs)) {}
 
 void VirtualTransport::send(Rank from, Rank to, Tag tag,
                             std::span<const std::byte> data, double arrival) {
+  // Epoch is read BEFORE the failure guard: a send racing a mark_dead either
+  // sees the failure here, or carries the pre-bump epoch and is dropped by
+  // the receiver's fence floor.
+  const std::uint32_t e = epoch();
+  guard_send(from);
+  std::vector<std::byte> scratch;
+  if (!apply_frame_faults(from, to, data, arrival, scratch)) return;
   Mailbox& box = boxes_[static_cast<std::size_t>(to)];
   std::vector<std::byte> payload = box.acquire(data.size());
   std::copy(data.begin(), data.end(), payload.begin());
-  box.deposit(RawMessage{from, tag, std::move(payload), arrival});
+  box.deposit(RawMessage{from, tag, std::move(payload), arrival}, e);
 }
 
 RawMessage VirtualTransport::recv(Rank self, Rank from, Tag tag) {
+  heartbeat(self);
   return boxes_[static_cast<std::size_t>(self)].take(from, tag);
 }
 
@@ -38,11 +43,6 @@ std::size_t VirtualTransport::pending(Rank self) const {
   return boxes_[static_cast<std::size_t>(self)].pending();
 }
 
-Rendezvous::Round VirtualTransport::collective(Rank self, double time,
-                                               std::vector<std::byte> blob) {
-  return rendezvous_.enter(self, time, std::move(blob));
-}
-
 void VirtualTransport::shutdown() {
   for (auto& box : boxes_) box.shutdown();
   rendezvous_.shutdown();
@@ -50,26 +50,37 @@ void VirtualTransport::shutdown() {
 
 void VirtualTransport::reset() {
   for (auto& box : boxes_) box.reset();
-  rendezvous_.reset();
+  reset_base();
+}
+
+void VirtualTransport::fail_local(const FailNotice& notice) {
+  for (auto& box : boxes_) box.poison(notice);
+}
+
+void VirtualTransport::fence_local(Rank self, std::uint32_t floor) {
+  boxes_[static_cast<std::size_t>(self)].fence(floor);
 }
 
 // --- ShmTransport -----------------------------------------------------------
 
-ShmTransport::ShmTransport(int nprocs) : rendezvous_(static_cast<std::size_t>(nprocs)) {
-  STANCE_REQUIRE(nprocs > 0, "transport needs at least one rank");
+ShmTransport::ShmTransport(int nprocs) : Transport(nprocs) {
   for (int r = 0; r < nprocs; ++r) rings_.emplace_back(nprocs);
 }
 
 void ShmTransport::send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
                         double arrival) {
+  const std::uint32_t e = epoch();
+  guard_send(from);
+  std::vector<std::byte> scratch;
+  if (!apply_frame_faults(from, to, data, arrival, scratch)) return;
   ShmRing& ring = rings_[static_cast<std::size_t>(to)];
   std::vector<std::byte> payload = ring.acquire(data.size());
   std::copy(data.begin(), data.end(), payload.begin());
-  ring.deposit(RawMessage{from, tag, std::move(payload), arrival});
+  ring.deposit(RawMessage{from, tag, std::move(payload), arrival}, e);
 }
 
 RawMessage ShmTransport::recv(Rank self, Rank from, Tag tag) {
-  return rings_[static_cast<std::size_t>(self)].take(from, tag);
+  return deadline_take(rings_[static_cast<std::size_t>(self)], self, from, tag);
 }
 
 void ShmTransport::recycle(Rank self, std::vector<std::byte> buffer) {
@@ -84,11 +95,6 @@ std::size_t ShmTransport::pending(Rank self) const {
   return rings_[static_cast<std::size_t>(self)].pending();
 }
 
-Rendezvous::Round ShmTransport::collective(Rank self, double time,
-                                           std::vector<std::byte> blob) {
-  return rendezvous_.enter(self, time, std::move(blob));
-}
-
 void ShmTransport::shutdown() {
   for (auto& ring : rings_) ring.shutdown();
   rendezvous_.shutdown();
@@ -96,7 +102,15 @@ void ShmTransport::shutdown() {
 
 void ShmTransport::reset() {
   for (auto& ring : rings_) ring.reset();
-  rendezvous_.reset();
+  reset_base();
+}
+
+void ShmTransport::fail_local(const FailNotice& notice) {
+  for (auto& ring : rings_) ring.poison(notice);
+}
+
+void ShmTransport::fence_local(Rank self, std::uint32_t floor) {
+  rings_[static_cast<std::size_t>(self)].fence(floor);
 }
 
 }  // namespace stance::mp

@@ -1,11 +1,13 @@
 // In-process transport backends.
 //
 // VirtualTransport is the original simulator plumbing — per-rank Mailboxes
-// plus a shared Rendezvous — kept bit-identical as the deterministic
+// plus the shared Rendezvous — kept bit-identical as the deterministic
 // oracle. ShmTransport is the co-resident half of the real transport run
 // standalone: per-rank ShmRing lanes for every rank pair, exercising the
 // exact deposit/take structures the TCP backend uses for intra-node
-// traffic, without any sockets.
+// traffic, without any sockets. ShmTransport honors the peer receive
+// deadline (a silent peer is declared dead); the virtual backend blocks
+// forever by design, so hangs there are the watchdog's job.
 #pragma once
 
 #include <deque>
@@ -25,7 +27,7 @@ class VirtualTransport final : public Transport {
   [[nodiscard]] TransportKind kind() const noexcept override {
     return TransportKind::kVirtual;
   }
-  [[nodiscard]] bool trusted() const noexcept override { return true; }
+  [[nodiscard]] bool trusted() const noexcept override { return !injector_untrusts(); }
 
   void send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
             double arrival) override;
@@ -33,14 +35,15 @@ class VirtualTransport final : public Transport {
   void recycle(Rank self, std::vector<std::byte> buffer) override;
   [[nodiscard]] bool prefill(Rank self, std::size_t count, std::size_t bytes) override;
   [[nodiscard]] std::size_t pending(Rank self) const override;
-  [[nodiscard]] Rendezvous::Round collective(Rank self, double time,
-                                             std::vector<std::byte> blob) override;
   void shutdown() override;
   void reset() override;
 
+ protected:
+  void fail_local(const FailNotice& notice) override;
+  void fence_local(Rank self, std::uint32_t floor) override;
+
  private:
   std::vector<Mailbox> boxes_;
-  Rendezvous rendezvous_;
 };
 
 class ShmTransport final : public Transport {
@@ -51,7 +54,7 @@ class ShmTransport final : public Transport {
   [[nodiscard]] TransportKind kind() const noexcept override {
     return TransportKind::kShm;
   }
-  [[nodiscard]] bool trusted() const noexcept override { return true; }
+  [[nodiscard]] bool trusted() const noexcept override { return !injector_untrusts(); }
 
   void send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
             double arrival) override;
@@ -59,14 +62,15 @@ class ShmTransport final : public Transport {
   void recycle(Rank self, std::vector<std::byte> buffer) override;
   [[nodiscard]] bool prefill(Rank self, std::size_t count, std::size_t bytes) override;
   [[nodiscard]] std::size_t pending(Rank self) const override;
-  [[nodiscard]] Rendezvous::Round collective(Rank self, double time,
-                                             std::vector<std::byte> blob) override;
   void shutdown() override;
   void reset() override;
 
+ protected:
+  void fail_local(const FailNotice& notice) override;
+  void fence_local(Rank self, std::uint32_t floor) override;
+
  private:
   std::deque<ShmRing> rings_;  ///< deque: ShmRing is pinned (mutex/cv members)
-  Rendezvous rendezvous_;
 };
 
 }  // namespace stance::mp

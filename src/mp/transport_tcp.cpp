@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "mp/errors.hpp"
 #include "mp/node_map.hpp"
@@ -16,6 +18,8 @@
 
 namespace stance::mp {
 namespace {
+
+constexpr int kWriteRetries = 3;
 
 /// Read exactly `len` bytes; false on EOF or unrecoverable error.
 bool read_exact(int fd, void* buf, std::size_t len) {
@@ -33,21 +37,24 @@ bool read_exact(int fd, void* buf, std::size_t len) {
   return true;
 }
 
-/// Write exactly `len` bytes; throws TransportError on failure. MSG_NOSIGNAL
+/// Write exactly `len` bytes; false on unrecoverable error, with the bytes
+/// already on the wire accumulated into `progress` (a partially-written
+/// frame has desynced the stream and must NOT be retried). MSG_NOSIGNAL
 /// turns a write to a closed peer into EPIPE instead of killing the process.
-void write_exact(int fd, const void* buf, std::size_t len) {
+bool write_exact(int fd, const void* buf, std::size_t len, std::size_t& progress) {
   const auto* p = static_cast<const char*>(buf);
   while (len > 0) {
     const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n > 0) {
       p += n;
       len -= static_cast<std::size_t>(n);
+      progress += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    throw TransportError(std::string("tcp transport: wire write failed: ") +
-                         std::strerror(errno));
+    return false;
   }
+  return true;
 }
 
 void set_nodelay(int fd) {
@@ -62,11 +69,9 @@ void close_quietly(int fd) {
 }  // namespace
 
 TcpTransport::TcpTransport(int nprocs, const NodeMap& nodes)
-    : nprocs_(nprocs),
+    : Transport(nprocs),
       nnodes_(nodes.nnodes()),
-      rendezvous_(static_cast<std::size_t>(nprocs)),
       links_(static_cast<std::size_t>(nnodes_) * static_cast<std::size_t>(nnodes_)) {
-  STANCE_REQUIRE(nprocs > 0, "transport needs at least one rank");
   STANCE_REQUIRE(nodes.nprocs() == nprocs, "tcp transport: node map mismatch");
   node_of_.reserve(static_cast<std::size_t>(nprocs));
   for (Rank r = 0; r < nprocs; ++r) node_of_.push_back(nodes.node_of(r));
@@ -133,18 +138,25 @@ TcpTransport::~TcpTransport() {
 
 void TcpTransport::send(Rank from, Rank to, Tag tag, std::span<const std::byte> data,
                         double arrival) {
+  // Epoch is read BEFORE the failure guard (see Transport::mark_dead): a
+  // send racing a failure either sees it here or carries the stale epoch
+  // and is dropped at the receiving end.
+  const std::uint32_t e = epoch();
+  guard_send(from);
+  std::vector<std::byte> scratch;
+  if (!apply_frame_faults(from, to, data, arrival, scratch)) return;
   const int from_node = node_of_[static_cast<std::size_t>(from)];
   const int to_node = node_of_[static_cast<std::size_t>(to)];
   if (from_node == to_node) {
     ShmRing& ring = rings_[static_cast<std::size_t>(to)];
     std::vector<std::byte> payload = ring.acquire(data.size());
     std::copy(data.begin(), data.end(), payload.begin());
-    ring.deposit(RawMessage{from, tag, std::move(payload), arrival});
+    ring.deposit(RawMessage{from, tag, std::move(payload), arrival}, e);
     return;
   }
   STANCE_REQUIRE(data.size() <= kMaxFrameBytes, "tcp transport: frame too large");
   const WireHeader header{kMagic,
-                          epoch_.load(std::memory_order_relaxed),
+                          e,
                           from,
                           to,
                           tag,
@@ -154,12 +166,32 @@ void TcpTransport::send(Rank from, Rank to, Tag tag, std::span<const std::byte> 
   // One atomic frame per lock acquisition: co-resident senders interleave
   // frames, never bytes, so in-order TCP delivery keeps per-sender FIFO.
   std::lock_guard<std::mutex> lock(l.write_mutex);
-  write_exact(l.fd, &header, sizeof(header));
-  if (!data.empty()) write_exact(l.fd, data.data(), data.size());
+  // Bounded retry with exponential backoff — but only while NOTHING of this
+  // frame reached the wire: a partial frame has desynced the stream, and
+  // re-sending it would corrupt the peer's framing, so that case fails
+  // immediately.
+  int backoff_ms = 1;
+  for (int attempt = 0;; ++attempt) {
+    std::size_t progress = 0;
+    if (write_exact(l.fd, &header, sizeof(header), progress) &&
+        (data.empty() || write_exact(l.fd, data.data(), data.size(), progress))) {
+      return;
+    }
+    const int saved_errno = errno;
+    if (progress == 0 && attempt < kWriteRetries) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+      continue;
+    }
+    throw TransportError(std::string("tcp transport: wire write toward node ") +
+                             std::to_string(to_node) + " failed: " +
+                             std::strerror(saved_errno),
+                         /*peer=*/-1, to_node, e, FailCause::kSocket);
+  }
 }
 
 RawMessage TcpTransport::recv(Rank self, Rank from, Tag tag) {
-  return rings_[static_cast<std::size_t>(self)].take(from, tag);
+  return deadline_take(rings_[static_cast<std::size_t>(self)], self, from, tag);
 }
 
 void TcpTransport::recycle(Rank self, std::vector<std::byte> buffer) {
@@ -174,25 +206,27 @@ std::size_t TcpTransport::pending(Rank self) const {
   return rings_[static_cast<std::size_t>(self)].pending();
 }
 
-Rendezvous::Round TcpTransport::collective(Rank self, double time,
-                                           std::vector<std::byte> blob) {
-  return rendezvous_.enter(self, time, std::move(blob));
-}
-
 void TcpTransport::shutdown() {
   for (auto& ring : rings_) ring.shutdown();
   rendezvous_.shutdown();
 }
 
 void TcpTransport::reset() {
-  // Fence out in-flight traffic of the aborted run: frames stamped with the
-  // old epoch are dropped by the readers as they drain the sockets.
-  epoch_.fetch_add(1, std::memory_order_relaxed);
+  // reset_base() bumps the wire epoch, fencing out in-flight traffic of the
+  // aborted run: readers drop frames stamped with the old epoch as they
+  // drain the sockets.
   for (auto& ring : rings_) ring.reset();
-  rendezvous_.reset();
+  reset_base();
   if (wire_dead_.load()) {
     // A desynced byte stream cannot be re-framed; stay failed.
-    poison_all("tcp transport: wire permanently failed (malformed frame seen)");
+    poison_all(
+        FailNotice{.what = "tcp transport: wire permanently failed "
+                           "(malformed frame seen)",
+                   .peer = -1,
+                   .peer_node = -1,
+                   .epoch = epoch(),
+                   .cause = FailCause::kMalformedFrame,
+                   .peer_failed = false});
   }
 }
 
@@ -203,11 +237,22 @@ void TcpTransport::corrupt_wire(int from_node, int to_node,
                  "corrupt_wire: bad node pair");
   Link& l = link(from_node, to_node);
   std::lock_guard<std::mutex> lock(l.write_mutex);
-  write_exact(l.fd, junk.data(), junk.size());
+  std::size_t progress = 0;
+  if (!write_exact(l.fd, junk.data(), junk.size(), progress)) {
+    throw TransportError(std::string("tcp transport: wire write failed: ") +
+                             std::strerror(errno),
+                         /*peer=*/-1, to_node, epoch(), FailCause::kSocket);
+  }
 }
 
-void TcpTransport::poison_all(const std::string& why) {
-  for (auto& ring : rings_) ring.poison(why);
+void TcpTransport::poison_all(const FailNotice& notice) {
+  for (auto& ring : rings_) ring.poison(notice);
+}
+
+void TcpTransport::fail_local(const FailNotice& notice) { poison_all(notice); }
+
+void TcpTransport::fence_local(Rank self, std::uint32_t floor) {
+  rings_[static_cast<std::size_t>(self)].fence(floor);
 }
 
 void TcpTransport::reader_loop(int node, int peer, int fd) {
@@ -222,19 +267,27 @@ void TcpTransport::reader_loop(int node, int peer, int fd) {
         node_of_[static_cast<std::size_t>(header.dest)] == node;
     if (!header_ok) {
       wire_dead_.store(true);
-      poison_all("tcp transport: malformed frame from node " + std::to_string(peer) +
-                 " (bad header)");
+      poison_all(FailNotice{.what = "tcp transport: malformed frame from node " +
+                                    std::to_string(peer) + " (bad header)",
+                            .peer = -1,
+                            .peer_node = peer,
+                            .epoch = epoch(),
+                            .cause = FailCause::kMalformedFrame,
+                            .peer_failed = false});
       return;  // stream is desynced; stop reading this wire
     }
     ShmRing& ring = rings_[static_cast<std::size_t>(header.dest)];
     std::vector<std::byte> payload = ring.acquire(header.size);
     if (!read_exact(fd, payload.data(), header.size)) return;
-    if (header.epoch != epoch_.load(std::memory_order_relaxed)) {
-      ring.recycle(std::move(payload));  // stale frame from before a reset
+    if (header.epoch != epoch()) {
+      ring.recycle(std::move(payload));  // stale frame from before a reset/failure
       continue;
     }
+    // The ring's epoch floor re-checks staleness under its own lock, closing
+    // the race where the epoch advances between the check above and here.
     ring.deposit(RawMessage{header.source, header.tag, std::move(payload),
-                            header.arrival});
+                            header.arrival},
+                 header.epoch);
   }
 }
 

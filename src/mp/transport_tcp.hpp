@@ -18,13 +18,17 @@
 //
 // Trust: this backend is untrusted. A frame that fails validation (bad
 // magic, out-of-range ranks, oversized payload) poisons the rings —
-// blocked receivers throw mp::TransportError instead of aborting the
-// process — and permanently fails the transport (a desynced byte stream
-// cannot be re-framed).
+// blocked receivers throw mp::TransportError attributing the sending node
+// with FailCause::kMalformedFrame instead of aborting the process — and
+// permanently fails the transport (a desynced byte stream cannot be
+// re-framed). Socket write failures surface as kSocket errors after a
+// bounded retry with backoff; receives honor the peer deadline, declaring
+// a silent peer dead.
 //
-// Epochs: reset() after an aborted run bumps the wire epoch; reader threads
-// drop in-flight frames from the previous epoch, so a reused Cluster never
-// observes a dead run's traffic.
+// Epochs: the base class bumps the wire epoch on reset() and on every
+// mark_dead(); reader threads drop in-flight frames from a previous epoch,
+// so neither a reused Cluster nor a recovered survivor set ever observes a
+// dead run's traffic.
 #pragma once
 
 #include <atomic>
@@ -56,8 +60,6 @@ class TcpTransport final : public Transport {
   void recycle(Rank self, std::vector<std::byte> buffer) override;
   [[nodiscard]] bool prefill(Rank self, std::size_t count, std::size_t bytes) override;
   [[nodiscard]] std::size_t pending(Rank self) const override;
-  [[nodiscard]] Rendezvous::Round collective(Rank self, double time,
-                                             std::vector<std::byte> blob) override;
   void shutdown() override;
   void reset() override;
 
@@ -81,6 +83,10 @@ class TcpTransport final : public Transport {
   static constexpr std::uint32_t kMagic = 0x53'54'4e'43u;  // "STNC"
   static constexpr std::uint32_t kMaxFrameBytes = 1u << 28;
 
+ protected:
+  void fail_local(const FailNotice& notice) override;
+  void fence_local(Rank self, std::uint32_t floor) override;
+
  private:
   /// One endpoint of a node-pair connection: this node's fd for traffic to
   /// and from `peer` node. Senders serialize on `write_mutex`; the reader
@@ -96,16 +102,13 @@ class TcpTransport final : public Transport {
   }
 
   void reader_loop(int node, int peer, int fd);
-  void poison_all(const std::string& why);
+  void poison_all(const FailNotice& notice);
 
-  const int nprocs_;
   const int nnodes_;
   std::vector<int> node_of_;  ///< rank -> node, frozen at construction
   std::deque<ShmRing> rings_;  ///< deque: ShmRing is pinned (mutex/cv members)
-  Rendezvous rendezvous_;
   std::vector<Link> links_;  ///< nnodes x nnodes, diagonal unused
   std::vector<std::thread> readers_;
-  std::atomic<std::uint32_t> epoch_{0};
   std::atomic<bool> wire_dead_{false};
 };
 

@@ -70,4 +70,21 @@ MachineSpec MachineSpec::heterogeneous(std::size_t n, std::uint64_t seed) {
   return spec;
 }
 
+MachineSpec MachineSpec::subset(std::span<const int> keep) const {
+  STANCE_REQUIRE(!keep.empty(), "subset: need at least one node");
+  MachineSpec out;
+  out.name = name + "-subset" + std::to_string(keep.size());
+  out.net = net;
+  out.nodes.reserve(keep.size());
+  int prev = -1;
+  for (const int i : keep) {
+    STANCE_REQUIRE(i > prev, "subset: node indices must be ascending and unique");
+    STANCE_REQUIRE(i >= 0 && static_cast<std::size_t>(i) < nodes.size(),
+                   "subset: node index out of range");
+    out.nodes.push_back(nodes[static_cast<std::size_t>(i)]);
+    prev = i;
+  }
+  return out;
+}
+
 }  // namespace stance::sim

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,12 @@ struct MachineSpec {
   /// Strongly nonuniform cluster (speeds spread over ~3x) on Ethernet;
   /// exercises proportional partitioning.
   static MachineSpec heterogeneous(std::size_t n, std::uint64_t seed = 42);
+
+  /// The machine induced on a subset of nodes (ascending indices), same
+  /// network. This is the survivor machine after rank loss: the recovery
+  /// driver rebuilds a Cluster from spec.subset(survivors) so node speeds
+  /// and profiles follow the surviving ranks.
+  [[nodiscard]] MachineSpec subset(std::span<const int> keep) const;
 };
 
 }  // namespace stance::sim

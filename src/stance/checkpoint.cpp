@@ -1,0 +1,62 @@
+#include "stance/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace stance {
+
+CheckpointStore::CheckpointStore(int nprocs, std::size_t total_elements)
+    : nprocs_(nprocs), tentative_(static_cast<std::size_t>(nprocs)) {
+  STANCE_REQUIRE(nprocs > 0, "checkpoint store: need at least one rank");
+  committed_.y.assign(total_elements, 0.0);
+}
+
+std::size_t CheckpointStore::save(mp::Rank rank, int iteration, std::size_t offset,
+                                  std::span<const double> slice) {
+  STANCE_REQUIRE(rank >= 0 && rank < nprocs_, "checkpoint save: rank out of range");
+  STANCE_REQUIRE(iteration >= 0, "checkpoint save: negative iteration");
+  std::lock_guard<std::mutex> lock(mutex_);
+  STANCE_REQUIRE(offset + slice.size() <= committed_.y.size(),
+                 "checkpoint save: slice exceeds the global vector");
+  Tentative& t = tentative_[static_cast<std::size_t>(rank)];
+  STANCE_REQUIRE(iteration > t.iteration,
+                 "checkpoint save: iterations must advance monotonically");
+  t.iteration = iteration;
+  t.offset = offset;
+  t.slice.assign(slice.begin(), slice.end());
+  // Commit when every rank has tentatively saved this iteration. A rank
+  // that died before saving keeps its slot at an older iteration forever,
+  // so a mid-checkpoint kill never commits a torn cut.
+  const bool all_here = std::all_of(
+      tentative_.begin(), tentative_.end(),
+      [iteration](const Tentative& s) { return s.iteration == iteration; });
+  if (all_here) {
+    for (const Tentative& s : tentative_) {
+      std::copy(s.slice.begin(), s.slice.end(),
+                committed_.y.begin() + static_cast<std::ptrdiff_t>(s.offset));
+    }
+    committed_.iteration = iteration;
+    has_committed_ = true;
+    ++commits_;
+  }
+  return slice.size() * sizeof(double);
+}
+
+std::optional<Checkpoint> CheckpointStore::last() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_committed_) return std::nullopt;
+  return committed_;
+}
+
+int CheckpointStore::last_iteration() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return has_committed_ ? committed_.iteration : -1;
+}
+
+int CheckpointStore::commits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return commits_;
+}
+
+}  // namespace stance

@@ -1,0 +1,92 @@
+// In-memory checkpointing for shrink-to-survivors recovery.
+//
+// Every N iterations each rank saves its owned slice of the solution vector
+// (plus the iteration counter) into a shared CheckpointStore. A checkpoint
+// *commits* only when every participating rank has saved the same
+// iteration; a kill that lands mid-checkpoint leaves the previous committed
+// checkpoint intact, so restore is always from a consistent cut. The
+// ghost-exchange structure of the loop guarantees the cut is also causally
+// consistent: no rank can be saving iteration k+N while a peer still runs
+// iteration k, because each sweep synchronizes neighbors.
+//
+// Two slots per rank (tentative / committed) make the commit atomic without
+// copying on the save path twice: saves land in the tentative slot, and the
+// last writer of an iteration promotes all tentative slots into the
+// committed global vector under the store lock.
+//
+// The store keeps *global* element values (slice + global offset), so a
+// restore is partition-agnostic — the survivor partition slices the same
+// global vector differently than the original one did.
+//
+// Cost model: checkpointing is charged to the virtual clock by the caller
+// (CheckpointCostModel::seconds(bytes)), like every other simulated cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mp/message.hpp"
+
+namespace stance {
+
+struct CheckpointCostModel {
+  double base_seconds = 1.0e-4;      ///< per save() call (metadata, sync)
+  double seconds_per_byte = 1.0e-8;  ///< ~100 MB/s stable-storage stream
+
+  [[nodiscard]] double seconds(std::size_t bytes) const noexcept {
+    return base_seconds + seconds_per_byte * static_cast<double>(bytes);
+  }
+};
+
+/// One committed, consistent checkpoint: the full global solution vector
+/// after `iteration` completed sweeps.
+struct Checkpoint {
+  int iteration = 0;
+  std::vector<double> y;
+};
+
+class CheckpointStore {
+ public:
+  /// `nprocs` participating ranks checkpointing a global vector of
+  /// `total_elements` values.
+  CheckpointStore(int nprocs, std::size_t total_elements);
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Save `slice` (rank-owned values living at [offset, offset+size) of the
+  /// global vector) for `iteration`. Thread-safe; every participating rank
+  /// must save the same iteration for it to commit. Returns the bytes this
+  /// rank persisted (for virtual-clock charging).
+  std::size_t save(mp::Rank rank, int iteration, std::size_t offset,
+                   std::span<const double> slice);
+
+  /// Latest committed checkpoint, or nullopt when none committed yet.
+  [[nodiscard]] std::optional<Checkpoint> last() const;
+
+  /// Iteration of the latest committed checkpoint; -1 when none.
+  [[nodiscard]] int last_iteration() const;
+
+  /// Committed checkpoints so far (diagnostics / bench).
+  [[nodiscard]] int commits() const;
+
+ private:
+  struct Tentative {
+    int iteration = -1;
+    std::size_t offset = 0;
+    std::vector<double> slice;
+  };
+
+  const int nprocs_;
+  mutable std::mutex mutex_;
+  std::vector<Tentative> tentative_;  ///< per rank
+  Checkpoint committed_;
+  bool has_committed_ = false;
+  int commits_ = 0;
+};
+
+}  // namespace stance

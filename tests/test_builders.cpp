@@ -127,5 +127,41 @@ TEST(GraphIo, RejectsTruncatedStream) {
   EXPECT_THROW(read_graph(ss), std::invalid_argument);
 }
 
+TEST(GraphIo, FileRoundTripAndOpenFailures) {
+  const Csr g = grid_2d_tri(3, 3);
+  const std::string path = ::testing::TempDir() + "stance_io_test.graph";
+  save_graph(path, g);
+  const Csr g2 = load_graph(path);
+  EXPECT_EQ(g2.offsets(), g.offsets());
+  EXPECT_EQ(g2.targets(), g.targets());
+  EXPECT_THROW(load_graph("/nonexistent-dir/missing.graph"), std::invalid_argument);
+  EXPECT_THROW(save_graph("/nonexistent-dir/out.graph", g), std::invalid_argument);
+}
+
+TEST(ChacoIo, SkipsCommentLinesAnywhere) {
+  std::stringstream ss("% a path of three vertices\n3 2\n2\n% mid-stream comment\n1 3\n2\n");
+  const Csr g = read_chaco(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(ChacoIo, RejectsFewerAdjacencyLinesThanVertices) {
+  std::stringstream ss("3 2\n2\n1 3\n");  // vertex 3's line is missing
+  EXPECT_THROW(read_chaco(ss), std::invalid_argument);
+}
+
+TEST(ChacoIo, RejectsEdgeCountMismatchWithHeader) {
+  std::stringstream ss("3 3\n2\n1 3\n2\n");  // header claims 3 edges, lists 2
+  EXPECT_THROW(read_chaco(ss), std::invalid_argument);
+}
+
+TEST(ChacoIo, RejectsNegativeHeader) {
+  std::stringstream bad_nv("-1 0\n");
+  EXPECT_THROW(read_chaco(bad_nv), std::invalid_argument);
+  std::stringstream empty("");
+  EXPECT_THROW(read_chaco(empty), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace stance::graph

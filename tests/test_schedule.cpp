@@ -264,6 +264,56 @@ TEST(LocalizedGraph, RefsPointToCorrectValues) {
   }
 }
 
+// --- localize edge cases ------------------------------------------------------
+
+TEST(Localize, SingleRankHasNoOffProcRefs) {
+  const Csr g = graph::grid_2d_tri(4, 4);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1.0});
+  const OffProcRefs refs = collect_offproc_refs(g, part, 0);
+  EXPECT_TRUE(refs.owners.empty());
+  EXPECT_TRUE(refs.globals.empty());
+  const SendSets sends = collect_symmetric_sends(g, part, 0);
+  EXPECT_TRUE(sends.dests.empty());
+
+  CommSchedule sched;
+  sched.nlocal = g.num_vertices();
+  const SlotMap slot_of = canonical_ghost_layout({}, {}, sched);
+  EXPECT_EQ(sched.nghost, 0);
+  const LocalizedGraph lg = localize_graph(g, part, 0, slot_of);
+  EXPECT_EQ(lg.nlocal, g.num_vertices());
+  EXPECT_EQ(lg.nghost, 0);
+  for (const Vertex r : lg.refs) EXPECT_LT(r, lg.nlocal);  // all-local rewrite
+}
+
+TEST(Localize, PathGraphBoundaryReferencesOnly) {
+  // 0-1-2-3 split {0,1} | {2,3}: each rank references exactly the one
+  // boundary vertex of its peer, and by access symmetry sends exactly its
+  // own boundary vertex.
+  const Csr g = Csr::from_edges(4, std::vector<graph::Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const auto part = IntervalPartition::from_weights(4, std::vector<double>{1.0, 1.0});
+
+  const OffProcRefs r0 = collect_offproc_refs(g, part, 0);
+  EXPECT_EQ(r0.owners, (std::vector<mp::Rank>{1}));
+  ASSERT_EQ(r0.globals.size(), 1u);
+  EXPECT_EQ(r0.globals[0], (std::vector<Vertex>{2}));
+
+  const SendSets s1 = collect_symmetric_sends(g, part, 1);
+  EXPECT_EQ(s1.dests, (std::vector<mp::Rank>{0}));
+  ASSERT_EQ(s1.locals.size(), 1u);
+  EXPECT_EQ(s1.locals[0], (std::vector<Vertex>{0}));  // local index of global 2
+
+  // The localized rewrite routes the boundary reference to a ghost slot.
+  CommSchedule sched;
+  sched.nlocal = part.size(0);
+  const SlotMap slot_of = canonical_ghost_layout(r0.owners, r0.globals, sched);
+  EXPECT_EQ(sched.nghost, 1);
+  const LocalizedGraph lg = localize_graph(g, part, 0, slot_of);
+  EXPECT_EQ(lg.nlocal, 2);
+  EXPECT_EQ(lg.nghost, 1);
+  EXPECT_EQ(lg.refs_of(1).back(), lg.nlocal);  // vertex 1 -> ghost slot 0
+}
+
 TEST(ScheduleValidity, DetectsCorruption) {
   const Csr g = graph::grid_2d_tri(5, 5);
   const auto part = IntervalPartition::from_weights(g.num_vertices(),

@@ -222,41 +222,54 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, TransportConformance,
 
 // --- TCP-only: untrusted-wire failure paths ---------------------------------
 
-TEST(TcpTransport, MalformedWireFrameSurfacesAsTransportError) {
+TEST(TcpTransport, MalformedWireFrameSurfacesAsAttributedTransportError) {
   // A peer that writes garbage on the wire must produce a recoverable
-  // mp::TransportError in the blocked receiver — never a process abort.
+  // mp::TransportError in the blocked receiver — never a process abort —
+  // and the error must attribute the failing entity: a desynced byte
+  // stream names the peer *node* (no rank can be recovered from garbage).
   auto cluster = make_cluster(TransportKind::kTcp);
   auto* tcp = dynamic_cast<mp::TcpTransport*>(&cluster.transport());
   ASSERT_NE(tcp, nullptr);
-  EXPECT_THROW(
-      cluster.run([&](mp::Process& p) {
-        if (p.rank() == 0) {
-          std::vector<std::byte> junk(64, std::byte{0xA5});
-          tcp->corrupt_wire(/*from_node=*/0, /*to_node=*/1, junk);
-        }
-        if (p.rank() == 2) {
-          (void)p.recv_raw(0, /*tag=*/1);  // blocked on the poisoned wire
-        }
-      }),
-      mp::TransportError);
+  try {
+    cluster.run([&](mp::Process& p) {
+      if (p.rank() == 0) {
+        std::vector<std::byte> junk(64, std::byte{0xA5});
+        tcp->corrupt_wire(/*from_node=*/0, /*to_node=*/1, junk);
+      }
+      if (p.rank() == 2) {
+        (void)p.recv_raw(0, /*tag=*/1);  // blocked on the poisoned wire
+      }
+    });
+    FAIL() << "garbage on the wire went unnoticed";
+  } catch (const mp::TransportError& e) {
+    EXPECT_EQ(e.peer(), -1);  // a rank cannot be recovered from garbage
+    EXPECT_EQ(e.peer_node(), 0);
+    EXPECT_EQ(e.cause(), mp::FailCause::kMalformedFrame);
+  }
 }
 
 TEST(TcpTransport, SizeMismatchedFrameIsRecoverableOnUntrustedWire) {
   // recv_into's shape check is an assertion on trusted backends; on TCP the
-  // bytes crossed a real wire, so the same mismatch must throw.
+  // bytes crossed a real wire, so the same mismatch must throw — attributing
+  // the sending rank, which recv_into knows exactly.
   auto cluster = make_cluster(TransportKind::kTcp);
-  EXPECT_THROW(
-      cluster.run([](mp::Process& p) {
-        if (p.rank() == 0) {
-          const std::vector<int> three{1, 2, 3};
-          p.send(2, /*tag=*/4, three);
-        }
-        if (p.rank() == 2) {
-          std::vector<int> two(2);
-          p.recv_into(0, /*tag=*/4, std::span<int>(two));
-        }
-      }),
-      mp::TransportError);
+  try {
+    cluster.run([](mp::Process& p) {
+      if (p.rank() == 0) {
+        const std::vector<int> three{1, 2, 3};
+        p.send(2, /*tag=*/4, three);
+      }
+      if (p.rank() == 2) {
+        std::vector<int> two(2);
+        p.recv_into(0, /*tag=*/4, std::span<int>(two));
+      }
+    });
+    FAIL() << "size mismatch went unnoticed";
+  } catch (const mp::TransportError& e) {
+    EXPECT_EQ(e.peer(), 0);
+    EXPECT_EQ(e.peer_node(), 0);
+    EXPECT_EQ(e.cause(), mp::FailCause::kPayloadMismatch);
+  }
 }
 
 TEST(TcpTransport, SingleNodeMapNeedsNoSockets) {
