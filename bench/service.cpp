@@ -1,0 +1,201 @@
+// Serving-layer bench (stance/service.hpp): what the plan cache and batch
+// coalescing buy a multi-tenant deployment, in virtual fleet seconds,
+// writing BENCH_service.json.
+//
+//   service_warm_vs_cold            cold job (Phase B + C) vs a cache-hit
+//                                   job (loop phase only) on the paper mesh
+//   service_warm_vs_cold_coalesced  same, with node-aware coalesce plans in
+//                                   the cached product
+//   service_batching                burst of identical requests: batched
+//                                   (one shared execution) vs per-job runs
+//
+// Every comparison doubles as a correctness oracle: warm results must be
+// bit-identical to the cold run and batched results bit-identical to
+// unbatched ones. Any mismatch fails the bench (exit 1) — a cache that is
+// fast but wrong must never produce a green baseline.
+//
+//   --small        4k mesh / reduced iteration counts (CI smoke)
+//   --repeats=N    warm jobs replayed N times, all checked (default 5)
+//   --out-dir=DIR  where the JSON lands (default .)
+#include "bench_common.hpp"
+#include "stance/service.hpp"
+
+namespace {
+
+using namespace stance;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) return;
+  ++g_failures;
+  std::cerr << "ORACLE FAILURE: " << what << "\n";
+}
+
+/// Job build inputs: the mesh from bench::mesh_for is already RSB-permuted,
+/// so the in-service ordering is identity. The config's machine field is
+/// ignored — the service owns the fleet.
+SessionConfig job_config() {
+  SessionConfig cfg;
+  cfg.ordering = order::Method::kIdentity;
+  cfg.build = sched::BuildMethod::kSort2;
+  return cfg;
+}
+
+/// Submit one job and drain; the service is expected to return exactly one
+/// result (no batching partner queued).
+JobResult run_one(Service& svc, const JobSpec& spec) {
+  const auto adm = svc.submit(spec);
+  check(adm.accepted, "submit rejected: " + adm.detail);
+  auto results = svc.drain();
+  check(results.size() == 1, "expected one result from a single-job drain");
+  return results.empty() ? JobResult{} : results.front();
+}
+
+/// Cold-vs-warm on one service configuration. The cold job pays ordering +
+/// inspector (+ coalesce) + loop; every warm replay must hit the cache, skip
+/// Phase B entirely, and reproduce the cold run bit-for-bit.
+void bench_warm_vs_cold(bench::JsonReporter& report, const std::string& name,
+                        const std::shared_ptr<const graph::Csr>& mesh,
+                        sim::MachineSpec fleet, mp::NodeMap node_map, bool coalesce,
+                        int iterations, int repeats) {
+  ServiceOptions opts;
+  opts.plan_cache_capacity = 8;
+  opts.coalesce = coalesce;
+  if (coalesce) {
+    opts.coalesce_opts.policy = sched::CoalescePolicy::kAdaptive;
+    opts.coalesce_opts.bytes_per_elem = sizeof(double);
+  }
+  const std::size_t ranks = fleet.size();
+  Service svc(std::move(fleet), opts, std::move(node_map));
+
+  JobSpec spec;
+  spec.tenant = "cold";
+  spec.mesh = mesh;
+  spec.config = job_config();
+  spec.iterations = iterations;
+
+  const JobResult cold = run_one(svc, spec);
+  check(!cold.plan_cache_hit, name + ": first job must be a cache miss");
+  check(cold.build_seconds > 0.0, name + ": cold job must pay Phase B");
+
+  spec.tenant = "warm";
+  JobResult warm;
+  for (int r = 0; r < repeats; ++r) {
+    warm = run_one(svc, spec);
+    check(warm.plan_cache_hit, name + ": replayed job must hit the plan cache");
+    check(warm.build_seconds == 0.0, name + ": warm job must skip Phase B");
+    check(warm.checksum == cold.checksum,
+          name + ": warm checksum must be bit-identical to the cold run");
+    check(warm.loop_seconds == cold.loop_seconds,
+          name + ": warm loop makespan must be bit-identical to the cold run");
+  }
+
+  const auto stats = svc.stats();
+  const auto& cache = stats.plan_cache;
+  const double hit_rate = static_cast<double>(cache.hits) /
+                          static_cast<double>(cache.hits + cache.misses);
+  report.entry(name)
+      .field("ranks", ranks)
+      .field("iterations", static_cast<long long>(iterations))
+      .field("cold_virtual_seconds", cold.charged_seconds)
+      .field("warm_virtual_seconds", warm.charged_seconds)
+      .field("cold_build_virtual_seconds", cold.build_seconds)
+      .field("loop_virtual_seconds", cold.loop_seconds)
+      .field("warm_vs_cold_virtual_speedup", cold.charged_seconds / warm.charged_seconds)
+      .field("cache_hit_rate", hit_rate)
+      .field("inter_node_msgs", warm.loop_stats.inter_node_sent);
+  std::cout << name << ": cold " << cold.charged_seconds << " s (build "
+            << cold.build_seconds << " s), warm " << warm.charged_seconds << " s ("
+            << cold.charged_seconds / warm.charged_seconds << "x), hit rate "
+            << hit_rate << "\n";
+}
+
+/// A burst of identical requests from distinct tenants. Both services are
+/// prewarmed so the comparison isolates batching from plan caching: the
+/// batched service runs the loop once and splits the bill; the unbatched
+/// one pays the full loop per job.
+void bench_batching(bench::JsonReporter& report,
+                    const std::shared_ptr<const graph::Csr>& mesh, int iterations,
+                    int burst) {
+  const std::size_t ranks = 5;
+  auto burst_seconds = [&](bool batching, std::vector<JobResult>& out) {
+    ServiceOptions opts;
+    opts.batching = batching;
+    Service svc(sim::MachineSpec::sun4_ethernet(ranks), opts);
+    JobSpec spec;
+    spec.mesh = mesh;
+    spec.config = job_config();
+    spec.iterations = iterations;
+    spec.tenant = "warmup";
+    run_one(svc, spec);  // prewarm: the burst below is all cache hits
+    for (int j = 0; j < burst; ++j) {
+      spec.tenant = "tenant-" + std::to_string(j);
+      check(svc.submit(spec).accepted, "batching burst submit rejected");
+    }
+    out = svc.drain();
+    check(out.size() == static_cast<std::size_t>(burst),
+          "batching burst drained the wrong number of jobs");
+    // The fleet-seconds bill of the whole burst: additive across tenants.
+    double total = 0.0;
+    for (const auto& r : out) total += r.charged_seconds;
+    return total;
+  };
+
+  std::vector<JobResult> batched, unbatched;
+  const double batched_total = burst_seconds(true, batched);
+  const double unbatched_total = burst_seconds(false, unbatched);
+  for (std::size_t j = 0; j < batched.size() && j < unbatched.size(); ++j) {
+    check(batched[j].plan_cache_hit && unbatched[j].plan_cache_hit,
+          "burst job missed the plan cache despite the prewarm");
+    check(batched[j].checksum == unbatched[j].checksum,
+          "batched result must be bit-identical to the per-job run");
+  }
+  if (!batched.empty()) {
+    check(batched.front().batch_size == burst,
+          "batched burst did not share one execution");
+  }
+
+  report.entry("service_batching")
+      .field("ranks", ranks)
+      .field("iterations", static_cast<long long>(iterations))
+      .field("burst_jobs", static_cast<long long>(burst))
+      .field("batched_virtual_seconds", batched_total)
+      .field("unbatched_virtual_seconds", unbatched_total)
+      .field("batching_virtual_speedup", unbatched_total / batched_total);
+  std::cout << "service_batching: burst of " << burst << " billed " << unbatched_total
+            << " s per-job vs " << batched_total << " s batched ("
+            << unbatched_total / batched_total << "x)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool small = args.get_bool("small", false);
+  const int repeats = static_cast<int>(args.get_int("repeats", 5));
+  const std::string out_dir = args.get("out-dir", ".");
+  std::cout << "\n=== service — serving layer: plan cache + batching ===\n";
+
+  const auto mesh = std::make_shared<const graph::Csr>(bench::mesh_for(args));
+  std::cout << "mesh: " << mesh->num_vertices() << " vertices, " << mesh->num_edges()
+            << " edges\n";
+  const int iterations = small ? 5 : 20;
+
+  bench::JsonReporter report;
+  bench_warm_vs_cold(report, "service_warm_vs_cold", mesh,
+                     sim::MachineSpec::sun4_ethernet(5), mp::NodeMap{}, false,
+                     iterations, repeats);
+  bench_warm_vs_cold(report, "service_warm_vs_cold_coalesced", mesh,
+                     sim::MachineSpec::uniform_ethernet(8),
+                     mp::NodeMap::contiguous(8, 4), true, iterations, repeats);
+  bench_batching(report, mesh, iterations, small ? 4 : 6);
+  report.write(out_dir + "/BENCH_service.json");
+
+  if (g_failures != 0) {
+    std::cerr << g_failures << " oracle failure(s); BENCH_service.json is not a "
+                               "trustworthy baseline\n";
+    return 1;
+  }
+  return 0;
+}

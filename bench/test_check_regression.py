@@ -250,7 +250,7 @@ class CheckRegressionTest(unittest.TestCase):
         # gate with baseline == fresh reports nothing.
         repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         for name in ("BENCH_schedule.json", "BENCH_remap.json",
-                     "BENCH_recovery.json"):
+                     "BENCH_recovery.json", "BENCH_service.json"):
             self.assertTrue(os.path.exists(os.path.join(repo_root, name)))
             self.assertEqual(
                 check_regression.check_file(name, repo_root, repo_root, 0.0),
@@ -286,6 +286,44 @@ class CheckRegressionTest(unittest.TestCase):
             self.assertGreater(rec[field], 0.0)
         self.assertGreaterEqual(rec["resume_iteration"], 0)
         self.assertGreaterEqual(rec["checkpoints_committed"], 1)
+
+    def test_service_warm_and_batching_fields_are_gated(self):
+        # The serving-layer wins (warm-vs-cold and batching speedups) are
+        # better-bigger virtual fields: a drop beyond tolerance must trip
+        # the gate, while ungated diagnostics (hit rate, msgs) never do.
+        base = entry("service_warm_vs_cold",
+                     cold_virtual_seconds=1.2,
+                     warm_virtual_seconds=1.0,
+                     warm_vs_cold_virtual_speedup=1.2,
+                     cache_hit_rate=0.8,
+                     inter_node_msgs=400)
+        self.write(self.baseline_dir, "BENCH.json", [base])
+        worse = dict(base, warm_vs_cold_virtual_speedup=0.8,
+                     cache_hit_rate=0.1, inter_node_msgs=4000)
+        self.write(self.fresh_dir, "BENCH.json", [worse])
+        violations = self.check(tolerance=0.25)
+        self.assertEqual(len(violations), 1)
+        self.assertIn("warm_vs_cold_virtual_speedup", violations[0])
+
+    def test_committed_service_baseline_carries_the_serving_wins(self):
+        # The service bench is gate-enforced: the committed baseline must
+        # show the plan cache and batching actually winning.
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        entries = check_regression.load_entries(
+            os.path.join(repo_root, "BENCH_service.json"))
+        for name in ("service_warm_vs_cold", "service_warm_vs_cold_coalesced"):
+            self.assertIn(name, entries)
+            warm = entries[name]
+            for field in ("cold_virtual_seconds", "warm_virtual_seconds",
+                          "cold_build_virtual_seconds",
+                          "warm_vs_cold_virtual_speedup", "cache_hit_rate"):
+                self.assertIn(field, warm)
+            self.assertGreater(warm["warm_vs_cold_virtual_speedup"], 1.0)
+            self.assertGreater(warm["cache_hit_rate"], 0.5)
+        batching = entries["service_batching"]
+        self.assertGreater(batching["batching_virtual_speedup"], 1.0)
+        self.assertEqual(batching["batching_virtual_speedup"],
+                         batching["burst_jobs"])
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ struct LoopCostModel {
 
   static LoopCostModel free() { return LoopCostModel{}; }
 
+  friend bool operator==(const LoopCostModel&, const LoopCostModel&) = default;
+
   /// Calibrated so one iteration of the paper-scale mesh costs ~0.19 s on a
   /// speed-1.0 node (T(1) ≈ 97 s for 500 iterations, paper Table 4).
   static LoopCostModel sun4() { return LoopCostModel{1.0e-6, 0.9e-6}; }

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "support/assert.hpp"
+#include "support/fnv.hpp"
 
 namespace stance::graph {
 
@@ -131,6 +132,20 @@ double Csr::avg_degree() const {
   const Vertex nv = num_vertices();
   if (nv == 0) return 0.0;
   return static_cast<double>(targets_.size()) / static_cast<double>(nv);
+}
+
+std::uint64_t Csr::fingerprint() const {
+  support::Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(num_vertices()));
+  for (const EdgeIndex o : offsets_) h.mix(static_cast<std::uint64_t>(o));
+  for (const Vertex t : targets_) h.mix(static_cast<std::uint64_t>(t));
+  // Coordinates feed the geometric orderings, so they are part of identity.
+  h.mix(static_cast<std::uint64_t>(coords_.size()));
+  for (const Point2& c : coords_) {
+    h.mix(c.x);
+    h.mix(c.y);
+  }
+  return h.digest();
 }
 
 }  // namespace stance::graph

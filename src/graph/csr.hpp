@@ -75,6 +75,12 @@ class Csr {
   [[nodiscard]] Vertex max_degree() const;
   [[nodiscard]] double avg_degree() const;
 
+  /// Structural fingerprint (FNV-1a over offsets, targets, and coordinates).
+  /// Two graphs with equal fingerprints produce identical downstream
+  /// orderings, partitions, and schedules; the stance::Service plan cache
+  /// keys on it so repeat meshes skip the inspector.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   std::vector<EdgeIndex> offsets_;  ///< size nv+1
   std::vector<Vertex> targets_;     ///< both directions of every edge

@@ -12,17 +12,15 @@
 
 #include "mp/errors.hpp"
 #include "support/assert.hpp"
+#include "support/env.hpp"
 #include "support/log.hpp"
 
 namespace stance::mp {
 namespace {
 
-/// Watchdog deadline for a whole run(), in wall milliseconds; <= 0 off.
-int env_run_deadline_ms() {
-  const char* env = std::getenv("STANCE_RUN_DEADLINE_MS");
-  if (env == nullptr || *env == '\0') return 0;
-  return static_cast<int>(std::strtol(env, nullptr, 10));
-}
+/// Watchdog deadline for a whole run(), in wall milliseconds; 0 == off.
+/// Strict parse: a malformed value must not silently disable the watchdog.
+int env_run_deadline_ms() { return support::env_int("STANCE_RUN_DEADLINE_MS"); }
 
 }  // namespace
 
@@ -48,6 +46,10 @@ Cluster::Cluster(sim::MachineSpec spec, NodeMap node_map, TransportKind transpor
 
 void Cluster::run(const std::function<void(Process&)>& body) {
   const int p = nprocs();
+  // Parse the watchdog deadline up front: a malformed value must fail the
+  // run before any rank thread is spawned (throwing later would terminate
+  // on the joinable threads).
+  const int deadline_ms = env_run_deadline_ms();
   std::vector<std::exception_ptr> failures(static_cast<std::size_t>(p));
   std::vector<char> finished(static_cast<std::size_t>(p), 0);
   // Per-rank lifecycle, readable from the watchdog thread while ranks run.
@@ -99,7 +101,6 @@ void Cluster::run(const std::function<void(Process&)>& body) {
   // wedged ranks and turns "blocked" into "failed".
   std::vector<int> wd_snapshot;
   std::thread watchdog;
-  const int deadline_ms = env_run_deadline_ms();
   if (deadline_ms > 0) {
     watchdog = std::thread([&] {
       std::unique_lock<std::mutex> lock(wd_mutex);

@@ -11,14 +11,15 @@
 #include "mp/transport_inproc.hpp"
 #include "mp/transport_tcp.hpp"
 #include "support/assert.hpp"
+#include "support/env.hpp"
 
 namespace stance::mp {
 namespace {
 
 int env_peer_timeout_ms() {
-  const char* env = std::getenv("STANCE_PEER_TIMEOUT_MS");
-  if (env == nullptr || *env == '\0') return 0;
-  return static_cast<int>(std::strtol(env, nullptr, 10));
+  // Strict parse: "STANCE_PEER_TIMEOUT_MS=abc" must fail loudly, not silently
+  // disable failure detection by decaying to 0.
+  return support::env_int("STANCE_PEER_TIMEOUT_MS");
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "support/assert.hpp"
+#include "support/fnv.hpp"
 
 namespace stance::partition {
 
@@ -197,6 +198,14 @@ Vertex IntervalPartition::overlap(const IntervalPartition& next) const {
     if (hi > lo) total_overlap += hi - lo;
   }
   return total_overlap;
+}
+
+std::uint64_t IntervalPartition::fingerprint() const {
+  support::Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(total_));
+  for (const Vertex f : first_) h.mix(static_cast<std::uint64_t>(f));
+  for (const Vertex s : size_) h.mix(static_cast<std::uint64_t>(s));
+  return h.digest();
 }
 
 }  // namespace stance::partition

@@ -110,6 +110,11 @@ class IntervalPartition {
     return a.first_ == b.first_ && a.size_ == b.size_;
   }
 
+  /// FNV-1a over the per-processor intervals — consistent with operator==
+  /// (equal partitions hash equal). Cache key material for the plan cache:
+  /// same mesh + same partition ⇒ same schedules.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   /// Bytes of the replicated lookup structures (starts + page index) — the
   /// O(p) memory the paper's §3.2 comparison charges the interval table.
   [[nodiscard]] std::size_t index_bytes() const noexcept {

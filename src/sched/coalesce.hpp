@@ -79,6 +79,8 @@ struct DirectionPlan {
     int dest_node = -1;
     std::vector<std::uint32_t> peer_idx;
     std::size_t elems = 0;
+
+    friend bool operator==(const Bundle&, const Bundle&) = default;
   };
   std::vector<Bundle> bundles;
 
@@ -90,12 +92,16 @@ struct DirectionPlan {
     mp::Rank source = -1;
     std::size_t elems = 0;
     std::vector<std::uint32_t> peer_idx;  ///< only when source is this rank
+
+    friend bool operator==(const FramePart&, const FramePart&) = default;
   };
   struct SendFrame {
     int dest_node = -1;
     mp::Rank wire_dest = -1;  ///< delegate rank of dest_node
     std::vector<FramePart> parts;
     std::size_t elems = 0;
+
+    friend bool operator==(const SendFrame&, const SendFrame&) = default;
   };
   std::vector<SendFrame> send_frames;
 
@@ -111,6 +117,8 @@ struct DirectionPlan {
     mp::Rank wire_source = -1;  ///< delegate rank of src_node
     std::size_t elems = 0;
     std::size_t arena_offset = 0;  ///< element offset in the frame arena
+
+    friend bool operator==(const RecvFrame&, const RecvFrame&) = default;
   };
   std::vector<RecvFrame> recv_frames;
 
@@ -124,6 +132,8 @@ struct DirectionPlan {
     std::uint32_t count = 0;
     std::uint32_t src_index = kNoIndex;
     std::size_t arena_offset = 0;  ///< element offset of this piece
+
+    friend bool operator==(const Demux&, const Demux&) = default;
   };
   std::vector<Demux> demux;
 
@@ -142,6 +152,8 @@ struct DirectionPlan {
   [[nodiscard]] std::size_t outbound_msgs() const noexcept {
     return direct_peers.size() + bundles.size() + send_frames.size();
   }
+
+  friend bool operator==(const DirectionPlan&, const DirectionPlan&) = default;
 };
 
 /// Fingerprint of exactly the schedule inputs a coalesce plan consumes:
@@ -172,6 +184,10 @@ struct CoalescePlan {
     return schedule_fingerprint == coalesce_fingerprint(s) &&
            map_generation == nodes.generation();
   }
+
+  /// Member-wise equality, stamps included — the cache oracle's proof that
+  /// a warm plan is byte-identical to a cold rebuild.
+  friend bool operator==(const CoalescePlan&, const CoalescePlan&) = default;
 };
 
 /// Whether a node pair's traffic travels as one frame or as direct per-peer

@@ -59,6 +59,10 @@ struct CommSchedule {
   /// local send indices in [0, nlocal), ghost_globals consistent with
   /// nghost. Cheap enough to assert in tests on every build.
   [[nodiscard]] bool valid() const;
+
+  /// Member-wise equality — the byte-identity oracle the plan cache tests
+  /// use to prove a warm (cached) schedule equals a cold rebuild.
+  friend bool operator==(const CommSchedule&, const CommSchedule&) = default;
 };
 
 /// The paper's Figure-8 loop references: adjacency of the owned vertices
@@ -77,6 +81,8 @@ struct LocalizedGraph {
     return {refs.data() + b, static_cast<std::size_t>(e - b)};
   }
   [[nodiscard]] bool valid() const;
+
+  friend bool operator==(const LocalizedGraph&, const LocalizedGraph&) = default;
 };
 
 }  // namespace stance::sched

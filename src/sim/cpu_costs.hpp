@@ -20,6 +20,10 @@ struct CpuCostModel {
   /// Zero-cost model for algorithm unit tests.
   static CpuCostModel free() { return CpuCostModel{}; }
 
+  /// Member-wise equality (stance::Service uses it to decide whether two
+  /// queued jobs may share one execution).
+  friend bool operator==(const CpuCostModel&, const CpuCostModel&) = default;
+
   /// Early-90s SUN4-class workstation.
   static CpuCostModel sun4() {
     CpuCostModel m;

@@ -1,0 +1,78 @@
+#include "stance/plan_cache.hpp"
+
+#include "support/assert.hpp"
+#include "support/fnv.hpp"
+
+namespace stance {
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept {
+  support::Fnv1a h;
+  h.mix(k.mesh_fingerprint);
+  h.mix(k.partition_fingerprint);
+  h.mix(k.map_generation);
+  h.mix(k.seed);
+  h.mix(static_cast<std::uint64_t>(k.ordering) | static_cast<std::uint64_t>(k.build) << 8 |
+        static_cast<std::uint64_t>(k.coalesce) << 16);
+  h.mix(k.bytes_per_elem);
+  return static_cast<std::size_t>(h.digest());
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  STANCE_REQUIRE(capacity >= 1, "plan cache capacity must be at least 1");
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::lookup(const PlanKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return it->second->second;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::peek(const PlanKey& key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second->second;
+}
+
+void PlanCache::insert(const PlanKey& key, std::shared_ptr<const CachedPlan> plan) {
+  STANCE_REQUIRE(plan != nullptr, "plan cache: refusing to cache a null plan");
+  ++insertions_;
+  if (auto it = index_.find(key); it != index_.end()) {
+    it->second->second = std::move(plan);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  entries_.emplace_front(key, std::move(plan));
+  index_.emplace(key, entries_.begin());
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::erase(const PlanKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  entries_.erase(it->second);
+  index_.erase(it);
+}
+
+void PlanCache::clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  return Stats{.hits = hits_,
+               .misses = misses_,
+               .evictions = evictions_,
+               .insertions = insertions_,
+               .size = entries_.size(),
+               .capacity = capacity_};
+}
+
+}  // namespace stance

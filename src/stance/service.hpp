@@ -1,0 +1,197 @@
+// Multi-tenant serving layer: many jobs, one cluster (docs/SERVICE.md).
+//
+// stance::Session drives exactly one experiment; a production deployment
+// instead sees a *stream* of requests — many tenants, repeat meshes, bursts
+// of identical work — that must share a single mp::Cluster fleet. Service
+// supplies the three serving mechanisms on top of the session machinery:
+//
+//  * Admission control: submit() is thread-safe and bounded; when the queue
+//    holds max_in_flight jobs, new work is rejected with a structured
+//    reason instead of growing without bound (the Nighthawk-style
+//    request/response shape — every outcome is an explicit message).
+//  * Plan caching: Phase B products (CommSchedule + LocalizedGraph +
+//    CoalescePlan) are LRU-cached by fingerprints of their inputs
+//    (stance/plan_cache.hpp). A warm job skips ordering and the inspector
+//    entirely and pays only the loop phase; the cached artifacts are
+//    byte-identical to a cold build (asserted by the test oracle).
+//  * Batching: identical back-to-back requests coalesce into one execution
+//    whose virtual cost is split evenly across the batch — Phase B *and*
+//    Phase C are shared, the per-job bill drops by the batch factor.
+//
+// Accounting is per tenant on the virtual clock: every job's bill is the
+// fleet makespan its execution added (amortized under batching), so the sum
+// of tenant charges equals total fleet seconds. CommStats ride along per
+// job and per tenant.
+//
+// Threading contract: submit()/stats() may race freely with an in-progress
+// drain(); drain() itself is single-flight (concurrent drains throw). The
+// cluster and plan cache are only ever touched by the draining thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mp/cluster.hpp"
+#include "stance/plan_cache.hpp"
+#include "stance/session.hpp"
+
+namespace stance {
+
+/// Why submit() refused a job.
+enum class RejectReason : std::uint8_t {
+  kNone,       ///< not rejected
+  kSaturated,  ///< max_in_flight jobs already queued
+  kInvalidSpec,
+};
+
+[[nodiscard]] const char* reject_reason_name(RejectReason r);
+
+/// One request: which mesh, how to build, how long to iterate. The
+/// config.machine field is ignored — the service owns the fleet; jobs
+/// describe work, not hardware.
+struct JobSpec {
+  std::string tenant = "default";
+  std::shared_ptr<const graph::Csr> mesh;  ///< pre-Phase-A (unordered) mesh
+  SessionConfig config;
+  int iterations = 1;
+  /// Per-rank partition weights; empty means the fleet's node speeds.
+  std::vector<double> weights;
+};
+
+/// submit()'s response: either an accepted job id or a structured refusal.
+struct Admission {
+  bool accepted = false;
+  std::uint64_t job = 0;  ///< valid when accepted
+  RejectReason reason = RejectReason::kNone;
+  std::string detail;
+};
+
+/// One completed job.
+struct JobResult {
+  std::uint64_t job = 0;
+  std::string tenant;
+  bool plan_cache_hit = false;  ///< Phase B skipped (warm)
+  int batch_size = 1;           ///< jobs that shared this execution
+  double build_seconds = 0.0;   ///< Phase B makespan; 0 on warm hits
+  double loop_seconds = 0.0;    ///< Phase C makespan of the (shared) execution
+  /// The tenant's bill: (build + loop makespan) / batch_size — virtual
+  /// seconds of fleet time this job is accountable for.
+  double charged_seconds = 0.0;
+  double checksum = 0.0;        ///< sum of final y (determinism probe)
+  /// Aggregated over ranks for the execution that served this job. Batched
+  /// jobs report the shared execution's stats verbatim (not divided).
+  mp::CommStats loop_stats;
+};
+
+/// Per-tenant accounting. charged_seconds is additive across tenants (sums
+/// to total fleet seconds billed); comm aggregates the executions that
+/// served this tenant's jobs, so batch-mates sharing one execution each
+/// record its traffic.
+struct TenantStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t cache_hits = 0;
+  double charged_seconds = 0.0;
+  mp::CommStats comm;
+};
+
+/// Whole-service snapshot (stats()).
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< accepted jobs
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t executions = 0;  ///< cluster executions (batches count once)
+  std::uint64_t batched_jobs = 0;  ///< completed jobs that shared an execution
+  std::size_t queued = 0;
+  PlanCache::Stats plan_cache;
+  std::map<std::string, TenantStats> tenants;
+};
+
+struct ServiceOptions {
+  std::size_t max_in_flight = 64;
+  std::size_t plan_cache_capacity = 16;
+  /// Merge identical back-to-back queued jobs into one execution.
+  bool batching = true;
+  /// Build and install node-aware coalesce plans (sched/coalesce.hpp);
+  /// meaningful when the node map co-locates ranks.
+  bool coalesce = false;
+  sched::CoalesceOptions coalesce_opts;
+};
+
+class Service {
+ public:
+  explicit Service(sim::MachineSpec fleet, ServiceOptions opts = {},
+                   mp::NodeMap node_map = {},
+                   mp::TransportKind transport = mp::TransportKind::kDefault);
+
+  /// Thread-safe admission: validates the spec, bounds the queue. Never
+  /// blocks and never throws on bad input — refusal is data, not control
+  /// flow, so a saturated service degrades predictably.
+  [[nodiscard]] Admission submit(JobSpec spec);
+
+  /// Execute every queued job (including jobs submitted concurrently while
+  /// draining) and return their results in completion order. Single-flight:
+  /// a second concurrent drain throws.
+  std::vector<JobResult> drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] mp::Cluster& cluster() noexcept { return *cluster_; }
+  [[nodiscard]] int nprocs() const noexcept { return cluster_->nprocs(); }
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return opts_; }
+
+  /// The cache key a spec resolves to — exposed so tests can reason about
+  /// hit/miss behaviour (e.g. prove a delegate rotation changes the key).
+  [[nodiscard]] PlanKey plan_key_for(const JobSpec& spec) const;
+
+  /// Non-counting cache probe for the byte-identity oracle; nullptr when the
+  /// spec's plan is not cached (never built, evicted, or stale-keyed).
+  [[nodiscard]] std::shared_ptr<const CachedPlan> cached_plan_for(const JobSpec& spec) const;
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    std::uint64_t mesh_fingerprint = 0;  ///< hashed once at submit
+  };
+
+  /// True when two queued jobs may share one execution: same mesh, same
+  /// build inputs, same iteration budget (tenant may differ — that is the
+  /// point of per-job charge splitting).
+  [[nodiscard]] bool same_execution(const Job& a, const Job& b) const;
+
+  [[nodiscard]] std::vector<double> effective_weights(const JobSpec& spec) const;
+  [[nodiscard]] PlanKey make_key(const JobSpec& spec, std::uint64_t mesh_fp,
+                                 const partition::IntervalPartition& part) const;
+
+  /// Cold Phase B: order the mesh, run the inspector (and coalesce) on the
+  /// cluster. Returns the complete cached product.
+  [[nodiscard]] std::shared_ptr<const CachedPlan> build_cold(
+      const JobSpec& spec, const partition::IntervalPartition& part);
+
+  /// Run one batch of identical jobs; appends one JobResult per job.
+  void execute(std::vector<Job>& batch, std::unique_lock<std::mutex>& lock,
+               std::vector<JobResult>& out);
+
+  ServiceOptions opts_;
+  sim::MachineSpec fleet_;
+  std::unique_ptr<mp::Cluster> cluster_;
+
+  mutable std::mutex mutex_;  ///< guards everything below
+  PlanCache cache_;
+  std::deque<Job> queue_;
+  bool draining_ = false;
+  std::uint64_t next_job_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t executions_ = 0;
+  std::uint64_t batched_jobs_ = 0;
+  std::map<std::string, TenantStats> tenants_;
+};
+
+}  // namespace stance

@@ -42,4 +42,6 @@
 #include "sched/inspector.hpp"
 #include "sim/machine.hpp"
 #include "stance/metrics.hpp"
+#include "stance/plan_cache.hpp"
+#include "stance/service.hpp"
 #include "stance/session.hpp"

@@ -1,0 +1,39 @@
+#include "support/env.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace stance::support {
+
+int env_int(const char* name, int fallback) {
+  STANCE_REQUIRE(name != nullptr && *name != '\0', "env_int: empty variable name");
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+
+  const auto bad = [&](const char* why) {
+    STANCE_REQUIRE(false, std::string(name) + "=\"" + env + "\" is not a valid " +
+                              "non-negative integer (" + why + ")");
+  };
+
+  const char* p = env;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') return fallback;  // empty / whitespace-only == unset
+  if (*p == '-') bad("negative values are not allowed");
+  if (*p == '+') ++p;
+  if (!std::isdigit(static_cast<unsigned char>(*p))) bad("expected decimal digits");
+
+  long long value = 0;
+  for (; std::isdigit(static_cast<unsigned char>(*p)); ++p) {
+    value = value * 10 + (*p - '0');
+    if (value > std::numeric_limits<int>::max()) bad("value out of range");
+  }
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p != '\0') bad("trailing garbage after the number");
+  return static_cast<int>(value);
+}
+
+}  // namespace stance::support

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace stance::support {
+
+/// Strictly parse a non-negative integer environment variable.
+///
+/// Returns `fallback` when the variable is unset or empty. Accepts optional
+/// surrounding whitespace and an optional leading '+', then decimal digits
+/// only; anything else (letters, trailing units like "5s", negative values,
+/// out-of-range magnitudes) throws std::invalid_argument naming the variable
+/// and the offending value — malformed configuration must never silently
+/// degrade to "0" / "feature off".
+int env_int(const char* name, int fallback = 0);
+
+}  // namespace stance::support

@@ -1,0 +1,26 @@
+// FNV-1a streaming hash — the library's structural-fingerprint idiom
+// (sched::coalesce_fingerprint uses the same constants). Not cryptographic;
+// used to key caches and detect staleness, where a collision costs a
+// spurious rebuild at worst when paired with full stamps, never corruption.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace stance::support {
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) noexcept {
+    h_ ^= v;
+    h_ *= 0x100000001b3ull;
+  }
+  void mix(double v) noexcept { mix(std::bit_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace stance::support

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "mp/cluster.hpp"
 #include "mp/errors.hpp"
@@ -438,6 +440,53 @@ TEST(Cluster, CommSecondsAccountedOnReceiver) {
       EXPECT_NEAR(p.stats().comm_seconds, 0.25, 1e-9);
     }
   });
+}
+
+// --- strict STANCE_*_MS parsing ---------------------------------------------
+
+/// Scoped override of one environment variable, restored on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ClusterEnv, MalformedRunDeadlineFailsLoudly) {
+  // The old strtol parsing turned "banana" into 0 == watchdog silently off.
+  Cluster cluster(MachineSpec::uniform(2));
+  ScopedEnv env("STANCE_RUN_DEADLINE_MS", "banana");
+  EXPECT_THROW(cluster.run([](Process&) {}), std::invalid_argument);
+}
+
+TEST(ClusterEnv, WellFormedRunDeadlineStillRuns) {
+  Cluster cluster(MachineSpec::uniform(2));
+  ScopedEnv env("STANCE_RUN_DEADLINE_MS", "60000");
+  std::atomic<int> count{0};
+  cluster.run([&](Process&) { ++count; });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ClusterEnv, MalformedPeerTimeoutRejectedAtConstruction) {
+  // The timeout is read when the transport is built; "5s" must not silently
+  // truncate to 5 ms (the unit-dropping variant of the same bug).
+  ScopedEnv env("STANCE_PEER_TIMEOUT_MS", "5s");
+  EXPECT_THROW(Cluster cluster(MachineSpec::uniform(2)), std::invalid_argument);
 }
 
 }  // namespace

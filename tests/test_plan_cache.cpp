@@ -1,0 +1,139 @@
+// Unit tests for the serving layer's LRU plan cache (stance/plan_cache.hpp):
+// key identity, LRU ordering, eviction accounting, and probe semantics.
+// Service-level hit/miss/staleness behaviour lives in test_service.cpp.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "stance/plan_cache.hpp"
+
+namespace stance {
+namespace {
+
+PlanKey key_of(std::uint64_t mesh_fp, std::uint64_t part_fp = 1,
+               std::uint64_t generation = 0) {
+  PlanKey k;
+  k.mesh_fingerprint = mesh_fp;
+  k.partition_fingerprint = part_fp;
+  k.map_generation = generation;
+  return k;
+}
+
+std::shared_ptr<const CachedPlan> plan_of(double cold_seconds) {
+  auto p = std::make_shared<CachedPlan>();
+  p->cold_build_seconds = cold_seconds;
+  return p;
+}
+
+TEST(PlanCache, MissThenHit) {
+  PlanCache cache(4);
+  EXPECT_EQ(cache.lookup(key_of(1)), nullptr);
+  cache.insert(key_of(1), plan_of(2.0));
+  const auto hit = cache.lookup(key_of(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->cold_build_seconds, 2.0);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.size, 1u);
+  EXPECT_EQ(s.capacity, 4u);
+}
+
+TEST(PlanCache, EveryKeyFieldParticipates) {
+  PlanCache cache(16);
+  cache.insert(key_of(1, 1, 0), plan_of(1.0));
+  // Any single differing field must miss.
+  EXPECT_EQ(cache.lookup(key_of(2, 1, 0)), nullptr);
+  EXPECT_EQ(cache.lookup(key_of(1, 2, 0)), nullptr);
+  EXPECT_EQ(cache.lookup(key_of(1, 1, 1)), nullptr);
+  PlanKey k = key_of(1);
+  k.seed = 7;
+  EXPECT_EQ(cache.lookup(k), nullptr);
+  k = key_of(1);
+  k.ordering = 1;
+  EXPECT_EQ(cache.lookup(k), nullptr);
+  k = key_of(1);
+  k.build = 1;
+  EXPECT_EQ(cache.lookup(k), nullptr);
+  k = key_of(1);
+  k.coalesce = 1;
+  EXPECT_EQ(cache.lookup(k), nullptr);
+  k = key_of(1);
+  k.bytes_per_elem = 4.0;
+  EXPECT_EQ(cache.lookup(k), nullptr);
+  EXPECT_NE(cache.lookup(key_of(1, 1, 0)), nullptr);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  cache.insert(key_of(1), plan_of(1.0));
+  cache.insert(key_of(2), plan_of(2.0));
+  // Touch 1 so 2 becomes the cold end.
+  EXPECT_NE(cache.lookup(key_of(1)), nullptr);
+  cache.insert(key_of(3), plan_of(3.0));
+
+  EXPECT_NE(cache.peek(key_of(1)), nullptr);
+  EXPECT_EQ(cache.peek(key_of(2)), nullptr);  // evicted
+  EXPECT_NE(cache.peek(key_of(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, EvictedEntrySurvivesThroughSharedPtr) {
+  // Eviction while a job still executes the plan must not free it.
+  PlanCache cache(1);
+  cache.insert(key_of(1), plan_of(1.0));
+  const auto held = cache.lookup(key_of(1));
+  cache.insert(key_of(2), plan_of(2.0));
+  ASSERT_NE(held, nullptr);
+  EXPECT_DOUBLE_EQ(held->cold_build_seconds, 1.0);
+  EXPECT_EQ(cache.peek(key_of(1)), nullptr);
+}
+
+TEST(PlanCache, InsertReplacesExistingKey) {
+  PlanCache cache(2);
+  cache.insert(key_of(1), plan_of(1.0));
+  cache.insert(key_of(1), plan_of(9.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.peek(key_of(1))->cold_build_seconds, 9.0);
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(PlanCache, PeekDoesNotCountOrReorder) {
+  PlanCache cache(2);
+  cache.insert(key_of(1), plan_of(1.0));
+  cache.insert(key_of(2), plan_of(2.0));
+  EXPECT_NE(cache.peek(key_of(1)), nullptr);  // no LRU bump
+  EXPECT_EQ(cache.peek(key_of(9)), nullptr);  // no miss count
+  cache.insert(key_of(3), plan_of(3.0));
+  // 1 was only peeked, so it is still the cold end and got evicted.
+  EXPECT_EQ(cache.peek(key_of(1)), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+}
+
+TEST(PlanCache, EraseAndClear) {
+  PlanCache cache(4);
+  cache.insert(key_of(1), plan_of(1.0));
+  cache.insert(key_of(2), plan_of(2.0));
+  cache.erase(key_of(1));
+  cache.erase(key_of(77));  // absent: no-op
+  EXPECT_EQ(cache.peek(key_of(1)), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.peek(key_of(2)), nullptr);
+}
+
+TEST(PlanCache, Validation) {
+  EXPECT_THROW(PlanCache cache(0), std::invalid_argument);
+  PlanCache cache(1);
+  EXPECT_THROW(cache.insert(key_of(1), nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stance

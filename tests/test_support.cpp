@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "support/cli.hpp"
+#include "support/env.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -336,6 +340,89 @@ TEST(CliArgs, BoolFalseSpellings) {
   EXPECT_FALSE(args.get_bool("b", true));
   EXPECT_FALSE(args.get_bool("c", true));
   EXPECT_TRUE(args.get_bool("d", false));
+}
+
+// --- strict environment parsing --------------------------------------------
+
+/// Scoped override of one environment variable, restored on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+constexpr const char* kVar = "STANCE_TEST_ENV_INT";
+
+TEST(EnvInt, UnsetAndEmptyReturnFallback) {
+  {
+    ScopedEnv env(kVar, nullptr);
+    EXPECT_EQ(support::env_int(kVar), 0);
+    EXPECT_EQ(support::env_int(kVar, 42), 42);
+  }
+  {
+    ScopedEnv env(kVar, "");
+    EXPECT_EQ(support::env_int(kVar, 42), 42);
+  }
+  {
+    ScopedEnv env(kVar, "   ");
+    EXPECT_EQ(support::env_int(kVar, 42), 42);
+  }
+}
+
+TEST(EnvInt, ParsesPlainAndDecoratedNumbers) {
+  {
+    ScopedEnv env(kVar, "250");
+    EXPECT_EQ(support::env_int(kVar), 250);
+  }
+  {
+    ScopedEnv env(kVar, "  +7  ");
+    EXPECT_EQ(support::env_int(kVar), 7);
+  }
+  {
+    ScopedEnv env(kVar, "0");
+    EXPECT_EQ(support::env_int(kVar, 9), 0);
+  }
+}
+
+TEST(EnvInt, RejectsMalformedValuesLoudly) {
+  // The bug this guards against: strtol-based parsing silently turned
+  // "abc" into 0 (feature off) and "5s" into 5 (unit dropped).
+  for (const char* bad : {"abc", "5s", "12 34", "0x10", "-1", "2.5", "++3", "9999999999999"}) {
+    ScopedEnv env(kVar, bad);
+    EXPECT_THROW((void)support::env_int(kVar), std::invalid_argument) << bad;
+  }
+}
+
+TEST(EnvInt, ErrorNamesVariableAndValue) {
+  ScopedEnv env(kVar, "banana");
+  try {
+    (void)support::env_int(kVar);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(kVar), std::string::npos);
+    EXPECT_NE(what.find("banana"), std::string::npos);
+  }
 }
 
 }  // namespace

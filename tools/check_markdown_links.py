@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Doc lint: verify markdown links resolve.
+
+Checks, for every markdown file given on the command line:
+
+  * relative links (and images) point at files/directories that exist,
+  * anchors — both same-file ``#section`` links and cross-file
+    ``other.md#section`` links — match a real heading, using GitHub's
+    slug rules (lowercase, punctuation stripped, spaces to hyphens,
+    ``-1``/``-2`` suffixes for duplicates).
+
+External links (http/https/mailto) are deliberately not fetched: CI has
+no network dependency, and a dead external URL should never break the
+build. Stdlib only.
+
+Usage: python3 tools/check_markdown_links.py README.md docs/*.md
+Exits 1 listing every broken link as file:line: message.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+REFERENCE_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+HEADING = re.compile(r"^\s{0,3}(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_SPAN = re.compile(r"`[^`]*`")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp:")
+
+
+def slugify(heading, seen):
+    """GitHub-style anchor slug for a heading line, deduplicated."""
+    text = CODE_SPAN.sub(lambda m: m.group(0).strip("`"), heading)
+    # Strip markdown emphasis and inline link syntax, keep the link text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.strip().replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return "%s-%d" % (slug, seen[slug])
+    seen[slug] = 0
+    return slug
+
+
+def markdown_lines(path):
+    """(lineno, line) pairs with fenced code blocks blanked out."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            yield lineno, "" if in_fence else line
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        seen = {}
+        cache[path] = {
+            slugify(m.group(2), seen)
+            for _, line in markdown_lines(path)
+            if (m := HEADING.match(line))
+        }
+    return cache[path]
+
+
+def links_of(path):
+    """(lineno, target) for every inline link / image / reference def."""
+    for lineno, line in markdown_lines(path):
+        stripped = CODE_SPAN.sub("", line)
+        for m in INLINE_LINK.finditer(stripped):
+            yield lineno, m.group(1)
+        m = REFERENCE_DEF.match(stripped)
+        if m:
+            yield lineno, m.group(1)
+
+
+def check_file(path, anchor_cache):
+    errors = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, raw in links_of(path):
+        target = raw.strip("<>")
+        if target.startswith(EXTERNAL):
+            continue
+        target, _, anchor = target.partition("#")
+        if target:
+            dest = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(dest):
+                errors.append("%s:%d: broken link: %s (no such file)"
+                              % (path, lineno, raw))
+                continue
+        else:
+            dest = os.path.abspath(path)  # pure '#anchor': same file
+        if anchor:
+            if not os.path.isfile(dest) or not dest.endswith((".md", ".MD")):
+                continue  # anchors into non-markdown targets: not checked
+            if anchor.lower() not in anchors_of(dest, anchor_cache):
+                errors.append("%s:%d: broken anchor: %s (no heading '#%s' in %s)"
+                              % (path, lineno, raw, anchor,
+                                 os.path.relpath(dest)))
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    args = parser.parse_args()
+
+    anchor_cache = {}
+    errors = []
+    for path in args.files:
+        if not os.path.isfile(path):
+            errors.append("%s: file not found" % path)
+            continue
+        errors.extend(check_file(path, anchor_cache))
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print("%d broken link(s)" % len(errors), file=sys.stderr)
+        return 1
+    print("checked %d file(s): all links resolve" % len(args.files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
