@@ -9,10 +9,16 @@
 //   --repeats=N    best-of-N timing (default 5)
 //   --out-dir=DIR  where the JSON lands (default .)
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <limits>
+#include <mutex>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "exec/gather_scatter.hpp"
+#include "exec/simd.hpp"
+#include "mp/mailbox.hpp"
 #include "graph/builders.hpp"
 #include "lb/adaptive_executor.hpp"
 #include "lb/delegate_balancer.hpp"
@@ -630,6 +636,148 @@ void bench_recovery(bench::JsonReporter& report, bool small) {
             << result.costs.restore_virtual_seconds << " s (oracle ok)\n";
 }
 
+/// Host-seconds microbench of the SIMD pack kernel (ISSUE 9): the schedule's
+/// pack loop — dst[k] = src[idx[k]] over a scrambled index list — at a
+/// cache-resident shape (4096 doubles, the per-peer message size regime the
+/// executors actually pack), scalar loop vs the AVX2 gather. Wall-clock, so
+/// it sits under check_regression.py's --host-tolerance gate; the shape is
+/// L1/L2-resident on purpose — at memory-bound sizes the gather's advantage
+/// collapses into bandwidth and the comparison measures DRAM, not the
+/// kernel.
+void bench_pack_unpack_host(bench::JsonReporter& report, bool small, int repeats) {
+  const std::size_t n = 4096;
+  const int inner = small ? 500 : 2000;
+  Rng rng(2025);
+  std::vector<std::int32_t> idx(n);
+  for (auto& i : idx) {
+    i = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+  }
+  std::vector<double> src(n), dst(n, 0.0);
+  for (auto& v : src) v = rng.uniform(-1.0, 1.0);
+
+  volatile double sink = 0.0;
+  auto time_mode = [&](exec::simd::Mode mode) {
+    return best_of(repeats, [&] {
+      for (int it = 0; it < inner; ++it) {
+        exec::simd::pack_indexed(src.data(), idx.data(), 0, n, dst.data(), mode);
+        sink = sink + dst[0];
+      }
+    });
+  };
+  const double scalar_s = time_mode(exec::simd::Mode::kScalar);
+  const bool avx2 = exec::simd::avx2_supported();
+  // Without AVX2 both columns time the scalar loop: the entry stays present
+  // (the gate fails on missing entries) and honestly reports speedup ~1.
+  const double simd_s = avx2 ? time_mode(exec::simd::Mode::kAvx2) : scalar_s;
+
+  report.entry("pack_unpack_host")
+      .field("elements", n)
+      .field("inner_reps", static_cast<long long>(inner))
+      .field("simd_mode", std::string(exec::simd::mode_name(
+                 avx2 ? exec::simd::Mode::kAvx2 : exec::simd::Mode::kScalar)))
+      .field("scalar_host_seconds", scalar_s)
+      .field("simd_host_seconds", simd_s)
+      .field("host_speedup", scalar_s / simd_s);
+  std::cout << "pack_unpack_host: scalar " << scalar_s << " s, simd " << simd_s
+            << " s, speedup " << scalar_s / simd_s << "x ("
+            << exec::simd::mode_name(avx2 ? exec::simd::Mode::kAvx2
+                                          : exec::simd::Mode::kScalar)
+            << ")\n";
+}
+
+/// The mutex+condvar mailbox the lock-free ring replaced (ISSUE 9), kept as
+/// the bench reference: one deque under one lock, every deposit takes the
+/// mutex and notifies, take scans for the oldest (source, tag) match.
+class MutexMailboxRef {
+ public:
+  void deposit(mp::RawMessage msg) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+    cv_.notify_one();
+  }
+  mp::RawMessage take(mp::Rank source, mp::Tag tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->source == source && it->tag == tag) {
+          mp::RawMessage msg = std::move(*it);
+          queue_.erase(it);
+          return msg;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<mp::RawMessage> queue_;
+};
+
+/// Host-seconds mailbox throughput: several producer threads flood one
+/// mailbox while the consumer takes round-robin across sources — the
+/// deposit-side contention pattern of a rank receiving its ghost exchange.
+/// Payloads are empty so the clock sees queue mechanics, not memcpy.
+void bench_mailbox_throughput_host(bench::JsonReporter& report, bool small,
+                                   int repeats) {
+  const int producers = 4;
+  const int per_producer = small ? 20000 : 100000;
+  constexpr mp::Tag kTag = 3;
+
+  auto flood = [&](auto& box) {
+    // Per-source backpressure against the consumer's round counter keeps
+    // every backlog bounded so both designs are measured at a matched
+    // steady-state rate: unthrottled floods report whichever pathological
+    // backlog the scheduler happened to build, which is noise, not a
+    // gateable signal. (A single global cap can deadlock: three sources
+    // could fill it while the consumer blocks on the fourth.)
+    std::atomic<int> rounds{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(producers));
+    for (int src = 0; src < producers; ++src) {
+      threads.emplace_back([&, src] {
+        for (int i = 0; i < per_producer; ++i) {
+          while (i - rounds.load(std::memory_order_acquire) > 1024) {
+            std::this_thread::yield();
+          }
+          box.deposit(mp::RawMessage{src, kTag, {}, 0.0});
+        }
+      });
+    }
+    for (int i = 0; i < per_producer; ++i) {
+      for (int src = 0; src < producers; ++src) {
+        volatile auto arrival = box.take(src, kTag).arrival;
+        (void)arrival;
+      }
+      rounds.store(i + 1, std::memory_order_release);
+    }
+    for (auto& t : threads) t.join();
+  };
+
+  const double mutex_s = best_of(repeats, [&] {
+    MutexMailboxRef box;
+    flood(box);
+  });
+  const double ring_s = best_of(repeats, [&] {
+    mp::Mailbox box;
+    flood(box);
+  });
+  const double total =
+      static_cast<double>(producers) * static_cast<double>(per_producer);
+
+  report.entry("mailbox_throughput_host")
+      .field("producers", static_cast<long long>(producers))
+      .field("messages", static_cast<long long>(producers) * per_producer)
+      .field("mutex_host_seconds", mutex_s)
+      .field("ring_host_seconds", ring_s)
+      .field("ring_msgs_per_host_second", total / ring_s)
+      .field("host_speedup", mutex_s / ring_s);
+  std::cout << "mailbox_throughput_host: mutex+cv " << mutex_s << " s, ring "
+            << ring_s << " s, speedup " << mutex_s / ring_s << "x ("
+            << total / ring_s << " msg/s)\n";
+}
+
 void bench_remap(bench::JsonReporter& report, const graph::Csr& mesh, int deltas,
                  int repeats) {
   const std::size_t nprocs = 5;
@@ -680,6 +828,8 @@ int main(int argc, char** argv) {
   bench_node_coalescing(schedule_report, small);
   bench_delegate_rotation(schedule_report, small);
   bench_adaptive_full_loop(schedule_report, small);
+  bench_pack_unpack_host(schedule_report, small, repeats);
+  bench_mailbox_throughput_host(schedule_report, small, repeats);
   schedule_report.write(out_dir + "/BENCH_schedule.json");
 
   bench::JsonReporter remap_report;

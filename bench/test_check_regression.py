@@ -305,6 +305,46 @@ class CheckRegressionTest(unittest.TestCase):
         self.assertEqual(len(violations), 1)
         self.assertIn("warm_vs_cold_virtual_speedup", violations[0])
 
+    def test_committed_baseline_carries_the_simd_pack_entry(self):
+        # The SIMD pack/unpack microbench is host-gated: the committed
+        # baseline must carry both columns plus the speedup (so a future
+        # run that loses the vector path trips the host budget), and the
+        # committed run must show the SIMD path actually winning.
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        entries = check_regression.load_entries(
+            os.path.join(repo_root, "BENCH_schedule.json"))
+        self.assertIn("pack_unpack_host", entries)
+        pack = entries["pack_unpack_host"]
+        for field in ("scalar_host_seconds", "simd_host_seconds",
+                      "host_speedup", "simd_mode"):
+            self.assertIn(field, pack)
+        # Every gated field must be host-classified — a rename that drops a
+        # column out of the host predicate would silently ungate it.
+        for field in ("scalar_host_seconds", "simd_host_seconds",
+                      "host_speedup"):
+            self.assertIsNotNone(check_regression.field_budget(
+                field, pack[field], 0.25, 0.40))
+        if pack["simd_mode"] != "scalar":
+            self.assertGreater(pack["host_speedup"], 1.3)
+
+    def test_committed_baseline_carries_the_mailbox_throughput_entry(self):
+        # The lock-free mailbox bench is host-gated against the mutex+cv
+        # reference it replaced: the committed baseline must carry both
+        # columns and show the ring winning.
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        entries = check_regression.load_entries(
+            os.path.join(repo_root, "BENCH_schedule.json"))
+        self.assertIn("mailbox_throughput_host", entries)
+        box = entries["mailbox_throughput_host"]
+        for field in ("mutex_host_seconds", "ring_host_seconds",
+                      "host_speedup", "ring_msgs_per_host_second"):
+            self.assertIn(field, box)
+        for field in ("mutex_host_seconds", "ring_host_seconds",
+                      "host_speedup"):
+            self.assertIsNotNone(check_regression.field_budget(
+                field, box[field], 0.25, 0.40))
+        self.assertGreater(box["host_speedup"], 1.0)
+
     def test_committed_service_baseline_carries_the_serving_wins(self):
         # The service bench is gate-enforced: the committed baseline must
         # show the plan cache and batching actually winning.

@@ -42,21 +42,37 @@ class EdgeSweep {
   static void reference_sweep(const graph::Csr& g, std::span<const double> y,
                               std::span<double> acc);
 
-  /// Route both the gather and the scatter through node-aware coalesced
-  /// frames; nullptr returns to per-peer messages. Byte-identical results.
-  /// The plan must have been built for this sweep's schedule (a plan kept
-  /// across a remap is the stale-routing bug the fingerprint catches here).
-  void set_coalesce_plan(const sched::CoalescePlan* plan) {
-    STANCE_REQUIRE(plan == nullptr ||
-                       plan->schedule_fingerprint == sched::coalesce_fingerprint(sched_),
-                   "set_coalesce_plan: plan was built for a different schedule");
-    plan_ = plan;
+  /// Apply the unified tuning surface (exec/exec_config.hpp). The coalesce
+  /// plan routes both the gather and the scatter through node-aware frames;
+  /// nullptr returns to per-peer messages. Byte-identical results for every
+  /// configuration. The plan must have been built for this sweep's schedule
+  /// (a plan kept across a remap is the stale-routing bug the fingerprint
+  /// catches here).
+  void configure(const ExecConfig& cfg) {
+    install_plan(cfg.coalesce_plan);
+    cfg_ = cfg;
+    ws_.configure(cfg_);
+  }
+
+  /// The last applied configuration (what the deprecated shims mutate).
+  [[nodiscard]] const ExecConfig& config() const noexcept { return cfg_; }
+
+  /// Route the exchanges through node-aware coalesced frames.
+  [[deprecated("use configure(ExecConfig) instead")]] void set_coalesce_plan(
+      const sched::CoalescePlan* plan) {
+    ExecConfig cfg = cfg_;
+    cfg.coalesce_plan = plan;
+    configure(cfg);
   }
 
   /// Pack/unpack the exchanges on `threads` threads (1 = serial).
-  void set_pack_threads(unsigned threads,
-                        std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
-    ws_.set_pack_threads(threads, serial_cutoff);
+  [[deprecated("use configure(ExecConfig) instead")]] void set_pack_threads(
+      unsigned threads,
+      std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
+    ExecConfig cfg = cfg_;
+    cfg.pack_threads = threads;
+    cfg.pack_serial_cutoff = serial_cutoff;
+    configure(cfg);
   }
 
  private:
@@ -69,7 +85,15 @@ class EdgeSweep {
   std::vector<double> ghost_values_;
   std::vector<double> ghost_contrib_;
   ExecWorkspace ws_;  ///< persistent pack/unpack buffers (zero-alloc sweep)
+  ExecConfig cfg_;    ///< last applied configuration
   const sched::CoalescePlan* plan_ = nullptr;  ///< optional node-aware framing
+
+  void install_plan(const sched::CoalescePlan* plan) {
+    STANCE_REQUIRE(plan == nullptr ||
+                       plan->schedule_fingerprint == sched::coalesce_fingerprint(sched_),
+                   "configure: coalesce plan was built for a different schedule");
+    plan_ = plan;
+  }
 };
 
 }  // namespace stance::exec

@@ -1,0 +1,46 @@
+// One tuning surface for every executor.
+//
+// The per-executor knobs accreted one setter at a time — set_pack_threads
+// here, set_coalesce_plan there, SIMD and prewarm floors next — and every
+// new executor had to re-export each. ExecConfig collapses them: build one
+// struct, apply it with configure() on IrregularLoop, EdgeSweep,
+// LaplacianOperator (and through it CG), or a bare ExecWorkspace for raw
+// gather/scatter. The old setters survive one release as deprecated shims
+// over configure().
+#pragma once
+
+#include <cstddef>
+
+#include "exec/simd.hpp"
+#include "support/thread_pool.hpp"
+
+namespace stance::sched {
+struct CoalescePlan;
+}
+
+namespace stance::exec {
+
+struct ExecConfig {
+  /// Pack/unpack parallelism, total threads including the caller; 1 (the
+  /// default) runs serially with no pool at all.
+  unsigned pack_threads = 1;
+  /// Below this many items a parallel_chunks call runs inline — the
+  /// fork/join handshake costs more than it saves.
+  std::size_t pack_serial_cutoff = support::ThreadPool::kDefaultCutoff;
+  /// SIMD mode for the pack gathers. kAuto resolves from STANCE_SIMD and a
+  /// one-time CPU probe; kAvx2 throws at configure() when unsupported.
+  simd::Mode simd = simd::Mode::kAuto;
+  /// Optional node-aware coalesce plan (sched/coalesce.hpp). Must outlive
+  /// the executor and match its schedule fingerprint (checked at
+  /// configure()); nullptr routes per-peer messages. Ignored by executors
+  /// that never coalesce (LaplacianOperator) and by bare workspaces.
+  const sched::CoalescePlan* coalesce_plan = nullptr;
+  /// Pool pre-provisioning floor: every prewarm through the workspace asks
+  /// for at least this many receive buffers of at least this many bytes, on
+  /// top of what the schedule itself requires. Lets a caller that knows a
+  /// bigger phase is coming pay the allocation before the steady state.
+  std::size_t prewarm_count = 0;
+  std::size_t prewarm_bytes = 0;
+};
+
+}  // namespace stance::exec

@@ -8,12 +8,19 @@
 // buffers round-trip through the mailbox pool. Each executor phase uses a
 // distinct message tag so interleaved phases (e.g. a sweep's gather racing
 // an operator's gather on a buffered-send cluster) can never cross-match.
+//
+// The pack side (payload[k] = values[list[k]]) runs through the
+// runtime-dispatched SIMD gathers in exec/simd.hpp — byte-identical to the
+// scalar loop, selected by the workspace's configured mode. The unpack and
+// combine sides stay scalar: there is no AVX2 scatter, and per-element
+// combine order is part of the determinism contract.
 #pragma once
 
 #include <algorithm>
 #include <functional>
 #include <span>
 
+#include "exec/simd.hpp"
 #include "exec/workspace.hpp"
 #include "mp/process.hpp"
 #include "sched/coalesce.hpp"
@@ -61,9 +68,8 @@ void gather(mp::Process& p, const CommSchedule& s, std::span<const T> local,
   for (std::size_t i = 0; i < s.send_procs.size(); ++i) {
     const auto& items = s.send_items[i];
     ws.parallel_chunks(items.size(), [&](std::size_t b, std::size_t e) {
-      for (std::size_t k = b; k < e; ++k) {
-        payload[k] = local[static_cast<std::size_t>(items[k])];
-      }
+      simd::pack_indexed(local.data(), items.data(), b, e, payload.data(),
+                         ws.simd_mode());
     });
     p.compute(costs.per_copy_element * static_cast<double>(items.size()));
     p.send(s.send_procs[i], tag,
@@ -115,9 +121,8 @@ void scatter(mp::Process& p, const CommSchedule& s, std::span<const T> ghost,
   for (std::size_t i = 0; i < s.recv_procs.size(); ++i) {
     const auto& slots = s.recv_slots[i];
     ws.parallel_chunks(slots.size(), [&](std::size_t b, std::size_t e) {
-      for (std::size_t k = b; k < e; ++k) {
-        payload[k] = ghost[static_cast<std::size_t>(slots[k])];
-      }
+      simd::pack_indexed(ghost.data(), slots.data(), b, e, payload.data(),
+                         ws.simd_mode());
     });
     p.compute(costs.per_copy_element * static_cast<double>(slots.size()));
     p.send(s.recv_procs[i], tag,
@@ -317,9 +322,8 @@ void gather_coalesced(mp::Process& p, const CommSchedule& s,
       s.recv_slots, ws, costs, tag,
       [&](const std::vector<Vertex>& items, std::span<T> dst) {
         ws.parallel_chunks(items.size(), [&](std::size_t b, std::size_t e) {
-          for (std::size_t k = b; k < e; ++k) {
-            dst[k] = local[static_cast<std::size_t>(items[k])];
-          }
+          simd::pack_indexed(local.data(), items.data(), b, e, dst.data(),
+                             ws.simd_mode());
         });
       },
       [&](std::size_t src, std::span<const T> buf) {
@@ -353,9 +357,8 @@ void scatter_coalesced(mp::Process& p, const CommSchedule& s,
       s.send_items, ws, costs, tag,
       [&](const std::vector<Vertex>& slots, std::span<T> dst) {
         ws.parallel_chunks(slots.size(), [&](std::size_t b, std::size_t e) {
-          for (std::size_t k = b; k < e; ++k) {
-            dst[k] = ghost[static_cast<std::size_t>(slots[k])];
-          }
+          simd::pack_indexed(ghost.data(), slots.data(), b, e, dst.data(),
+                             ws.simd_mode());
         });
       },
       [&](std::size_t src, std::span<const T> buf) {

@@ -57,22 +57,37 @@ class IrregularLoop {
   /// monitor: compute seconds = work / effective speed).
   [[nodiscard]] double work_per_iteration() const noexcept { return work_per_iter_; }
 
+  /// Apply the unified tuning surface (exec/exec_config.hpp): pack threads,
+  /// SIMD mode, prewarm floors, and the optional coalesce plan. The plan
+  /// must outlive this executor and belong to the same schedule (enforced
+  /// via the plan's fingerprint — installing a pre-remap plan on a
+  /// post-remap loop is the stale-routing bug); nullptr routes per-peer
+  /// messages. Results are byte-identical for every configuration.
+  void configure(const ExecConfig& cfg) {
+    install_plan(cfg.coalesce_plan);
+    cfg_ = cfg;
+    ws_.configure(cfg_);
+  }
+
+  /// The last applied configuration (what the deprecated shims mutate).
+  [[nodiscard]] const ExecConfig& config() const noexcept { return cfg_; }
+
   /// Route the gather through node-aware coalesced frames (sched/coalesce.hpp).
-  /// `plan` must outlive this executor and belong to the same schedule
-  /// (enforced via the plan's fingerprint — installing a pre-remap plan on a
-  /// post-remap loop is the stale-routing bug); pass nullptr to return to
-  /// per-peer messages. Results are byte-identical either way.
-  void set_coalesce_plan(const sched::CoalescePlan* plan) {
-    STANCE_REQUIRE(plan == nullptr ||
-                       plan->schedule_fingerprint == sched::coalesce_fingerprint(sched_),
-                   "set_coalesce_plan: plan was built for a different schedule");
-    plan_ = plan;
+  [[deprecated("use configure(ExecConfig) instead")]] void set_coalesce_plan(
+      const sched::CoalescePlan* plan) {
+    ExecConfig cfg = cfg_;
+    cfg.coalesce_plan = plan;
+    configure(cfg);
   }
 
   /// Pack/unpack the ghost exchange on `threads` threads (1 = serial).
-  void set_pack_threads(unsigned threads,
-                        std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
-    ws_.set_pack_threads(threads, serial_cutoff);
+  [[deprecated("use configure(ExecConfig) instead")]] void set_pack_threads(
+      unsigned threads,
+      std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
+    ExecConfig cfg = cfg_;
+    cfg.pack_threads = threads;
+    cfg.pack_serial_cutoff = serial_cutoff;
+    configure(cfg);
   }
 
   [[nodiscard]] const sched::LocalizedGraph& lgraph() const noexcept { return lgraph_; }
@@ -93,7 +108,15 @@ class IrregularLoop {
   std::vector<double> ghost_;
   std::vector<double> t_;
   ExecWorkspace ws_;  ///< persistent pack/unpack buffers (zero-alloc iterate)
+  ExecConfig cfg_;    ///< last applied configuration
   const sched::CoalescePlan* plan_ = nullptr;  ///< optional node-aware framing
+
+  void install_plan(const sched::CoalescePlan* plan) {
+    STANCE_REQUIRE(plan == nullptr ||
+                       plan->schedule_fingerprint == sched::coalesce_fingerprint(sched_),
+                   "configure: coalesce plan was built for a different schedule");
+    plan_ = plan;
+  }
 
   void recompute_work();
 };

@@ -1,0 +1,117 @@
+#include "exec/simd.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define STANCE_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define STANCE_SIMD_X86 0
+#endif
+
+namespace stance::exec::simd {
+
+const char* mode_name(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kAuto: return "auto";
+    case Mode::kScalar: return "scalar";
+    case Mode::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool avx2_supported() noexcept {
+#if STANCE_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+Mode detect() {
+  const char* raw = std::getenv("STANCE_SIMD");
+  if (raw != nullptr && *raw != '\0') {
+    std::string v(raw);
+    for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (v == "off" || v == "scalar" || v == "0") return Mode::kScalar;
+    if (v == "avx2") return resolve(Mode::kAvx2);
+    if (v != "auto" && v != "on") {
+      // Malformed configuration must never silently degrade to a default
+      // (same contract as support::env_int).
+      throw std::invalid_argument("STANCE_SIMD: expected off|scalar|auto|avx2, got \"" +
+                                  std::string(raw) + "\"");
+    }
+  }
+  return avx2_supported() ? Mode::kAvx2 : Mode::kScalar;
+}
+
+}  // namespace
+
+Mode dispatch_mode() {
+  static const Mode mode = detect();
+  return mode;
+}
+
+Mode resolve(Mode requested) {
+  if (requested == Mode::kAuto) return dispatch_mode();
+  if (requested == Mode::kAvx2 && !avx2_supported()) {
+    throw std::invalid_argument("simd: AVX2 requested but not supported on this CPU");
+  }
+  return requested;
+}
+
+namespace detail {
+
+#if STANCE_SIMD_X86
+
+__attribute__((target("avx2"))) void pack_gather_u32_avx2(const std::uint32_t* src,
+                                                          const std::int32_t* idx,
+                                                          std::size_t n,
+                                                          std::uint32_t* dst) {
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
+    const __m256i gathered =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(src), vidx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k), gathered);
+  }
+  for (; k < n; ++k) dst[k] = src[static_cast<std::size_t>(idx[k])];
+}
+
+__attribute__((target("avx2"))) void pack_gather_u64_avx2(const std::uint64_t* src,
+                                                          const std::int32_t* idx,
+                                                          std::size_t n,
+                                                          std::uint64_t* dst) {
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m128i vidx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+    const __m256i gathered =
+        _mm256_i32gather_epi64(reinterpret_cast<const long long*>(src), vidx, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k), gathered);
+  }
+  for (; k < n; ++k) dst[k] = src[static_cast<std::size_t>(idx[k])];
+}
+
+#else  // non-x86 fallback: keep the symbols, run the scalar loop
+
+void pack_gather_u32_avx2(const std::uint32_t* src, const std::int32_t* idx,
+                          std::size_t n, std::uint32_t* dst) {
+  for (std::size_t k = 0; k < n; ++k) dst[k] = src[static_cast<std::size_t>(idx[k])];
+}
+
+void pack_gather_u64_avx2(const std::uint64_t* src, const std::int32_t* idx,
+                          std::size_t n, std::uint64_t* dst) {
+  for (std::size_t k = 0; k < n; ++k) dst[k] = src[static_cast<std::size_t>(idx[k])];
+}
+
+#endif
+
+}  // namespace detail
+
+}  // namespace stance::exec::simd

@@ -8,11 +8,11 @@
 // subsequent call, so gather/scatter perform zero heap allocations in
 // steady state (verified by tests/test_exec_alloc.cpp).
 //
-// At large ghost counts the pack/unpack copy loops themselves become the
-// bottleneck; set_pack_threads(k) attaches a fixed fork/join pool
-// (support/thread_pool.hpp) that splits them into disjoint chunks. Chunking
-// is static, so results are byte-identical for every pool size, and the
-// steady state stays allocation-free.
+// Tuning goes through configure(const ExecConfig&): pack/unpack thread
+// count (a fixed fork/join pool splitting the copy loops into disjoint
+// chunks — chunking is static, so results are byte-identical for every
+// pool size), the SIMD mode for the pack gathers (exec/simd.hpp), and
+// prewarm floors. The pre-ExecConfig setter survives as a deprecated shim.
 #pragma once
 
 #include <algorithm>
@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "exec/exec_config.hpp"
+#include "exec/simd.hpp"
 #include "mp/process.hpp"
 #include "support/thread_pool.hpp"
 
@@ -30,13 +32,32 @@ namespace stance::exec {
 
 class ExecWorkspace {
  public:
+  /// Apply the unified tuning surface. The coalesce_plan field is ignored
+  /// here — plans are routing state owned by the executors, not the
+  /// workspace. A kAvx2 request on a CPU without AVX2 throws.
+  void configure(const ExecConfig& cfg) {
+    set_pack_threads_impl(cfg.pack_threads, cfg.pack_serial_cutoff);
+    simd_ = simd::resolve(cfg.simd);
+    min_prewarm_count_ = cfg.prewarm_count;
+    min_prewarm_bytes_ = cfg.prewarm_bytes;
+  }
+
+  /// Resolved SIMD mode for the pack gathers (never kAuto after
+  /// configure(); kAuto before, which pack_indexed resolves per call).
+  [[nodiscard]] simd::Mode simd_mode() const noexcept { return simd_; }
+
   /// Idempotent pre-provisioning, called by gather/scatter with the
   /// schedule's worst-case concurrent inbound message pattern. The first
   /// call (or a call that raises the requirement) prefills this rank's
   /// mailbox pool; afterwards steady-state exchanges through this
   /// workspace never allocate — deterministically, not merely once the
-  /// pool has warmed up by chance.
+  /// pool has warmed up by chance. Count and bytes are tracked
+  /// independently: a call that only raises one dimension re-provisions
+  /// and re-memoizes that dimension (regression-tested — the old code
+  /// could wedge the memo when the pool sat at its cap).
   void prewarm(mp::Process& p, std::size_t count, std::size_t bytes) {
+    count = std::max(count, min_prewarm_count_);
+    bytes = std::max(bytes, min_prewarm_bytes_);
     if (count <= prewarm_count_ && bytes <= prewarm_bytes_) return;
     const std::size_t want_count = std::max(count, prewarm_count_);
     const std::size_t want_bytes = std::max(bytes, prewarm_bytes_);
@@ -47,6 +68,10 @@ class ExecWorkspace {
       prewarm_bytes_ = want_bytes;
     }
   }
+
+  /// Satisfied prewarm high-water marks (diagnostics + regression tests).
+  [[nodiscard]] std::size_t prewarm_count() const noexcept { return prewarm_count_; }
+  [[nodiscard]] std::size_t prewarm_bytes() const noexcept { return prewarm_bytes_; }
 
   /// Typed view over the send-side arena, at least `n` elements. Valid
   /// until the next send_buffer() call.
@@ -71,16 +96,10 @@ class ExecWorkspace {
   /// Pack/unpack parallelism, total threads including the caller. 1 (the
   /// default) runs serially with no pool at all. (Re)creating the pool
   /// allocates and spawns threads, so set it once before the steady state.
-  void set_pack_threads(unsigned threads,
-                        std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
-    if (threads <= 1) {
-      pool_.reset();
-      return;
-    }
-    if (pool_ && pool_->threads() == threads && pool_->serial_cutoff() == serial_cutoff) {
-      return;
-    }
-    pool_ = std::make_unique<support::ThreadPool>(threads, serial_cutoff);
+  [[deprecated("use configure(ExecConfig) instead")]] void set_pack_threads(
+      unsigned threads,
+      std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
+    set_pack_threads_impl(threads, serial_cutoff);
   }
   [[nodiscard]] unsigned pack_threads() const noexcept {
     return pool_ ? pool_->threads() : 1;
@@ -99,6 +118,17 @@ class ExecWorkspace {
   }
 
  private:
+  void set_pack_threads_impl(unsigned threads, std::size_t serial_cutoff) {
+    if (threads <= 1) {
+      pool_.reset();
+      return;
+    }
+    if (pool_ && pool_->threads() == threads && pool_->serial_cutoff() == serial_cutoff) {
+      return;
+    }
+    pool_ = std::make_unique<support::ThreadPool>(threads, serial_cutoff);
+  }
+
   template <typename T>
   static std::span<T> carve(std::vector<std::byte>& arena, std::size_t n) {
     const std::size_t bytes = n * sizeof(T);
@@ -113,8 +143,11 @@ class ExecWorkspace {
   std::vector<std::byte> send_arena_;
   std::vector<std::byte> recv_arena_;
   std::unique_ptr<support::ThreadPool> pool_;
+  simd::Mode simd_ = simd::Mode::kAuto;
   std::size_t prewarm_count_ = 0;
   std::size_t prewarm_bytes_ = 0;
+  std::size_t min_prewarm_count_ = 0;
+  std::size_t min_prewarm_bytes_ = 0;
 };
 
 }  // namespace stance::exec

@@ -42,7 +42,9 @@ void AdaptiveExecutor::build_plan(mp::Process& p) {
   co.measured =
       opts_.measured_feedback && !measured_.empty() ? &measured_ : nullptr;
   plan_ = sched::coalesce(p, ir_.schedule, opts_.cpu, co);
-  loop_->set_coalesce_plan(&plan_);
+  exec::ExecConfig exec_cfg = loop_->config();
+  exec_cfg.coalesce_plan = &plan_;
+  loop_->configure(exec_cfg);
   // Remember the slowdowns the plan was priced under, so a later check can
   // tell whether the measured picture drifted enough to re-decide.
   plan_slowdowns_.assign(static_cast<std::size_t>(p.nodes().nnodes()), 1.0);

@@ -53,6 +53,15 @@ class BufferPool {
       buffers_.emplace_back(bytes);
       ++fitting;
     }
+    // At the cap the pool can no longer add buffers, but it can still grow
+    // the ones it has: a later request with the same count and bigger bytes
+    // (the executor's prewarm after a schedule grows) must not fail forever
+    // just because kMaxPooled undersized buffers already circulate.
+    for (auto it = buffers_.begin(); fitting < count && it != buffers_.end(); ++it) {
+      if (it->capacity() >= bytes) continue;
+      it->reserve(bytes);
+      ++fitting;
+    }
     return fitting >= count;
   }
 

@@ -1,110 +1,216 @@
 #include "mp/mailbox.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "mp/errors.hpp"
 
 namespace stance::mp {
 
 void Mailbox::deposit(RawMessage msg, std::uint32_t epoch) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (down_ || poison_ || epoch < epoch_floor_) return;
-    queue_.push_back(std::move(msg));
+  if (down_.load(std::memory_order_acquire) ||
+      poisoned_.load(std::memory_order_acquire) ||
+      epoch < epoch_floor_.load(std::memory_order_acquire)) {
+    return;
   }
+  Entry e{std::move(msg), ticket_counter_.fetch_add(1, std::memory_order_relaxed),
+          epoch};
+  if (!ring_.try_push(std::move(e))) {
+    const std::lock_guard<std::mutex> lock(overflow_mutex_);
+    overflow_.push_back(std::move(e));
+    overflow_nonempty_.store(true, std::memory_order_release);
+  }
+  // seq_cst pairs with the consumer's sleeping_-then-undrained_ sequence
+  // (Dekker): either we observe sleeping_ and notify, or the consumer's
+  // recheck observes this increment and skips the wait.
+  undrained_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleeping_.load(std::memory_order_seq_cst)) {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    cv_.notify_all();
+  }
+}
+
+void Mailbox::drain_locked() {
+  const std::uint32_t floor = epoch_floor_.load(std::memory_order_acquire);
+  const auto accept = [&](Entry&& e) {
+    undrained_.fetch_sub(1, std::memory_order_relaxed);
+    if (e.epoch < floor) return;  // stale pre-recovery traffic
+    Stash& s = stash_[stash_key(e.msg.source, e.msg.tag)];
+    if (s.q.capacity() == 0) {
+      // First message on this key: size the bucket past any schedule's
+      // concurrent depth so steady-state appends never grow it.
+      s.q.reserve(BufferPool::kMaxPooled);
+    }
+    // Ring and overflow are each ticket-ascending, but interleave (a sender
+    // that claimed a ticket can land in either path, in either order), so
+    // an append that arrived out of order re-sorts this bucket's live
+    // region. Overflow is the burst path only; steady-state drains append
+    // in order and skip this.
+    const bool unordered = s.q.size() > s.head && e.ticket < s.q.back().ticket;
+    s.q.push_back(std::move(e));
+    if (unordered) {
+      std::sort(s.q.begin() + static_cast<std::ptrdiff_t>(s.head), s.q.end(),
+                [](const Entry& a, const Entry& b) { return a.ticket < b.ticket; });
+    }
+    stashed_.fetch_add(1, std::memory_order_relaxed);
+  };
+  Entry e;
+  while (ring_.try_pop(e)) accept(std::move(e));
+  if (overflow_nonempty_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(overflow_mutex_);
+    for (auto& o : overflow_) accept(std::move(o));
+    overflow_.clear();
+    overflow_nonempty_.store(false, std::memory_order_release);
+  }
+}
+
+std::optional<RawMessage> Mailbox::match_locked(Rank source, Tag tag) {
+  const auto it = stash_.find(stash_key(source, tag));
+  if (it == stash_.end()) return std::nullopt;
+  Stash& s = it->second;
+  if (s.head == s.q.size()) return std::nullopt;
+  RawMessage msg = std::move(s.q[s.head].msg);
+  ++s.head;
+  stashed_.fetch_sub(1, std::memory_order_relaxed);
+  if (s.head == s.q.size()) {
+    s.q.clear();
+    s.head = 0;
+  } else if (s.head >= 1024 && s.head * 2 >= s.q.size()) {
+    // The dead prefix dominates: compact (capacity is kept, so the steady
+    // state stays allocation-free).
+    s.q.erase(s.q.begin(), s.q.begin() + static_cast<std::ptrdiff_t>(s.head));
+    s.head = 0;
+  }
+  return msg;
+}
+
+void Mailbox::raise_if_failed() {
+  if (poisoned_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (poison_) poison_->raise();
+  }
+  if (down_.load(std::memory_order_acquire)) throw ClusterAborted();
+}
+
+void Mailbox::notify_consumers() {
+  const std::lock_guard<std::mutex> lock(wake_mutex_);
   cv_.notify_all();
 }
 
 RawMessage Mailbox::take(Rank source, Tag tag) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> consumer(consumer_mutex_);
   for (;;) {
-    if (poison_) poison_->raise();
-    if (down_) throw ClusterAborted();
-    const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const RawMessage& m) {
-      return m.source == source && m.tag == tag;
-    });
-    if (it != queue_.end()) {
-      RawMessage msg = std::move(*it);
-      queue_.erase(it);
-      return msg;
+    raise_if_failed();
+    drain_locked();
+    if (auto msg = match_locked(source, tag)) return std::move(*msg);
+    // Arm the sleeping flag, then re-check for deposits that raced the
+    // drain; only park when the box is verifiably idle (see deposit()).
+    std::unique_lock<std::mutex> wake(wake_mutex_);
+    sleeping_.store(true, std::memory_order_seq_cst);
+    if (undrained_.load(std::memory_order_seq_cst) == 0 &&
+        !down_.load(std::memory_order_acquire) &&
+        !poisoned_.load(std::memory_order_acquire)) {
+      cv_.wait(wake);  // spurious wakeups just re-run the loop
     }
-    cv_.wait(lock);
+    sleeping_.store(false, std::memory_order_relaxed);
   }
 }
 
 std::optional<RawMessage> Mailbox::try_take(Rank source, Tag tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (poison_) poison_->raise();
-  if (down_) throw ClusterAborted();
-  const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const RawMessage& m) {
-    return m.source == source && m.tag == tag;
-  });
-  if (it == queue_.end()) return std::nullopt;
-  RawMessage msg = std::move(*it);
-  queue_.erase(it);
-  return msg;
+  const std::lock_guard<std::mutex> consumer(consumer_mutex_);
+  raise_if_failed();
+  drain_locked();
+  return match_locked(source, tag);
 }
 
 std::vector<std::byte> Mailbox::acquire(std::size_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
   return pool_.acquire(size);
 }
 
 void Mailbox::recycle(std::vector<std::byte> buffer) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
   pool_.recycle(std::move(buffer));
 }
 
 bool Mailbox::prefill(std::size_t count, std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
   return pool_.prefill(count, bytes);
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return undrained_.load(std::memory_order_acquire) +
+         stashed_.load(std::memory_order_acquire);
 }
 
 void Mailbox::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    down_ = true;
-  }
-  cv_.notify_all();
+  down_.store(true, std::memory_order_seq_cst);
+  notify_consumers();
 }
 
 void Mailbox::poison(FailNotice notice) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> lock(state_mutex_);
     if (!poison_) poison_ = std::move(notice);
   }
-  cv_.notify_all();
+  // Payload before flag: a taker that observes the flag finds the notice.
+  poisoned_.store(true, std::memory_order_seq_cst);
+  notify_consumers();
 }
 
 void Mailbox::fence(std::uint32_t floor) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.clear();
-    poison_.reset();
-    epoch_floor_ = std::max(epoch_floor_, floor);
+    const std::lock_guard<std::mutex> consumer(consumer_mutex_);
+    // Raise the floor first so the purge drain below already filters, then
+    // drop everything stashed. Deposits that raced the floor update carry
+    // their epoch and are re-filtered at the next drain.
+    std::uint32_t cur = epoch_floor_.load(std::memory_order_relaxed);
+    while (floor > cur &&
+           !epoch_floor_.compare_exchange_weak(cur, floor, std::memory_order_acq_rel)) {
+    }
+    drain_locked();
+    for (auto& [key, s] : stash_) {
+      s.q.clear();  // keeps capacity: prefilled steady state survives the purge
+      s.head = 0;
+    }
+    stashed_.store(0, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      poison_.reset();
+    }
+    poisoned_.store(false, std::memory_order_seq_cst);
     // down_ survives: the fence revives a *poisoned* mailbox for recovery,
     // not a shut-down cluster.
   }
-  cv_.notify_all();
+  notify_consumers();
 }
 
 void Mailbox::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_.clear();
+  const std::lock_guard<std::mutex> consumer(consumer_mutex_);
+  drain_locked();
+  for (auto& [key, s] : stash_) {
+    s.q.clear();  // keeps capacity: prefilled steady state survives the purge
+    s.head = 0;
+  }
+  stashed_.store(0, std::memory_order_relaxed);
   // down_/poison_ deliberately survive: failure state is sticky until reset().
 }
 
 void Mailbox::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_.clear();
-  down_ = false;
-  poison_.reset();
-  epoch_floor_ = 0;
+  const std::lock_guard<std::mutex> consumer(consumer_mutex_);
+  drain_locked();
+  for (auto& [key, s] : stash_) {
+    s.q.clear();  // keeps capacity: prefilled steady state survives the purge
+    s.head = 0;
+  }
+  stashed_.store(0, std::memory_order_relaxed);
+  down_.store(false, std::memory_order_seq_cst);
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    poison_.reset();
+  }
+  poisoned_.store(false, std::memory_order_seq_cst);
+  epoch_floor_.store(0, std::memory_order_seq_cst);
 }
 
 }  // namespace stance::mp

@@ -6,36 +6,61 @@
 // order is preserved. A shutdown flag releases blocked receivers with
 // ClusterAborted when a peer process fails.
 //
+// Delivery structure: deposits land in a bounded lock-free MPSC ring
+// (support/mpsc_ring.hpp) — the fast path is a CAS plus a store, with no
+// producer ever touching a mutex — and spill to a mutex-guarded overflow
+// queue only when the ring is full, preserving the unbounded buffered-send
+// contract. The consumer drains both into a private stash keyed by
+// (source, tag) — matching is a hash lookup plus a front pop, O(1) even
+// under a deep backlog — and a global deposit ticket restores per-key
+// deposit order when ring and overflow interleave. Blocking takes park on
+// a condvar slow path armed
+// by a Dekker-style sleeping flag (producers only notify when a consumer
+// is actually asleep). Takes serialize on a consumer mutex, so several
+// threads may block in take() concurrently and shutdown() releases all of
+// them — but clear()/fence()/reset() also need that mutex and must not be
+// called while a taker is blocked (their call sites — the consumer thread
+// itself, or the cluster between runs — already satisfy this).
+//
 // The mailbox also pools payload buffers: senders targeting this mailbox
 // acquire their payload storage from here, and the receiver recycles it
 // after consuming a message, so steady-state exchanges (the executor's
-// gather/scatter iterations) perform no heap allocations.
+// gather/scatter iterations) perform no heap allocations. The pool has its
+// own lock: buffer recycling never contends with message matching.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "mp/buffer_pool.hpp"
 #include "mp/errors.hpp"
 #include "mp/message.hpp"
+#include "support/mpsc_ring.hpp"
 
 namespace stance::mp {
 
 class Mailbox {
  public:
-  Mailbox() {
-    // Pre-size the queue and pool so steady-state deposits never grow them.
-    queue_.reserve(BufferPool::kMaxPooled);
+  /// Ring slots per mailbox. Sized past any schedule's concurrent inbound
+  /// message count (two phases, two iterations deep, kMaxPooled buffers);
+  /// bursts beyond it overflow to the mutex path, never block, never drop.
+  static constexpr std::size_t kRingSlots = 512;
+
+  Mailbox() : ring_(kRingSlots) {
     pool_.reserve();
   }
 
-  /// Enqueue a message; never blocks. Safe from any thread. `epoch` is the
-  /// wire epoch the message was sent in: deposits below the fence() floor
-  /// are stale traffic from before a recovery and are dropped.
+  /// Enqueue a message; never blocks, lock-free unless the ring is full.
+  /// Safe from any thread. `epoch` is the wire epoch the message was sent
+  /// in: deposits below the fence() floor are stale traffic from before a
+  /// recovery and are dropped.
   void deposit(RawMessage msg, std::uint32_t epoch = 0);
 
   /// Block until a message with this (source, tag) is available and return
@@ -64,46 +89,104 @@ class Mailbox {
   /// the requirement as satisfied.
   [[nodiscard]] bool prefill(std::size_t count, std::size_t bytes);
 
-  /// Number of queued messages (diagnostics only).
+  /// Number of queued messages (diagnostics only; racy by nature).
   [[nodiscard]] std::size_t pending() const;
 
   /// Release all blocked takers with ClusterAborted; subsequent takes throw
-  /// immediately. deposit() becomes a no-op.
+  /// immediately. deposit() becomes a no-op. Safe from any thread, even
+  /// while takers are blocked.
   void shutdown();
 
   /// Mark the mailbox failed: blocked and future takers raise `notice`
   /// (mp::PeerFailed for peer deaths). Sticky until reset() or fence(); the
   /// first poison wins. Mirrors ShmRing::poison so the virtual backend has
-  /// the same failure surface as the real ones.
+  /// the same failure surface as the real ones. Safe from any thread.
   void poison(FailNotice notice);
 
   /// Recovery epoch fence: drop every queued message, clear poison, and
   /// only accept deposits with epoch >= `floor` from now on. Does NOT clear
-  /// shutdown (a down cluster stays down).
+  /// shutdown (a down cluster stays down). Consumer-side: called by the
+  /// owning rank's thread during recovery, never while that thread is
+  /// blocked in take().
   void fence(std::uint32_t floor);
 
   /// Drop queued messages. Shutdown is *sticky*: a mailbox that released
   /// blocked takers stays down across clear() so late deposits from a
   /// still-unwinding peer cannot be observed by the next run. Only reset()
-  /// revives it.
+  /// revives it. Consumer-side (see fence()).
   void clear();
 
   /// Drop queued messages and clear the shutdown flag (cluster reuse after
   /// an aborted run). The buffer pool survives: it is an optimization
   /// cache, not run state, and dropping it would silently void prior
-  /// prefill() guarantees.
+  /// prefill() guarantees. Consumer-side; the cluster calls it between runs.
   void reset();
 
  private:
-  mutable std::mutex mutex_;
+  struct Entry {
+    RawMessage msg;
+    std::uint64_t ticket = 0;  ///< global deposit order, for oldest-first matching
+    std::uint32_t epoch = 0;   ///< wire epoch, re-checked against the fence floor
+  };
+
+  /// Pop everything from the ring and overflow into the per-key stash,
+  /// dropping entries below the fence floor and restoring a bucket's ticket
+  /// order when ring/overflow interleaving delivered out of order. Caller
+  /// holds consumer_mutex_.
+  void drain_locked();
+  /// Oldest stash entry with this (source, tag), if any: a hash lookup and
+  /// a front pop — O(1) regardless of how deep other keys' backlogs are.
+  /// Caller holds consumer_mutex_.
+  std::optional<RawMessage> match_locked(Rank source, Tag tag);
+  /// Raise poison / ClusterAborted if the mailbox is failed or down.
+  void raise_if_failed();
+  /// Wake any parked consumer after a state change (shutdown/poison/fence).
+  void notify_consumers();
+
+  // --- producer side (lock-free fast path) ---
+  support::MpscRing<Entry> ring_;
+  std::atomic<std::uint64_t> ticket_counter_{0};
+  std::atomic<std::size_t> undrained_{0};  ///< deposited, not yet stashed
+  std::mutex overflow_mutex_;
+  std::deque<Entry> overflow_;
+  std::atomic<bool> overflow_nonempty_{false};
+
+  /// One (source, tag) key's drained, unmatched messages in deposit order.
+  /// Live entries are [head, q.size()); the front pops by advancing `head`
+  /// (no O(backlog) shift per take) and the dead prefix is compacted once
+  /// it dominates, preserving capacity — steady state stays allocation-free
+  /// after warmup. Slots before the head are moved-from.
+  struct Stash {
+    std::vector<Entry> q;
+    std::size_t head = 0;
+  };
+
+  static std::uint64_t stash_key(Rank source, Tag tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  // --- consumer side ---
+  std::mutex consumer_mutex_;  ///< serializes matching + drains across takers
+  std::unordered_map<std::uint64_t, Stash> stash_;
+  std::atomic<std::size_t> stashed_{0};
+
+  // --- blocking slow path ---
+  std::mutex wake_mutex_;
   std::condition_variable cv_;
-  // FIFO bag: matching scans oldest-first, erase preserves order, and the
-  // vector's capacity is retained across steady-state push/pop cycles.
-  std::vector<RawMessage> queue_;
-  BufferPool pool_;
-  bool down_ = false;
+  std::atomic<bool> sleeping_{false};
+
+  // --- failure / recovery state ---
+  std::atomic<bool> down_{false};
+  std::atomic<bool> poisoned_{false};
+  std::atomic<std::uint32_t> epoch_floor_{0};
+  std::mutex state_mutex_;  ///< guards the poison payload only
   std::optional<FailNotice> poison_;
-  std::uint32_t epoch_floor_ = 0;
+
+  // --- payload buffer pool (own lock: never contends with matching) ---
+  mutable std::mutex pool_mutex_;
+  BufferPool pool_;
 };
 
 }  // namespace stance::mp

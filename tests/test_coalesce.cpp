@@ -281,7 +281,9 @@ TEST(Coalesce, IrregularLoopByteIdenticalWithPlan) {
       const auto& s = irs[r].schedule;
       y[r] = test::seeded_values(static_cast<std::size_t>(s.nlocal), 70 + r);
       loops[r] = std::make_unique<exec::IrregularLoop>(irs[r].lgraph, s);
-      if (coalesce) loops[r]->set_coalesce_plan(&plans[r]);
+      if (coalesce) {
+        loops[r]->configure(exec::ExecConfig{.coalesce_plan = &plans[r]});
+      }
     }
     cluster.run([&](mp::Process& p) {
       const auto r = static_cast<std::size_t>(p.rank());
@@ -311,7 +313,9 @@ TEST(Coalesce, EdgeSweepByteIdenticalWithPlan) {
       y[r] = test::seeded_values(n, 90 + r);
       acc[r].assign(n, 0.0);
       sweeps[r] = std::make_unique<exec::EdgeSweep>(irs[r].lgraph, s);
-      if (coalesce) sweeps[r]->set_coalesce_plan(&plans[r]);
+      if (coalesce) {
+        sweeps[r]->configure(exec::ExecConfig{.coalesce_plan = &plans[r]});
+      }
     }
     cluster.run([&](mp::Process& p) {
       const auto r = static_cast<std::size_t>(p.rank());
@@ -515,7 +519,8 @@ TEST(Coalesce, CoalescedPathByteIdenticalUnderThreadedPacking) {
       const auto& s = irs[r].schedule;
       local[r] = test::seeded_values(static_cast<std::size_t>(s.nlocal), 300 + r);
       ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
-      ws[r].set_pack_threads(threads, /*serial_cutoff=*/1);
+      ws[r].configure(
+          exec::ExecConfig{.pack_threads = threads, .pack_serial_cutoff = 1});
     }
     cluster.run([&](mp::Process& p) {
       const auto r = static_cast<std::size_t>(p.rank());
@@ -574,8 +579,34 @@ TEST(CoalesceStaleness, PlanMatchesUntilRemapOrRotation) {
 }
 
 TEST(CoalesceStaleness, InstallingMismatchedPlanThrows) {
-  // set_coalesce_plan refuses a plan built for a different schedule — the
-  // exact footgun of keeping an executor's plan across a remap.
+  // configure() refuses a plan built for a different schedule — the exact
+  // footgun of keeping an executor's plan across a remap.
+  Rng rng(29);
+  const graph::Csr g = graph::random_delaunay(700, 29);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto moved = test::random_partition(g.num_vertices(), 4, rng);
+  const auto irs = test::build_all_schedules(g, part);
+  const auto moved_irs = test::build_all_schedules(g, moved);
+  mp::Cluster cluster(sim::MachineSpec::uniform(4), NodeMap::contiguous(4, 2));
+  const auto plans = build_all_plans(cluster, irs);
+
+  const exec::ExecConfig with_plan{.coalesce_plan = &plans[0]};
+  exec::IrregularLoop stale(moved_irs[0].lgraph, moved_irs[0].schedule);
+  EXPECT_THROW(stale.configure(with_plan), std::invalid_argument);
+  exec::IrregularLoop fresh(irs[0].lgraph, irs[0].schedule);
+  fresh.configure(with_plan);      // matching schedule installs fine
+  fresh.configure(exec::ExecConfig{});  // and nullptr always resets
+
+  exec::EdgeSweep stale_sweep(moved_irs[0].lgraph, moved_irs[0].schedule);
+  EXPECT_THROW(stale_sweep.configure(with_plan), std::invalid_argument);
+}
+
+// The pre-ExecConfig setters survive one release as shims over configure();
+// they must keep the same behavior (including the staleness check) and must
+// not clobber the rest of the configuration.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(CoalesceStaleness, DeprecatedSettersStillWorkAsShims) {
   Rng rng(29);
   const graph::Csr g = graph::random_delaunay(700, 29);
   const auto part = test::random_partition(g.num_vertices(), 4, rng);
@@ -587,13 +618,29 @@ TEST(CoalesceStaleness, InstallingMismatchedPlanThrows) {
 
   exec::IrregularLoop stale(moved_irs[0].lgraph, moved_irs[0].schedule);
   EXPECT_THROW(stale.set_coalesce_plan(&plans[0]), std::invalid_argument);
+
   exec::IrregularLoop fresh(irs[0].lgraph, irs[0].schedule);
-  fresh.set_coalesce_plan(&plans[0]);  // matching schedule installs fine
-  fresh.set_coalesce_plan(nullptr);    // and nullptr always resets
+  fresh.set_pack_threads(2, /*serial_cutoff=*/1);
+  fresh.set_coalesce_plan(&plans[0]);
+  // Each shim edits its own field and preserves the other's.
+  EXPECT_EQ(fresh.config().pack_threads, 2u);
+  EXPECT_EQ(fresh.config().coalesce_plan, &plans[0]);
+  fresh.set_coalesce_plan(nullptr);
+  EXPECT_EQ(fresh.config().pack_threads, 2u);
 
   exec::EdgeSweep stale_sweep(moved_irs[0].lgraph, moved_irs[0].schedule);
   EXPECT_THROW(stale_sweep.set_coalesce_plan(&plans[0]), std::invalid_argument);
+  exec::EdgeSweep sweep(irs[0].lgraph, irs[0].schedule);
+  sweep.set_pack_threads(2, /*serial_cutoff=*/1);
+  sweep.set_coalesce_plan(&plans[0]);
+  EXPECT_EQ(sweep.config().pack_threads, 2u);
+  EXPECT_EQ(sweep.config().coalesce_plan, &plans[0]);
+
+  exec::ExecWorkspace ws;
+  ws.set_pack_threads(3, /*serial_cutoff=*/1);
+  EXPECT_EQ(ws.pack_threads(), 3u);
 }
+#pragma GCC diagnostic pop
 
 TEST(MeasuredCoalesce, SlowdownScalesVerdictAsymmetrically) {
   const auto net = sim::NetworkModel::ethernet_10mbps();

@@ -133,7 +133,7 @@ TEST(ExecAlloc, ThreadedPackUnpackSteadyStateIsAllocationFree) {
     const auto& s = results[r].schedule;
     local[r].assign(static_cast<std::size_t>(s.nlocal), 1.0 + static_cast<double>(r));
     ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
-    ws[r].set_pack_threads(2, /*serial_cutoff=*/1);
+    ws[r].configure(exec::ExecConfig{.pack_threads = 2, .pack_serial_cutoff = 1});
   }
 
   const auto counts = measure_steady_state(cluster, [&](mp::Process& p) {
@@ -183,6 +183,45 @@ TEST(ExecAlloc, CoalescedExchangeSteadyStateIsAllocationFree) {
   for (std::size_t r = 0; r < counts.size(); ++r) {
     EXPECT_EQ(counts[r], 0u) << "rank " << r << " allocated in coalesced steady state";
   }
+}
+
+TEST(ExecAlloc, PrewarmTracksCountAndBytesIndependently) {
+  // Regression for the prewarm memo: count and bytes are independent
+  // dimensions. The old single-threshold check treated a request that
+  // raised only one of them as already satisfied, so the pool was never
+  // re-provisioned and the zero-alloc guarantee silently became
+  // best-effort. Runs on every backend (all pools share the same cap
+  // semantics).
+  mp::Cluster cluster(sim::MachineSpec::uniform(1));
+  cluster.run([&](mp::Process& p) {
+    ExecWorkspace ws;
+    ws.prewarm(p, 10, 64);
+    EXPECT_EQ(ws.prewarm_count(), 10u);
+    EXPECT_EQ(ws.prewarm_bytes(), 64u);
+    // Raising only bytes must re-provision; the count memo is kept.
+    ws.prewarm(p, 4, 128);
+    EXPECT_EQ(ws.prewarm_count(), 10u);
+    EXPECT_EQ(ws.prewarm_bytes(), 128u);
+    // Raising only count, with smaller bytes: bytes memo survives.
+    ws.prewarm(p, 12, 32);
+    EXPECT_EQ(ws.prewarm_count(), 12u);
+    EXPECT_EQ(ws.prewarm_bytes(), 128u);
+    // A request the pool cap truncates is NOT memoized as satisfied.
+    ws.prewarm(p, 1u << 20, 32);
+    EXPECT_EQ(ws.prewarm_count(), 12u);
+    EXPECT_EQ(ws.prewarm_bytes(), 128u);
+  });
+}
+
+TEST(ExecAlloc, ConfigurePrewarmFloorsClampEveryRequest) {
+  mp::Cluster cluster(sim::MachineSpec::uniform(1));
+  cluster.run([&](mp::Process& p) {
+    ExecWorkspace ws;
+    ws.configure(exec::ExecConfig{.prewarm_count = 8, .prewarm_bytes = 256});
+    ws.prewarm(p, 1, 1);
+    EXPECT_EQ(ws.prewarm_count(), 8u);
+    EXPECT_EQ(ws.prewarm_bytes(), 256u);
+  });
 }
 
 TEST(ExecAlloc, IrregularLoopSteadyStateIsAllocationFree) {

@@ -173,6 +173,52 @@ TEST(Mailbox, PrefillReportsTruncationAtPoolCap) {
   EXPECT_FALSE(box.prefill(100000, 32));
 }
 
+TEST(Mailbox, PrefillGrowsBufferCapacityAtPoolCap) {
+  // Regression: once the pool sat at kMaxPooled with undersized buffers, a
+  // request for the same count at bigger bytes could never be satisfied —
+  // nothing could be appended and nothing was grown — so the executor's
+  // prewarm retried (and failed) forever. The pool now grows buffers in
+  // place when it is at the cap.
+  Mailbox box;
+  ASSERT_TRUE(box.prefill(BufferPool::kMaxPooled, 32));
+  EXPECT_TRUE(box.prefill(BufferPool::kMaxPooled, 4096));
+  // The grown capacity is real: acquiring at the new size reuses pooled
+  // storage (allocation-freedom itself is asserted by test_exec_alloc).
+  const auto buffer = box.acquire(4096);
+  EXPECT_EQ(buffer.size(), 4096u);
+}
+
+TEST(Mailbox, RingOverflowPreservesFifoAndCount) {
+  // Deposits beyond the lock-free ring's capacity spill to the overflow
+  // queue; the consumer must still see every message, in per-sender order,
+  // with cross-source matching intact.
+  Mailbox box;
+  const int total = static_cast<int>(Mailbox::kRingSlots) * 2 + 17;
+  for (int i = 0; i < total; ++i) {
+    box.deposit(make_msg(i % 2, 9, {i}, 0.0));
+  }
+  EXPECT_EQ(box.pending(), static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    const auto m = box.take(i % 2, 9);
+    EXPECT_EQ(from_bytes<int>(m.payload)[0], i) << "out of order at " << i;
+  }
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, FenceDropsQueuedClearsPoisonAndFiltersStaleEpochs) {
+  Mailbox box;
+  box.deposit(make_msg(1, 1, {1}, 0.0), /*epoch=*/0);
+  box.poison(FailNotice{.what = "peer died", .peer = 2, .peer_failed = true});
+  box.fence(/*floor=*/1);
+  EXPECT_EQ(box.pending(), 0u);
+  // Stale pre-recovery traffic is dropped; current-epoch deposits flow.
+  box.deposit(make_msg(1, 1, {2}, 0.0), /*epoch=*/0);
+  EXPECT_EQ(box.pending(), 0u);
+  box.deposit(make_msg(1, 1, {3}, 0.0), /*epoch=*/1);
+  const auto m = box.take(1, 1);
+  EXPECT_EQ(from_bytes<int>(m.payload)[0], 3);
+}
+
 TEST(Rendezvous, SingleParticipantCompletesImmediately) {
   Rendezvous rv(1);
   std::vector<int> data{42};

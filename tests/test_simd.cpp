@@ -1,0 +1,288 @@
+// Determinism oracles for the SIMD pack path (ISSUE 9): the AVX2 gather
+// kernels must be byte-identical to the scalar loops — at the kernel level
+// for every element width, offset, and tail shape, and end to end through
+// every executor (gather/scatter, IrregularLoop, EdgeSweep, CG) at every
+// pool size. Also covers STANCE_SIMD mode resolution. AVX2 comparisons
+// self-skip on hosts without the instruction set; the mode plumbing and
+// scalar assertions run everywhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/cg.hpp"
+#include "exec/edge_sweep.hpp"
+#include "exec/gather_scatter.hpp"
+#include "exec/irregular_loop.hpp"
+#include "exec/operators.hpp"
+#include "exec/simd.hpp"
+#include "graph/builders.hpp"
+#include "mp/cluster.hpp"
+#include "test_util.hpp"
+
+#define STANCE_REQUIRE_AVX2()                                   \
+  if (!exec::simd::avx2_supported())                            \
+  GTEST_SKIP() << "host CPU has no AVX2; scalar-only coverage " \
+                  "already asserted elsewhere in this suite"
+
+namespace stance {
+namespace {
+
+using exec::simd::Mode;
+
+// --- mode plumbing ----------------------------------------------------------
+
+TEST(SimdMode, NamesAreStable) {
+  EXPECT_STREQ(exec::simd::mode_name(Mode::kAuto), "auto");
+  EXPECT_STREQ(exec::simd::mode_name(Mode::kScalar), "scalar");
+  EXPECT_STREQ(exec::simd::mode_name(Mode::kAvx2), "avx2");
+}
+
+TEST(SimdMode, DispatchNeverReturnsAuto) {
+  const Mode m = exec::simd::dispatch_mode();
+  EXPECT_NE(m, Mode::kAuto);
+  if (!exec::simd::avx2_supported()) {
+    EXPECT_EQ(m, Mode::kScalar);
+  }
+}
+
+TEST(SimdMode, ResolveIsIdentityForScalarAndChecksAvx2) {
+  EXPECT_EQ(exec::simd::resolve(Mode::kScalar), Mode::kScalar);
+  EXPECT_EQ(exec::simd::resolve(Mode::kAuto), exec::simd::dispatch_mode());
+  if (exec::simd::avx2_supported()) {
+    EXPECT_EQ(exec::simd::resolve(Mode::kAvx2), Mode::kAvx2);
+  } else {
+    EXPECT_THROW((void)exec::simd::resolve(Mode::kAvx2), std::invalid_argument);
+  }
+}
+
+TEST(SimdMode, WorkspaceRejectsForcedAvx2WhenUnsupported) {
+  if (exec::simd::avx2_supported()) {
+    GTEST_SKIP() << "rejection path only reachable without AVX2";
+  }
+  exec::ExecWorkspace ws;
+  EXPECT_THROW(ws.configure(exec::ExecConfig{.simd = Mode::kAvx2}),
+               std::invalid_argument);
+}
+
+// --- kernel-level byte identity ---------------------------------------------
+
+/// idx: a deterministic scramble of [0, n) with repeats — the worst case a
+/// schedule can produce (duplicated ghost references).
+std::vector<std::int32_t> scrambled_indices(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> idx(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    idx[k] = static_cast<std::int32_t>(
+        rng.uniform(0.0, static_cast<double>(n)));
+  }
+  return idx;
+}
+
+template <typename T>
+void expect_pack_identical(std::size_t n, std::uint64_t seed) {
+  const auto idx = scrambled_indices(n == 0 ? 1 : n, seed);
+  std::vector<T> src(n == 0 ? 1 : n);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    T v{};
+    const auto bits = 0x9E3779B97F4A7C15ull * (seed + i + 1);
+    std::memcpy(&v, &bits, sizeof(T));
+    src[i] = v;
+  }
+  // Sub-range offsets exercise the unaligned begin the chunked pack loops
+  // produce; sentinel padding catches out-of-range writes.
+  for (const std::size_t begin : {std::size_t{0}, std::min(n, std::size_t{3})}) {
+    std::vector<T> scalar_dst(n + 8, T{}), simd_dst(n + 8, T{});
+    exec::simd::pack_indexed(src.data(), idx.data(), begin, n,
+                             scalar_dst.data(), Mode::kScalar);
+    exec::simd::pack_indexed(src.data(), idx.data(), begin, n,
+                             simd_dst.data(), Mode::kAvx2);
+    ASSERT_EQ(std::memcmp(scalar_dst.data(), simd_dst.data(),
+                          scalar_dst.size() * sizeof(T)),
+              0)
+        << "n=" << n << " begin=" << begin << " width=" << sizeof(T);
+  }
+}
+
+TEST(SimdPack, ByteIdenticalForEveryWidthAndTailShape) {
+  STANCE_REQUIRE_AVX2();
+  // Sizes straddle every vector-width boundary: empty, sub-vector, exact
+  // multiples, one-past, and large.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{4}, std::size_t{5}, std::size_t{7},
+                              std::size_t{8}, std::size_t{9}, std::size_t{31},
+                              std::size_t{32}, std::size_t{33},
+                              std::size_t{1000}, std::size_t{65536}}) {
+    expect_pack_identical<double>(n, 11 + n);
+    expect_pack_identical<float>(n, 12 + n);
+    expect_pack_identical<std::uint64_t>(n, 13 + n);
+    expect_pack_identical<std::int32_t>(n, 14 + n);
+  }
+}
+
+// --- executor-level byte identity -------------------------------------------
+
+/// One gather + scatter_add round on every rank with the given SIMD mode and
+/// pool size; returns every rank's ghost and local vectors.
+std::pair<std::vector<std::vector<double>>, std::vector<std::vector<double>>>
+exchange_with_mode(const std::vector<sched::InspectorResult>& results, Mode mode,
+                   unsigned threads) {
+  const std::size_t nprocs = results.size();
+  mp::Cluster cluster(sim::MachineSpec::uniform(nprocs));
+  std::vector<std::vector<double>> ghost(nprocs), local(nprocs);
+  std::vector<exec::ExecWorkspace> ws(nprocs);
+  for (std::size_t r = 0; r < nprocs; ++r) {
+    const auto& s = results[r].schedule;
+    local[r] = test::seeded_values(static_cast<std::size_t>(s.nlocal), 500 + r);
+    ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
+    ws[r].configure(exec::ExecConfig{
+        .pack_threads = threads, .pack_serial_cutoff = 1, .simd = mode});
+  }
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    const auto& s = results[r].schedule;
+    exec::gather<double>(p, s, local[r], std::span<double>(ghost[r]), ws[r]);
+    exec::scatter_add<double>(p, s, ghost[r], std::span<double>(local[r]), ws[r]);
+  });
+  return {ghost, local};
+}
+
+TEST(SimdExec, GatherScatterByteIdenticalAcrossModesAndPoolSizes) {
+  STANCE_REQUIRE_AVX2();
+  Rng rng(41);
+  const graph::Csr g = graph::random_delaunay(3000, 41);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto results = test::build_all_schedules(g, part);
+
+  const auto golden = exchange_with_mode(results, Mode::kScalar, 1);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const auto simd = exchange_with_mode(results, Mode::kAvx2, threads);
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      test::expect_vectors_eq(simd.first[r], golden.first[r]);
+      test::expect_vectors_eq(simd.second[r], golden.second[r]);
+    }
+  }
+}
+
+/// y after `iters` Jacobi sweeps on every rank under `mode`.
+std::vector<std::vector<double>> loop_with_mode(
+    const std::vector<sched::InspectorResult>& results, Mode mode, int iters) {
+  const std::size_t nprocs = results.size();
+  mp::Cluster cluster(sim::MachineSpec::uniform(nprocs));
+  std::vector<std::vector<double>> y(nprocs);
+  std::vector<std::unique_ptr<exec::IrregularLoop>> loops(nprocs);
+  for (std::size_t r = 0; r < nprocs; ++r) {
+    loops[r] = std::make_unique<exec::IrregularLoop>(results[r].lgraph,
+                                                     results[r].schedule);
+    loops[r]->configure(exec::ExecConfig{.simd = mode});
+    y[r] = test::seeded_values(
+        static_cast<std::size_t>(results[r].schedule.nlocal), 600 + r);
+  }
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    loops[r]->iterate(p, y[r], iters);
+  });
+  return y;
+}
+
+TEST(SimdExec, IrregularLoopByteIdenticalAcrossModes) {
+  STANCE_REQUIRE_AVX2();
+  Rng rng(42);
+  const graph::Csr g = graph::random_delaunay(2000, 42);
+  const auto part = test::random_partition(g.num_vertices(), 3, rng);
+  const auto results = test::build_all_schedules(g, part);
+  const auto golden = loop_with_mode(results, Mode::kScalar, 5);
+  const auto simd = loop_with_mode(results, Mode::kAvx2, 5);
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    test::expect_vectors_eq(simd[r], golden[r]);
+  }
+}
+
+/// acc after one edge sweep on every rank under `mode`.
+std::vector<std::vector<double>> sweep_with_mode(
+    const std::vector<sched::InspectorResult>& results, Mode mode) {
+  const std::size_t nprocs = results.size();
+  mp::Cluster cluster(sim::MachineSpec::uniform(nprocs));
+  std::vector<std::vector<double>> y(nprocs), acc(nprocs);
+  std::vector<std::unique_ptr<exec::EdgeSweep>> sweeps(nprocs);
+  for (std::size_t r = 0; r < nprocs; ++r) {
+    sweeps[r] = std::make_unique<exec::EdgeSweep>(results[r].lgraph,
+                                                  results[r].schedule);
+    sweeps[r]->configure(exec::ExecConfig{.simd = mode});
+    const auto n = static_cast<std::size_t>(results[r].schedule.nlocal);
+    y[r] = test::seeded_values(n, 700 + r);
+    acc[r].assign(n, 0.0);
+  }
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    sweeps[r]->sweep(p, y[r], acc[r]);
+  });
+  return acc;
+}
+
+TEST(SimdExec, EdgeSweepByteIdenticalAcrossModes) {
+  STANCE_REQUIRE_AVX2();
+  Rng rng(43);
+  const graph::Csr g = graph::random_delaunay(2000, 43);
+  const auto part = test::random_partition(g.num_vertices(), 3, rng);
+  const auto results = test::build_all_schedules(g, part);
+  const auto golden = sweep_with_mode(results, Mode::kScalar);
+  const auto simd = sweep_with_mode(results, Mode::kAvx2);
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    test::expect_vectors_eq(simd[r], golden[r]);
+  }
+}
+
+/// CG solution (and iteration count) on every rank under `mode`.
+std::pair<std::vector<std::vector<double>>, std::vector<int>> cg_with_mode(
+    const std::vector<sched::InspectorResult>& results,
+    const partition::IntervalPartition& part, const std::vector<double>& b,
+    Mode mode) {
+  const std::size_t nprocs = results.size();
+  mp::Cluster cluster(sim::MachineSpec::uniform(nprocs));
+  std::vector<std::vector<double>> x(nprocs);
+  std::vector<int> iters(nprocs, 0);
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    const auto& ir = results[r];
+    exec::LaplacianOperator A(ir.lgraph, ir.schedule, 0.5);
+    A.configure(exec::ExecConfig{.simd = mode});
+    const auto n = static_cast<std::size_t>(ir.schedule.nlocal);
+    std::vector<double> bl(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bl[i] = b[static_cast<std::size_t>(
+          part.to_global(p.rank(), static_cast<graph::Vertex>(i)))];
+    }
+    x[r].assign(n, 0.0);
+    const auto result = exec::conjugate_gradient(p, A, bl, x[r]);
+    iters[r] = result.iterations;
+  });
+  return {x, iters};
+}
+
+TEST(SimdExec, ConjugateGradientByteIdenticalAcrossModes) {
+  STANCE_REQUIRE_AVX2();
+  const auto g = graph::random_delaunay(800, 44);
+  const auto part = partition::IntervalPartition::from_weights(
+      g.num_vertices(), std::vector<double>{1, 2, 1});
+  const auto results = test::build_all_schedules(g, part);
+  const auto x_star =
+      test::seeded_values(static_cast<std::size_t>(g.num_vertices()), 44);
+  std::vector<double> b(x_star.size());
+  exec::LaplacianOperator::reference_apply(g, 0.5, x_star, b);
+
+  const auto golden = cg_with_mode(results, part, b, Mode::kScalar);
+  const auto simd = cg_with_mode(results, part, b, Mode::kAvx2);
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    EXPECT_EQ(simd.second[r], golden.second[r]) << "iteration counts differ";
+    test::expect_vectors_eq(simd.first[r], golden.first[r]);
+  }
+}
+
+}  // namespace
+}  // namespace stance

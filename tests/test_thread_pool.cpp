@@ -85,7 +85,8 @@ exchange_with_pool(const std::vector<sched::InspectorResult>& results, unsigned 
     local[r] = test::seeded_values(static_cast<std::size_t>(s.nlocal), 1000 + r);
     ghost[r].assign(static_cast<std::size_t>(s.nghost), 0.0);
     // Cutoff 1 forces the threaded path even on small per-peer messages.
-    ws[r].set_pack_threads(threads, /*serial_cutoff=*/1);
+    ws[r].configure(
+        exec::ExecConfig{.pack_threads = threads, .pack_serial_cutoff = 1});
   }
   cluster.run([&](mp::Process& p) {
     const auto r = static_cast<std::size_t>(p.rank());
