@@ -566,6 +566,95 @@ void bench_adaptive_full_loop(bench::JsonReporter& report, bool small) {
             << ", oracle ok)\n";
 }
 
+/// The delta pipeline end to end (ISSUE 10): a remap delta at small drift is
+/// consumed by sched::rebuild_incremental (send-list splice) plus
+/// sched::patch_coalesce (frame-plan verdict splice), versus paying a full
+/// build_schedule + coalesce from scratch — both on the virtual clock, on a
+/// nontrivial node map, with the spliced products asserted byte-identical to
+/// the from-scratch ones. At AMR drift rates (a few percent of vertices
+/// changing owner per adaptation) the splice should win; the gap closes as
+/// drift grows toward a redraw.
+void bench_delta_pipeline(bench::JsonReporter& report, const graph::Csr& mesh) {
+  const int nprocs = 8;
+  const int ranks_per_node = 4;
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(static_cast<std::size_t>(nprocs)),
+                      mp::NodeMap::contiguous(nprocs, ranks_per_node));
+  const auto cpu = sim::CpuCostModel::sun4();
+  sched::CoalesceOptions co;
+  co.policy = sched::CoalescePolicy::kAdaptive;
+  co.bytes_per_elem = sizeof(double);
+  const auto from = IntervalPartition::from_weights(
+      mesh.num_vertices(), std::vector<double>(static_cast<std::size_t>(nprocs), 1.0));
+
+  // The pre-drift product, built once (not part of either measured cost).
+  std::vector<sched::InspectorResult> old_ir(static_cast<std::size_t>(nprocs));
+  std::vector<sched::CoalescePlan> old_plan(static_cast<std::size_t>(nprocs));
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    old_ir[r] = sched::build_schedule(p, mesh, from, sched::BuildMethod::kSort2, cpu);
+    old_plan[r] = sched::coalesce(p, old_ir[r].schedule, cpu, co);
+  });
+
+  auto& entry = report.entry("delta_pipeline");
+  entry.field("mesh_vertices", static_cast<long long>(mesh.num_vertices()))
+      .field("ranks", static_cast<long long>(nprocs))
+      .field("ranks_per_node", static_cast<long long>(ranks_per_node));
+  for (const double drift : {0.02, 0.10, 0.25}) {
+    // Slide the interval boundaries: alternating over/under-weighted ranks
+    // move about drift/2 of each interval's vertices to a neighbour — the
+    // shape of an MCR drift remap, sized to the adaptation rate.
+    std::vector<double> weights(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      weights[static_cast<std::size_t>(r)] = 1.0 + drift * (r % 2 == 0 ? 1.0 : -1.0);
+    }
+    const auto to = IntervalPartition::from_weights(mesh.num_vertices(), weights);
+    const auto delta = partition::RemapDelta::drift(from, to);
+
+    std::vector<sched::InspectorResult> scratch(static_cast<std::size_t>(nprocs));
+    std::vector<sched::CoalescePlan> scratch_plan(static_cast<std::size_t>(nprocs));
+    cluster.reset_clocks();
+    cluster.run([&](mp::Process& p) {
+      const auto r = static_cast<std::size_t>(p.rank());
+      scratch[r] = sched::build_schedule(p, mesh, to, sched::BuildMethod::kSort2, cpu);
+      scratch_plan[r] = sched::coalesce(p, scratch[r].schedule, cpu, co);
+    });
+    const double scratch_s = cluster.makespan();
+
+    std::vector<sched::InspectorResult> spliced(static_cast<std::size_t>(nprocs));
+    std::vector<sched::CoalescePlan> spliced_plan(static_cast<std::size_t>(nprocs));
+    cluster.reset_clocks();
+    cluster.run([&](mp::Process& p) {
+      const auto r = static_cast<std::size_t>(p.rank());
+      spliced[r] = sched::rebuild_incremental(p, mesh, delta, old_ir[r], cpu);
+      spliced_plan[r] = sched::patch_coalesce(p, old_plan[r], old_ir[r].schedule,
+                                              spliced[r].schedule, cpu, co);
+    });
+    const double spliced_s = cluster.makespan();
+
+    // Byte-identity oracle: the splice is an optimization, never a different
+    // answer.
+    for (std::size_t r = 0; r < static_cast<std::size_t>(nprocs); ++r) {
+      if (!(spliced[r].schedule == scratch[r].schedule) ||
+          !(spliced[r].lgraph == scratch[r].lgraph) ||
+          !(spliced_plan[r] == scratch_plan[r])) {
+        std::cerr << "delta_pipeline: byte-identity oracle FAILED at drift "
+                  << drift << ", rank " << r << "\n";
+        std::exit(1);
+      }
+    }
+
+    const auto pct = static_cast<int>(drift * 100.0 + 0.5);
+    const std::string tag =
+        std::string("drift") + (pct < 10 ? "0" : "") + std::to_string(pct);
+    entry.field(tag + "_spliced_virtual_seconds", spliced_s)
+        .field(tag + "_scratch_virtual_seconds", scratch_s)
+        .field(tag + "_virtual_speedup", scratch_s / spliced_s);
+    std::cout << "delta_pipeline " << tag << ": scratch " << scratch_s
+              << " s, spliced " << spliced_s << " s ("
+              << scratch_s / spliced_s << "x, oracle ok)\n";
+  }
+}
+
 /// Kill-one-rank-mid-run recovery (ISSUE 7): rank 2 dies two sweeps after a
 /// checkpoint, survivors detect, agree, shrink, rebuild, restore, and finish
 /// the job. Every reported cost is virtual (simulation output), so the
@@ -828,6 +917,7 @@ int main(int argc, char** argv) {
   bench_node_coalescing(schedule_report, small);
   bench_delegate_rotation(schedule_report, small);
   bench_adaptive_full_loop(schedule_report, small);
+  bench_delta_pipeline(schedule_report, mesh);
   bench_pack_unpack_host(schedule_report, small, repeats);
   bench_mailbox_throughput_host(schedule_report, small, repeats);
   schedule_report.write(out_dir + "/BENCH_schedule.json");

@@ -51,29 +51,12 @@ class EdgeSweep {
   void configure(const ExecConfig& cfg) {
     install_plan(cfg.coalesce_plan);
     cfg_ = cfg;
+    cfg_.remap_delta = nullptr;  // transient; EdgeSweep has no rebind path
     ws_.configure(cfg_);
   }
 
-  /// The last applied configuration (what the deprecated shims mutate).
+  /// The last applied configuration.
   [[nodiscard]] const ExecConfig& config() const noexcept { return cfg_; }
-
-  /// Route the exchanges through node-aware coalesced frames.
-  [[deprecated("use configure(ExecConfig) instead")]] void set_coalesce_plan(
-      const sched::CoalescePlan* plan) {
-    ExecConfig cfg = cfg_;
-    cfg.coalesce_plan = plan;
-    configure(cfg);
-  }
-
-  /// Pack/unpack the exchanges on `threads` threads (1 = serial).
-  [[deprecated("use configure(ExecConfig) instead")]] void set_pack_threads(
-      unsigned threads,
-      std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
-    ExecConfig cfg = cfg_;
-    cfg.pack_threads = threads;
-    cfg.pack_serial_cutoff = serial_cutoff;
-    configure(cfg);
-  }
 
  private:
   const sched::LocalizedGraph& lgraph_;

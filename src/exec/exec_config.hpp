@@ -5,8 +5,8 @@
 // new executor had to re-export each. ExecConfig collapses them: build one
 // struct, apply it with configure() on IrregularLoop, EdgeSweep,
 // LaplacianOperator (and through it CG), or a bare ExecWorkspace for raw
-// gather/scatter. The old setters survive one release as deprecated shims
-// over configure().
+// gather/scatter. (The pre-ExecConfig setters shipped one release as
+// deprecated shims and are gone.)
 #pragma once
 
 #include <cstddef>
@@ -16,6 +16,10 @@
 
 namespace stance::sched {
 struct CoalescePlan;
+}
+
+namespace stance::partition {
+struct RemapDelta;
 }
 
 namespace stance::exec {
@@ -41,6 +45,14 @@ struct ExecConfig {
   /// bigger phase is coming pay the allocation before the steady state.
   std::size_t prewarm_count = 0;
   std::size_t prewarm_bytes = 0;
+  /// When set, this configure() follows an incremental rebind driven by the
+  /// given remap delta (sched/incremental.hpp + IrregularLoop::rebind): the
+  /// executor keeps its workspace prewarm memo, so the next exchange
+  /// re-provisions only the arenas the delta actually grew. A rebind
+  /// followed by a configure() *without* a delta conservatively forgets the
+  /// memo and re-provisions from the new schedule's full requirements.
+  /// Transient — configure() never retains the pointer.
+  const partition::RemapDelta* remap_delta = nullptr;
 };
 
 }  // namespace stance::exec

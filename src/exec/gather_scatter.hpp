@@ -268,8 +268,14 @@ void coalesced_exchange(mp::Process& p, const sched::DirectionPlan& d,
         ++si;
       } else {
         // Hand the co-resident target its piece through shared memory (an
-        // intra-node message in the stats).
+        // intra-node message in the stats). The measured clock seconds feed
+        // the receive side of the coalescing feedback
+        // (sched::MeasuredPairCosts::dst_node_slowdown) — exactly the
+        // dst_penalty terms of frame_profitable, now observed, not assumed.
+        const double fwd_start = p.now();
         p.send(piece.target, sched::forward_tag(tag), buf);
+        p.stats().record_frame_recv(p.nodes().node_of(piece.source),
+                                    piece.count * sizeof(T), p.now() - fwd_start);
       }
     } else {
       const auto& list = in_lists[si];

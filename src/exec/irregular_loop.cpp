@@ -7,8 +7,8 @@ namespace stance::exec {
 IrregularLoop::IrregularLoop(const sched::LocalizedGraph& lgraph,
                              const sched::CommSchedule& sched, LoopCostModel loop_costs,
                              sim::CpuCostModel cpu_costs)
-    : lgraph_(lgraph),
-      sched_(sched),
+    : lgraph_(&lgraph),
+      sched_(&sched),
       loop_costs_(loop_costs),
       cpu_costs_(cpu_costs),
       ghost_(static_cast<std::size_t>(lgraph.nghost)),
@@ -18,9 +18,27 @@ IrregularLoop::IrregularLoop(const sched::LocalizedGraph& lgraph,
   recompute_work();
 }
 
+void IrregularLoop::rebind(const sched::LocalizedGraph& lgraph,
+                           const sched::CommSchedule& sched) {
+  STANCE_REQUIRE(lgraph.nlocal == sched.nlocal && lgraph.nghost == sched.nghost,
+                 "rebind: schedule and localized graph disagree");
+  lgraph_ = &lgraph;
+  sched_ = &sched;
+  // The installed plan was fingerprinted against the old schedule — stale by
+  // definition; the caller installs the patched one via configure().
+  plan_ = nullptr;
+  cfg_.coalesce_plan = nullptr;
+  // Work multipliers were sized and indexed for the old ownership.
+  vertex_work_.clear();
+  ghost_.resize(static_cast<std::size_t>(lgraph.nghost));
+  t_.resize(static_cast<std::size_t>(lgraph.nlocal));
+  rebound_ = true;
+  recompute_work();
+}
+
 void IrregularLoop::set_vertex_work(std::vector<double> multipliers) {
   if (!multipliers.empty()) {
-    STANCE_REQUIRE(multipliers.size() == static_cast<std::size_t>(lgraph_.nlocal),
+    STANCE_REQUIRE(multipliers.size() == static_cast<std::size_t>(lgraph_->nlocal),
                    "set_vertex_work: one multiplier per owned vertex required");
     for (const double m : multipliers) {
       STANCE_REQUIRE(m > 0.0, "set_vertex_work: multipliers must be positive");
@@ -31,30 +49,30 @@ void IrregularLoop::set_vertex_work(std::vector<double> multipliers) {
 }
 
 void IrregularLoop::recompute_work() {
-  double vertex_units = static_cast<double>(lgraph_.nlocal);
+  double vertex_units = static_cast<double>(lgraph_->nlocal);
   if (!vertex_work_.empty()) {
     vertex_units = 0.0;
     for (const double m : vertex_work_) vertex_units += m;
   }
   work_per_iter_ = loop_costs_.per_vertex * vertex_units +
-                   loop_costs_.per_edge * static_cast<double>(lgraph_.refs.size());
+                   loop_costs_.per_edge * static_cast<double>(lgraph_->refs.size());
 }
 
 void IrregularLoop::iterate(mp::Process& p, std::span<double> y, int iterations) {
-  STANCE_REQUIRE(y.size() == static_cast<std::size_t>(lgraph_.nlocal),
+  STANCE_REQUIRE(y.size() == static_cast<std::size_t>(lgraph_->nlocal),
                  "IrregularLoop: y size mismatch");
   STANCE_REQUIRE(iterations >= 0, "IrregularLoop: negative iteration count");
-  const auto nlocal = static_cast<std::size_t>(lgraph_.nlocal);
+  const auto nlocal = static_cast<std::size_t>(lgraph_->nlocal);
   for (int it = 0; it < iterations; ++it) {
     if (plan_ != nullptr) {
-      gather_coalesced<double>(p, sched_, *plan_, y, ghost_, ws_, cpu_costs_,
+      gather_coalesced<double>(p, *sched_, *plan_, y, ghost_, ws_, cpu_costs_,
                                kLoopGatherTag);
     } else {
-      gather<double>(p, sched_, y, ghost_, ws_, cpu_costs_, kLoopGatherTag);
+      gather<double>(p, *sched_, y, ghost_, ws_, cpu_costs_, kLoopGatherTag);
     }
     for (std::size_t i = 0; i < nlocal; ++i) {
       double acc = 0.0;
-      for (const sched::Vertex r : lgraph_.refs_of(static_cast<sched::Vertex>(i))) {
+      for (const sched::Vertex r : lgraph_->refs_of(static_cast<sched::Vertex>(i))) {
         acc += static_cast<std::size_t>(r) < nlocal
                    ? y[static_cast<std::size_t>(r)]
                    : ghost_[static_cast<std::size_t>(r) - nlocal];
@@ -62,7 +80,7 @@ void IrregularLoop::iterate(mp::Process& p, std::span<double> y, int iterations)
       t_[i] = acc;
     }
     for (std::size_t i = 0; i < nlocal; ++i) {
-      const auto deg = lgraph_.refs_of(static_cast<sched::Vertex>(i)).size();
+      const auto deg = lgraph_->refs_of(static_cast<sched::Vertex>(i)).size();
       if (deg > 0) y[i] = t_[i] / static_cast<double>(deg);
     }
     p.compute(work_per_iter_);

@@ -63,35 +63,39 @@ class IrregularLoop {
   /// via the plan's fingerprint — installing a pre-remap plan on a
   /// post-remap loop is the stale-routing bug); nullptr routes per-peer
   /// messages. Results are byte-identical for every configuration.
+  ///
+  /// After a rebind(): pass the driving delta via cfg.remap_delta to keep
+  /// the workspace's prewarm memo (only arenas the delta grew re-provision
+  /// on the next iterate); omit it and the memo is conservatively forgotten,
+  /// re-provisioning from the new schedule's full requirements. The delta
+  /// pointer is transient — never retained past this call.
   void configure(const ExecConfig& cfg) {
     install_plan(cfg.coalesce_plan);
+    const bool incremental = cfg.remap_delta != nullptr;
     cfg_ = cfg;
+    cfg_.remap_delta = nullptr;  // transient: the delta lives on the caller's stack
+    if (rebound_ && !incremental) ws_.reset_prewarm();
+    rebound_ = false;
     ws_.configure(cfg_);
   }
 
-  /// The last applied configuration (what the deprecated shims mutate).
+  /// The last applied configuration.
   [[nodiscard]] const ExecConfig& config() const noexcept { return cfg_; }
 
-  /// Route the gather through node-aware coalesced frames (sched/coalesce.hpp).
-  [[deprecated("use configure(ExecConfig) instead")]] void set_coalesce_plan(
-      const sched::CoalescePlan* plan) {
-    ExecConfig cfg = cfg_;
-    cfg.coalesce_plan = plan;
-    configure(cfg);
-  }
+  /// Repoint this executor at a patched schedule (sched/rebuild_incremental)
+  /// without tearing down the warmed workspace — the delta pipeline's
+  /// executor step. Drops the installed coalesce plan (stale by definition;
+  /// install the patched one via configure()) and the per-vertex work
+  /// multipliers (sized for the old ownership), and resizes the value
+  /// buffers. Follow with configure() — with cfg.remap_delta set for
+  /// delta-sized re-prewarming, without for a conservative full one.
+  void rebind(const sched::LocalizedGraph& lgraph, const sched::CommSchedule& sched);
 
-  /// Pack/unpack the ghost exchange on `threads` threads (1 = serial).
-  [[deprecated("use configure(ExecConfig) instead")]] void set_pack_threads(
-      unsigned threads,
-      std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
-    ExecConfig cfg = cfg_;
-    cfg.pack_threads = threads;
-    cfg.pack_serial_cutoff = serial_cutoff;
-    configure(cfg);
-  }
+  [[nodiscard]] const sched::LocalizedGraph& lgraph() const noexcept { return *lgraph_; }
+  [[nodiscard]] const sched::CommSchedule& schedule() const noexcept { return *sched_; }
 
-  [[nodiscard]] const sched::LocalizedGraph& lgraph() const noexcept { return lgraph_; }
-  [[nodiscard]] const sched::CommSchedule& schedule() const noexcept { return sched_; }
+  /// The persistent workspace (diagnostics: prewarm high-water marks).
+  [[nodiscard]] const ExecWorkspace& workspace() const noexcept { return ws_; }
 
   /// Sequential reference on the full (permuted) graph, for correctness
   /// checks: same update, same order of additions per vertex.
@@ -99,8 +103,8 @@ class IrregularLoop {
                                 int iterations = 1);
 
  private:
-  const sched::LocalizedGraph& lgraph_;
-  const sched::CommSchedule& sched_;
+  const sched::LocalizedGraph* lgraph_;  ///< non-owning; rebind() repoints
+  const sched::CommSchedule* sched_;     ///< non-owning; rebind() repoints
   LoopCostModel loop_costs_;
   sim::CpuCostModel cpu_costs_;
   double work_per_iter_ = 0.0;
@@ -110,10 +114,11 @@ class IrregularLoop {
   ExecWorkspace ws_;  ///< persistent pack/unpack buffers (zero-alloc iterate)
   ExecConfig cfg_;    ///< last applied configuration
   const sched::CoalescePlan* plan_ = nullptr;  ///< optional node-aware framing
+  bool rebound_ = false;  ///< rebind() happened; next configure() decides prewarm fate
 
   void install_plan(const sched::CoalescePlan* plan) {
-    STANCE_REQUIRE(plan == nullptr ||
-                       plan->schedule_fingerprint == sched::coalesce_fingerprint(sched_),
+    STANCE_REQUIRE(plan == nullptr || plan->schedule_fingerprint ==
+                                          sched::coalesce_fingerprint(*sched_),
                    "configure: coalesce plan was built for a different schedule");
     plan_ = plan;
   }

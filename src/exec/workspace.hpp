@@ -12,7 +12,8 @@
 // count (a fixed fork/join pool splitting the copy loops into disjoint
 // chunks — chunking is static, so results are byte-identical for every
 // pool size), the SIMD mode for the pack gathers (exec/simd.hpp), and
-// prewarm floors. The pre-ExecConfig setter survives as a deprecated shim.
+// prewarm floors. (The pre-ExecConfig setter shipped one release as a
+// deprecated shim and is gone.)
 #pragma once
 
 #include <algorithm>
@@ -73,6 +74,15 @@ class ExecWorkspace {
   [[nodiscard]] std::size_t prewarm_count() const noexcept { return prewarm_count_; }
   [[nodiscard]] std::size_t prewarm_bytes() const noexcept { return prewarm_bytes_; }
 
+  /// Forget the prewarm high-water marks (the arenas stay). A rebind to a
+  /// schedule with no delta calls this so the next exchange re-provisions
+  /// from that schedule's true requirements; delta-driven rebinds skip it —
+  /// the monotone memo then re-provisions only what the delta grew.
+  void reset_prewarm() noexcept {
+    prewarm_count_ = 0;
+    prewarm_bytes_ = 0;
+  }
+
   /// Typed view over the send-side arena, at least `n` elements. Valid
   /// until the next send_buffer() call.
   template <mp::WireType T>
@@ -93,14 +103,8 @@ class ExecWorkspace {
     return send_arena_.size() + recv_arena_.size();
   }
 
-  /// Pack/unpack parallelism, total threads including the caller. 1 (the
-  /// default) runs serially with no pool at all. (Re)creating the pool
-  /// allocates and spawns threads, so set it once before the steady state.
-  [[deprecated("use configure(ExecConfig) instead")]] void set_pack_threads(
-      unsigned threads,
-      std::size_t serial_cutoff = support::ThreadPool::kDefaultCutoff) {
-    set_pack_threads_impl(threads, serial_cutoff);
-  }
+  /// Pack/unpack parallelism, total threads including the caller (set via
+  /// configure(); 1 = serial, no pool at all).
   [[nodiscard]] unsigned pack_threads() const noexcept {
     return pool_ ? pool_->threads() : 1;
   }

@@ -50,6 +50,15 @@ void Csr::set_coords(std::vector<Point2> coords) {
   coords_ = std::move(coords);
 }
 
+void Csr::set_weights(std::vector<double> weights) {
+  STANCE_REQUIRE(weights.size() == static_cast<std::size_t>(num_vertices()),
+                 "weight count must equal vertex count");
+  for (const double w : weights) {
+    STANCE_REQUIRE(w > 0.0, "vertex weights must be positive");
+  }
+  weights_ = std::move(weights);
+}
+
 Csr Csr::permuted(std::span<const Vertex> perm) const {
   const Vertex nv = num_vertices();
   STANCE_REQUIRE(perm.size() == static_cast<std::size_t>(nv),
@@ -72,6 +81,14 @@ Csr Csr::permuted(std::span<const Vertex> perm) const {
           coords_[static_cast<std::size_t>(v)];
     }
     g.set_coords(std::move(c));
+  }
+  if (has_weights()) {
+    std::vector<double> w(static_cast<std::size_t>(nv));
+    for (Vertex v = 0; v < nv; ++v) {
+      w[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] =
+          weights_[static_cast<std::size_t>(v)];
+    }
+    g.set_weights(std::move(w));
   }
   return g;
 }
@@ -144,6 +161,12 @@ std::uint64_t Csr::fingerprint() const {
   for (const Point2& c : coords_) {
     h.mix(c.x);
     h.mix(c.y);
+  }
+  // Weights are mixed only when present, so weightless graphs keep the
+  // fingerprints that existing baselines and cache keys were built on.
+  if (has_weights()) {
+    h.mix(static_cast<std::uint64_t>(weights_.size()));
+    for (const double w : weights_) h.mix(w);
   }
   return h.digest();
 }

@@ -19,6 +19,8 @@ using Vertex = std::int32_t;
 using EdgeIndex = std::int64_t;
 using Edge = std::pair<Vertex, Vertex>;
 
+struct CsrDelta;  // graph/delta.hpp
+
 class Csr {
  public:
   Csr() = default;
@@ -56,6 +58,18 @@ class Csr {
   void set_coords(std::vector<Point2> coords);
   [[nodiscard]] Point2 coord(Vertex v) const { return coords_[static_cast<std::size_t>(v)]; }
 
+  /// Optional per-vertex work weights. A weightless graph is uniform: every
+  /// vertex weighs 1.0 and the fingerprint is unchanged from pre-weight
+  /// builds, so existing cache keys and baselines stay valid.
+  [[nodiscard]] bool has_weights() const noexcept {
+    return weights_.size() == static_cast<std::size_t>(num_vertices());
+  }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
+  void set_weights(std::vector<double> weights);
+  [[nodiscard]] double weight(Vertex v) const {
+    return weights_.empty() ? 1.0 : weights_[static_cast<std::size_t>(v)];
+  }
+
   /// Relabel vertices: new id of old vertex v is perm[v] (perm is a
   /// permutation of 0..nv-1). Coordinates follow their vertices. This is the
   /// paper's transformation T applied to the graph.
@@ -75,16 +89,24 @@ class Csr {
   [[nodiscard]] Vertex max_degree() const;
   [[nodiscard]] double avg_degree() const;
 
-  /// Structural fingerprint (FNV-1a over offsets, targets, and coordinates).
-  /// Two graphs with equal fingerprints produce identical downstream
-  /// orderings, partitions, and schedules; the stance::Service plan cache
-  /// keys on it so repeat meshes skip the inspector.
+  /// Apply a mesh edit, producing the evolved graph (vertex count is
+  /// preserved; refinement is modeled as weight + stencil churn). Stamps the
+  /// delta's base/result fingerprints so deltas chain — see graph/delta.hpp.
+  /// Defined in delta.cpp.
+  [[nodiscard]] Csr apply(CsrDelta& delta) const;
+
+  /// Structural fingerprint (FNV-1a over offsets, targets, coordinates, and
+  /// weights when present). Two graphs with equal fingerprints produce
+  /// identical downstream orderings, partitions, and schedules; the
+  /// stance::Service plan cache keys on it so repeat meshes skip the
+  /// inspector.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
  private:
   std::vector<EdgeIndex> offsets_;  ///< size nv+1
   std::vector<Vertex> targets_;     ///< both directions of every edge
   std::vector<Point2> coords_;      ///< optional, size nv when present
+  std::vector<double> weights_;     ///< optional, size nv when present
 };
 
 }  // namespace stance::graph

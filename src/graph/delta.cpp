@@ -1,0 +1,134 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace stance::graph {
+
+namespace {
+
+void normalize_edges(std::vector<Edge>& edges) {
+  std::vector<Edge> norm;
+  norm.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    norm.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(norm.begin(), norm.end());
+  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+  edges = std::move(norm);
+}
+
+}  // namespace
+
+void CsrDelta::normalize() {
+  normalize_edges(insert_edges);
+  normalize_edges(remove_edges);
+  // Last edit per vertex wins; stable_sort keeps arrival order within a
+  // vertex so "last" is well-defined, then a backward sweep keeps it.
+  std::stable_sort(weight_edits.begin(), weight_edits.end(),
+                   [](const WeightEdit& a, const WeightEdit& b) { return a.v < b.v; });
+  std::vector<WeightEdit> kept;
+  kept.reserve(weight_edits.size());
+  for (std::size_t i = 0; i < weight_edits.size(); ++i) {
+    if (i + 1 < weight_edits.size() && weight_edits[i + 1].v == weight_edits[i].v) {
+      continue;  // a later edit to the same vertex supersedes this one
+    }
+    kept.push_back(weight_edits[i]);
+  }
+  weight_edits = std::move(kept);
+}
+
+std::vector<Vertex> CsrDelta::dirty_vertices() const {
+  std::vector<Vertex> dirty;
+  dirty.reserve(2 * (insert_edges.size() + remove_edges.size()));
+  for (const auto& [u, v] : insert_edges) {
+    dirty.push_back(u);
+    dirty.push_back(v);
+  }
+  for (const auto& [u, v] : remove_edges) {
+    dirty.push_back(u);
+    dirty.push_back(v);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  return dirty;
+}
+
+CsrDelta CsrDelta::then(const CsrDelta& next) const {
+  CsrDelta a = *this;
+  CsrDelta b = next;
+  a.normalize();
+  b.normalize();
+  STANCE_REQUIRE(a.result_fingerprint == 0 || b.base_fingerprint == 0 ||
+                     a.result_fingerprint == b.base_fingerprint,
+                 "then: deltas do not chain (result/base fingerprints differ)");
+
+  // With E1 = (E0 \ Ra) ∪ Ia and E2 = (E1 \ Rb) ∪ Ib:
+  //   E2 = (E0 \ (Ra ∪ Rb)) ∪ ((Ia \ Rb) ∪ Ib)
+  // because apply() inserts after removing, so an edge in both the composed
+  // remove and insert sets ends up present — matching the sequential result.
+  CsrDelta c;
+  std::set_union(a.remove_edges.begin(), a.remove_edges.end(), b.remove_edges.begin(),
+                 b.remove_edges.end(), std::back_inserter(c.remove_edges));
+  std::vector<Edge> surviving_inserts;
+  std::set_difference(a.insert_edges.begin(), a.insert_edges.end(),
+                      b.remove_edges.begin(), b.remove_edges.end(),
+                      std::back_inserter(surviving_inserts));
+  std::set_union(surviving_inserts.begin(), surviving_inserts.end(),
+                 b.insert_edges.begin(), b.insert_edges.end(),
+                 std::back_inserter(c.insert_edges));
+
+  c.weight_edits = a.weight_edits;
+  c.weight_edits.insert(c.weight_edits.end(), b.weight_edits.begin(),
+                        b.weight_edits.end());
+
+  c.base_fingerprint = a.base_fingerprint;
+  c.result_fingerprint = b.result_fingerprint;
+  c.normalize();
+  return c;
+}
+
+Csr Csr::apply(CsrDelta& delta) const {
+  delta.normalize();
+  const std::uint64_t base = fingerprint();
+  STANCE_REQUIRE(delta.base_fingerprint == 0 || delta.base_fingerprint == base,
+                 "apply: delta was produced against a different graph");
+  delta.base_fingerprint = base;
+
+  const Vertex nv = num_vertices();
+  for (const auto& [u, v] : delta.insert_edges) {
+    STANCE_REQUIRE(u >= 0 && u < nv && v >= 0 && v < nv,
+                   "apply: inserted edge endpoint out of range");
+  }
+  for (const auto& edit : delta.weight_edits) {
+    STANCE_REQUIRE(edit.v >= 0 && edit.v < nv, "apply: weight edit vertex out of range");
+    STANCE_REQUIRE(edit.w > 0.0, "apply: vertex weights must be positive");
+  }
+
+  // edge_list() is already sorted (v ascending, neighbors ascending), so the
+  // removal is a linear set_difference; from_edges dedups re-inserted edges.
+  const std::vector<Edge> edges = edge_list();
+  std::vector<Edge> next;
+  next.reserve(edges.size() + delta.insert_edges.size());
+  std::set_difference(edges.begin(), edges.end(), delta.remove_edges.begin(),
+                      delta.remove_edges.end(), std::back_inserter(next));
+  next.insert(next.end(), delta.insert_edges.begin(), delta.insert_edges.end());
+
+  Csr g = from_edges(nv, next);
+  if (has_coords()) g.set_coords(coords_);
+  if (has_weights() || !delta.weight_edits.empty()) {
+    std::vector<double> w =
+        has_weights() ? weights_ : std::vector<double>(static_cast<std::size_t>(nv), 1.0);
+    for (const auto& edit : delta.weight_edits) {
+      w[static_cast<std::size_t>(edit.v)] = edit.w;
+    }
+    g.set_weights(std::move(w));
+  }
+  delta.result_fingerprint = g.fingerprint();
+  return g;
+}
+
+}  // namespace stance::graph

@@ -1,0 +1,71 @@
+// First-class mesh edits: the entry point of the delta pipeline.
+//
+// A CsrDelta describes how a graph evolves between two steps of an adaptive
+// computation — edges inserted/removed as refinement fronts move, vertex
+// weights bumped where the solution demands more work. The vertex count is
+// fixed: refinement is modeled as weight + stencil churn, which is what
+// keeps the partition, schedule, and frame-plan patches (downstream of this
+// type) well-defined without a renumbering step.
+//
+// Deltas chain through fingerprints: Csr::apply stamps base_fingerprint
+// (graph the delta was applied to) and result_fingerprint (graph it
+// produced), and then() refuses to compose deltas whose stamps do not meet.
+// Consumers (sched::rebuild_incremental via partition::RemapDelta,
+// stance::Service::patch_plan) use the stamps as the invalidation rule: a
+// delta whose base does not match the artifact's graph cannot patch it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace stance::graph {
+
+struct WeightEdit {
+  Vertex v = 0;
+  double w = 1.0;
+  friend bool operator==(const WeightEdit&, const WeightEdit&) = default;
+};
+
+struct CsrDelta {
+  /// Edges to insert / remove, normalized (u < v, sorted, deduped) by
+  /// normalize(). Inserting an existing edge or removing an absent one is a
+  /// no-op — refinement stencils overlap, so lenient semantics keep
+  /// producers simple.
+  std::vector<Edge> insert_edges;
+  std::vector<Edge> remove_edges;
+  /// Per-vertex weight overrides (absolute, not additive); last edit per
+  /// vertex wins. Weight edits steer the partition, not the schedule, so
+  /// they do not mark a vertex dirty.
+  std::vector<WeightEdit> weight_edits;
+
+  /// Fingerprint chain, stamped by Csr::apply (0 = not yet stamped).
+  std::uint64_t base_fingerprint = 0;
+  std::uint64_t result_fingerprint = 0;
+
+  [[nodiscard]] bool structural() const noexcept {
+    return !insert_edges.empty() || !remove_edges.empty();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return !structural() && weight_edits.empty();
+  }
+
+  /// Sorted unique endpoints of every inserted/removed edge — the vertices
+  /// whose adjacency (and hence whose send/ghost sets) changed.
+  [[nodiscard]] std::vector<Vertex> dirty_vertices() const;
+
+  /// Canonical form: edges normalized to (min,max), sorted, deduped, self
+  /// loops dropped; weight edits sorted by vertex with the last edit
+  /// winning. Idempotent; apply() and then() normalize implicitly.
+  void normalize();
+
+  /// Compose: a delta equivalent to applying *this then `next`. Requires the
+  /// fingerprint chain to meet (this->result == next.base) when both stamps
+  /// are present; the composed delta spans base(this) .. result(next).
+  [[nodiscard]] CsrDelta then(const CsrDelta& next) const;
+
+  friend bool operator==(const CsrDelta&, const CsrDelta&) = default;
+};
+
+}  // namespace stance::graph

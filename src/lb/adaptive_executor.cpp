@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/delta.hpp"
 #include "lb/delegate_balancer.hpp"
 #include "partition/redistribute.hpp"
+#include "sched/incremental.hpp"
 #include "support/assert.hpp"
 
 namespace stance::lb {
@@ -12,7 +14,7 @@ namespace stance::lb {
 AdaptiveExecutor::AdaptiveExecutor(mp::Process& p, const graph::Csr& g,
                                    partition::IntervalPartition initial,
                                    AdaptiveOptions opts)
-    : g_(g), part_(std::move(initial)), opts_(std::move(opts)),
+    : g_(&g), part_(std::move(initial)), opts_(std::move(opts)),
       predictor_(opts_.predictor, opts_.ema_alpha, opts_.trend_window) {
   STANCE_REQUIRE(part_.nparts() == p.nprocs(),
                  "AdaptiveExecutor: partition size must match the cluster");
@@ -30,10 +32,51 @@ AdaptiveExecutor::AdaptiveExecutor(mp::Process& p, const graph::Csr& g,
 }
 
 void AdaptiveExecutor::rebuild(mp::Process& p) {
-  ir_ = sched::build_schedule(p, g_, part_, opts_.build, opts_.cpu);
+  ir_ = sched::build_schedule(p, *g_, part_, opts_.build, opts_.cpu);
   loop_ = std::make_unique<exec::IrregularLoop>(ir_.lgraph, ir_.schedule, opts_.loop,
                                                 opts_.cpu);
   if (coalescing_) build_plan(p);
+}
+
+void AdaptiveExecutor::rebuild_from_delta(mp::Process& p,
+                                          const partition::RemapDelta& delta,
+                                          bool fresh_verdicts) {
+  auto next = sched::rebuild_incremental(p, *g_, delta, ir_, opts_.cpu);
+  // Patch the plan when it still matches the pre-remap schedule under the
+  // current delegate assignment; a rotation bumps the map generation and
+  // matches() refuses, exactly the invalidation rule patch_coalesce throws
+  // on. (fresh_verdicts and the rotation flag derive from allgathered
+  // inputs, so every rank takes the same branch.)
+  const bool can_patch =
+      coalescing_ && !fresh_verdicts && plan_.matches(ir_.schedule, p.nodes());
+  if (can_patch) {
+    sched::CoalesceOptions co = opts_.coalesce_opts;
+    co.measured =
+        opts_.measured_feedback && !measured_.empty() ? &measured_ : nullptr;
+    sched::CoalescePlan patched =
+        sched::patch_coalesce(p, plan_, ir_.schedule, next.schedule, opts_.cpu, co);
+    ir_ = std::move(next);
+    plan_ = std::move(patched);
+    loop_->rebind(ir_.lgraph, ir_.schedule);
+    exec::ExecConfig cfg = loop_->config();
+    cfg.coalesce_plan = &plan_;
+    cfg.remap_delta = &delta;  // keep the prewarm memo: only growth re-provisions
+    loop_->configure(cfg);
+    // Unchanged pairs kept their stored verdicts, so the slowdowns the plan
+    // was priced under — and the full-rebuild cost estimate the rotation
+    // test compares against — both stand.
+  } else {
+    ir_ = std::move(next);
+    loop_->rebind(ir_.lgraph, ir_.schedule);
+    if (coalescing_) {
+      build_plan(p);  // fresh verdicts; conservative re-prewarm (no delta)
+    } else {
+      exec::ExecConfig cfg = loop_->config();
+      cfg.remap_delta = &delta;
+      loop_->configure(cfg);
+    }
+  }
+  last_delta_ = delta;
 }
 
 void AdaptiveExecutor::build_plan(mp::Process& p) {
@@ -45,13 +88,17 @@ void AdaptiveExecutor::build_plan(mp::Process& p) {
   exec::ExecConfig exec_cfg = loop_->config();
   exec_cfg.coalesce_plan = &plan_;
   loop_->configure(exec_cfg);
-  // Remember the slowdowns the plan was priced under, so a later check can
-  // tell whether the measured picture drifted enough to re-decide.
+  // Remember the slowdowns the plan was priced under — both endpoints' —
+  // so a later check can tell whether the measured picture drifted enough
+  // to re-decide.
   plan_slowdowns_.assign(static_cast<std::size_t>(p.nodes().nnodes()), 1.0);
+  plan_dst_slowdowns_.assign(static_cast<std::size_t>(p.nodes().nnodes()), 1.0);
   if (co.measured != nullptr) {
     for (int n = 0; n < p.nodes().nnodes(); ++n) {
       plan_slowdowns_[static_cast<std::size_t>(n)] =
           measured_.node_slowdown(n, p.net());
+      plan_dst_slowdowns_[static_cast<std::size_t>(n)] =
+          measured_.dst_node_slowdown(n, p.net());
     }
   }
   // Rank-consistent rebuild-cost estimate for the rotation profitability
@@ -63,10 +110,21 @@ void AdaptiveExecutor::update_measured(mp::Process& p,
                                        const mp::CommStats::FrameWindow& window) {
   const int my_node = p.nodes().node_of(p.rank());
   std::vector<sched::MeasuredPairCost> local;
-  local.reserve(window.pair_frames.size());
+  local.reserve(window.pair_frames.size() + window.pair_forwards.size());
   for (const auto& pf : window.pair_frames) {
     local.push_back(sched::MeasuredPairCost{my_node, pf.dest_node, pf.frames,
                                             pf.bytes, pf.seconds});
+  }
+  // Receive side: this rank demuxed frames *from* pf.src_node and forwarded
+  // pieces to co-residents — the dst fields of the (src, my_node) pair.
+  for (const auto& pf : window.pair_forwards) {
+    sched::MeasuredPairCost c;
+    c.src_node = pf.src_node;
+    c.dst_node = my_node;
+    c.dst_pieces = pf.pieces;
+    c.dst_bytes = pf.bytes;
+    c.dst_seconds = pf.seconds;
+    local.push_back(c);
   }
   // The table must be identical on every rank (both endpoint delegates of a
   // pair derive framing verdicts from it), so it is allgathered — a charged
@@ -91,7 +149,19 @@ void AdaptiveExecutor::update_measured(mp::Process& p,
       if (it == measured_.pairs.end()) {
         measured_.pairs.push_back(fresh);
       } else {
-        *it = fresh;
+        // The two field groups are observed by different delegates (source
+        // ships frames, destination forwards pieces), so each contribution
+        // carries exactly one group — update that group, retain the other.
+        if (fresh.frames > 0) {
+          it->frames = fresh.frames;
+          it->bytes = fresh.bytes;
+          it->seconds = fresh.seconds;
+        }
+        if (fresh.dst_pieces > 0) {
+          it->dst_pieces = fresh.dst_pieces;
+          it->dst_bytes = fresh.dst_bytes;
+          it->dst_seconds = fresh.dst_seconds;
+        }
       }
     }
   }
@@ -105,6 +175,12 @@ bool AdaptiveExecutor::slowdown_drifted(const mp::Process& p) const {
     const double now = measured_.node_slowdown(n, p.net());
     if (std::abs(now - before) > opts_.feedback_replan_threshold *
                                      std::max(before, 1e-12)) {
+      return true;
+    }
+    const double before_dst = plan_dst_slowdowns_[static_cast<std::size_t>(n)];
+    const double now_dst = measured_.dst_node_slowdown(n, p.net());
+    if (std::abs(now_dst - before_dst) > opts_.feedback_replan_threshold *
+                                             std::max(before_dst, 1e-12)) {
       return true;
     }
   }
@@ -155,15 +231,47 @@ void AdaptiveExecutor::repartition(mp::Process& p,
                                    std::vector<double>& y) {
   STANCE_REQUIRE(next.nparts() == p.nprocs(),
                  "repartition: partition size must match the cluster");
-  STANCE_REQUIRE(next.total() == g_.num_vertices(),
+  STANCE_REQUIRE(next.total() == g_->num_vertices(),
                  "repartition: partition must cover the graph");
   STANCE_REQUIRE(y.size() == static_cast<std::size_t>(part_.size(p.rank())),
                  "repartition: y size does not match the current partition");
+  const auto delta = partition::RemapDelta::drift(part_, next);
   y = partition::redistribute<double>(p, y, part_, next);
   part_ = next;
-  rebuild(p);
+  rebuild_from_delta(p, delta, /*fresh_verdicts=*/false);
   monitor_.reset();
   (void)p.stats().take_frame_window();  // re-arm the frame interval too
+}
+
+void AdaptiveExecutor::apply_mesh_delta(mp::Process& p, const graph::Csr& new_graph,
+                                        const graph::CsrDelta& cd,
+                                        const partition::IntervalPartition* next,
+                                        std::vector<double>& y) {
+  STANCE_REQUIRE(new_graph.num_vertices() == g_->num_vertices(),
+                 "apply_mesh_delta: the delta pipeline preserves the vertex count");
+  STANCE_REQUIRE(y.size() == static_cast<std::size_t>(part_.size(p.rank())),
+                 "apply_mesh_delta: y size does not match the current partition");
+  // The chain rule: a stamped delta must connect the current graph to the
+  // new one, or the splice would patch a schedule for a different mesh.
+  STANCE_REQUIRE(cd.base_fingerprint == 0 || cd.base_fingerprint == g_->fingerprint(),
+                 "apply_mesh_delta: delta was not taken from the current graph");
+  STANCE_REQUIRE(
+      cd.result_fingerprint == 0 || cd.result_fingerprint == new_graph.fingerprint(),
+      "apply_mesh_delta: delta does not produce the given graph");
+  partition::RemapDelta delta;
+  if (next != nullptr) {
+    STANCE_REQUIRE(next->nparts() == p.nprocs(),
+                   "apply_mesh_delta: partition size must match the cluster");
+    delta = partition::RemapDelta::combined(part_, *next, cd);
+    y = partition::redistribute<double>(p, y, part_, *next);
+    part_ = *next;
+  } else {
+    delta = partition::RemapDelta::graph_edit(part_, cd);
+  }
+  g_ = &new_graph;
+  rebuild_from_delta(p, delta, /*fresh_verdicts=*/false);
+  monitor_.reset();
+  (void)p.stats().take_frame_window();
 }
 
 AdaptiveExecutor::CheckOutcome AdaptiveExecutor::check_now(mp::Process& p,
@@ -178,9 +286,10 @@ AdaptiveExecutor::CheckOutcome AdaptiveExecutor::check_now(mp::Process& p,
 
   // --- frame-strategy re-decision, from this interval's measurements ------
   bool want_replan = false;
+  mp::CommStats::FrameWindow window;  // also feeds the frame-aware tpi below
   if (coalescing_) {
     const double retune_start = p.now();
-    const auto window = p.stats().take_frame_window();
+    window = p.stats().take_frame_window();
     if (opts_.measured_feedback) {
       update_measured(p, window);
       want_replan = slowdown_drifted(p);
@@ -224,16 +333,29 @@ AdaptiveExecutor::CheckOutcome AdaptiveExecutor::check_now(mp::Process& p,
 
   // --- the paper's load-balance protocol ----------------------------------
   const double check_start = p.now();
-  const double tpi =
+  double tpi =
       predictor_.observations() > 0 ? predictor_.predict() : monitor_.time_per_item();
+  if (coalescing_ && opts_.frame_aware_tpi) {
+    // Fold the interval's measured frame cost into the tpi the controller
+    // sees: MCR then hands this rank proportionally fewer vertices while it
+    // hosts the frame role — and stops doing so one check after a rotation
+    // moves the role elsewhere.
+    tpi = frame_aware_time_per_item(tpi, window, p.net(), monitor_.items_processed());
+  }
   outcome.decision = load_balance_check(p, part_, tpi, opts_.lb);
   outcome.check_seconds = p.now() - check_start;
   monitor_.reset();
   if (outcome.decision.remap) {
     const double remap_start = p.now();
+    // Phase D emits the remap as a first-class delta; the rebuild consumes
+    // it — splicing the schedule and patching the plan instead of starting
+    // over (full rebuild only when rotation/drift already demands fresh
+    // verdicts).
+    const auto delta =
+        partition::RemapDelta::drift(part_, outcome.decision.new_partition);
     y = partition::redistribute<double>(p, y, part_, outcome.decision.new_partition);
     part_ = outcome.decision.new_partition;
-    rebuild(p);  // schedule + loop + (when coalescing) a fresh plan
+    rebuild_from_delta(p, delta, /*fresh_verdicts=*/want_replan);
     outcome.remap_seconds = p.now() - remap_start;
     // The per-item rate is a property of the *processor*, not the partition,
     // so history stays valid across remaps — that is the point of predicting

@@ -30,6 +30,7 @@
 #include "lb/load_monitor.hpp"
 #include "lb/predictor.hpp"
 #include "mp/process.hpp"
+#include "partition/remap_delta.hpp"
 #include "sched/coalesce.hpp"
 #include "sched/inspector.hpp"
 
@@ -68,6 +69,18 @@ struct AdaptiveOptions {
   /// (relative). Requires `coalesce`.
   bool measured_feedback = false;
   double feedback_replan_threshold = 0.25;
+  /// Fold each interval's measured frame cost into the time-per-item fed to
+  /// the load-balance controller (lb::frame_aware_time_per_item): delegates
+  /// then receive proportionally lighter intervals, and a rotation that
+  /// moves the role also moves whose tpi carries the cost at the next
+  /// check — rotation and lighter intervals trade off automatically. Off by
+  /// default: with rotation enabled the two remedies treat the same cost, so
+  /// the inflated tpi can trigger a remap in the very check that rotates the
+  /// role away, paying redistribution for a load that just moved. Enable it
+  /// when delegates should keep lighter intervals (rotation disabled, or
+  /// pinned-delegate topologies). Only meaningful while coalescing; a no-op
+  /// when the interval shipped no frames.
+  bool frame_aware_tpi = false;
 };
 
 /// Per-rank accounting of one run() (virtual seconds).
@@ -135,6 +148,30 @@ class AdaptiveExecutor {
   void repartition(mp::Process& p, const partition::IntervalPartition& next,
                    std::vector<double>& y);
 
+  /// Collective: adopt an edited mesh (same vertex count — AMR-style weight
+  /// and stencil churn, see graph::CsrDelta) and optionally a new partition
+  /// in one step, riding the whole delta pipeline: the schedule is spliced
+  /// (sched::rebuild_incremental), the coalesce plan patched
+  /// (sched::patch_coalesce) when it still matches, the executor rebound in
+  /// place, and only grown arenas re-prewarm. `new_graph` must outlive this
+  /// executor (it becomes the graph all later rebuilds read); `cd` is the
+  /// edit that produced it from the current graph — a stamped
+  /// result_fingerprint is checked against new_graph (the chain rule), and
+  /// the edit's dirty vertices drive the splice. Pass `next` to move
+  /// interval boundaries in the same step (redistributes `y`); nullptr keeps
+  /// the current partition. Resets the measurement window; vertex-work
+  /// multipliers return to uniform.
+  void apply_mesh_delta(mp::Process& p, const graph::Csr& new_graph,
+                        const graph::CsrDelta& cd,
+                        const partition::IntervalPartition* next,
+                        std::vector<double>& y);
+
+  /// The remap delta of the last incremental rebuild (empty intervals before
+  /// any remap/mesh edit) — what Phase D emitted and the splice consumed.
+  [[nodiscard]] const partition::RemapDelta& last_delta() const noexcept {
+    return last_delta_;
+  }
+
   [[nodiscard]] const partition::IntervalPartition& partition() const noexcept {
     return part_;
   }
@@ -157,13 +194,21 @@ class AdaptiveExecutor {
  private:
   void rebuild(mp::Process& p);
   void build_plan(mp::Process& p);
+  /// Phase D via the delta pipeline: splice the schedule for `delta`
+  /// (sched::rebuild_incremental against the current ir_), patch or rebuild
+  /// the coalesce plan, and rebind the loop in place. `fresh_verdicts`
+  /// forces a full coalesce() (rotation bumped the map generation, or the
+  /// measured table drifted past the replan threshold — stored verdicts are
+  /// not worth splicing).
+  void rebuild_from_delta(mp::Process& p, const partition::RemapDelta& delta,
+                          bool fresh_verdicts);
   /// Allgather the interval's per-pair frame measurements into measured_.
   void update_measured(mp::Process& p, const mp::CommStats::FrameWindow& window);
   /// True when a node's measured slowdown moved more than the threshold
   /// since the current plan was priced.
   [[nodiscard]] bool slowdown_drifted(const mp::Process& p) const;
 
-  const graph::Csr& g_;
+  const graph::Csr* g_;  ///< non-owning; apply_mesh_delta repoints
   partition::IntervalPartition part_;
   AdaptiveOptions opts_;
   sched::InspectorResult ir_;
@@ -171,12 +216,14 @@ class AdaptiveExecutor {
   LoadMonitor monitor_;
   LoadPredictor predictor_;
   double first_build_seconds_ = 0.0;
+  partition::RemapDelta last_delta_;
 
   bool coalescing_ = false;
   sched::CoalescePlan plan_;
   sched::MeasuredPairCosts measured_;
-  std::vector<double> plan_slowdowns_;    ///< per node, at last plan build
-  double plan_build_estimate_ = 0.0;      ///< rank-consistent (allreduce_max)
+  std::vector<double> plan_slowdowns_;      ///< per node, at last plan build
+  std::vector<double> plan_dst_slowdowns_;  ///< receive side, ditto
+  double plan_build_estimate_ = 0.0;        ///< rank-consistent (allreduce_max)
 };
 
 }  // namespace stance::lb

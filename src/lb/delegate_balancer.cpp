@@ -28,6 +28,13 @@ double frame_aware_time_per_item(double time_per_item, const mp::CommStats& stat
   return time_per_item + frame_seconds(stats, net) / static_cast<double>(items);
 }
 
+double frame_aware_time_per_item(double time_per_item,
+                                 const mp::CommStats::FrameWindow& window,
+                                 const sim::NetworkModel& net, std::int64_t items) {
+  if (items <= 0 || window.frames_sent == 0) return time_per_item;
+  return time_per_item + frame_seconds(window, net) / static_cast<double>(items);
+}
+
 std::vector<mp::Rank> choose_delegates(const mp::NodeMap& nodes,
                                        std::span<const double> rank_load) {
   STANCE_REQUIRE(rank_load.size() == static_cast<std::size_t>(nodes.nprocs()),

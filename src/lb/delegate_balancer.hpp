@@ -61,6 +61,16 @@ namespace stance::lb {
                                                const sim::NetworkModel& net,
                                                std::int64_t items);
 
+/// Single-interval form (mp::CommStats::take_frame_window): the adaptive
+/// executor folds each check's measured frame cost into the tpi it feeds the
+/// controller, so "lighter intervals" and rotation trade off automatically —
+/// a rotation that moves the role also moves whose tpi carries the frame
+/// cost at the very next check.
+[[nodiscard]] double frame_aware_time_per_item(double time_per_item,
+                                               const mp::CommStats::FrameWindow& window,
+                                               const sim::NetworkModel& net,
+                                               std::int64_t items);
+
 /// Pure decision (unit-testable without a cluster): per node, pick the rank
 /// with the lowest `rank_load` (virtual seconds of measured load, e.g.
 /// busy time plus frame_seconds) as the next delegate. Ties break to the

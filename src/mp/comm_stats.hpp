@@ -61,6 +61,36 @@ struct CommStats {
     entry.seconds += seconds;
   }
 
+  /// The receive side of the same coalescing: pieces this rank demuxed out
+  /// of inbound frames and *forwarded* to co-resident ranks (destination
+  /// delegates only), their payload bytes, and the virtual seconds the
+  /// forwards cost this rank's clock. This is the measured counterpart of
+  /// frame_profitable's dst_penalty terms — the last a-priori term in the
+  /// framing verdict — keyed by the frames' source node.
+  struct PairForwards {
+    int src_node = -1;
+    std::uint64_t pieces = 0;
+    std::uint64_t bytes = 0;
+    double seconds = 0.0;
+  };
+
+  std::uint64_t pieces_forwarded = 0;
+  std::uint64_t forward_bytes = 0;
+  /// Per-source-node forward traffic (destination delegates only; ascending
+  /// by src_node).
+  std::vector<PairForwards> pair_forwards;
+
+  /// Record one piece forwarded to a co-resident while demuxing a frame
+  /// that arrived from `src_node`.
+  void record_frame_recv(int src_node, std::uint64_t bytes, double seconds) {
+    ++pieces_forwarded;
+    forward_bytes += bytes;
+    auto& entry = forward_entry(src_node);
+    ++entry.pieces;
+    entry.bytes += bytes;
+    entry.seconds += seconds;
+  }
+
   /// Frame counters of one measurement interval. Controllers that re-decide
   /// per interval (lb::AdaptiveExecutor) price from windows, not from the
   /// cumulative totals — cumulative counters accumulate across intervals and
@@ -69,6 +99,9 @@ struct CommStats {
     std::uint64_t frames_sent = 0;
     std::uint64_t frame_bytes_sent = 0;
     std::vector<PairFrames> pair_frames;
+    std::uint64_t pieces_forwarded = 0;
+    std::uint64_t forward_bytes = 0;
+    std::vector<PairForwards> pair_forwards;
   };
 
   /// Frame traffic recorded since the previous take_frame_window() call (or
@@ -89,9 +122,25 @@ struct CommStats {
       }
       if (delta.frames > 0) w.pair_frames.push_back(delta);
     }
+    w.pieces_forwarded = pieces_forwarded - pieces_forwarded_mark_;
+    w.forward_bytes = forward_bytes - forward_bytes_mark_;
+    for (const auto& pf : pair_forwards) {
+      PairForwards delta = pf;
+      for (const auto& mark : pair_forwards_mark_) {
+        if (mark.src_node != pf.src_node) continue;
+        delta.pieces -= mark.pieces;
+        delta.bytes -= mark.bytes;
+        delta.seconds -= mark.seconds;
+        break;
+      }
+      if (delta.pieces > 0) w.pair_forwards.push_back(delta);
+    }
     frames_sent_mark_ = frames_sent;
     frame_bytes_mark_ = frame_bytes_sent;
     pair_frames_mark_ = pair_frames;
+    pieces_forwarded_mark_ = pieces_forwarded;
+    forward_bytes_mark_ = forward_bytes;
+    pair_forwards_mark_ = pair_forwards;
     return w;
   }
 
@@ -121,6 +170,14 @@ struct CommStats {
       entry.bytes += pf.bytes;
       entry.seconds += pf.seconds;
     }
+    pieces_forwarded += o.pieces_forwarded;
+    forward_bytes += o.forward_bytes;
+    for (const auto& pf : o.pair_forwards) {
+      auto& entry = forward_entry(pf.src_node);
+      entry.pieces += pf.pieces;
+      entry.bytes += pf.bytes;
+      entry.seconds += pf.seconds;
+    }
     compute_seconds += o.compute_seconds;
     comm_seconds += o.comm_seconds;
     return *this;
@@ -138,11 +195,25 @@ struct CommStats {
     return *it;
   }
 
+  /// The pair_forwards entry for `src_node`, inserted zeroed if absent
+  /// (ascending src_node order preserved).
+  PairForwards& forward_entry(int src_node) {
+    auto it = pair_forwards.begin();
+    while (it != pair_forwards.end() && it->src_node < src_node) ++it;
+    if (it == pair_forwards.end() || it->src_node != src_node) {
+      it = pair_forwards.insert(it, PairForwards{src_node, 0, 0, 0.0});
+    }
+    return *it;
+  }
+
   /// Window marks of take_frame_window(): cumulative values at the last
   /// snapshot.
   std::uint64_t frames_sent_mark_ = 0;
   std::uint64_t frame_bytes_mark_ = 0;
   std::vector<PairFrames> pair_frames_mark_;
+  std::uint64_t pieces_forwarded_mark_ = 0;
+  std::uint64_t forward_bytes_mark_ = 0;
+  std::vector<PairForwards> pair_forwards_mark_;
 };
 
 }  // namespace stance::mp

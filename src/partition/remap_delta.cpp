@@ -1,0 +1,43 @@
+#include "partition/remap_delta.hpp"
+
+#include <utility>
+
+#include "graph/delta.hpp"
+#include "support/assert.hpp"
+
+namespace stance::partition {
+
+RemapDelta RemapDelta::drift(IntervalPartition from, IntervalPartition to) {
+  STANCE_REQUIRE(from.nparts() == to.nparts(), "RemapDelta: partition sizes differ");
+  STANCE_REQUIRE(from.total() == to.total(), "RemapDelta: partitions cover different lines");
+  RemapDelta d;
+  d.from = std::move(from);
+  d.to = std::move(to);
+  return d;
+}
+
+RemapDelta RemapDelta::graph_edit(const IntervalPartition& part,
+                                  const graph::CsrDelta& delta) {
+  RemapDelta d;
+  d.from = part;
+  d.to = part;
+  d.dirty = delta.dirty_vertices();
+  if (!d.dirty.empty()) {
+    STANCE_REQUIRE(d.dirty.front() >= 0 && d.dirty.back() < part.total(),
+                   "RemapDelta: edited vertex outside the partitioned line");
+  }
+  return d;
+}
+
+RemapDelta RemapDelta::combined(IntervalPartition from, IntervalPartition to,
+                                const graph::CsrDelta& delta) {
+  RemapDelta d = drift(std::move(from), std::move(to));
+  d.dirty = delta.dirty_vertices();
+  if (!d.dirty.empty()) {
+    STANCE_REQUIRE(d.dirty.front() >= 0 && d.dirty.back() < d.to.total(),
+                   "RemapDelta: edited vertex outside the partitioned line");
+  }
+  return d;
+}
+
+}  // namespace stance::partition

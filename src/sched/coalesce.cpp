@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <utility>
 
 #include "support/assert.hpp"
@@ -12,20 +13,23 @@ namespace {
 using mp::NodeMap;
 using mp::Rank;
 
-/// Wire record of the plan exchange. Outbound reports read "I send `count`
-/// elements to `rank`", inbound ones "I receive `count` elements from
-/// `rank`" — what each rank tells its node delegate about its off-node
-/// traffic.
-struct PlanEntry {
-  std::int32_t rank = 0;
-  std::uint32_t count = 0;
-};
-static_assert(mp::WireType<PlanEntry>);
+/// Wire record of the plan exchange — the same PeerCount the plan retains.
+/// Outbound reports read "I send `count` elements to `rank`", inbound ones
+/// "I receive `count` elements from `rank`"; patch diffs reuse the type with
+/// count 0 as the removal tombstone (real reports never carry 0 — the base
+/// schedule's lists are compacted non-empty).
+using PeerCount = DirectionPlan::PeerCount;
+using Report = DirectionPlan::Report;
+static_assert(mp::WireType<PeerCount>);
 
 constexpr mp::Tag kPlanGatherOutTag = 0x7d000001;
 constexpr mp::Tag kPlanGatherInTag = 0x7d000002;
 constexpr mp::Tag kPlanScatterOutTag = 0x7d000003;
 constexpr mp::Tag kPlanScatterInTag = 0x7d000004;
+constexpr mp::Tag kPatchGatherOutTag = 0x7d000005;
+constexpr mp::Tag kPatchGatherInTag = 0x7d000006;
+constexpr mp::Tag kPatchScatterOutTag = 0x7d000007;
+constexpr mp::Tag kPatchScatterInTag = 0x7d000008;
 
 /// Delegate -> co-resident replies carrying the adaptive framing verdicts
 /// (the framed node ids); reports and replies share a phase but flow in
@@ -86,17 +90,283 @@ bool pair_framed(const PairTraffic& t, const sim::NetworkModel& net,
   if (opts.measured != nullptr && !opts.measured->empty()) {
     return frame_profitable(t, net, opts.bytes_per_elem,
                             opts.measured->node_slowdown(src_node, net),
-                            opts.measured->node_slowdown(dst_node, net));
+                            opts.measured->dst_node_slowdown(dst_node, net));
   }
   return frame_profitable(t, net, opts.bytes_per_elem);
 }
+
+// ---------------------------------------------------------------------------
+// Shared classification and assembly, used verbatim by build_direction and
+// patch_direction: given the same reports and framing verdicts, both paths
+// run the exact same code, which is what makes a patched plan byte-identical
+// to a from-scratch build by construction.
+
+void demote_to_direct(DirectionPlan& d, const std::vector<std::size_t>& out_counts,
+                      std::uint32_t i) {
+  d.direct_peers.insert(
+      std::upper_bound(d.direct_peers.begin(), d.direct_peers.end(), i), i);
+  d.max_outbound_elems = std::max(d.max_outbound_elems, out_counts[i]);
+}
+
+/// Outbound classification: direct for co-residents; everything off-node is
+/// grouped by destination node and reported as (target, count), ascending.
+void classify_outbound(const NodeMap& nodes, int my_node,
+                       const std::vector<Rank>& peers,
+                       const std::vector<std::size_t>& out_counts, DirectionPlan& d,
+                       std::map<int, std::vector<std::uint32_t>>& off_node,
+                       std::vector<PeerCount>& out_report) {
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (nodes.node_of(peers[i]) == my_node) {
+      d.direct_peers.push_back(static_cast<std::uint32_t>(i));
+      d.max_outbound_elems = std::max(d.max_outbound_elems, out_counts[i]);
+    } else {
+      off_node[nodes.node_of(peers[i])].push_back(static_cast<std::uint32_t>(i));
+      out_report.push_back(
+          PeerCount{peers[i], static_cast<std::uint32_t>(out_counts[i])});
+    }
+  }
+}
+
+/// Non-delegate outbound assembly: bundles to the delegate for framed
+/// destination nodes, direct sends for demoted ones.
+void assemble_outbound_nondelegate(
+    DirectionPlan& d, const std::map<int, std::vector<std::uint32_t>>& off_node,
+    const std::vector<std::size_t>& out_counts, const std::vector<std::int32_t>& framed,
+    bool adaptive) {
+  for (const auto& [dest_node, idx] : off_node) {
+    if (adaptive && !std::binary_search(framed.begin(), framed.end(), dest_node)) {
+      for (const auto i : idx) demote_to_direct(d, out_counts, i);
+      continue;
+    }
+    DirectionPlan::Bundle b;
+    b.dest_node = dest_node;
+    b.peer_idx = idx;
+    for (const auto i : idx) b.elems += out_counts[i];
+    d.max_outbound_elems = std::max(d.max_outbound_elems, b.elems);
+    d.bundles.push_back(std::move(b));
+  }
+}
+
+/// One node pair's traffic per destination node, from the delegate's
+/// retained reports (map iteration is dest-node ascending).
+std::map<int, std::vector<PairEntry>> group_pairs(const NodeMap& nodes,
+                                                  const std::vector<Report>& reports) {
+  std::map<int, std::vector<PairEntry>> pair_entries;
+  for (const auto& report : reports) {
+    for (const auto& e : report.entries) {
+      pair_entries[nodes.node_of(e.rank)].push_back(
+          PairEntry{report.rank, e.rank, e.count});
+    }
+  }
+  return pair_entries;
+}
+
+/// Delegate outbound assembly: frame recipes from the co-residents' reports
+/// (my own parts carry peer indices), demotions for unframed nodes and
+/// delegate-to-delegate singleton frames.
+void assemble_outbound_delegate(DirectionPlan& d, const NodeMap& nodes, Rank me,
+                                const std::vector<Rank>& peers,
+                                const std::vector<std::size_t>& out_counts,
+                                const std::map<int, std::vector<std::uint32_t>>& off_node,
+                                const std::vector<Report>& reports,
+                                const std::vector<std::int32_t>& framed) {
+  auto is_framed = [&](int node) {
+    return std::binary_search(framed.begin(), framed.end(), node);
+  };
+
+  // Assemble the frame recipes: my own parts plus one bundle part per
+  // co-resident rank with traffic to that node, ascending by source.
+  std::map<int, DirectionPlan::SendFrame> frames;  // keyed by dest node
+  auto add_part = [&](Rank source, std::span<const PeerCount> entries,
+                      const std::map<int, std::vector<std::uint32_t>>* own_idx) {
+    // One part per framed destination node touched by `source`, preserving
+    // the sender's ascending-target packing order.
+    std::map<int, DirectionPlan::FramePart> parts;
+    for (const auto& e : entries) {
+      const int dest_node = nodes.node_of(e.rank);
+      if (!is_framed(dest_node)) continue;
+      auto& part = parts[dest_node];
+      part.source = source;
+      part.elems += e.count;
+    }
+    if (own_idx != nullptr) {
+      for (const auto& [dest_node, idx] : *own_idx) {
+        if (is_framed(dest_node)) parts[dest_node].peer_idx = idx;
+      }
+    }
+    for (auto& [dest_node, part] : parts) {
+      auto& f = frames[dest_node];
+      f.dest_node = dest_node;
+      f.wire_dest = nodes.delegate_of(dest_node);
+      f.elems += part.elems;
+      f.parts.push_back(std::move(part));
+    }
+  };
+  for (const auto& report : reports) {
+    add_part(report.rank, report.entries, report.rank == me ? &off_node : nullptr);
+  }
+  // The delegate's own traffic to demoted nodes reverts to direct sends.
+  for (const auto& [dest_node, idx] : off_node) {
+    if (!is_framed(dest_node)) {
+      for (const auto i : idx) demote_to_direct(d, out_counts, i);
+    }
+  }
+  for (auto& [dest_node, frame] : frames) {
+    if (demotes(frame.parts, me, peers, frame.wire_dest)) {
+      // Singleton delegate-to-delegate frame: re-insert as a direct peer.
+      demote_to_direct(d, out_counts, frame.parts[0].peer_idx[0]);
+      continue;
+    }
+    d.max_outbound_elems = std::max(d.max_outbound_elems, frame.elems);
+    d.send_frames.push_back(std::move(frame));
+  }
+}
+
+/// Inbound classification: co-resident sources stay direct; off-node ones
+/// are provisionally frame/forward and reported as (source, count),
+/// ascending, with the base-source index kept alongside.
+void classify_inbound(const NodeMap& nodes, int my_node, Rank me, Rank delegate,
+                      const std::vector<Rank>& sources,
+                      const std::vector<std::size_t>& in_counts, DirectionPlan& d,
+                      std::vector<PeerCount>& in_report,
+                      std::vector<std::uint32_t>& in_report_idx) {
+  d.source_via.resize(sources.size(), DirectionPlan::Via::kDirect);
+  for (std::size_t j = 0; j < sources.size(); ++j) {
+    if (nodes.node_of(sources[j]) == my_node) continue;  // stays direct
+    d.source_via[j] = me == delegate ? DirectionPlan::Via::kFrame
+                                     : DirectionPlan::Via::kForward;
+    in_report.push_back(
+        PeerCount{sources[j], static_cast<std::uint32_t>(in_counts[j])});
+    in_report_idx.push_back(static_cast<std::uint32_t>(j));
+  }
+}
+
+/// Non-delegate: sources on demoted nodes arrive direct, not forwarded.
+void apply_inbound_verdicts_nondelegate(DirectionPlan& d, const NodeMap& nodes,
+                                        const std::vector<PeerCount>& in_report,
+                                        const std::vector<std::uint32_t>& in_report_idx,
+                                        const std::vector<std::int32_t>& framed) {
+  for (std::size_t k = 0; k < in_report.size(); ++k) {
+    const int src_node = nodes.node_of(in_report[k].rank);
+    if (!std::binary_search(framed.begin(), framed.end(), src_node)) {
+      d.source_via[in_report_idx[k]] = DirectionPlan::Via::kDirect;
+    }
+  }
+}
+
+/// The node's inbound pieces as (source, target, count, src_index), grouped
+/// per source node in global (source, target) order. src_index is only
+/// meaningful for the delegate's own pieces, whose report entries align with
+/// `own_idx` by construction.
+struct Piece {
+  Rank source;
+  Rank target;
+  std::uint32_t count;
+  std::uint32_t src_index;
+};
+
+std::map<int, std::vector<Piece>> group_pieces(const NodeMap& nodes, Rank me,
+                                               const std::vector<Report>& reports,
+                                               const std::vector<std::uint32_t>& own_idx) {
+  std::vector<Piece> pieces;
+  for (const auto& report : reports) {
+    const bool own = report.rank == me;
+    STANCE_ASSERT(!own || report.entries.size() == own_idx.size());
+    for (std::size_t k = 0; k < report.entries.size(); ++k) {
+      pieces.push_back(Piece{report.entries[k].rank, report.rank,
+                             report.entries[k].count,
+                             own ? own_idx[k] : DirectionPlan::kNoIndex});
+    }
+  }
+  // Frame layout is source-major ascending, target-ascending within one
+  // source — exactly how the sending delegate assembles it.
+  std::sort(pieces.begin(), pieces.end(), [](const Piece& a, const Piece& b) {
+    return a.source != b.source ? a.source < b.source : a.target < b.target;
+  });
+  std::map<int, std::vector<Piece>> by_node;
+  for (const auto& piece : pieces) {
+    by_node[nodes.node_of(piece.source)].push_back(piece);
+  }
+  return by_node;
+}
+
+/// Delegate inbound assembly: demoted pairs flip the delegate's own pieces
+/// back to direct, singleton delegate-to-delegate frames mirror the sender
+/// demotion, surviving pairs become buffered frames with demux tables.
+/// Requires the outbound side already assembled (bundle parts count toward
+/// inbound_msgs).
+void assemble_inbound_delegate(DirectionPlan& d, const NodeMap& nodes, Rank me,
+                               const std::map<int, std::vector<Piece>>& by_node,
+                               const std::vector<std::int32_t>& framed) {
+  for (const auto& [src_node, node_pieces] : by_node) {
+    const Rank src_delegate = nodes.delegate_of(src_node);
+    if (!std::binary_search(framed.begin(), framed.end(), src_node)) {
+      // Demoted pair: my own pieces arrive as direct messages (the
+      // co-residents flip theirs from the verdict reply).
+      for (const auto& piece : node_pieces) {
+        if (piece.src_index != DirectionPlan::kNoIndex) {
+          d.source_via[piece.src_index] = DirectionPlan::Via::kDirect;
+        }
+      }
+      continue;
+    }
+    if (node_pieces.size() == 1 && node_pieces[0].source == src_delegate &&
+        node_pieces[0].target == me) {
+      // Mirror of the sender-side demotion: this frame arrives direct.
+      d.source_via[node_pieces[0].src_index] = DirectionPlan::Via::kDirect;
+      continue;
+    }
+    DirectionPlan::RecvFrame f;
+    f.src_node = src_node;
+    f.wire_source = src_delegate;
+    f.arena_offset = d.frame_arena_elems;
+    std::size_t off = f.arena_offset;
+    for (const auto& piece : node_pieces) {
+      d.demux.push_back(DirectionPlan::Demux{piece.source, piece.target, piece.count,
+                                             piece.src_index, off});
+      off += piece.count;
+      f.elems += piece.count;
+    }
+    d.frame_arena_elems += f.elems;
+    d.max_inbound_elems = std::max(d.max_inbound_elems, f.elems);
+    d.recv_frames.push_back(std::move(f));
+  }
+  // Frames were grouped per source node, but the executor demuxes in
+  // global (source, target) order across all of them.
+  std::sort(d.demux.begin(), d.demux.end(),
+            [](const DirectionPlan::Demux& a, const DirectionPlan::Demux& b) {
+              return a.source != b.source ? a.source < b.source : a.target < b.target;
+            });
+  d.inbound_msgs += d.recv_frames.size();
+  // Bundles from co-residents arrive during frame assembly.
+  for (const auto& f : d.send_frames) {
+    for (const auto& part : f.parts) {
+      if (part.source == me) continue;
+      d.max_inbound_elems = std::max(d.max_inbound_elems, part.elems);
+      ++d.inbound_msgs;
+    }
+  }
+}
+
+/// Direct and forwarded inbound messages (every rank, both paths).
+void finish_inbound_sizing(DirectionPlan& d, const std::vector<std::size_t>& in_counts) {
+  for (std::size_t j = 0; j < in_counts.size(); ++j) {
+    if (d.source_via[j] == DirectionPlan::Via::kFrame) continue;  // counted above
+    d.max_nonframe_inbound_elems = std::max(d.max_nonframe_inbound_elems, in_counts[j]);
+    ++d.inbound_msgs;
+  }
+  d.max_inbound_elems = std::max(d.max_inbound_elems, d.max_nonframe_inbound_elems);
+}
+
+// ---------------------------------------------------------------------------
 
 /// Build one direction of the plan. `peers`/`out_counts` describe this
 /// rank's outbound messages in the base schedule, `sources`/`in_counts` its
 /// inbound ones. Collective across the rank's node: everyone reports its
 /// off-node traffic to the delegate, which derives the frame layouts (and,
 /// under the adaptive policy, prices each node pair and replies the framed
-/// node ids to its co-residents).
+/// node ids to its co-residents). Delegates retain the reports and verdicts
+/// in the plan, which is what patch_direction later splices.
 DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
                               const std::vector<Rank>& peers,
                               const std::vector<std::size_t>& out_counts,
@@ -111,197 +381,75 @@ DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
   const bool adaptive = opts.policy == CoalescePolicy::kAdaptive;
   DirectionPlan d;
 
-  // Demote base peer `i` to a direct message, keeping direct_peers ascending.
-  auto demote_to_direct = [&](std::uint32_t i) {
-    d.direct_peers.insert(
-        std::upper_bound(d.direct_peers.begin(), d.direct_peers.end(), i), i);
-    d.max_outbound_elems = std::max(d.max_outbound_elems, out_counts[i]);
-  };
-
   // --- outbound: direct for co-residents; everything off-node is grouped
   // by destination node, as bundles (non-delegate) or frame parts.
   std::map<int, std::vector<std::uint32_t>> off_node;  // dest node -> peer indices
-  std::vector<PlanEntry> out_report;                   // off-node (target, count), asc
-  for (std::size_t i = 0; i < peers.size(); ++i) {
-    if (nodes.node_of(peers[i]) == my_node) {
-      d.direct_peers.push_back(static_cast<std::uint32_t>(i));
-      d.max_outbound_elems = std::max(d.max_outbound_elems, out_counts[i]);
-    } else {
-      off_node[nodes.node_of(peers[i])].push_back(static_cast<std::uint32_t>(i));
-      out_report.push_back(
-          PlanEntry{peers[i], static_cast<std::uint32_t>(out_counts[i])});
-    }
-  }
+  std::vector<PeerCount> out_report;                   // off-node (target, count), asc
+  classify_outbound(nodes, my_node, peers, out_counts, d, off_node, out_report);
 
   if (me != delegate) {
-    p.send(delegate, out_tag, std::span<const PlanEntry>(out_report));
+    p.send(delegate, out_tag, std::span<const PeerCount>(out_report));
     // Adaptive: the delegate replies which destination nodes stay framed;
     // traffic to the demoted ones reverts to direct wire messages.
     std::vector<std::int32_t> framed;  // ascending node ids
     if (adaptive) framed = p.recv<std::int32_t>(delegate, verdict_tag(out_tag));
-    for (const auto& [dest_node, idx] : off_node) {
-      if (adaptive &&
-          !std::binary_search(framed.begin(), framed.end(), dest_node)) {
-        for (const auto i : idx) demote_to_direct(i);
-        continue;
-      }
-      DirectionPlan::Bundle b;
-      b.dest_node = dest_node;
-      b.peer_idx = idx;
-      for (const auto i : idx) b.elems += out_counts[i];
-      d.max_outbound_elems = std::max(d.max_outbound_elems, b.elems);
-      d.bundles.push_back(std::move(b));
-    }
+    assemble_outbound_nondelegate(d, off_node, out_counts, framed, adaptive);
   } else {
     // Collect every co-resident's report first (the framing decision needs
     // the whole node pair's traffic), price each destination node, reply the
     // verdicts, then assemble the surviving frame recipes.
-    std::vector<std::pair<Rank, std::vector<PlanEntry>>> reports;  // rank-ascending
     for (const Rank q : nodes.ranks_on(my_node)) {
       if (q == me) {
-        reports.emplace_back(me, out_report);
+        d.out_reports.push_back(Report{me, out_report});
       } else {
-        reports.emplace_back(q, p.recv<PlanEntry>(q, out_tag));
+        d.out_reports.push_back(Report{q, p.recv<PeerCount>(q, out_tag)});
       }
     }
-    std::map<int, std::vector<PairEntry>> pair_entries;  // dest node -> traffic
-    for (const auto& [q, entries] : reports) {
-      for (const auto& e : entries) {
-        pair_entries[nodes.node_of(e.rank)].push_back(
-            PairEntry{q, e.rank, e.count});
-      }
-    }
-    std::vector<std::int32_t> framed;  // ascending (map iterates in key order)
+    const auto pair_entries = group_pairs(nodes, d.out_reports);
     for (const auto& [dest_node, entries] : pair_entries) {
       if (!adaptive ||
           pair_framed(summarize_pair(entries, me, nodes.delegate_of(dest_node)),
                       p.net(), opts, my_node, dest_node)) {
-        framed.push_back(dest_node);
+        d.framed_out.push_back(dest_node);  // ascending (map iterates in key order)
       }
     }
     if (adaptive) {
       for (const Rank q : nodes.ranks_on(my_node)) {
-        if (q != me) p.send(q, verdict_tag(out_tag), framed);
+        if (q != me) p.send(q, verdict_tag(out_tag), d.framed_out);
       }
     }
-    auto is_framed = [&](int node) {
-      return std::binary_search(framed.begin(), framed.end(), node);
-    };
-
-    // Assemble the frame recipes: my own parts plus one bundle part per
-    // co-resident rank with traffic to that node, ascending by source.
-    std::map<int, DirectionPlan::SendFrame> frames;  // keyed by dest node
-    auto add_part = [&](Rank source, std::span<const PlanEntry> entries,
-                        const std::map<int, std::vector<std::uint32_t>>* own_idx) {
-      // One part per framed destination node touched by `source`, preserving
-      // the sender's ascending-target packing order.
-      std::map<int, DirectionPlan::FramePart> parts;
-      for (const auto& e : entries) {
-        const int dest_node = nodes.node_of(e.rank);
-        if (!is_framed(dest_node)) continue;
-        auto& part = parts[dest_node];
-        part.source = source;
-        part.elems += e.count;
-      }
-      if (own_idx != nullptr) {
-        for (const auto& [dest_node, idx] : *own_idx) {
-          if (is_framed(dest_node)) parts[dest_node].peer_idx = idx;
-        }
-      }
-      for (auto& [dest_node, part] : parts) {
-        auto& f = frames[dest_node];
-        f.dest_node = dest_node;
-        f.wire_dest = nodes.delegate_of(dest_node);
-        f.elems += part.elems;
-        f.parts.push_back(std::move(part));
-      }
-    };
-    for (const auto& [q, entries] : reports) {
-      add_part(q, entries, q == me ? &off_node : nullptr);
-    }
-    // The delegate's own traffic to demoted nodes reverts to direct sends.
-    for (const auto& [dest_node, idx] : off_node) {
-      if (!is_framed(dest_node)) {
-        for (const auto i : idx) demote_to_direct(i);
-      }
-    }
-    for (auto& [dest_node, frame] : frames) {
-      if (demotes(frame.parts, me, peers, frame.wire_dest)) {
-        // Singleton delegate-to-delegate frame: re-insert as a direct peer.
-        demote_to_direct(frame.parts[0].peer_idx[0]);
-        continue;
-      }
-      d.max_outbound_elems = std::max(d.max_outbound_elems, frame.elems);
-      d.send_frames.push_back(std::move(frame));
-    }
+    assemble_outbound_delegate(d, nodes, me, peers, out_counts, off_node,
+                               d.out_reports, d.framed_out);
   }
 
   // --- inbound: classify sources, report off-node ones to the delegate,
   // and (on the delegate) derive the frame demux tables.
-  d.source_via.resize(sources.size(), DirectionPlan::Via::kDirect);
-  std::vector<PlanEntry> in_report;  // off-node (source, count), ascending
+  std::vector<PeerCount> in_report;  // off-node (source, count), ascending
   std::vector<std::uint32_t> in_report_idx;
-  for (std::size_t j = 0; j < sources.size(); ++j) {
-    if (nodes.node_of(sources[j]) == my_node) continue;  // stays direct
-    d.source_via[j] = me == delegate ? DirectionPlan::Via::kFrame
-                                     : DirectionPlan::Via::kForward;
-    in_report.push_back(
-        PlanEntry{sources[j], static_cast<std::uint32_t>(in_counts[j])});
-    in_report_idx.push_back(static_cast<std::uint32_t>(j));
-  }
+  classify_inbound(nodes, my_node, me, delegate, sources, in_counts, d, in_report,
+                   in_report_idx);
 
   if (me != delegate) {
-    p.send(delegate, in_tag, std::span<const PlanEntry>(in_report));
-    // Adaptive: sources on demoted nodes arrive direct, not forwarded.
+    p.send(delegate, in_tag, std::span<const PeerCount>(in_report));
     if (adaptive) {
       const auto framed = p.recv<std::int32_t>(delegate, verdict_tag(in_tag));
-      for (std::size_t k = 0; k < in_report.size(); ++k) {
-        const int src_node = nodes.node_of(in_report[k].rank);
-        if (!std::binary_search(framed.begin(), framed.end(), src_node)) {
-          d.source_via[in_report_idx[k]] = DirectionPlan::Via::kDirect;
-        }
-      }
+      apply_inbound_verdicts_nondelegate(d, nodes, in_report, in_report_idx, framed);
     }
   } else {
-    // Collect the node's inbound pieces as (source, target, count, src_index).
-    struct Piece {
-      Rank source;
-      Rank target;
-      std::uint32_t count;
-      std::uint32_t src_index;
-    };
-    std::vector<Piece> pieces;
-    auto add_pieces = [&](Rank target, std::span<const PlanEntry> entries,
-                          const std::uint32_t* src_index) {
-      for (std::size_t k = 0; k < entries.size(); ++k) {
-        pieces.push_back(Piece{entries[k].rank, target, entries[k].count,
-                               src_index ? src_index[k] : DirectionPlan::kNoIndex});
-      }
-    };
     for (const Rank q : nodes.ranks_on(my_node)) {
       if (q == me) {
-        add_pieces(me, in_report, in_report_idx.data());
+        d.in_reports.push_back(Report{me, in_report});
       } else {
-        const auto entries = p.recv<PlanEntry>(q, in_tag);
-        add_pieces(q, entries, nullptr);
+        d.in_reports.push_back(Report{q, p.recv<PeerCount>(q, in_tag)});
       }
     }
-    // Frame layout is source-major ascending, target-ascending within one
-    // source — exactly how the sending delegate assembles it.
-    std::sort(pieces.begin(), pieces.end(), [](const Piece& a, const Piece& b) {
-      return a.source != b.source ? a.source < b.source : a.target < b.target;
-    });
-    std::map<int, std::vector<Piece>> by_node;
-    for (const auto& piece : pieces) {
-      by_node[nodes.node_of(piece.source)].push_back(piece);
-    }
+    const auto by_node = group_pieces(nodes, me, d.in_reports, in_report_idx);
     // Price each source node with the same summary the sending delegate
     // computed from its own reports — identical multiset, identical verdict —
     // and tell the co-residents which source nodes still forward.
-    std::vector<std::int32_t> framed;  // ascending
     for (const auto& [src_node, node_pieces] : by_node) {
       if (!adaptive) {
-        framed.push_back(src_node);
+        d.framed_in.push_back(src_node);
         continue;
       }
       std::vector<PairEntry> entries;
@@ -311,76 +459,230 @@ DirectionPlan build_direction(mp::Process& p, const NodeMap& nodes,
       }
       if (pair_framed(summarize_pair(entries, nodes.delegate_of(src_node), me),
                       p.net(), opts, src_node, my_node)) {
-        framed.push_back(src_node);
+        d.framed_in.push_back(src_node);
       }
     }
     if (adaptive) {
       for (const Rank q : nodes.ranks_on(my_node)) {
-        if (q != me) p.send(q, verdict_tag(in_tag), framed);
+        if (q != me) p.send(q, verdict_tag(in_tag), d.framed_in);
       }
     }
-    for (const auto& [src_node, node_pieces] : by_node) {
-      const Rank src_delegate = nodes.delegate_of(src_node);
-      if (!std::binary_search(framed.begin(), framed.end(), src_node)) {
-        // Demoted pair: my own pieces arrive as direct messages (the
-        // co-residents flip theirs from the verdict reply).
-        for (const auto& piece : node_pieces) {
-          if (piece.src_index != DirectionPlan::kNoIndex) {
-            d.source_via[piece.src_index] = DirectionPlan::Via::kDirect;
-          }
-        }
-        continue;
-      }
-      if (node_pieces.size() == 1 && node_pieces[0].source == src_delegate &&
-          node_pieces[0].target == me) {
-        // Mirror of the sender-side demotion: this frame arrives direct.
-        d.source_via[node_pieces[0].src_index] = DirectionPlan::Via::kDirect;
-        continue;
-      }
-      DirectionPlan::RecvFrame f;
-      f.src_node = src_node;
-      f.wire_source = src_delegate;
-      f.arena_offset = d.frame_arena_elems;
-      std::size_t off = f.arena_offset;
-      for (const auto& piece : node_pieces) {
-        d.demux.push_back(DirectionPlan::Demux{piece.source, piece.target, piece.count,
-                                               piece.src_index, off});
-        off += piece.count;
-        f.elems += piece.count;
-      }
-      d.frame_arena_elems += f.elems;
-      d.max_inbound_elems = std::max(d.max_inbound_elems, f.elems);
-      d.recv_frames.push_back(std::move(f));
-    }
-    // Frames were grouped per source node, but the executor demuxes in
-    // global (source, target) order across all of them.
-    std::sort(d.demux.begin(), d.demux.end(),
-              [](const DirectionPlan::Demux& a, const DirectionPlan::Demux& b) {
-                return a.source != b.source ? a.source < b.source : a.target < b.target;
-              });
-    d.inbound_msgs += d.recv_frames.size();
-    // Bundles from co-residents arrive during frame assembly.
-    for (const auto& f : d.send_frames) {
-      for (const auto& part : f.parts) {
-        if (part.source == me) continue;
-        d.max_inbound_elems = std::max(d.max_inbound_elems, part.elems);
-        ++d.inbound_msgs;
-      }
-    }
+    assemble_inbound_delegate(d, nodes, me, by_node, d.framed_in);
   }
 
-  // Direct and forwarded inbound messages.
-  for (std::size_t j = 0; j < sources.size(); ++j) {
-    if (d.source_via[j] == DirectionPlan::Via::kFrame) continue;  // counted above
-    d.max_nonframe_inbound_elems = std::max(d.max_nonframe_inbound_elems, in_counts[j]);
-    ++d.inbound_msgs;
-  }
-  d.max_inbound_elems = std::max(d.max_inbound_elems, d.max_nonframe_inbound_elems);
+  finish_inbound_sizing(d, in_counts);
 
   // Inspector-style bookkeeping charge: every peer/source entry is touched
   // once while classifying, and the delegate touches every reported piece.
   p.compute(costs.per_list_op *
             static_cast<double>(peers.size() + sources.size() + d.demux.size()));
+  return d;
+}
+
+/// A rank's off-node (peer, count) report for one base list — what
+/// classify_outbound/classify_inbound would have reported at build time,
+/// recomputed from the schedule lists so the patch protocol needs no
+/// retained state on non-delegates.
+std::vector<PeerCount> off_node_report(const NodeMap& nodes, int my_node,
+                                       const std::vector<Rank>& ranks,
+                                       const std::vector<std::size_t>& counts) {
+  std::vector<PeerCount> report;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (nodes.node_of(ranks[i]) == my_node) continue;
+    report.push_back(PeerCount{ranks[i], static_cast<std::uint32_t>(counts[i])});
+  }
+  return report;
+}
+
+/// Entry-level diff between two ascending reports: changed/added entries
+/// carry the new count, removed ones the 0 tombstone. Empty means unchanged.
+std::vector<PeerCount> diff_report(const std::vector<PeerCount>& before,
+                                   const std::vector<PeerCount>& after) {
+  std::vector<PeerCount> diff;
+  std::size_t a = 0, b = 0;
+  while (a < before.size() || b < after.size()) {
+    if (b == after.size() ||
+        (a < before.size() && before[a].rank < after[b].rank)) {
+      diff.push_back(PeerCount{before[a].rank, 0});
+      ++a;
+    } else if (a == before.size() || after[b].rank < before[a].rank) {
+      diff.push_back(after[b]);
+      ++b;
+    } else {
+      if (before[a].count != after[b].count) diff.push_back(after[b]);
+      ++a;
+      ++b;
+    }
+  }
+  return diff;
+}
+
+/// Splice a diff into a retained report, keeping it ascending.
+void apply_diff(std::vector<PeerCount>& report, const std::vector<PeerCount>& diff) {
+  if (diff.empty()) return;
+  std::vector<PeerCount> merged;
+  merged.reserve(report.size() + diff.size());
+  std::size_t a = 0, b = 0;
+  while (a < report.size() || b < diff.size()) {
+    if (b == diff.size() || (a < report.size() && report[a].rank < diff[b].rank)) {
+      merged.push_back(report[a]);
+      ++a;
+    } else if (a == report.size() || diff[b].rank < report[a].rank) {
+      if (diff[b].count != 0) merged.push_back(diff[b]);
+      ++b;
+    } else {
+      if (diff[b].count != 0) merged.push_back(diff[b]);
+      ++a;
+      ++b;
+    }
+  }
+  report = std::move(merged);
+}
+
+/// Patch one direction: diff-sized exchange, spliced reports, verdicts
+/// re-priced only for the node pairs the diff touches, then the same
+/// assembly as build_direction. The old reports are recomputed locally from
+/// the old schedule's lists (non-delegates retain nothing), so the protocol
+/// needs no extra state beyond what delegates already store in the plan.
+DirectionPlan patch_direction(mp::Process& p, const NodeMap& nodes,
+                              const DirectionPlan& old_d,
+                              const std::vector<Rank>& old_peers,
+                              const std::vector<std::size_t>& old_out_counts,
+                              const std::vector<Rank>& old_sources,
+                              const std::vector<std::size_t>& old_in_counts,
+                              const std::vector<Rank>& peers,
+                              const std::vector<std::size_t>& out_counts,
+                              const std::vector<Rank>& sources,
+                              const std::vector<std::size_t>& in_counts,
+                              mp::Tag out_tag, mp::Tag in_tag,
+                              const sim::CpuCostModel& costs,
+                              const CoalesceOptions& opts) {
+  const Rank me = p.rank();
+  const int my_node = nodes.node_of(me);
+  const Rank delegate = nodes.delegate_of(my_node);
+  const bool adaptive = opts.policy == CoalescePolicy::kAdaptive;
+  DirectionPlan d;
+  std::uint64_t splice_ops = 0;  // diff entries + re-priced pair entries
+
+  // --- outbound ------------------------------------------------------------
+  std::map<int, std::vector<std::uint32_t>> off_node;
+  std::vector<PeerCount> out_report;
+  classify_outbound(nodes, my_node, peers, out_counts, d, off_node, out_report);
+  const auto old_out_report =
+      off_node_report(nodes, my_node, old_peers, old_out_counts);
+  const auto out_diff = diff_report(old_out_report, out_report);
+  splice_ops += out_diff.size();
+
+  if (me != delegate) {
+    p.send(delegate, out_tag, std::span<const PeerCount>(out_diff));
+    std::vector<std::int32_t> framed;
+    if (adaptive) framed = p.recv<std::int32_t>(delegate, verdict_tag(out_tag));
+    assemble_outbound_nondelegate(d, off_node, out_counts, framed, adaptive);
+  } else {
+    d.out_reports = old_d.out_reports;
+    std::vector<int> changed;  // destination nodes the diffs touch
+    for (auto& report : d.out_reports) {
+      const auto qdiff = report.rank == me
+                             ? out_diff
+                             : p.recv<PeerCount>(report.rank, out_tag);
+      splice_ops += qdiff.size();
+      for (const auto& e : qdiff) changed.push_back(nodes.node_of(e.rank));
+      apply_diff(report.entries, qdiff);
+    }
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    const auto pair_entries = group_pairs(nodes, d.out_reports);
+    for (const auto& [dest_node, entries] : pair_entries) {
+      bool framed_now;
+      if (!std::binary_search(changed.begin(), changed.end(), dest_node)) {
+        // Untouched pair: the stored verdict still holds (both endpoint
+        // delegates saw no diff for it, so both keep it).
+        framed_now = std::binary_search(old_d.framed_out.begin(),
+                                        old_d.framed_out.end(), dest_node);
+      } else {
+        splice_ops += entries.size();
+        framed_now =
+            !adaptive ||
+            pair_framed(summarize_pair(entries, me, nodes.delegate_of(dest_node)),
+                        p.net(), opts, my_node, dest_node);
+      }
+      if (framed_now) d.framed_out.push_back(dest_node);
+    }
+    if (adaptive) {
+      for (const Rank q : nodes.ranks_on(my_node)) {
+        if (q != me) p.send(q, verdict_tag(out_tag), d.framed_out);
+      }
+    }
+    assemble_outbound_delegate(d, nodes, me, peers, out_counts, off_node,
+                               d.out_reports, d.framed_out);
+  }
+
+  // --- inbound -------------------------------------------------------------
+  std::vector<PeerCount> in_report;
+  std::vector<std::uint32_t> in_report_idx;
+  classify_inbound(nodes, my_node, me, delegate, sources, in_counts, d, in_report,
+                   in_report_idx);
+  const auto old_in_report = off_node_report(nodes, my_node, old_sources, old_in_counts);
+  const auto in_diff = diff_report(old_in_report, in_report);
+  splice_ops += in_diff.size();
+
+  if (me != delegate) {
+    p.send(delegate, in_tag, std::span<const PeerCount>(in_diff));
+    if (adaptive) {
+      const auto framed = p.recv<std::int32_t>(delegate, verdict_tag(in_tag));
+      apply_inbound_verdicts_nondelegate(d, nodes, in_report, in_report_idx, framed);
+    }
+  } else {
+    d.in_reports = old_d.in_reports;
+    std::vector<int> changed;  // source nodes the diffs touch
+    for (auto& report : d.in_reports) {
+      const auto qdiff = report.rank == me
+                             ? in_diff
+                             : p.recv<PeerCount>(report.rank, in_tag);
+      splice_ops += qdiff.size();
+      for (const auto& e : qdiff) changed.push_back(nodes.node_of(e.rank));
+      apply_diff(report.entries, qdiff);
+    }
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    const auto by_node = group_pieces(nodes, me, d.in_reports, in_report_idx);
+    for (const auto& [src_node, node_pieces] : by_node) {
+      bool framed_now;
+      if (!std::binary_search(changed.begin(), changed.end(), src_node)) {
+        framed_now = std::binary_search(old_d.framed_in.begin(),
+                                        old_d.framed_in.end(), src_node);
+      } else if (!adaptive) {
+        framed_now = true;
+      } else {
+        splice_ops += node_pieces.size();
+        std::vector<PairEntry> entries;
+        entries.reserve(node_pieces.size());
+        for (const auto& piece : node_pieces) {
+          entries.push_back(PairEntry{piece.source, piece.target, piece.count});
+        }
+        framed_now =
+            pair_framed(summarize_pair(entries, nodes.delegate_of(src_node), me),
+                        p.net(), opts, src_node, my_node);
+      }
+      if (framed_now) d.framed_in.push_back(src_node);
+    }
+    if (adaptive) {
+      for (const Rank q : nodes.ranks_on(my_node)) {
+        if (q != me) p.send(q, verdict_tag(in_tag), d.framed_in);
+      }
+    }
+    assemble_inbound_delegate(d, nodes, me, by_node, d.framed_in);
+  }
+
+  finish_inbound_sizing(d, in_counts);
+
+  // The splice's charge: classification of the new lists plus the diffed
+  // entries and the re-priced pairs' entries — NOT the full demux table the
+  // from-scratch build pays for. (The simulator re-derives the assembly from
+  // the retained reports for byte-identity, but charges the incremental work
+  // a production patch would perform.)
+  p.compute(costs.per_list_op *
+            static_cast<double>(peers.size() + sources.size() + splice_ops));
   return d;
 }
 
@@ -423,6 +725,20 @@ double MeasuredPairCosts::node_slowdown(int node, const sim::NetworkModel& net) 
     measured += e.seconds;
     modeled += static_cast<double>(e.frames) * net.send_overhead +
                net.serialization_cost(static_cast<std::size_t>(e.bytes));
+  }
+  if (modeled <= 0.0 || measured <= 0.0) return 1.0;
+  return measured / modeled;
+}
+
+double MeasuredPairCosts::dst_node_slowdown(int node,
+                                            const sim::NetworkModel& net) const {
+  double measured = 0.0;
+  double modeled = 0.0;
+  for (const auto& e : pairs) {
+    if (e.dst_node != node || e.dst_pieces == 0) continue;
+    measured += e.dst_seconds;
+    modeled += static_cast<double>(e.dst_pieces) * net.intra_overhead +
+               static_cast<double>(e.dst_bytes) / net.intra_bandwidth;
   }
   if (modeled <= 0.0 || measured <= 0.0) return 1.0;
   return measured / modeled;
@@ -508,6 +824,35 @@ CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
 CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
                       const sim::CpuCostModel& costs) {
   return coalesce(p, s, costs, CoalesceOptions{});
+}
+
+CoalescePlan patch_coalesce(mp::Process& p, const CoalescePlan& old_plan,
+                            const CommSchedule& old_s, const CommSchedule& new_s,
+                            const sim::CpuCostModel& costs,
+                            const CoalesceOptions& opts) {
+  const NodeMap& nodes = p.nodes();
+  STANCE_REQUIRE(nodes.nprocs() == p.nprocs(),
+                 "patch_coalesce: node map does not cover every rank");
+  STANCE_REQUIRE(old_plan.matches(old_s, nodes),
+                 "patch_coalesce: base plan is stale (schedule changed under it, or "
+                 "delegates rotated since it was built) — rebuild with coalesce()");
+  CoalescePlan plan;
+  plan.my_delegate = nodes.delegate_of_rank(p.rank());
+  plan.schedule_fingerprint = coalesce_fingerprint(new_s);
+  plan.map_generation = nodes.generation();
+  const auto old_send = list_sizes(old_s.send_items);
+  const auto old_recv = list_sizes(old_s.recv_slots);
+  const auto send_sizes = list_sizes(new_s.send_items);
+  const auto recv_sizes = list_sizes(new_s.recv_slots);
+  plan.gather = patch_direction(p, nodes, old_plan.gather, old_s.send_procs, old_send,
+                                old_s.recv_procs, old_recv, new_s.send_procs,
+                                send_sizes, new_s.recv_procs, recv_sizes,
+                                kPatchGatherOutTag, kPatchGatherInTag, costs, opts);
+  plan.scatter = patch_direction(p, nodes, old_plan.scatter, old_s.recv_procs, old_recv,
+                                 old_s.send_procs, old_send, new_s.recv_procs,
+                                 recv_sizes, new_s.send_procs, send_sizes,
+                                 kPatchScatterOutTag, kPatchScatterInTag, costs, opts);
+  return plan;
 }
 
 }  // namespace stance::sched

@@ -137,6 +137,29 @@ struct DirectionPlan {
   };
   std::vector<Demux> demux;
 
+  /// Retained plan-exchange state (delegates only; empty elsewhere): every
+  /// co-resident's off-node (rank, count) report, rank-ascending, plus the
+  /// node ids the framing verdicts kept framed. patch_coalesce() diffs a new
+  /// schedule's reports against these and re-derives only the node pairs the
+  /// diff touches; the fields participate in operator== so the byte-identity
+  /// oracle covers them too.
+  struct PeerCount {
+    std::int32_t rank = 0;
+    std::uint32_t count = 0;
+
+    friend bool operator==(const PeerCount&, const PeerCount&) = default;
+  };
+  struct Report {
+    mp::Rank rank = -1;
+    std::vector<PeerCount> entries;  ///< ascending by rank
+
+    friend bool operator==(const Report&, const Report&) = default;
+  };
+  std::vector<Report> out_reports;       ///< co-residents' outbound reports
+  std::vector<Report> in_reports;        ///< co-residents' inbound reports
+  std::vector<std::int32_t> framed_out;  ///< framed destination nodes, ascending
+  std::vector<std::int32_t> framed_in;   ///< framed source nodes, ascending
+
   /// Workspace sizing (elements): largest single outbound message, total
   /// inbound frame arena, largest non-frame inbound message, largest single
   /// inbound message of any kind, and the number of inbound messages per
@@ -211,6 +234,14 @@ struct MeasuredPairCost {
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;
   double seconds = 0.0;  ///< virtual seconds on the source delegate's clock
+  /// Receive side, recorded by the *destination* delegate: pieces it
+  /// forwarded to co-residents while demuxing this pair's frames, their
+  /// bytes, and what the forwards cost on its clock. Zero until the
+  /// destination delegate has observed a window; the send-side fields of
+  /// the same entry then keep pricing the source end.
+  std::uint64_t dst_pieces = 0;
+  std::uint64_t dst_bytes = 0;
+  double dst_seconds = 0.0;
 };
 
 /// The cluster-wide measured table fed back into coalesce() (the
@@ -228,6 +259,14 @@ struct MeasuredPairCosts {
   /// speed. 1.0 when the node shipped nothing (or the model predicts zero
   /// cost) — the a-priori estimate then stands.
   [[nodiscard]] double node_slowdown(int node, const sim::NetworkModel& net) const;
+
+  /// Receive-side analogue: `node`'s delegate's measured demux/forward
+  /// seconds over the model's prediction for the same pieces (one intra-node
+  /// setup per forwarded piece plus the bytes through shared memory — the
+  /// dst_penalty terms of frame_profitable). 1.0 until that delegate has
+  /// observed forwards, so the a-priori destination estimate stands exactly
+  /// as long as it has to.
+  [[nodiscard]] double dst_node_slowdown(int node, const sim::NetworkModel& net) const;
 };
 
 struct CoalesceOptions {
@@ -303,6 +342,31 @@ struct PairTraffic {
 /// Original all-or-nothing coalescing (CoalescePolicy::kAlwaysFrame).
 [[nodiscard]] CoalescePlan coalesce(mp::Process& p, const CommSchedule& s,
                                     const sim::CpuCostModel& costs);
+
+/// Collective: patch `old_plan` (built for `old_s`) into a plan for `new_s`
+/// without re-exchanging or re-pricing the whole node's traffic. Every rank
+/// diffs its new off-node reports against the old ones entry by entry and
+/// ships only the diff to its delegate, which splices the retained reports,
+/// re-prices exactly the node pairs the diff touches (reusing the stored
+/// verdicts everywhere else — both endpoint delegates see the same diffed
+/// multiset, so verdicts stay pairwise consistent), and re-derives the frame
+/// layouts. Byte-identical to coalesce(p, new_s, costs, opts) when `opts`
+/// (policy, bytes_per_elem, measured table) matches what `old_plan` was
+/// built with — the precondition the oracle tests pin; under the adaptive
+/// executor the table may have drifted, in which case unchanged pairs keep
+/// their old (still pairwise-consistent) verdicts, which is exactly the
+/// "don't replan on silence" retention rule.
+///
+/// The exchange ships diff-sized payloads and the compute charge covers the
+/// classification plus the diffed entries only, so the virtual clock sees
+/// the splice's saving; throws (STANCE_REQUIRE) when `old_plan` no longer
+/// matches `old_s` under the current delegate assignment — a delegate
+/// rotation invalidates the plan and demands a full coalesce().
+[[nodiscard]] CoalescePlan patch_coalesce(mp::Process& p, const CoalescePlan& old_plan,
+                                          const CommSchedule& old_s,
+                                          const CommSchedule& new_s,
+                                          const sim::CpuCostModel& costs,
+                                          const CoalesceOptions& opts);
 
 /// Tag transforms giving frames, bundles, and delegate forwards their own
 /// matching space, so a coalesced phase can never cross-match a direct

@@ -11,17 +11,20 @@
 namespace stance::sched {
 
 InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
-                                    const IntervalPartition& from,
-                                    const IntervalPartition& to,
+                                    const partition::RemapDelta& delta,
                                     const InspectorResult& old,
                                     const sim::CpuCostModel& costs) {
+  const IntervalPartition& from = delta.from;
+  const IntervalPartition& to = delta.to;
   STANCE_REQUIRE(from.nparts() == to.nparts(),
                  "rebuild_incremental: processor counts differ");
   STANCE_REQUIRE(from.total() == to.total(),
                  "rebuild_incremental: element counts differ");
+  STANCE_REQUIRE(g.num_vertices() == to.total(),
+                 "rebuild_incremental: graph does not match the partition");
   const Rank me = p.rank();
   STANCE_REQUIRE(old.schedule.nlocal == from.size(me),
-                 "rebuild_incremental: old schedule does not match `from`");
+                 "rebuild_incremental: old schedule does not match `delta.from`");
 
   const Vertex f0 = from.first(me), e0 = from.end(me);
   const Vertex f1 = to.first(me), e1 = to.end(me);
@@ -38,8 +41,9 @@ InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
   lg.offsets.reserve(static_cast<std::size_t>(nlocal_new) + 1);
   lg.offsets.push_back(0);
   {
-    // Exact reference count: kept vertices contribute their old spans,
-    // gained vertices their global-graph degrees.
+    // Reference-count hint: kept vertices contribute their old spans (exact
+    // for clean ones; dirty kept vertices may differ by the edit), gained
+    // vertices their global-graph degrees.
     std::size_t nrefs = 0;
     if (keep_hi > keep_lo) {
       nrefs += static_cast<std::size_t>(
@@ -66,16 +70,15 @@ InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
   };
 
   // Single replay pass (the incremental analogue of inspect_fused): kept
-  // vertices replay their references from the old localized graph — pure
-  // integer arithmetic, no graph traversal — while gained vertices are
-  // scanned in the global graph. The hash only ever sees each *distinct*
-  // newly-ghost global once: references that stay local are a shifted copy
-  // of the old value, and references to surviving ghosts go through a
-  // lazily-filled per-old-slot translation (one array load per duplicate).
+  // clean vertices replay their references from the old localized graph —
+  // pure integer arithmetic, no graph traversal — while gained and dirty
+  // vertices are scanned in the global graph. The hash only ever sees each
+  // *distinct* newly-ghost global once: references that stay local are a
+  // shifted copy of the old value, and references to surviving ghosts go
+  // through a lazily-filled per-old-slot translation (one array load per
+  // duplicate).
   DedupTable dedup;           // global -> first-seen id (+ hash-op count)
   std::vector<Rank> home_of;  // id -> home rank
-  std::vector<std::vector<Vertex>> send_buckets(
-      static_cast<std::size_t>(to.nparts()));
   std::vector<Rank> vertex_dests;
   std::uint64_t replayed = 0;  // kept references re-classified (2 compares)
 
@@ -112,27 +115,54 @@ InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
   const auto stays_local = [&](Vertex r) {
     return static_cast<std::uint32_t>(r - sl_lo) < static_cast<std::uint32_t>(sl_span);
   };
-  // Lazily-computed new reference value per surviving old ghost slot.
+  // Lazily-computed new reference value per surviving old ghost slot, plus
+  // whether that slot's referent changed owner between `from` and `to` —
+  // the fact the send-list splice keys on.
   constexpr Vertex kUnset = -1;
   std::vector<Vertex> slot_val(old_ghosts.size(), kUnset);
+  std::vector<char> slot_moved(old_ghosts.size(), 0);
+
+  // The send-list splice: a kept vertex is *flagged* when its destination
+  // set may differ from the old schedule's — its adjacency was edited
+  // (delta.dirty), it was gained, or one of its references changed owner.
+  // Only flagged vertices re-derive destinations (sort/unique + bucket
+  // pushes); everything else keeps its old send entries, spliced below.
+  std::vector<char> flagged(static_cast<std::size_t>(nlocal_new), 0);
+  std::vector<std::vector<Vertex>> corrections(static_cast<std::size_t>(to.nparts()));
+  std::uint64_t splice_ops = 0;  // survivor entries examined + merges + memo fills
+
+  const auto& dirty = delta.dirty;
+  std::size_t dirty_i = static_cast<std::size_t>(
+      std::lower_bound(dirty.begin(), dirty.end(), f1) - dirty.begin());
 
   for (Vertex v = f1; v < e1; ++v) {
     vertex_dests.clear();
-    if (v >= keep_lo && v < keep_hi) {
+    bool flag = false;
+    while (dirty_i < dirty.size() && dirty[dirty_i] < v) ++dirty_i;
+    const bool is_dirty = dirty_i < dirty.size() && dirty[dirty_i] == v;
+    if (v >= keep_lo && v < keep_hi && !is_dirty) {
       for (const Vertex r : old.lgraph.refs_of(v - f0)) {
         ++replayed;
         if (stays_local(r)) {
           lg.refs.push_back(r - lo_r);  // still local: constant shift
         } else if (r < nlocal_old) {
-          const Vertex nv = ghost_ref(f0 + r);  // lost from our interval
+          // Was ours, no longer is: this reference's owner changed.
+          flag = true;
+          const Vertex nv = ghost_ref(f0 + r);
           lg.refs.push_back(nv);
           vertex_dests.push_back(home_of[static_cast<std::size_t>(nv - nlocal_new)]);
         } else {
           auto& nv = slot_val[static_cast<std::size_t>(r - nlocal_old)];
           if (nv == kUnset) {
+            ++splice_ops;
             const Vertex u = old_global(r);
-            nv = (u >= f1 && u < e1) ? u - f1 : ghost_ref(u);
+            const bool now_local = u >= f1 && u < e1;
+            nv = now_local ? u - f1 : ghost_ref(u);
+            const Rank new_home = now_local ? me : to.owner(u);
+            slot_moved[static_cast<std::size_t>(r - nlocal_old)] =
+                from.owner(u) != new_home ? 1 : 0;
           }
+          if (slot_moved[static_cast<std::size_t>(r - nlocal_old)]) flag = true;
           lg.refs.push_back(nv);
           if (nv >= nlocal_new) {
             vertex_dests.push_back(home_of[static_cast<std::size_t>(nv - nlocal_new)]);
@@ -140,19 +170,62 @@ InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
         }
       }
     } else {
+      flag = true;  // gained from a peer, or adjacency edited: full scan
       for (const Vertex u : g.neighbors(v)) classify(u);
     }
-    if (!vertex_dests.empty()) {
-      std::sort(vertex_dests.begin(), vertex_dests.end());
-      vertex_dests.erase(std::unique(vertex_dests.begin(), vertex_dests.end()),
-                         vertex_dests.end());
-      for (const Rank d : vertex_dests) {
-        send_buckets[static_cast<std::size_t>(d)].push_back(v - f1);
+    if (flag) {
+      flagged[static_cast<std::size_t>(v - f1)] = 1;
+      if (!vertex_dests.empty()) {
+        std::sort(vertex_dests.begin(), vertex_dests.end());
+        vertex_dests.erase(std::unique(vertex_dests.begin(), vertex_dests.end()),
+                           vertex_dests.end());
+        for (const Rank d : vertex_dests) {
+          corrections[static_cast<std::size_t>(d)].push_back(v - f1);
+        }
       }
     }
+    // Unflagged kept vertices: every reference kept its owner and the
+    // adjacency is untouched, so the destination set equals the old one —
+    // the old send entries below cover it, and vertex_dests is discarded.
     lg.offsets.push_back(static_cast<graph::EdgeIndex>(lg.refs.size()));
   }
-  compact_buckets(send_buckets, sched.send_procs, sched.send_items);
+
+  // Splice: per old peer, the kept sub-range of the old (ascending) send
+  // list survives with a constant shift, minus the flagged minority; merge
+  // with that peer's corrections (also ascending, all flagged — disjoint by
+  // construction). This reproduces the from-scratch list: unflagged
+  // vertices have identical destination sets, flagged ones are fully
+  // re-derived.
+  if (keep_hi > keep_lo) {
+    const Vertex shift = f0 - f1;  // old local index -> new local index
+    for (std::size_t qi = 0; qi < old.schedule.send_procs.size(); ++qi) {
+      const auto& old_list = old.schedule.send_items[qi];
+      const auto lo = std::lower_bound(old_list.begin(), old_list.end(), keep_lo - f0);
+      const auto hi = std::lower_bound(old_list.begin(), old_list.end(), keep_hi - f0);
+      if (lo == hi) continue;
+      std::vector<Vertex> survivors;
+      survivors.reserve(static_cast<std::size_t>(hi - lo));
+      for (auto it = lo; it != hi; ++it) {
+        ++splice_ops;
+        const Vertex nl = *it + shift;
+        if (!flagged[static_cast<std::size_t>(nl)]) survivors.push_back(nl);
+      }
+      if (survivors.empty()) continue;
+      auto& bucket =
+          corrections[static_cast<std::size_t>(old.schedule.send_procs[qi])];
+      if (bucket.empty()) {
+        bucket = std::move(survivors);
+      } else {
+        std::vector<Vertex> merged;
+        merged.reserve(bucket.size() + survivors.size());
+        std::merge(bucket.begin(), bucket.end(), survivors.begin(), survivors.end(),
+                   std::back_inserter(merged));
+        splice_ops += merged.size();
+        bucket = std::move(merged);
+      }
+    }
+  }
+  compact_buckets(corrections, sched.send_procs, sched.send_items);
 
   // Canonical ghost layout + provisional-id patch, shared with
   // inspect_fused so the layouts cannot drift apart.
@@ -169,16 +242,25 @@ InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
 
   // Charge the (much smaller) rebuild work: arithmetic replays at list-op
   // cost, hashing only for the off-processor subset, one home lookup per
-  // unique, the per-group sorts, and the patch pass.
+  // unique, the per-group sorts, the send-list splice, and the patch pass.
   p.compute(costs.per_list_op * static_cast<double>(replayed) +
             costs.per_hash_op * static_cast<double>(dedup.operations()) +
             costs.per_table_lookup * static_cast<double>(dedup.unique_count()) +
             group_sort +
+            costs.per_list_op * static_cast<double>(splice_ops) +
             costs.per_list_op * static_cast<double>(lg.refs.size()));
 
   STANCE_ASSERT(sched.valid());
   STANCE_ASSERT(result.lgraph.valid());
   return result;
+}
+
+InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
+                                    const IntervalPartition& from,
+                                    const IntervalPartition& to,
+                                    const InspectorResult& old,
+                                    const sim::CpuCostModel& costs) {
+  return rebuild_incremental(p, g, partition::RemapDelta::drift(from, to), old, costs);
 }
 
 }  // namespace stance::sched

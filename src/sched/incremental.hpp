@@ -11,25 +11,42 @@
 //     their classification against the new interval is re-checked: two
 //     comparisons per reference, no graph traversal, no hashing except for
 //     the references that actually become ghosts.
-//   * Only vertices *gained* from peers are scanned in the global graph.
+//   * Only vertices *gained* from peers — or marked dirty by a graph edit —
+//     are scanned in the global graph.
+//   * Surviving per-peer send lists are *spliced*, not recomputed: a kept
+//     vertex none of whose references changed owner (and whose adjacency
+//     the delta left alone) has exactly its old destination set, so its old
+//     send entries are kept with a constant index shift; only the flagged
+//     minority re-derives destinations, and the two sorted runs merge.
 //
 // The result is byte-equivalent to build_schedule() from scratch on the new
-// partition (the canonical layout of schedule.hpp makes this well-defined);
-// tests/test_incremental.cpp holds the from-scratch equivalence oracle.
+// partition of the (possibly edited) graph (the canonical layout of
+// schedule.hpp makes this well-defined); tests/test_incremental.cpp and
+// tests/test_delta.cpp hold the from-scratch equivalence oracles.
 #pragma once
 
 #include "graph/csr.hpp"
 #include "mp/process.hpp"
 #include "partition/interval.hpp"
+#include "partition/remap_delta.hpp"
 #include "sched/inspector.hpp"
 
 namespace stance::sched {
 
 /// Collective and communication-free (like the sort2 builder). `old` must
-/// be the inspector result of rank p.rank() for partition `from`; returns
-/// the result for `to`, byte-identical to a from-scratch build. CPU cost is
-/// charged per reference replayed / hashed, so the virtual clock also sees
-/// the savings the paper attributes to avoiding full schedule rebuilds.
+/// be the inspector result of rank p.rank() for `delta.from` over the
+/// pre-edit graph; `g` is the graph *after* the edit (the same graph for
+/// pure-drift deltas); returns the result for `delta.to` over `g`,
+/// byte-identical to a from-scratch build. CPU cost is charged per
+/// reference replayed / hashed plus the send-list splice, so the virtual
+/// clock also sees the savings the paper attributes to avoiding full
+/// schedule rebuilds.
+[[nodiscard]] InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
+                                                  const partition::RemapDelta& delta,
+                                                  const InspectorResult& old,
+                                                  const sim::CpuCostModel& costs);
+
+/// Pure-drift convenience form (the pre-delta-pipeline signature).
 [[nodiscard]] InspectorResult rebuild_incremental(mp::Process& p, const graph::Csr& g,
                                                   const IntervalPartition& from,
                                                   const IntervalPartition& to,

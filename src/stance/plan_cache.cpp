@@ -54,6 +54,21 @@ void PlanCache::insert(const PlanKey& key, std::shared_ptr<const CachedPlan> pla
   }
 }
 
+bool PlanCache::patch(const PlanKey& key_old, const PlanKey& key_new,
+                      std::shared_ptr<const CachedPlan> plan) {
+  STANCE_REQUIRE(plan != nullptr, "plan cache: refusing to cache a null plan");
+  auto it = index_.find(key_old);
+  if (it == index_.end()) return false;
+  entries_.erase(it->second);
+  index_.erase(it);
+  ++patches_;
+  // The patched entry may collide with an already-cached build of the edited
+  // mesh; insert() replaces it (both are byte-identical by the patch oracle).
+  insert(key_new, std::move(plan));
+  --insertions_;  // patch() is a re-key, not new demand — don't double-count
+  return true;
+}
+
 void PlanCache::erase(const PlanKey& key) {
   auto it = index_.find(key);
   if (it == index_.end()) return;
@@ -71,6 +86,7 @@ PlanCache::Stats PlanCache::stats() const {
                .misses = misses_,
                .evictions = evictions_,
                .insertions = insertions_,
+               .patches = patches_,
                .size = entries_.size(),
                .capacity = capacity_};
 }

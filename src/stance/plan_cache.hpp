@@ -75,6 +75,16 @@ class PlanCache {
   /// cold end when over capacity.
   void insert(const PlanKey& key, std::shared_ptr<const CachedPlan> plan);
 
+  /// Re-key an entry in place: the delta pipeline turned the plan cached
+  /// under `key_old` into `plan`, now valid under `key_new` (a mesh edit
+  /// changed the mesh fingerprint but most of the artifacts survived). The
+  /// old key is retired — it names a mesh the tenant no longer runs — and
+  /// the patched entry enters as most-recently-used. Returns false (and
+  /// caches nothing) when `key_old` is not resident; the caller should fall
+  /// back to a cold build and plain insert().
+  bool patch(const PlanKey& key_old, const PlanKey& key_new,
+             std::shared_ptr<const CachedPlan> plan);
+
   void erase(const PlanKey& key);
   void clear();
 
@@ -83,6 +93,7 @@ class PlanCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t insertions = 0;
+    std::uint64_t patches = 0;  ///< successful patch() re-keys
     std::size_t size = 0;
     std::size_t capacity = 0;
 
@@ -103,6 +114,7 @@ class PlanCache {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t insertions_ = 0;
+  std::uint64_t patches_ = 0;
 };
 
 }  // namespace stance

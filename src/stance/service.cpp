@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sched/incremental.hpp"
 #include "support/assert.hpp"
 
 namespace stance {
@@ -273,6 +274,69 @@ std::shared_ptr<const CachedPlan> Service::cached_plan_for(const JobSpec& spec) 
   const PlanKey key = plan_key_for(spec);
   std::lock_guard<std::mutex> lock(mutex_);
   return cache_.peek(key);
+}
+
+bool Service::patch_plan(const JobSpec& old_spec, const graph::CsrDelta& delta,
+                         std::shared_ptr<const graph::Csr> new_mesh) {
+  STANCE_REQUIRE(old_spec.mesh != nullptr, "patch_plan: job has no mesh");
+  STANCE_REQUIRE(new_mesh != nullptr, "patch_plan: no edited mesh");
+  STANCE_REQUIRE(old_spec.config.ordering == order::Method::kIdentity,
+                 "patch_plan: only identity-ordered plans can be patched — the "
+                 "delta is expressed in the unordered mesh's numbering");
+  STANCE_REQUIRE(new_mesh->num_vertices() == old_spec.mesh->num_vertices(),
+                 "patch_plan: the delta pipeline preserves the vertex count");
+  const std::uint64_t old_fp = old_spec.mesh->fingerprint();
+  const std::uint64_t new_fp = new_mesh->fingerprint();
+  // The chain rule (graph/delta.hpp): an unstamped side is trusted, a stamped
+  // one must connect exactly this mesh to exactly that one.
+  STANCE_REQUIRE(delta.base_fingerprint == 0 || delta.base_fingerprint == old_fp,
+                 "patch_plan: delta was not taken from the job's mesh");
+  STANCE_REQUIRE(delta.result_fingerprint == 0 || delta.result_fingerprint == new_fp,
+                 "patch_plan: delta does not produce the given mesh");
+
+  const auto weights = effective_weights(old_spec);
+  const auto part = partition::IntervalPartition::from_weights(
+      old_spec.mesh->num_vertices(), weights);
+  const PlanKey key_old = make_key(old_spec, old_fp, part);
+  PlanKey key_new = key_old;
+  key_new.mesh_fingerprint = new_fp;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  STANCE_REQUIRE(!draining_, "patch_plan: a drain is in progress on another thread");
+  std::shared_ptr<const CachedPlan> old_plan = cache_.peek(key_old);
+  if (old_plan == nullptr) return false;
+  draining_ = true;  // claim the cluster, single-flight like drain()
+  lock.unlock();
+
+  const auto rd = partition::RemapDelta::graph_edit(part, delta);
+  auto patched = std::make_shared<CachedPlan>();
+  const auto n = static_cast<std::size_t>(nprocs());
+  patched->per_rank.resize(n);
+  if (!old_plan->coalesce.empty()) patched->coalesce.resize(n);
+  cluster_->reset_clocks();
+  try {
+    cluster_->run([&](mp::Process& p) {
+      const auto r = static_cast<std::size_t>(p.rank());
+      patched->per_rank[r] = sched::rebuild_incremental(
+          p, *new_mesh, rd, old_plan->per_rank[r], old_spec.config.cpu);
+      if (!old_plan->coalesce.empty()) {
+        patched->coalesce[r] = sched::patch_coalesce(
+            p, old_plan->coalesce[r], old_plan->per_rank[r].schedule,
+            patched->per_rank[r].schedule, old_spec.config.cpu, opts_.coalesce_opts);
+      }
+    });
+  } catch (...) {
+    std::lock_guard<std::mutex> relock(mutex_);
+    draining_ = false;
+    throw;
+  }
+  // The splice is the entry's new build cost: a warm miss on the edited mesh
+  // would have paid a cold build, the patch paid this instead.
+  patched->cold_build_seconds = cluster_->makespan();
+
+  lock.lock();
+  draining_ = false;
+  return cache_.patch(key_old, key_new, std::move(patched));
 }
 
 }  // namespace stance

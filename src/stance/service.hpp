@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/delta.hpp"
 #include "mp/cluster.hpp"
 #include "stance/plan_cache.hpp"
 #include "stance/session.hpp"
@@ -151,6 +152,23 @@ class Service {
   /// Non-counting cache probe for the byte-identity oracle; nullptr when the
   /// spec's plan is not cached (never built, evicted, or stale-keyed).
   [[nodiscard]] std::shared_ptr<const CachedPlan> cached_plan_for(const JobSpec& spec) const;
+
+  /// Ride the delta pipeline through the cache: `old_spec`'s mesh evolved by
+  /// `delta` into `new_mesh` (same vertex count; the delta's fingerprint
+  /// stamps are checked against both), so splice the cached Phase B product
+  /// onto the edited mesh — sched::rebuild_incremental per rank, plus
+  /// sched::patch_coalesce when the entry carries frame plans — and re-key
+  /// it under the new mesh fingerprint (PlanCache::patch). The patched entry
+  /// is byte-identical to a cold build of the edited mesh (test oracle), and
+  /// its cold_build_seconds becomes the patch makespan, so later accounting
+  /// reflects what the splice actually cost. Identity ordering only: the
+  /// delta is expressed on the unordered mesh, and identity is the one
+  /// ordering under which the cached schedules live in the same vertex
+  /// numbering. Returns false (nothing built, nothing cached) when the old
+  /// spec's plan is not resident — fall back to a cold build. Claims the
+  /// cluster like drain() does; a concurrent drain throws.
+  bool patch_plan(const JobSpec& old_spec, const graph::CsrDelta& delta,
+                  std::shared_ptr<const graph::Csr> new_mesh);
 
  private:
   struct Job {

@@ -601,47 +601,6 @@ TEST(CoalesceStaleness, InstallingMismatchedPlanThrows) {
   EXPECT_THROW(stale_sweep.configure(with_plan), std::invalid_argument);
 }
 
-// The pre-ExecConfig setters survive one release as shims over configure();
-// they must keep the same behavior (including the staleness check) and must
-// not clobber the rest of the configuration.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(CoalesceStaleness, DeprecatedSettersStillWorkAsShims) {
-  Rng rng(29);
-  const graph::Csr g = graph::random_delaunay(700, 29);
-  const auto part = test::random_partition(g.num_vertices(), 4, rng);
-  const auto moved = test::random_partition(g.num_vertices(), 4, rng);
-  const auto irs = test::build_all_schedules(g, part);
-  const auto moved_irs = test::build_all_schedules(g, moved);
-  mp::Cluster cluster(sim::MachineSpec::uniform(4), NodeMap::contiguous(4, 2));
-  const auto plans = build_all_plans(cluster, irs);
-
-  exec::IrregularLoop stale(moved_irs[0].lgraph, moved_irs[0].schedule);
-  EXPECT_THROW(stale.set_coalesce_plan(&plans[0]), std::invalid_argument);
-
-  exec::IrregularLoop fresh(irs[0].lgraph, irs[0].schedule);
-  fresh.set_pack_threads(2, /*serial_cutoff=*/1);
-  fresh.set_coalesce_plan(&plans[0]);
-  // Each shim edits its own field and preserves the other's.
-  EXPECT_EQ(fresh.config().pack_threads, 2u);
-  EXPECT_EQ(fresh.config().coalesce_plan, &plans[0]);
-  fresh.set_coalesce_plan(nullptr);
-  EXPECT_EQ(fresh.config().pack_threads, 2u);
-
-  exec::EdgeSweep stale_sweep(moved_irs[0].lgraph, moved_irs[0].schedule);
-  EXPECT_THROW(stale_sweep.set_coalesce_plan(&plans[0]), std::invalid_argument);
-  exec::EdgeSweep sweep(irs[0].lgraph, irs[0].schedule);
-  sweep.set_pack_threads(2, /*serial_cutoff=*/1);
-  sweep.set_coalesce_plan(&plans[0]);
-  EXPECT_EQ(sweep.config().pack_threads, 2u);
-  EXPECT_EQ(sweep.config().coalesce_plan, &plans[0]);
-
-  exec::ExecWorkspace ws;
-  ws.set_pack_threads(3, /*serial_cutoff=*/1);
-  EXPECT_EQ(ws.pack_threads(), 3u);
-}
-#pragma GCC diagnostic pop
-
 TEST(MeasuredCoalesce, SlowdownScalesVerdictAsymmetrically) {
   const auto net = sim::NetworkModel::ethernet_10mbps();
   // A pair near the a-priori crossover: framed at reference speed.

@@ -1,0 +1,597 @@
+// The delta pipeline end to end (graph/delta.hpp → partition/remap_delta.hpp
+// → sched/incremental.hpp → sched/coalesce.hpp patch → stance plan cache):
+// CsrDelta algebra (normalize / apply / compose with fingerprint chaining),
+// RemapDelta factories, the from-scratch byte-identity oracles for spliced
+// schedules and patched frame plans — including the edge cases (empty delta,
+// redraw-sized delta, composed deltas) — the rotation invalidation rule, and
+// the serving layer's patch-then-hit re-key. Everything here must hold
+// bit-exactly on all three transports (the CMake GLOB runs this suite per
+// transport).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "graph/delta.hpp"
+#include "lb/adaptive_executor.hpp"
+#include "mp/cluster.hpp"
+#include "partition/remap_delta.hpp"
+#include "sched/coalesce.hpp"
+#include "sched/incremental.hpp"
+#include "stance/stance.hpp"
+#include "test_util.hpp"
+
+namespace stance {
+namespace {
+
+using graph::Csr;
+using graph::CsrDelta;
+using mp::NodeMap;
+using partition::IntervalPartition;
+using partition::RemapDelta;
+using sched::CoalescePlan;
+using sched::InspectorResult;
+using test::build_all_schedules;
+
+// --- CsrDelta algebra --------------------------------------------------------
+
+TEST(CsrDelta, NormalizeCanonicalizesEdgesAndWeights) {
+  CsrDelta d;
+  d.insert_edges = {{5, 2}, {2, 5}, {3, 3}, {1, 4}};
+  d.remove_edges = {{9, 7}, {7, 9}};
+  d.weight_edits = {{4, 2.0}, {4, 3.0}, {1, 1.5}};
+  d.normalize();
+  EXPECT_EQ(d.insert_edges, (std::vector<graph::Edge>{{1, 4}, {2, 5}}));
+  EXPECT_EQ(d.remove_edges, (std::vector<graph::Edge>{{7, 9}}));
+  ASSERT_EQ(d.weight_edits.size(), 2u);
+  EXPECT_EQ(d.weight_edits[0].v, 1);
+  EXPECT_EQ(d.weight_edits[1].v, 4);
+  EXPECT_EQ(d.weight_edits[1].w, 3.0);  // last edit per vertex wins
+  EXPECT_EQ(d.dirty_vertices(), (std::vector<graph::Vertex>{1, 2, 4, 5, 7, 9}));
+}
+
+TEST(CsrDelta, ApplyEditsStructureAndStampsTheChain) {
+  const Csr g = graph::random_delaunay(200, 7);
+  const auto edges = g.edge_list();
+  CsrDelta d;
+  d.insert_edges = {{0, 100}, {3, 150}};
+  d.remove_edges = {edges[10], edges[40]};
+  d.weight_edits = {{5, 4.0}};
+  const Csr g2 = g.apply(d);
+
+  EXPECT_EQ(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(d.base_fingerprint, g.fingerprint());
+  EXPECT_EQ(d.result_fingerprint, g2.fingerprint());
+  EXPECT_NE(g2.fingerprint(), g.fingerprint());
+  EXPECT_EQ(g2.weight(5), 4.0);
+  const auto nbrs = g2.neighbors(0);
+  EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), 100), nbrs.end());
+  EXPECT_TRUE(g2.is_symmetric());
+}
+
+TEST(CsrDelta, EmptyDeltaIsIdentity) {
+  const Csr g = graph::random_delaunay(150, 11);
+  CsrDelta d;
+  EXPECT_TRUE(d.empty());
+  const Csr g2 = g.apply(d);
+  EXPECT_EQ(g2.fingerprint(), g.fingerprint());
+  EXPECT_EQ(d.base_fingerprint, d.result_fingerprint);
+}
+
+TEST(CsrDelta, ThenComposesLikeSequentialApplication) {
+  const Csr g = graph::random_delaunay(200, 13);
+  const auto edges = g.edge_list();
+  CsrDelta d1;
+  d1.insert_edges = {{0, 50}};
+  d1.remove_edges = {edges[5]};
+  d1.weight_edits = {{7, 2.0}};
+  CsrDelta d2;
+  d2.insert_edges = {{1, 60}, edges[5]};  // re-insert what d1 removed
+  d2.remove_edges = {{0, 50}};            // remove what d1 inserted
+  d2.weight_edits = {{7, 5.0}};           // supersede d1's edit
+
+  const Csr g1 = g.apply(d1);
+  const Csr g2 = g1.apply(d2);
+  CsrDelta c = d1.then(d2);
+  EXPECT_EQ(c.base_fingerprint, g.fingerprint());
+  EXPECT_EQ(c.result_fingerprint, g2.fingerprint());
+  const Csr direct = g.apply(c);
+  EXPECT_EQ(direct.fingerprint(), g2.fingerprint());
+}
+
+TEST(CsrDelta, ThenRefusesABrokenChain) {
+  const Csr g = graph::random_delaunay(100, 17);
+  const Csr other = graph::random_delaunay(100, 18);
+  CsrDelta d1;
+  d1.insert_edges = {{0, 50}};
+  (void)g.apply(d1);
+  CsrDelta d2;
+  d2.insert_edges = {{1, 60}};
+  (void)other.apply(d2);  // stamped against a different graph
+  EXPECT_THROW((void)d1.then(d2), std::invalid_argument);
+}
+
+TEST(CsrDelta, ApplyRefusesAMismatchedBase) {
+  const Csr g = graph::random_delaunay(100, 19);
+  const Csr other = graph::random_delaunay(100, 20);
+  CsrDelta d;
+  d.insert_edges = {{0, 50}};
+  (void)g.apply(d);  // stamps base = g
+  EXPECT_THROW((void)other.apply(d), std::invalid_argument);
+}
+
+// --- RemapDelta factories ----------------------------------------------------
+
+TEST(RemapDeltaFactories, DriftIsPureAndGraphEditCarriesDirtySet) {
+  const Csr g = graph::random_delaunay(300, 23);
+  const auto from = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>{1, 1, 1, 1});
+  const auto to = IntervalPartition::from_weights(g.num_vertices(),
+                                                  std::vector<double>{2, 1, 1, 1});
+  const auto drift = RemapDelta::drift(from, to);
+  EXPECT_TRUE(drift.pure_drift());
+  EXPECT_TRUE(drift.from == from);
+  EXPECT_TRUE(drift.to == to);
+
+  CsrDelta cd;
+  cd.insert_edges = {{2, 9}, {100, 200}};
+  const auto edit = RemapDelta::graph_edit(from, cd);
+  EXPECT_FALSE(edit.pure_drift());
+  EXPECT_TRUE(edit.from == from);
+  EXPECT_TRUE(edit.to == from);
+  EXPECT_EQ(edit.dirty, cd.dirty_vertices());
+
+  const auto both = RemapDelta::combined(from, to, cd);
+  EXPECT_TRUE(both.from == from);
+  EXPECT_TRUE(both.to == to);
+  EXPECT_EQ(both.dirty, cd.dirty_vertices());
+}
+
+// --- spliced-schedule oracles (graph edits ride the rebuild) -----------------
+
+std::vector<InspectorResult> rebuild_all(const Csr& g_after, const RemapDelta& rd,
+                                         const std::vector<InspectorResult>& old) {
+  mp::Cluster cluster(
+      sim::MachineSpec::uniform(static_cast<std::size_t>(rd.from.nparts())));
+  std::vector<InspectorResult> out(old.size());
+  cluster.run([&](mp::Process& p) {
+    out[static_cast<std::size_t>(p.rank())] =
+        sched::rebuild_incremental(p, g_after, rd, old[static_cast<std::size_t>(p.rank())],
+                                   sim::CpuCostModel::free());
+  });
+  return out;
+}
+
+void expect_results_identical(const std::vector<InspectorResult>& patched,
+                              const std::vector<InspectorResult>& scratch) {
+  ASSERT_EQ(patched.size(), scratch.size());
+  for (std::size_t r = 0; r < patched.size(); ++r) {
+    EXPECT_TRUE(patched[r].schedule == scratch[r].schedule) << "rank " << r;
+    EXPECT_TRUE(patched[r].lgraph == scratch[r].lgraph) << "rank " << r;
+  }
+}
+
+CsrDelta stencil_churn(const Csr& g, std::uint64_t seed) {
+  // A refinement-front-shaped edit: a handful of skip-level inserts plus a
+  // few removals of existing edges, scattered by the seed.
+  Rng rng(seed);
+  const auto n = g.num_vertices();
+  const auto edges = g.edge_list();
+  CsrDelta d;
+  for (int i = 0; i < 12; ++i) {
+    const auto v = static_cast<graph::Vertex>(rng.below(static_cast<std::uint64_t>(n - 3)));
+    d.insert_edges.emplace_back(v, v + 2);
+    d.weight_edits.push_back({v, 1.0 + static_cast<double>(i % 4)});
+  }
+  for (int i = 0; i < 8; ++i) {
+    d.remove_edges.push_back(edges[rng.below(edges.size())]);
+  }
+  return d;
+}
+
+TEST(DeltaRebuild, GraphEditMatchesScratch) {
+  const Csr g = graph::random_delaunay(700, 29);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(3000 + seed);
+    const auto part = test::random_partition(g.num_vertices(), 2 + seed % 4, rng);
+    CsrDelta cd = stencil_churn(g, 40 + seed);
+    const Csr g2 = g.apply(cd);
+    const auto rd = RemapDelta::graph_edit(part, cd);
+    const auto old = build_all_schedules(g, part);
+    expect_results_identical(rebuild_all(g2, rd, old), build_all_schedules(g2, part));
+  }
+}
+
+TEST(DeltaRebuild, CombinedEditAndDriftMatchesScratch) {
+  const Csr g = graph::random_delaunay(700, 31);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(4000 + seed);
+    const std::size_t p = 3 + seed % 3;
+    const auto from = test::random_partition(g.num_vertices(), p, rng);
+    const auto to = test::random_partition(g.num_vertices(), p, rng);
+    CsrDelta cd = stencil_churn(g, 60 + seed);
+    const Csr g2 = g.apply(cd);
+    const auto rd = RemapDelta::combined(from, to, cd);
+    const auto old = build_all_schedules(g, from);
+    expect_results_identical(rebuild_all(g2, rd, old), build_all_schedules(g2, to));
+  }
+}
+
+TEST(DeltaRebuild, EmptyDeltaReproducesTheSchedule) {
+  const Csr g = graph::random_delaunay(400, 37);
+  Rng rng(5);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  CsrDelta cd;  // empty
+  const Csr g2 = g.apply(cd);
+  const auto rd = RemapDelta::graph_edit(part, cd);
+  const auto old = build_all_schedules(g, part);
+  expect_results_identical(rebuild_all(g2, rd, old), old);
+}
+
+TEST(DeltaRebuild, RedrawSizedDeltaStillMatchesScratch) {
+  // delta == full rebuild: nothing survives (disjoint intervals) while the
+  // graph also churns — the splice must degrade to a correct full scan.
+  const Csr g = graph::random_delaunay(500, 41);
+  const auto n = g.num_vertices();
+  const auto from =
+      IntervalPartition::from_sizes(std::vector<graph::Vertex>{n / 2, n - n / 2});
+  const auto to = IntervalPartition::from_sizes_arranged(
+      std::vector<graph::Vertex>{n - n / 2, n / 2}, partition::Arrangement{1, 0});
+  CsrDelta cd = stencil_churn(g, 99);
+  const Csr g2 = g.apply(cd);
+  const auto rd = RemapDelta::combined(from, to, cd);
+  const auto old = build_all_schedules(g, from);
+  expect_results_identical(rebuild_all(g2, rd, old), build_all_schedules(g2, to));
+}
+
+TEST(DeltaRebuild, ComposedDeltaEqualsSequentialSplices) {
+  const Csr g = graph::random_delaunay(600, 43);
+  Rng rng(7);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  CsrDelta d1 = stencil_churn(g, 101);
+  const Csr g1 = g.apply(d1);
+  CsrDelta d2 = stencil_churn(g1, 102);
+  const Csr g2 = g1.apply(d2);
+
+  const auto old = build_all_schedules(g, part);
+  // Two splices in sequence...
+  const auto mid = rebuild_all(g1, RemapDelta::graph_edit(part, d1), old);
+  const auto seq = rebuild_all(g2, RemapDelta::graph_edit(part, d2), mid);
+  // ...must equal one splice of the composed delta, and the scratch build.
+  const CsrDelta c = d1.then(d2);
+  const auto composed = rebuild_all(g2, RemapDelta::graph_edit(part, c), old);
+  expect_results_identical(seq, composed);
+  expect_results_identical(composed, build_all_schedules(g2, part));
+}
+
+// --- patched-frame-plan oracles ----------------------------------------------
+
+void expect_patch_matches_fresh(const Csr& g, const IntervalPartition& from,
+                                const IntervalPartition& to, NodeMap node_map,
+                                const sched::CoalesceOptions& opts) {
+  const auto nprocs = static_cast<std::size_t>(from.nparts());
+  const auto old_irs = build_all_schedules(g, from);
+  const auto new_irs = build_all_schedules(g, to);
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(nprocs), std::move(node_map));
+  std::vector<CoalescePlan> old_plans(nprocs), patched(nprocs), fresh(nprocs);
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    old_plans[r] = sched::coalesce(p, old_irs[r].schedule, sim::CpuCostModel::free(),
+                                   opts);
+  });
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    patched[r] = sched::patch_coalesce(p, old_plans[r], old_irs[r].schedule,
+                                       new_irs[r].schedule, sim::CpuCostModel::free(),
+                                       opts);
+  });
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    fresh[r] =
+        sched::coalesce(p, new_irs[r].schedule, sim::CpuCostModel::free(), opts);
+  });
+  for (std::size_t r = 0; r < nprocs; ++r) {
+    EXPECT_TRUE(patched[r] == fresh[r]) << "rank " << r;
+  }
+}
+
+TEST(PatchCoalesce, DriftPatchMatchesFreshBothPolicies) {
+  const Csr g = graph::random_delaunay(800, 47);
+  for (const auto policy :
+       {sched::CoalescePolicy::kAlwaysFrame, sched::CoalescePolicy::kAdaptive}) {
+    sched::CoalesceOptions opts;
+    opts.policy = policy;
+    opts.bytes_per_elem = sizeof(double);
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      Rng rng(6000 + seed);
+      const auto from = test::random_partition(g.num_vertices(), 8, rng);
+      const auto to = test::random_partition(g.num_vertices(), 8, rng);
+      expect_patch_matches_fresh(g, from, to, NodeMap::contiguous(8, 4), opts);
+      expect_patch_matches_fresh(g, from, to, NodeMap::contiguous(8, 2), opts);
+    }
+  }
+}
+
+TEST(PatchCoalesce, GraphEditPatchMatchesFresh) {
+  const Csr g = graph::random_delaunay(700, 53);
+  Rng rng(9);
+  const auto part = test::random_partition(g.num_vertices(), 6, rng);
+  CsrDelta cd = stencil_churn(g, 200);
+  const Csr g2 = g.apply(cd);
+  sched::CoalesceOptions opts;
+  opts.policy = sched::CoalescePolicy::kAdaptive;
+  opts.bytes_per_elem = sizeof(double);
+
+  const auto old_irs = build_all_schedules(g, part);
+  const auto new_irs = build_all_schedules(g2, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(6), NodeMap::contiguous(6, 3));
+  std::vector<CoalescePlan> old_plans(6), patched(6), fresh(6);
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    old_plans[r] =
+        sched::coalesce(p, old_irs[r].schedule, sim::CpuCostModel::free(), opts);
+  });
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    patched[r] = sched::patch_coalesce(p, old_plans[r], old_irs[r].schedule,
+                                       new_irs[r].schedule, sim::CpuCostModel::free(),
+                                       opts);
+    fresh[r] =
+        sched::coalesce(p, new_irs[r].schedule, sim::CpuCostModel::free(), opts);
+  });
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_TRUE(patched[r] == fresh[r]) << "rank " << r;
+  }
+}
+
+TEST(PatchCoalesce, IdenticalSchedulePatchReproducesThePlan) {
+  const Csr g = graph::random_delaunay(400, 59);
+  Rng rng(11);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto irs = build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(4), NodeMap::contiguous(4, 2));
+  std::vector<CoalescePlan> plans(4), patched(4);
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    plans[r] = sched::coalesce(p, irs[r].schedule, sim::CpuCostModel::free());
+  });
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    patched[r] = sched::patch_coalesce(p, plans[r], irs[r].schedule, irs[r].schedule,
+                                       sim::CpuCostModel::free(), {});
+  });
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_TRUE(patched[r] == plans[r]) << "rank " << r;
+  }
+}
+
+TEST(PatchCoalesce, DelegateRotationInvalidatesThePatch) {
+  // A rotation bumps the NodeMap generation; the retained plan no longer
+  // matches and the patch must refuse (full coalesce required) — the
+  // invalidation rule the adaptive executor's fresh_verdicts branch encodes.
+  const Csr g = graph::random_delaunay(400, 61);
+  Rng rng(13);
+  const auto part = test::random_partition(g.num_vertices(), 4, rng);
+  const auto irs = build_all_schedules(g, part);
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(4), NodeMap::contiguous(4, 2));
+  std::vector<CoalescePlan> plans(4);
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    plans[r] = sched::coalesce(p, irs[r].schedule, sim::CpuCostModel::free());
+  });
+  const std::vector<mp::Rank> rotated{1, 3};  // rotate both nodes' endpoints
+  cluster.set_delegates(rotated);
+  cluster.run([&](mp::Process& p) {
+    const auto r = static_cast<std::size_t>(p.rank());
+    EXPECT_THROW((void)sched::patch_coalesce(p, plans[r], irs[r].schedule,
+                                             irs[r].schedule,
+                                             sim::CpuCostModel::free(), {}),
+                 std::invalid_argument);
+  });
+}
+
+// --- the adaptive executor consumes a mesh delta in place --------------------
+
+TEST(DeltaRebuild, AdaptiveExecutorAppliesMeshDeltaByteIdentically) {
+  const Csr g = graph::port_coupled(4, 60, 8);
+  CsrDelta cd = stencil_churn(g, 300);
+  const Csr g2 = g.apply(cd);
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>(4, 1.0));
+  constexpr int kBefore = 6;
+  constexpr int kAfter = 7;
+
+  // Sequential reference: iterate g, then the edited mesh, carrying values.
+  std::vector<double> reference(static_cast<std::size_t>(g.num_vertices()));
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    reference[static_cast<std::size_t>(v)] = 1.0 + static_cast<double>(v % 11);
+  }
+  exec::IrregularLoop::reference_iterate(g, reference, kBefore);
+  exec::IrregularLoop::reference_iterate(g2, reference, kAfter);
+
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(4), NodeMap::contiguous(4, 2));
+  std::vector<std::vector<double>> finals(4);
+  IntervalPartition final_part;
+  cluster.run([&](mp::Process& p) {
+    lb::AdaptiveOptions opts;
+    opts.cpu = sim::CpuCostModel::sun4();
+    opts.loop = exec::LoopCostModel::sun4();
+    opts.enable_lb = false;
+    opts.coalesce = true;
+    opts.coalesce_opts.policy = sched::CoalescePolicy::kAdaptive;
+    opts.coalesce_opts.bytes_per_elem = sizeof(double);
+    lb::AdaptiveExecutor ax(p, g, part, opts);
+    std::vector<double> y(static_cast<std::size_t>(ax.partition().size(p.rank())));
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] = 1.0 + static_cast<double>(
+                       part.to_global(p.rank(), static_cast<graph::Vertex>(i)) % 11);
+    }
+    (void)ax.run(p, y, kBefore);
+    ax.apply_mesh_delta(p, g2, cd, nullptr, y);
+    EXPECT_EQ(ax.last_delta().dirty, cd.dirty_vertices());
+    (void)ax.run(p, y, kAfter);
+    finals[static_cast<std::size_t>(p.rank())] = std::move(y);
+    if (p.is_root()) final_part = ax.partition();
+  });
+  for (int r = 0; r < 4; ++r) {
+    const auto& fin = finals[static_cast<std::size_t>(r)];
+    for (graph::Vertex i = 0; i < final_part.size(r); ++i) {
+      EXPECT_EQ(fin[static_cast<std::size_t>(i)],
+                reference[static_cast<std::size_t>(final_part.to_global(r, i))])
+          << "rank " << r << " local " << i;
+    }
+  }
+}
+
+TEST(DeltaRebuild, AdaptiveExecutorRefusesAForeignDelta) {
+  const Csr g = graph::port_coupled(4, 40, 6);
+  const Csr other = graph::port_coupled(4, 40, 7);
+  CsrDelta cd;
+  cd.insert_edges = {{0, 5}};
+  const Csr other2 = other.apply(cd);  // stamped against `other`, not `g`
+  const auto part = IntervalPartition::from_weights(g.num_vertices(),
+                                                    std::vector<double>(4, 1.0));
+  mp::Cluster cluster(sim::MachineSpec::uniform_ethernet(4), NodeMap::contiguous(4, 2));
+  cluster.run([&](mp::Process& p) {
+    lb::AdaptiveOptions opts;
+    opts.enable_lb = false;
+    lb::AdaptiveExecutor ax(p, g, part, opts);
+    std::vector<double> y(static_cast<std::size_t>(ax.partition().size(p.rank())), 1.0);
+    EXPECT_THROW(ax.apply_mesh_delta(p, other2, cd, nullptr, y),
+                 std::invalid_argument);
+  });
+}
+
+// --- plan-cache re-key (stance::Service::patch_plan) -------------------------
+
+std::shared_ptr<const graph::Csr> service_mesh(std::uint64_t seed = 67) {
+  return std::make_shared<graph::Csr>(graph::random_delaunay(900, seed));
+}
+
+JobSpec identity_job(std::shared_ptr<const graph::Csr> mesh, int iterations = 3) {
+  JobSpec spec;
+  spec.tenant = "amr";
+  spec.mesh = std::move(mesh);
+  spec.config.ordering = order::Method::kIdentity;  // patchable numbering
+  spec.config.build = sched::BuildMethod::kSort2;
+  spec.iterations = iterations;
+  return spec;
+}
+
+ServiceOptions coalesced_service_opts() {
+  ServiceOptions opts;
+  opts.coalesce = true;
+  opts.coalesce_opts.policy = sched::CoalescePolicy::kAdaptive;
+  opts.coalesce_opts.bytes_per_elem = sizeof(double);
+  return opts;
+}
+
+TEST(ServicePlanPatch, PatchThenHitIsByteIdenticalToAColdBuild) {
+  const auto mesh = service_mesh();
+  CsrDelta cd = stencil_churn(*mesh, 400);
+  const auto mesh2 = std::make_shared<const graph::Csr>(mesh->apply(cd));
+
+  Service svc(sim::MachineSpec::sun4_ethernet(4), coalesced_service_opts(),
+              NodeMap::contiguous(4, 2));
+  ASSERT_TRUE(svc.submit(identity_job(mesh)).accepted);
+  const auto cold = svc.drain();
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_FALSE(cold[0].plan_cache_hit);
+
+  // Patch the cached plan onto the edited mesh (re-key, splice, re-price).
+  ASSERT_TRUE(svc.patch_plan(identity_job(mesh), cd, mesh2));
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.plan_cache.patches, 1u);
+  EXPECT_EQ(stats.plan_cache.size, 1u);  // re-key, not a second entry
+
+  // The patched entry is resident under the new mesh's key and warm-serves.
+  const auto patched = svc.cached_plan_for(identity_job(mesh2));
+  ASSERT_NE(patched, nullptr);
+  EXPECT_GT(patched->cold_build_seconds, 0.0);  // splice was charged
+  ASSERT_TRUE(svc.submit(identity_job(mesh2)).accepted);
+  const auto warm = svc.drain();
+  ASSERT_EQ(warm.size(), 1u);
+  EXPECT_TRUE(warm[0].plan_cache_hit);
+  EXPECT_EQ(warm[0].build_seconds, 0.0);
+
+  // Byte-identity oracle: a second service cold-builds the edited mesh; the
+  // patched artifacts must match member for member.
+  Service oracle(sim::MachineSpec::sun4_ethernet(4), coalesced_service_opts(),
+                 NodeMap::contiguous(4, 2));
+  ASSERT_TRUE(oracle.submit(identity_job(mesh2)).accepted);
+  (void)oracle.drain();
+  const auto fresh = oracle.cached_plan_for(identity_job(mesh2));
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_EQ(patched->per_rank.size(), fresh->per_rank.size());
+  ASSERT_EQ(patched->coalesce.size(), fresh->coalesce.size());
+  for (std::size_t r = 0; r < patched->per_rank.size(); ++r) {
+    EXPECT_TRUE(patched->per_rank[r].schedule == fresh->per_rank[r].schedule)
+        << "rank " << r;
+    EXPECT_TRUE(patched->per_rank[r].lgraph == fresh->per_rank[r].lgraph)
+        << "rank " << r;
+    EXPECT_TRUE(patched->coalesce[r] == fresh->coalesce[r]) << "rank " << r;
+  }
+  // The warm job's answer equals the cold oracle's answer bit for bit.
+  const auto oracle_runs = [&] {
+    Service again(sim::MachineSpec::sun4_ethernet(4), coalesced_service_opts(),
+                  NodeMap::contiguous(4, 2));
+    (void)again.submit(identity_job(mesh2));
+    return again.drain();
+  }();
+  EXPECT_EQ(warm[0].checksum, oracle_runs[0].checksum);
+}
+
+TEST(ServicePlanPatch, PatchWithoutAResidentPlanReturnsFalse) {
+  const auto mesh = service_mesh();
+  CsrDelta cd = stencil_churn(*mesh, 500);
+  const auto mesh2 = std::make_shared<const graph::Csr>(mesh->apply(cd));
+  Service svc(sim::MachineSpec::sun4_ethernet(4), coalesced_service_opts(),
+              NodeMap::contiguous(4, 2));
+  EXPECT_FALSE(svc.patch_plan(identity_job(mesh), cd, mesh2));  // never built
+  EXPECT_EQ(svc.stats().plan_cache.patches, 0u);
+  EXPECT_EQ(svc.stats().plan_cache.size, 0u);
+}
+
+TEST(ServicePlanPatch, PatchRequiresIdentityOrderingAndAChainedDelta) {
+  const auto mesh = service_mesh();
+  CsrDelta cd = stencil_churn(*mesh, 600);
+  const auto mesh2 = std::make_shared<const graph::Csr>(mesh->apply(cd));
+  Service svc(sim::MachineSpec::sun4_ethernet(4), coalesced_service_opts(),
+              NodeMap::contiguous(4, 2));
+
+  JobSpec hilbert = identity_job(mesh);
+  hilbert.config.ordering = order::Method::kHilbert;
+  EXPECT_THROW((void)svc.patch_plan(hilbert, cd, mesh2), std::invalid_argument);
+
+  // A delta stamped against a different mesh must refuse too.
+  const auto foreign = service_mesh(68);
+  CsrDelta foreign_cd = stencil_churn(*foreign, 700);
+  const auto foreign2 = std::make_shared<const graph::Csr>(foreign->apply(foreign_cd));
+  EXPECT_THROW((void)svc.patch_plan(identity_job(mesh), foreign_cd, foreign2),
+               std::invalid_argument);
+}
+
+TEST(PlanCacheUnit, PatchReKeysInPlace) {
+  PlanCache cache(2);
+  PlanKey a;
+  a.mesh_fingerprint = 1;
+  PlanKey b = a;
+  b.mesh_fingerprint = 2;
+  auto plan = std::make_shared<CachedPlan>();
+  EXPECT_FALSE(cache.patch(a, b, plan));  // nothing resident yet
+  cache.insert(a, plan);
+  EXPECT_TRUE(cache.patch(a, b, plan));
+  EXPECT_EQ(cache.peek(a), nullptr);
+  EXPECT_EQ(cache.peek(b), plan);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.patches, 1u);
+  EXPECT_EQ(stats.insertions, 1u);  // the re-key is not new demand
+  EXPECT_EQ(stats.size, 1u);
+}
+
+}  // namespace
+}  // namespace stance
